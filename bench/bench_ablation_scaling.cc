@@ -1,0 +1,184 @@
+// Ablations — engine design choices that DESIGN.md calls out:
+//   1. cluster width scaling (JEN workers 2/4/8, the "massive parallelism"
+//      the title promises),
+//   2. locality-aware block assignment on/off,
+//   3. columnar chunk skipping on/off (a capability the paper's scan-based
+//      HQP lacks; we measure what it adds),
+//   4. cross-cluster switch bandwidth (what if the interconnect were fat?).
+
+#include "bench_common.h"
+
+using namespace hybridjoin;
+using namespace hybridjoin::bench;
+
+namespace {
+
+double RunWith(const BenchConfig& bench, const SimulationConfig& sim,
+               const Workload& workload, HdfsFormat format,
+               JoinAlgorithm algorithm, ExecutionReport* report = nullptr) {
+  HybridWarehouse hw(sim);
+  LoadOptions load;
+  load.hdfs.format = format;
+  load.hdfs.rows_per_block = 32 * 1024;
+  if (!LoadWorkload(&hw, workload, load).ok()) return -1;
+  const HybridQuery query = workload.MakeQuery();
+  if (!hw.Execute(query, algorithm).ok()) return -1;  // warm
+  auto result = hw.Execute(query, algorithm);
+  if (!result.ok()) return -1;
+  if (report != nullptr) *report = result->report;
+  return result->report.wall_seconds;
+  (void)bench;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintPreamble("Ablations", "scaling, locality, chunk skipping, switch",
+                config);
+  const SelectivitySpec spec{0.1, 0.4, 0.2, 0.1};
+  auto workload = Workload::Generate(config.workload, spec);
+  if (!workload.ok()) return 1;
+
+  // 1. Worker scaling (text format so the scan is the bottleneck).
+  std::printf("\n--- JEN worker scaling (text format, zigzag) ---\n");
+  std::printf("%12s %10s\n", "JEN workers", "zigzag(s)");
+  std::vector<double> scaling;
+  for (uint32_t n : {2u, 4u, 8u}) {
+    BenchConfig b = config;
+    b.jen_workers = n;
+    SimulationConfig sim = MakeSimConfig(b);
+    const double t = RunWith(b, sim, *workload, HdfsFormat::kText,
+                             JoinAlgorithm::kZigzag);
+    std::printf("%12u %10.3f\n", n, t);
+    scaling.push_back(t);
+  }
+  ShapeCheck("more JEN workers -> faster scans (2 -> 8 workers)",
+             scaling.size() == 3 && scaling.front() > scaling.back());
+
+  // 2. Locality-aware assignment.
+  std::printf("\n--- Locality-aware block assignment (text, zigzag) ---\n");
+  ExecutionReport local_report;
+  SimulationConfig sim_local = MakeSimConfig(config);
+  const double with_locality =
+      RunWith(config, sim_local, *workload, HdfsFormat::kText,
+              JoinAlgorithm::kZigzag, &local_report);
+  SimulationConfig sim_remote = MakeSimConfig(config);
+  sim_remote.jen.locality_aware = false;
+  ExecutionReport no_locality_report;
+  const double without_locality =
+      RunWith(config, sim_remote, *workload, HdfsFormat::kText,
+              JoinAlgorithm::kZigzag, &no_locality_report);
+  std::printf("locality-aware:  %.3f s (%lld remote blocks)\n",
+              with_locality,
+              static_cast<long long>(
+                  local_report.Counter(metric::kHdfsBlocksRemote)));
+  std::printf("round-robin:     %.3f s (%lld remote blocks)\n",
+              without_locality,
+              static_cast<long long>(
+                  no_locality_report.Counter(metric::kHdfsBlocksRemote)));
+  ShapeCheck("locality-aware assignment reads no remote blocks",
+             local_report.Counter(metric::kHdfsBlocksRemote) == 0);
+
+  // 3. Chunk skipping (columnar). On the paper's workload L is written in
+  //    arrival order, so every block's corPred min/max spans the domain
+  //    and nothing can be skipped; a table clustered on the predicate
+  //    column (Hive-style sorted layout) is where the stats pay off.
+  std::printf("\n--- Columnar chunk skipping (zigzag) ---\n");
+  Workload sorted = *workload;
+  {
+    // Cluster L on corPred.
+    RecordBatch all = ConcatBatches(Workload::LSchema(),
+                                    workload->l_batches());
+    std::vector<uint32_t> order(all.num_rows());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto& cor = all.column(1).i32();
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) { return cor[a] < cor[b]; });
+    sorted.OverrideLBatches({all.Gather(order)});
+  }
+  SimulationConfig sim_skip = MakeSimConfig(config);
+  ExecutionReport skip_report;
+  const double with_skip =
+      RunWith(config, sim_skip, sorted, HdfsFormat::kColumnar,
+              JoinAlgorithm::kZigzag, &skip_report);
+  SimulationConfig sim_noskip = MakeSimConfig(config);
+  sim_noskip.jen.chunk_skipping = false;
+  ExecutionReport noskip_report;
+  const double without_skip =
+      RunWith(config, sim_noskip, sorted, HdfsFormat::kColumnar,
+              JoinAlgorithm::kZigzag, &noskip_report);
+  std::printf("clustered L, with skipping:    %.3f s (%lld bytes read, "
+              "%lld rows decoded)\n",
+              with_skip,
+              static_cast<long long>(
+                  skip_report.Counter(metric::kHdfsBytesRead)),
+              static_cast<long long>(
+                  skip_report.Counter(metric::kHdfsTuplesScanned)));
+  std::printf("clustered L, without skipping: %.3f s (%lld bytes read, "
+              "%lld rows decoded)\n",
+              without_skip,
+              static_cast<long long>(
+                  noskip_report.Counter(metric::kHdfsBytesRead)),
+              static_cast<long long>(
+                  noskip_report.Counter(metric::kHdfsTuplesScanned)));
+  ShapeCheck("skipping reads fewer bytes on a clustered table",
+             skip_report.Counter(metric::kHdfsBytesRead) <
+                 noskip_report.Counter(metric::kHdfsBytesRead));
+
+  // 4. Zigzag build side (paper §4.4): build on shuffled HDFS data (their
+  //    choice, overlaps with the scan) vs buffering L' and building on the
+  //    later-arriving database records.
+  std::printf("\n--- Zigzag hash-build side (columnar) ---\n");
+  {
+    SimulationConfig sim = MakeSimConfig(config);
+    HybridWarehouse hw(sim);
+    LoadOptions load;
+    load.hdfs.rows_per_block = 32 * 1024;
+    if (!LoadWorkload(&hw, *workload, load).ok()) return 1;
+    auto prepared = PrepareQuery(&hw.context(), workload->MakeQuery());
+    if (!prepared.ok()) return 1;
+    auto run = [&](bool build_on_db) {
+      JoinDriverOptions options;
+      options.build_on_db_data = build_on_db;
+      (void)RunRepartitionFamilyJoin(&hw.context(), *prepared, true, true,
+                                     options);  // warm
+      double best = 1e100;
+      for (int i = 0; i < 2; ++i) {
+        auto r = RunRepartitionFamilyJoin(&hw.context(), *prepared, true,
+                                          true, options);
+        if (!r.ok()) return -1.0;
+        best = std::min(best, r->report.wall_seconds);
+      }
+      return best;
+    };
+    const double on_hdfs = run(false);
+    const double on_db = run(true);
+    std::printf("build on shuffled L' (paper): %.3f s\n", on_hdfs);
+    std::printf("build on database T'':        %.3f s\n", on_db);
+    std::printf("note: the paper's rationale is overlap — the L' build hides\n"
+                "behind the scan on their 8-core nodes, while T'' cannot\n"
+                "arrive before BF_H. On a single-CPU simulation that overlap\n"
+                "saves nothing, so the classic build-on-smaller-side choice\n"
+                "can win here; both plans return identical rows (report_test).\n");
+    ShapeCheck("both build sides are within 2x (choice is regime-dependent)",
+               on_hdfs <= on_db * 2.0 && on_db <= on_hdfs * 2.0);
+  }
+
+  // 5. Fat inter-cluster switch: does the DB-side join catch up?
+  std::printf("\n--- Cross-cluster switch bandwidth (db(BF) join) ---\n");
+  SimulationConfig sim_thin = MakeSimConfig(config);
+  const double thin = RunWith(config, sim_thin, *workload,
+                              HdfsFormat::kColumnar,
+                              JoinAlgorithm::kDbSideBloom);
+  SimulationConfig sim_fat = MakeSimConfig(config);
+  sim_fat.net.cross_switch_bps *= 10;
+  sim_fat.net.db_nic_bps *= 10;
+  const double fat = RunWith(config, sim_fat, *workload,
+                             HdfsFormat::kColumnar,
+                             JoinAlgorithm::kDbSideBloom);
+  std::printf("paper-scaled switch: %.3f s; 10x switch: %.3f s\n", thin, fat);
+  ShapeCheck("db-side join is interconnect-bound (10x switch helps)",
+             fat < thin);
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Shared harness for the paper-reproduction benches: builds a throttled
+// two-cluster warehouse per (selectivity, format) cell, loads the scaled
+// workload, and measures warm runs of each algorithm, mirroring the
+// methodology of §5 (multiple runs, first run excluded).
+//
+// Environment overrides:
+//   HJ_BENCH_TROWS / HJ_BENCH_LROWS / HJ_BENCH_KEYS   workload scale
+//   HJ_BENCH_DBW / HJ_BENCH_JENW                      worker counts
+//   HJ_BENCH_REPEATS                                  measured runs per cell
+//   HJ_BENCH_SMOKE=1                                  tiny everything (CI)
+
+#ifndef HYBRIDJOIN_BENCH_BENCH_COMMON_H_
+#define HYBRIDJOIN_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace bench {
+
+struct BenchConfig {
+  WorkloadConfig workload;
+  uint32_t db_workers = 4;
+  uint32_t jen_workers = 4;
+  int repeats = 1;
+
+  static BenchConfig FromEnv() {
+    BenchConfig c;
+    c.workload.num_join_keys = 8192;
+    c.workload.t_rows = 512 * 1024;
+    c.workload.l_rows = 1200 * 1024;
+    c.workload.num_groups = 200;
+    auto env_u64 = [](const char* name, uint64_t* out) {
+      if (const char* v = std::getenv(name)) *out = std::strtoull(v, nullptr, 10);
+    };
+    if (const char* smoke = std::getenv("HJ_BENCH_SMOKE");
+        smoke != nullptr && smoke[0] == '1') {
+      c.workload.num_join_keys = 1024;
+      c.workload.t_rows = 12000;
+      c.workload.l_rows = 48000;
+    }
+    env_u64("HJ_BENCH_TROWS", &c.workload.t_rows);
+    env_u64("HJ_BENCH_LROWS", &c.workload.l_rows);
+    env_u64("HJ_BENCH_KEYS", &c.workload.num_join_keys);
+    uint64_t tmp;
+    if (const char* v = std::getenv("HJ_BENCH_DBW")) {
+      tmp = std::strtoull(v, nullptr, 10);
+      c.db_workers = static_cast<uint32_t>(tmp);
+    }
+    if (const char* v = std::getenv("HJ_BENCH_JENW")) {
+      tmp = std::strtoull(v, nullptr, 10);
+      c.jen_workers = static_cast<uint32_t>(tmp);
+    }
+    if (const char* v = std::getenv("HJ_BENCH_REPEATS")) {
+      c.repeats = std::atoi(v);
+      if (c.repeats < 1) c.repeats = 1;
+    }
+    return c;
+  }
+};
+
+/// The scaled testbed bandwidths (see DESIGN.md for the derivation from the
+/// paper's 1 GbE / 10 GbE / 20 Gbit / 4-disk configuration).
+inline SimulationConfig MakeSimConfig(const BenchConfig& bench) {
+  auto mb = [](double v) {
+    return static_cast<uint64_t>(v * 1024.0 * 1024.0);
+  };
+  SimulationConfig c;
+  c.db.num_workers = bench.db_workers;
+  c.jen_workers = bench.jen_workers;
+  c.bloom.expected_keys = bench.workload.num_join_keys;
+  c.datanode.num_disks = 2;
+  c.datanode.disk_read_bps = mb(8);     // cold sequential, per disk
+  c.datanode.cache_read_bps = mb(60);   // warm page-cache reads
+  c.net.hdfs_nic_bps = mb(12);          // "1 GbE" class
+  // Effective per-DB-worker ingest/exchange bandwidth. Deliberately low:
+  // the paper under-provisions the DPF cluster ("to mimic the case that
+  // the database is more heavily utilized") and ingesting HDFS rows into
+  // the EDW costs UDF processing + an internal reshuffle on top of raw
+  // network transfer.
+  c.net.db_nic_bps = mb(0.25);
+  c.net.cross_switch_bps = mb(16);      // "20 Gbit" inter-cluster switch
+  c.jen.send_threads = 1;               // modest host parallelism
+  return c;
+}
+
+/// One (selectivity, format) cell: generated data loaded into a throttled
+/// warehouse, ready to run algorithms on.
+class BenchCell {
+ public:
+  static std::unique_ptr<BenchCell> Create(const BenchConfig& bench,
+                                           const SelectivitySpec& spec,
+                                           HdfsFormat format) {
+    auto cell = std::make_unique<BenchCell>();
+    cell->bench_ = bench;
+    auto workload = Workload::Generate(bench.workload, spec);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   workload.status().ToString().c_str());
+      return nullptr;
+    }
+    cell->workload_ = std::make_unique<Workload>(std::move(*workload));
+    cell->warehouse_ =
+        std::make_unique<HybridWarehouse>(MakeSimConfig(bench));
+    LoadOptions load;
+    load.hdfs.format = format;
+    load.hdfs.rows_per_block = 32 * 1024;
+    const Status st = LoadWorkload(cell->warehouse_.get(),
+                                   *cell->workload_, load);
+    if (!st.ok()) {
+      std::fprintf(stderr, "workload load failed: %s\n",
+                   st.ToString().c_str());
+      return nullptr;
+    }
+
+    // Page-cache sizing (paper §5.4): the columnar table fits in memory,
+    // the raw text table does not. We give each node a cache of ~40% of
+    // its text footprint, which comfortably holds the columnar chunks but
+    // thrashes on text scans.
+    EngineContext& ctx = cell->warehouse_->context();
+    auto file_size = ctx.namenode().FileSize("/warehouse/L");
+    if (file_size.ok()) {
+      const uint64_t per_node =
+          *file_size * ctx.config().hdfs_replication / bench.jen_workers;
+      uint64_t capacity;
+      if (format == HdfsFormat::kText) {
+        capacity = static_cast<uint64_t>(per_node * 0.4);
+      } else {
+        capacity = per_node * 4;
+      }
+      for (uint32_t i = 0; i < bench.jen_workers; ++i) {
+        ctx.datanode(i)->SetCacheCapacity(capacity);
+      }
+    }
+    return cell;
+  }
+
+  const Workload& workload() const { return *workload_; }
+  HybridWarehouse& warehouse() { return *warehouse_; }
+
+  /// Warm run (discarded, paper methodology) + measured runs; returns the
+  /// minimum (stablest point estimate on a shared host) and the last report.
+  double Run(JoinAlgorithm algorithm, ExecutionReport* report = nullptr) {
+    const HybridQuery query = workload_->MakeQuery();
+    auto warm = warehouse_->Execute(query, algorithm);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "run failed (%s): %s\n",
+                   JoinAlgorithmName(algorithm),
+                   warm.status().ToString().c_str());
+      return -1;
+    }
+    const int runs = std::max(bench_.repeats, 2);
+    double best = 1e100;
+    for (int i = 0; i < runs; ++i) {
+      auto result = warehouse_->Execute(query, algorithm);
+      if (!result.ok()) return -1;
+      best = std::min(best, result->report.wall_seconds);
+      if (report != nullptr && i == runs - 1) {
+        *report = result->report;
+      }
+    }
+    return best;
+  }
+
+  BenchConfig bench_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<HybridWarehouse> warehouse_;
+};
+
+/// Header printed by every figure bench.
+inline void PrintPreamble(const char* exhibit, const char* description,
+                          const BenchConfig& bench) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", exhibit, description);
+  std::printf(
+      "workload: %llu T rows, %llu L rows, %llu join keys; "
+      "%u DB workers, %u JEN workers, %d repeat(s)\n",
+      static_cast<unsigned long long>(bench.workload.t_rows),
+      static_cast<unsigned long long>(bench.workload.l_rows),
+      static_cast<unsigned long long>(bench.workload.num_join_keys),
+      bench.db_workers, bench.jen_workers, bench.repeats);
+  std::printf("==========================================================\n");
+}
+
+/// Records a qualitative shape check ("who wins") in the output.
+inline void ShapeCheck(const char* claim, bool holds) {
+  std::printf("shape-check: %-58s %s\n", claim, holds ? "[OK]" : "[MISS]");
+}
+
+}  // namespace bench
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_BENCH_BENCH_COMMON_H_

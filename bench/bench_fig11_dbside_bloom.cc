@@ -1,0 +1,54 @@
+// Figure 11 — "DB-side joins: execution time (sec)" (with vs without the
+// Bloom filter).
+//   (a) sigma_T = 0.05, S_L' = 0.05;  (b) sigma_T = 0.1, S_L' = 0.1.
+// sigma_L in {0.001, 0.01, 0.1, 0.2}.
+//
+// Paper's shape: the Bloom filter helps more and more as sigma_L grows
+// (there is more non-joinable HDFS data to prune); for very selective
+// sigma_L (<= 0.001) the filter's overhead can cancel its benefit.
+
+#include "bench_common.h"
+
+using namespace hybridjoin;
+using namespace hybridjoin::bench;
+
+namespace {
+
+void RunSubfigure(const BenchConfig& config, const char* label,
+                  double sigma_t, double sl) {
+  std::printf("\n--- Figure 11(%s): sigma_T=%.2f, S_L'=%.2f ---\n", label,
+              sigma_t, sl);
+  std::printf("%8s %8s %10s %16s %16s\n", "sigma_L", "db(s)", "db(BF)(s)",
+              "L tuples -> DB", "w/ BF -> DB");
+  std::vector<double> benefit;  // db / db(BF)
+  for (double sigma_l : {0.001, 0.01, 0.1, 0.2}) {
+    const SelectivitySpec spec{sigma_t, sigma_l, 0.5, sl};
+    auto cell = BenchCell::Create(config, spec, HdfsFormat::kColumnar);
+    if (cell == nullptr) continue;
+    ExecutionReport plain_report;
+    ExecutionReport bf_report;
+    const double plain = cell->Run(JoinAlgorithm::kDbSide, &plain_report);
+    const double bf = cell->Run(JoinAlgorithm::kDbSideBloom, &bf_report);
+    std::printf("%8.3f %8.3f %10.3f %16lld %16lld\n", sigma_l, plain, bf,
+                static_cast<long long>(
+                    plain_report.Counter(metric::kHdfsTuplesSentToDb)),
+                static_cast<long long>(
+                    bf_report.Counter(metric::kHdfsTuplesSentToDb)));
+    benefit.push_back(plain / bf);
+  }
+  ShapeCheck("BF benefit grows with sigma_L",
+             benefit.size() >= 2 && benefit.back() > benefit.front());
+  ShapeCheck("BF clearly wins at sigma_L = 0.2",
+             !benefit.empty() && benefit.back() > 1.1);
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintPreamble("Figure 11", "DB-side join with vs without Bloom filter",
+                config);
+  RunSubfigure(config, "a", 0.05, 0.05);
+  RunSubfigure(config, "b", 0.1, 0.1);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12 — "DB-side join vs HDFS-side join without Bloom filter:
+// execution time (sec)".
+//   (a) sigma_T = 0.05;  (b) sigma_T = 0.1.
+// sigma_L in {0.001, 0.01, 0.1, 0.2}; hdfs-best = best of broadcast and
+// plain repartition (repartition wins everywhere in the paper's figure).
+//
+// Paper's shape: the DB-side join wins only for very selective HDFS
+// predicates (sigma_L <= 0.01); beyond that it deteriorates steeply while
+// the HDFS-side join stays nearly flat.
+
+#include "bench_common.h"
+
+using namespace hybridjoin;
+using namespace hybridjoin::bench;
+
+namespace {
+
+void RunSubfigure(const BenchConfig& config, const char* label,
+                  double sigma_t) {
+  std::printf("\n--- Figure 12(%s): sigma_T=%.2f ---\n", label, sigma_t);
+  std::printf("%8s %8s %13s\n", "sigma_L", "db(s)", "hdfs-best(s)");
+  std::vector<double> db_times;
+  std::vector<double> hdfs_times;
+  for (double sigma_l : {0.001, 0.01, 0.1, 0.2}) {
+    const SelectivitySpec spec{sigma_t, sigma_l, 0.5, 0.5};
+    auto cell = BenchCell::Create(config, spec, HdfsFormat::kColumnar);
+    if (cell == nullptr) continue;
+    const double db = cell->Run(JoinAlgorithm::kDbSide);
+    const double repart = cell->Run(JoinAlgorithm::kRepartition);
+    const double bcast = cell->Run(JoinAlgorithm::kBroadcast);
+    const double hdfs_best = std::min(repart, bcast);
+    std::printf("%8.3f %8.3f %13.3f\n", sigma_l, db, hdfs_best);
+    db_times.push_back(db);
+    hdfs_times.push_back(hdfs_best);
+  }
+  if (db_times.size() < 4) return;
+  ShapeCheck("db-side competitive at sigma_L <= 0.01",
+             db_times[0] <= hdfs_times[0] * 1.3 ||
+                 db_times[1] <= hdfs_times[1] * 1.3);
+  ShapeCheck("hdfs-side wins at sigma_L = 0.2",
+             hdfs_times[3] < db_times[3]);
+  ShapeCheck("db-side deteriorates faster than hdfs-side",
+             (db_times[3] - db_times[0]) > (hdfs_times[3] - hdfs_times[0]));
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintPreamble("Figure 12",
+                "DB-side vs best HDFS-side join, no Bloom filters", config);
+  RunSubfigure(config, "a", 0.05);
+  RunSubfigure(config, "b", 0.1);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the substrate components whose
+// costs drive the macro results: Bloom filter ops, the LZ codec, text
+// parsing vs columnar decoding, hash-table build/probe, and batch serde.
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/compress.h"
+#include "common/random.h"
+#include "exec/join_hash_table.h"
+#include "hdfs/format.h"
+
+namespace hybridjoin {
+namespace {
+
+void BM_BloomAdd(benchmark::State& state) {
+  BloomFilter bloom(BloomParams::ForKeys(1 << 16));
+  int64_t key = 0;
+  for (auto _ : state) {
+    bloom.Add(key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomMayContain(benchmark::State& state) {
+  BloomFilter bloom(BloomParams::ForKeys(1 << 16));
+  for (int64_t k = 0; k < (1 << 16); k += 2) bloom.Add(k);
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.MayContain(key++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomMayContain);
+
+void BM_BloomUnion(benchmark::State& state) {
+  BloomFilter a(BloomParams::ForKeys(1 << 16));
+  BloomFilter b(BloomParams::ForKeys(1 << 16));
+  for (int64_t k = 0; k < 1000; ++k) b.Add(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.UnionWith(b));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_BloomUnion);
+
+std::vector<uint8_t> LogLikeBytes(size_t n) {
+  Rng rng(1);
+  std::string s;
+  while (s.size() < n) {
+    s += "g" + std::to_string(rng.Uniform(200)) + "/products/item" +
+         std::to_string(rng.Uniform(100000)) + "|";
+  }
+  return std::vector<uint8_t>(s.begin(), s.begin() + n);
+}
+
+void BM_LzCompress(benchmark::State& state) {
+  const auto input = LogLikeBytes(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzCompress(input));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const auto compressed = LzCompress(LogLikeBytes(1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzDecompress(compressed));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_LzDecompress);
+
+RecordBatch LogBatch(size_t rows) {
+  auto schema = Schema::Make({{"joinKey", DataType::kInt32},
+                              {"pred", DataType::kInt32},
+                              {"date", DataType::kDate},
+                              {"grp", DataType::kString}});
+  RecordBatch b(schema);
+  Rng rng(2);
+  for (size_t i = 0; i < rows; ++i) {
+    b.AppendRow({Value(static_cast<int32_t>(rng.Uniform(10000))),
+                 Value(static_cast<int32_t>(rng.Uniform(1000000))),
+                 Value(static_cast<int32_t>(16000 + rng.Uniform(30))),
+                 Value("g" + std::to_string(rng.Uniform(200)) + "/item" +
+                       std::to_string(rng.Uniform(100000)))});
+  }
+  return b;
+}
+
+void BM_TextParse(benchmark::State& state) {
+  RecordBatch batch = LogBatch(10000);
+  const auto text = EncodeText(batch);
+  const std::vector<size_t> all = {0, 1, 2, 3};
+  for (auto _ : state) {
+    auto decoded = DecodeText(text.data(), text.size(), batch.schema(), all);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_TextParse);
+
+void BM_ColumnarDecode(benchmark::State& state) {
+  RecordBatch batch = LogBatch(10000);
+  const auto block = EncodeColumnarBlock(batch, ColumnarWriteOptions{});
+  const std::vector<size_t> all = {0, 1, 2, 3};
+  for (auto _ : state) {
+    auto decoded = DecodeColumnarBlock(block, batch.schema(), all);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * block.ByteSize());
+}
+BENCHMARK(BM_ColumnarDecode);
+
+void BM_ColumnarDecodeProjected(benchmark::State& state) {
+  RecordBatch batch = LogBatch(10000);
+  const auto block = EncodeColumnarBlock(batch, ColumnarWriteOptions{});
+  const std::vector<size_t> narrow = {0};
+  for (auto _ : state) {
+    auto decoded = DecodeColumnarBlock(block, batch.schema(), narrow);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ColumnarDecodeProjected);
+
+void BM_HashTableBuild(benchmark::State& state) {
+  RecordBatch batch = LogBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    JoinHashTable table(0);
+    RecordBatch copy = batch;
+    benchmark::DoNotOptimize(table.AddBatch(std::move(copy)));
+    table.Finalize();
+    benchmark::DoNotOptimize(table.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashTableBuild)->Arg(10000)->Arg(100000);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  RecordBatch batch = LogBatch(100000);
+  JoinHashTable table(0);
+  {
+    RecordBatch copy = batch;
+    (void)table.AddBatch(std::move(copy));
+  }
+  table.Finalize();
+  int32_t key = 0;
+  for (auto _ : state) {
+    int64_t count = 0;
+    table.ForEachMatch(key++ % 10000, [&](uint32_t, uint32_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe);
+
+void BM_BatchSerde(benchmark::State& state) {
+  RecordBatch batch = LogBatch(10000);
+  for (auto _ : state) {
+    auto bytes = batch.Serialize();
+    auto decoded = RecordBatch::Deserialize(bytes, batch.schema());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * batch.ByteSize());
+}
+BENCHMARK(BM_BatchSerde);
+
+}  // namespace
+}  // namespace hybridjoin
+
+BENCHMARK_MAIN();

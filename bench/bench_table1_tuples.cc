@@ -1,0 +1,74 @@
+// Table 1 — "Zigzag join vs repartition joins (sigma_T=0.1, sigma_L=0.4,
+// S_L'=0.1, S_T'=0.2): # tuples shuffled and sent".
+//
+// Paper's numbers (15 B-row L, 1.6 B-row T):
+//     repartition      5,854 M shuffled   165 M sent
+//     repartition(BF)    591 M shuffled   165 M sent
+//     zigzag             591 M shuffled    30 M sent
+// i.e. the Bloom filter cuts the HDFS shuffle ~10x (= S_L') and the zigzag
+// additionally cuts the database transfer ~5x (= S_T').
+
+#include "bench_common.h"
+
+using namespace hybridjoin;
+using namespace hybridjoin::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintPreamble("Table 1",
+                "tuples shuffled and sent: repartition vs zigzag", config);
+  const SelectivitySpec spec{0.1, 0.4, 0.2, 0.1};
+  auto cell = BenchCell::Create(config, spec, HdfsFormat::kColumnar);
+  if (cell == nullptr) return 1;
+
+  struct Row {
+    JoinAlgorithm algorithm;
+    int64_t shuffled = 0;
+    int64_t sent = 0;
+    double seconds = 0;
+  };
+  Row rows[3] = {{JoinAlgorithm::kRepartition},
+                 {JoinAlgorithm::kRepartitionBloom},
+                 {JoinAlgorithm::kZigzag}};
+  for (Row& row : rows) {
+    ExecutionReport report;
+    row.seconds = cell->Run(row.algorithm, &report);
+    if (row.seconds < 0) return 1;
+    row.shuffled = report.Counter(metric::kHdfsTuplesShuffled);
+    row.sent = report.Counter(metric::kDbTuplesSent);
+  }
+
+  std::printf("\n%-18s %18s %15s %10s\n", "algorithm",
+              "HDFS tuples shuffled", "DB tuples sent", "time (s)");
+  for (const Row& row : rows) {
+    std::printf("%-18s %18lld %15lld %10.3f\n",
+                JoinAlgorithmName(row.algorithm),
+                static_cast<long long>(row.shuffled),
+                static_cast<long long>(row.sent), row.seconds);
+  }
+  std::printf("\npaper (scaled to ratios): repartition 1.00 / 1.00, "
+              "repartition(BF) 0.10 / 1.00, zigzag 0.10 / 0.18\n");
+  const double shuffle_bf = static_cast<double>(rows[1].shuffled) /
+                            static_cast<double>(rows[0].shuffled);
+  const double shuffle_zz = static_cast<double>(rows[2].shuffled) /
+                            static_cast<double>(rows[0].shuffled);
+  const double sent_zz = static_cast<double>(rows[2].sent) /
+                         static_cast<double>(rows[0].sent);
+  std::printf("measured ratios:          repartition 1.00 / 1.00, "
+              "repartition(BF) %.2f / %.2f, zigzag %.2f / %.2f\n\n",
+              shuffle_bf,
+              static_cast<double>(rows[1].sent) /
+                  static_cast<double>(rows[0].sent),
+              shuffle_zz, sent_zz);
+
+  ShapeCheck("BF cuts HDFS tuples shuffled to ~S_L' (= 0.10)",
+             shuffle_bf < 0.25);
+  ShapeCheck("zigzag shuffle equals repartition(BF) shuffle",
+             rows[2].shuffled == rows[1].shuffled ||
+                 shuffle_zz < 0.25);
+  ShapeCheck("plain repartition sends full T' both times",
+             rows[0].sent == rows[1].sent);
+  ShapeCheck("zigzag cuts DB tuples sent to ~S_T' (= 0.20)",
+             sent_zz < 0.45);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// A tiny SQL shell over a pre-loaded hybrid warehouse: type the paper's
+// queries directly. The demo warehouse holds the synthetic T (database
+// side) and L (HDFS side) tables.
+//
+//   $ ./examples/sql_shell                         # interactive
+//   $ ./examples/sql_shell "SELECT ... GROUP BY ..."   # one-shot
+//
+// Example statement:
+//   SELECT extract_group(L.groupByExtractCol), COUNT(*)
+//   FROM T, L
+//   WHERE T.corPred < 200000 AND L.corPred < 400000
+//     AND T.joinKey = L.joinKey
+//     AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1
+//   GROUP BY extract_group(L.groupByExtractCol)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+using namespace hybridjoin;
+
+namespace {
+
+void RunStatement(HybridWarehouse& hw, const std::string& statement) {
+  Advice advice;
+  auto result = hw.ExecuteSqlAuto(statement, &advice);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- %s\n", advice.ToString().c_str());
+  const RecordBatch& rows = result->rows;
+  std::printf("%-12s", "group");
+  for (size_t c = 1; c < rows.num_columns(); ++c) {
+    std::printf(" %-12s", rows.schema()->field(c).name.c_str());
+  }
+  std::printf("\n");
+  const size_t shown = std::min<size_t>(rows.num_rows(), 20);
+  for (size_t r = 0; r < shown; ++r) {
+    std::printf("%-12lld", static_cast<long long>(rows.column(0).i64()[r]));
+    for (size_t c = 1; c < rows.num_columns(); ++c) {
+      std::printf(" %-12lld",
+                  static_cast<long long>(rows.column(c).i64()[r]));
+    }
+    std::printf("\n");
+  }
+  if (rows.num_rows() > shown) {
+    std::printf("... (%zu rows total)\n", rows.num_rows());
+  }
+  std::printf("(%zu rows, %.1f ms, %s)\n\n", rows.num_rows(),
+              result->report.wall_seconds * 1e3,
+              JoinAlgorithmName(result->report.algorithm));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("loading demo warehouse (T in the EDW, L on HDFS)...\n");
+  WorkloadConfig wc;
+  wc.num_join_keys = 4096;
+  wc.t_rows = 64 * 1024;
+  wc.l_rows = 256 * 1024;
+  auto workload = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  if (!workload.ok()) return 1;
+  SimulationConfig config;
+  config.db.num_workers = 4;
+  config.jen_workers = 4;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  if (!LoadWorkload(&hw, *workload).ok()) return 1;
+  std::printf("tables: T%s db-side, L%s hdfs-side\n\n",
+              Workload::TSchema()->ToString().c_str(),
+              Workload::LSchema()->ToString().c_str());
+
+  if (argc > 1) {
+    RunStatement(hw, argv[1]);
+    return 0;
+  }
+
+  std::printf("enter a statement on one line (empty line to quit):\n");
+  std::string line;
+  while (std::printf("sql> "), std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    RunStatement(hw, line);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "bloom/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace hybridjoin {
+
+namespace {
+constexpr uint64_t kSeed1 = 0xb100f117e51ULL;
+constexpr uint64_t kSeed2 = 0x5eedb100f2ULL;
+}  // namespace
+
+BloomParams BloomParams::ForKeys(uint64_t expected_keys, double bits_per_key,
+                                 uint32_t num_hashes) {
+  BloomParams p;
+  uint64_t bits =
+      static_cast<uint64_t>(bits_per_key * static_cast<double>(expected_keys));
+  if (bits < 64) bits = 64;
+  p.num_bits = (bits + 63) / 64 * 64;
+  p.num_hashes = num_hashes == 0 ? 1 : num_hashes;
+  return p;
+}
+
+double BloomParams::ExpectedFpr(uint64_t n) const {
+  if (num_bits == 0) return 1.0;
+  const double exponent = -static_cast<double>(num_hashes) *
+                          static_cast<double>(n) /
+                          static_cast<double>(num_bits);
+  return std::pow(1.0 - std::exp(exponent), num_hashes);
+}
+
+BloomFilter::BloomFilter(BloomParams params) : params_(params) {
+  HJ_CHECK_GT(params_.num_bits, 0u);
+  HJ_CHECK_GT(params_.num_hashes, 0u);
+  params_.num_bits = (params_.num_bits + 63) / 64 * 64;
+  words_.assign(params_.num_bits / 64, 0);
+}
+
+void BloomFilter::Add(int64_t key) {
+  const uint64_t h1 = HashInt64(static_cast<uint64_t>(key), kSeed1);
+  const uint64_t h2 = HashInt64(static_cast<uint64_t>(key), kSeed2) | 1;
+  for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+    const uint64_t pos = Position(h1, h2, i);
+    words_[pos >> 6] |= (1ULL << (pos & 63));
+  }
+}
+
+bool BloomFilter::MayContain(int64_t key) const {
+  const uint64_t h1 = HashInt64(static_cast<uint64_t>(key), kSeed1);
+  const uint64_t h2 = HashInt64(static_cast<uint64_t>(key), kSeed2) | 1;
+  for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+    const uint64_t pos = Position(h1, h2, i);
+    if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::UnionWith(const BloomFilter& other) {
+  if (!(params_ == other.params_)) {
+    return Status::InvalidArgument(
+        "cannot OR-combine Bloom filters with different parameters");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return Status::OK();
+}
+
+double BloomFilter::FillRatio() const {
+  uint64_t set = 0;
+  for (uint64_t w : words_) set += static_cast<uint64_t>(__builtin_popcountll(w));
+  return static_cast<double>(set) / static_cast<double>(params_.num_bits);
+}
+
+void BloomFilter::SerializeTo(BinaryWriter* out) const {
+  out->PutU64(params_.num_bits);
+  out->PutU32(params_.num_hashes);
+  out->PutRaw(words_.data(), words_.size() * sizeof(uint64_t));
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(BinaryReader* in) {
+  HJ_ASSIGN_OR_RETURN(uint64_t num_bits, in->GetU64());
+  HJ_ASSIGN_OR_RETURN(uint32_t num_hashes, in->GetU32());
+  if (num_bits == 0 || num_bits % 64 != 0 || num_hashes == 0 ||
+      num_hashes > 64) {
+    return Status::IOError("bad Bloom filter header");
+  }
+  if (num_bits > (1ULL << 40)) {
+    return Status::IOError("Bloom filter implausibly large");
+  }
+  BloomFilter bf(BloomParams{num_bits, num_hashes});
+  HJ_RETURN_IF_ERROR(
+      in->GetRaw(bf.words_.data(), bf.words_.size() * sizeof(uint64_t)));
+  return bf;
+}
+
+}  // namespace hybridjoin

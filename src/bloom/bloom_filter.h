@@ -1,0 +1,88 @@
+// BloomFilter over join keys — the data-movement reducer at the heart of the
+// paper. Each worker builds a local filter over its post-predicate join keys;
+// local filters are combined into a global one with bitwise OR (paper §3.1);
+// the global filter crosses the cluster boundary and prunes the other side.
+//
+// The paper uses m = 128M bits and k = 2 hash functions for 16M distinct
+// keys (8 bits/key, ~5% false positives). We keep the same bits-per-key and
+// k by default, scaled to the workload's key count.
+
+#ifndef HYBRIDJOIN_BLOOM_BLOOM_FILTER_H_
+#define HYBRIDJOIN_BLOOM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+
+namespace hybridjoin {
+
+/// Parameters of a Bloom filter. Both sides of a join must agree on these
+/// for OR-combination to be valid, so they are carried on the wire.
+struct BloomParams {
+  uint64_t num_bits = 0;   ///< m. Rounded up to a multiple of 64 internally.
+  uint32_t num_hashes = 2; ///< k.
+
+  /// Paper-style sizing: bits_per_key * expected_keys bits, k hashes.
+  static BloomParams ForKeys(uint64_t expected_keys, double bits_per_key = 8.0,
+                             uint32_t num_hashes = 2);
+
+  /// Expected false-positive rate after inserting n distinct keys:
+  /// (1 - e^{-kn/m})^k.
+  double ExpectedFpr(uint64_t n) const;
+
+  bool operator==(const BloomParams& other) const {
+    return num_bits == other.num_bits && num_hashes == other.num_hashes;
+  }
+};
+
+/// A standard Bloom filter over 64-bit keys. Add/MayContain are not
+/// synchronized; each thread populates its own filter and filters are merged
+/// with UnionWith (the paper's bitwise-OR aggregation).
+class BloomFilter {
+ public:
+  BloomFilter() : BloomFilter(BloomParams{64, 2}) {}
+  explicit BloomFilter(BloomParams params);
+
+  const BloomParams& params() const { return params_; }
+  uint64_t num_bits() const { return params_.num_bits; }
+  uint32_t num_hashes() const { return params_.num_hashes; }
+
+  void Add(int64_t key);
+  bool MayContain(int64_t key) const;
+
+  /// Bitwise OR of another filter into this one. Params must match.
+  Status UnionWith(const BloomFilter& other);
+
+  /// Fraction of bits set (diagnostic; drives the measured-FPR estimate).
+  double FillRatio() const;
+
+  /// Wire size in bytes (what crossing the network costs).
+  size_t ByteSize() const { return words_.size() * 8 + 16; }
+
+  void SerializeTo(BinaryWriter* out) const;
+  std::vector<uint8_t> Serialize() const {
+    BinaryWriter w(ByteSize());
+    SerializeTo(&w);
+    return w.Release();
+  }
+  static Result<BloomFilter> Deserialize(BinaryReader* in);
+  static Result<BloomFilter> Deserialize(const std::vector<uint8_t>& buf) {
+    BinaryReader r(buf);
+    return Deserialize(&r);
+  }
+
+ private:
+  /// i-th probe position for a key, double-hashing scheme.
+  uint64_t Position(uint64_t h1, uint64_t h2, uint32_t i) const {
+    return (h1 + i * h2) % params_.num_bits;
+  }
+
+  BloomParams params_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_BLOOM_BLOOM_FILTER_H_

@@ -1,0 +1,157 @@
+// BinaryWriter / BinaryReader: little-endian binary serialization with
+// varint support, used for record-batch wire format, Bloom filter transfer,
+// and the columnar file format.
+
+#ifndef HYBRIDJOIN_COMMON_BINARY_IO_H_
+#define HYBRIDJOIN_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hybridjoin {
+
+/// Appends primitive values to a byte buffer. Little-endian, unaligned.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF64(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed varint.
+  void PutSignedVarint(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Length-prefixed string.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitives back out of a byte range. All getters return Status so
+/// malformed/truncated input is reported, never UB.
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+  Result<uint8_t> GetU8() {
+    HJ_RETURN_IF_ERROR(Need(1));
+    return data_[pos_++];
+  }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int32_t> GetI32() { return GetFixed<int32_t>(); }
+  Result<int64_t> GetI64() { return GetFixed<int64_t>(); }
+  Result<double> GetF64() { return GetFixed<double>(); }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= len_) {
+        return Status::OutOfRange("truncated varint");
+      }
+      const uint8_t b = data_[pos_++];
+      if (shift >= 64) return Status::OutOfRange("varint overflow");
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Result<int64_t> GetSignedVarint() {
+    HJ_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  Result<std::string> GetString() {
+    HJ_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    HJ_RETURN_IF_ERROR(Need(n));
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Zero-copy view of the next n bytes.
+  Result<std::string_view> GetView(size_t n) {
+    HJ_RETURN_IF_ERROR(Need(n));
+    std::string_view v(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return v;
+  }
+
+  Status GetRaw(void* out, size_t n) {
+    HJ_RETURN_IF_ERROR(Need(n));
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (pos_ + n > len_) {
+      return Status::OutOfRange("binary read past end of buffer");
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<T> GetFixed() {
+    HJ_RETURN_IF_ERROR(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_BINARY_IO_H_

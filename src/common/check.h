@@ -1,0 +1,68 @@
+// HJ_CHECK / HJ_DCHECK: invariant assertions that abort with a message.
+// Used for programming errors only; recoverable conditions use Status.
+
+#ifndef HYBRIDJOIN_COMMON_CHECK_H_
+#define HYBRIDJOIN_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hybridjoin {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a streamed CheckFailStream appear in the void arm of a ternary
+/// (operator& binds looser than operator<<).
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace hybridjoin
+
+#define HJ_CHECK(cond)                                      \
+  (cond) ? (void)0                                          \
+         : ::hybridjoin::internal::Voidify() &              \
+               ::hybridjoin::internal::CheckFailStream(     \
+                   __FILE__, __LINE__, #cond)
+
+#define HJ_CHECK_EQ(a, b) HJ_CHECK((a) == (b))
+#define HJ_CHECK_NE(a, b) HJ_CHECK((a) != (b))
+#define HJ_CHECK_LT(a, b) HJ_CHECK((a) < (b))
+#define HJ_CHECK_LE(a, b) HJ_CHECK((a) <= (b))
+#define HJ_CHECK_GT(a, b) HJ_CHECK((a) > (b))
+#define HJ_CHECK_GE(a, b) HJ_CHECK((a) >= (b))
+#define HJ_CHECK_OK(expr)                          \
+  do {                                             \
+    const ::hybridjoin::Status _hj_ck = (expr);    \
+    HJ_CHECK(_hj_ck.ok()) << _hj_ck.ToString();    \
+  } while (0)
+
+#ifdef NDEBUG
+#define HJ_DCHECK(cond) HJ_CHECK(true || (cond))
+#else
+#define HJ_DCHECK(cond) HJ_CHECK(cond)
+#endif
+
+#endif  // HYBRIDJOIN_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace hybridjoin {
+
+namespace {
+
+int InitialLevel() {
+  const char* env = std::getenv("HJ_LOG_LEVEL");
+  if (env == nullptr) return 0;
+  return std::atoi(env);
+}
+
+std::mutex& WriteMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+std::atomic<int>& Logger::LevelRef() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::kError:
+      prefix = "E ";
+      break;
+    case LogLevel::kInfo:
+      prefix = "I ";
+      break;
+    case LogLevel::kDebug:
+      prefix = "D ";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::lock_guard<std::mutex> lock(WriteMutex());
+  std::cerr << prefix << msg << "\n";
+}
+
+}  // namespace hybridjoin

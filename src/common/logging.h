@@ -1,0 +1,75 @@
+// Minimal leveled logging. Off by default (benches and tests stay quiet);
+// enable with Logger::SetLevel or the HJ_LOG_LEVEL environment variable
+// (0=off, 1=error, 2=info, 3=debug).
+
+#ifndef HYBRIDJOIN_COMMON_LOGGING_H_
+#define HYBRIDJOIN_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hybridjoin {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide logger state.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level) {
+    LevelRef().store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  static LogLevel GetLevel() {
+    return static_cast<LogLevel>(LevelRef().load(std::memory_order_relaxed));
+  }
+
+  static bool Enabled(LogLevel level) {
+    return static_cast<int>(level) <=
+           LevelRef().load(std::memory_order_relaxed);
+  }
+
+  /// Writes one line atomically.
+  static void Write(LogLevel level, const std::string& msg);
+
+ private:
+  static std::atomic<int>& LevelRef();
+};
+
+namespace internal {
+
+/// Builds a log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+  ~LogLine() { Logger::Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HJ_LOG(level, tag)                                         \
+  if (!::hybridjoin::Logger::Enabled(::hybridjoin::LogLevel::level)) \
+    ;                                                              \
+  else                                                             \
+    ::hybridjoin::internal::LogLine(::hybridjoin::LogLevel::level, tag)
+
+#define HJ_LOG_INFO(tag) HJ_LOG(kInfo, tag)
+#define HJ_LOG_DEBUG(tag) HJ_LOG(kDebug, tag)
+#define HJ_LOG_ERROR(tag) HJ_LOG(kError, tag)
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,91 @@
+// Metrics: thread-safe named counters collected during a query execution.
+// Every join driver returns a snapshot of these in its ExecutionReport, and
+// the Table-1 bench reads the tuple-movement counters from here.
+
+#ifndef HYBRIDJOIN_COMMON_METRICS_H_
+#define HYBRIDJOIN_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hybridjoin {
+
+/// A registry of monotonically increasing counters. Counter handles are
+/// stable for the lifetime of the registry; Add() on a handle is a single
+/// relaxed atomic increment.
+class Metrics {
+ public:
+  using Counter = std::atomic<int64_t>;
+
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Returns (creating if needed) the counter with this name.
+  Counter* GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>(0);
+    return slot.get();
+  }
+
+  /// Convenience: one-shot add by name (takes the registry lock).
+  void Add(const std::string& name, int64_t delta) {
+    GetCounter(name)->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Get(const std::string& name) {
+    return GetCounter(name)->load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time snapshot of every counter.
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, int64_t> out;
+    for (const auto& [name, counter] : counters_) {
+      out[name] = counter->load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) {
+      counter->store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+// Canonical counter names used by the engine. Kept as constants so benches,
+// tests and drivers agree on spelling.
+namespace metric {
+inline constexpr const char kHdfsTuplesShuffled[] = "jen.tuples_shuffled";
+inline constexpr const char kDbTuplesSent[] = "edw.tuples_sent_to_hdfs";
+inline constexpr const char kHdfsTuplesSentToDb[] = "jen.tuples_sent_to_db";
+inline constexpr const char kHdfsTuplesScanned[] = "jen.tuples_scanned";
+inline constexpr const char kHdfsTuplesAfterFilter[] =
+    "jen.tuples_after_filter";
+inline constexpr const char kDbTuplesScanned[] = "edw.tuples_scanned";
+inline constexpr const char kDbTuplesAfterFilter[] = "edw.tuples_after_filter";
+inline constexpr const char kDbTuplesShuffledInternal[] =
+    "edw.tuples_shuffled_internal";
+inline constexpr const char kJoinOutputTuples[] = "join.output_tuples";
+inline constexpr const char kBloomFiltersSent[] = "bloom.filters_sent";
+inline constexpr const char kBloomBytesSent[] = "bloom.bytes_sent";
+inline constexpr const char kHdfsBytesRead[] = "hdfs.bytes_read";
+inline constexpr const char kHdfsBytesReadRemote[] = "hdfs.bytes_read_remote";
+inline constexpr const char kHdfsBlocksLocal[] = "hdfs.blocks_local";
+inline constexpr const char kHdfsBlocksRemote[] = "hdfs.blocks_remote";
+}  // namespace metric
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_METRICS_H_

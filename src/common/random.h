@@ -1,0 +1,71 @@
+// Deterministic pseudo-random generator (xoshiro256**) for workload
+// generation and tests. std::mt19937 is avoided for speed and for a stable
+// cross-platform stream.
+
+#ifndef HYBRIDJOIN_COMMON_RANDOM_H_
+#define HYBRIDJOIN_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace hybridjoin {
+
+/// xoshiro256** seeded via SplitMix64. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) {
+    uint64_t s = seed;
+    for (auto& w : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      w = Mix64(s);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    HJ_CHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // bias for our bounds (<< 2^32) is negligible for synthetic data.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    HJ_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_RANDOM_H_

@@ -1,0 +1,93 @@
+// ThreadPool: fixed-size worker pool with a Wait() barrier, used to run
+// per-worker phases of the distributed join drivers and JEN's internal
+// thread pools (send/receive/read threads).
+
+#ifndef HYBRIDJOIN_COMMON_THREAD_POOL_H_
+#define HYBRIDJOIN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/check.h"
+
+namespace hybridjoin {
+
+/// A fixed pool of threads consuming a task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    HJ_CHECK_GT(num_threads, 0u);
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const bool ok = tasks_.Push(std::move(task));
+    HJ_CHECK(ok) << "Submit after Shutdown";
+  }
+
+  /// Blocks until every submitted task has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Drains remaining tasks and joins all threads. Idempotent.
+  void Shutdown() {
+    tasks_.Close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop() {
+    while (auto task = tasks_.Pop()) {
+      (*task)();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_.notify_all();
+      }
+    }
+  }
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable idle_;
+};
+
+/// Runs `fn(i)` for i in [0, n) on n dedicated threads and joins them all.
+/// The workhorse for "each DB worker does X in parallel" phases.
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&fn, i] { fn(i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,86 @@
+// TokenBucket: byte-rate throttle used to simulate disk and NIC bandwidth in
+// the two-cluster substrate. Acquire(bytes) blocks the calling thread until
+// the configured rate allows the transfer, so real wall-clock time reflects
+// the configured bandwidth asymmetries of the paper's testbed.
+
+#ifndef HYBRIDJOIN_COMMON_TOKEN_BUCKET_H_
+#define HYBRIDJOIN_COMMON_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace hybridjoin {
+
+/// A classic token bucket. Rate 0 means unlimited (no throttling, no mutex
+/// contention on the fast path).
+class TokenBucket {
+ public:
+  /// `bytes_per_second` of sustained rate; `burst_bytes` of instantaneous
+  /// capacity (defaults to 64 KiB or one tenth of a second of rate,
+  /// whichever is larger).
+  explicit TokenBucket(uint64_t bytes_per_second = 0, uint64_t burst_bytes = 0)
+      : rate_(bytes_per_second),
+        burst_(burst_bytes != 0
+                   ? burst_bytes
+                   : std::max<uint64_t>(64 * 1024, bytes_per_second / 10)),
+        tokens_(static_cast<double>(burst_)),
+        last_(Clock::now()) {}
+
+  bool unlimited() const { return rate_ == 0; }
+  uint64_t rate() const { return rate_; }
+
+  /// Blocks until `bytes` tokens are available, then consumes them.
+  /// Requests larger than the burst are split internally.
+  void Acquire(uint64_t bytes) {
+    if (rate_ == 0 || bytes == 0) return;
+    while (bytes > 0) {
+      const uint64_t chunk = std::min<uint64_t>(bytes, burst_);
+      AcquireChunk(chunk);
+      bytes -= chunk;
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void AcquireChunk(uint64_t bytes) {
+    while (true) {
+      std::chrono::nanoseconds wait{0};
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Refill();
+        if (tokens_ >= static_cast<double>(bytes)) {
+          tokens_ -= static_cast<double>(bytes);
+          return;
+        }
+        const double deficit = static_cast<double>(bytes) - tokens_;
+        wait = std::chrono::nanoseconds(
+            static_cast<int64_t>(deficit / static_cast<double>(rate_) * 1e9));
+      }
+      std::this_thread::sleep_for(
+          std::max(wait, std::chrono::nanoseconds(1000)));
+    }
+  }
+
+  void Refill() {
+    const auto now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(static_cast<double>(burst_),
+                       tokens_ + elapsed * static_cast<double>(rate_));
+  }
+
+  const uint64_t rate_;   // bytes/sec; 0 = unlimited.
+  const uint64_t burst_;  // bucket capacity in bytes.
+  std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_TOKEN_BUCKET_H_

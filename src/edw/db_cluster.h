@@ -1,0 +1,119 @@
+// DbCluster / DbWorker: the shared-nothing parallel EDW substrate (the
+// paper's DB2 DPF). Tables are hash-partitioned across workers on a
+// distribution column; each worker owns its partition, its indexes, and a
+// network endpoint. The UDF surface the paper adds to DB2 (cal_filter /
+// get_filter / combine_filter) maps onto BuildLocalBloom + Bloom union.
+
+#ifndef HYBRIDJOIN_EDW_DB_CLUSTER_H_
+#define HYBRIDJOIN_EDW_DB_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/metrics.h"
+#include "edw/db_index.h"
+#include "expr/predicate.h"
+#include "net/network.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+struct DbConfig {
+  uint32_t num_workers = 4;
+  /// Rows per batch when partitioning loaded data.
+  uint32_t batch_rows = 64 * 1024;
+};
+
+/// Catalog entry for a database table.
+struct DbTableMeta {
+  std::string name;
+  SchemaPtr schema;
+  std::string distribution_column;  ///< hash-partitioning key (int-typed)
+};
+
+class DbCluster;
+
+/// One database worker (the paper runs 6 per server, 30 total). All methods
+/// are called from the driver thread assigned to this worker.
+class DbWorker {
+ public:
+  DbWorker(DbCluster* cluster, uint32_t index)
+      : cluster_(cluster), index_(index) {}
+
+  uint32_t index() const { return index_; }
+  NodeId node() const { return NodeId::Db(index_); }
+
+  /// This worker's slice of a table.
+  Result<const std::vector<RecordBatch>*> Partition(
+      const std::string& table) const;
+
+  /// Scan + filter + project this worker's partition. Emits one output
+  /// batch per stored batch (skipping empty ones).
+  Result<std::vector<RecordBatch>> ScanFilterProject(
+      const std::string& table, const PredicatePtr& predicate,
+      const std::vector<std::string>& projection, Metrics* metrics) const;
+
+  /// The paper's cal_filter/get_filter UDF pair: builds the local Bloom
+  /// filter over `key_column` of the rows satisfying `predicate`, using an
+  /// index-only plan when a covering index exists (sets *used_index).
+  Result<BloomFilter> BuildLocalBloom(const std::string& table,
+                                      const PredicatePtr& predicate,
+                                      const std::string& key_column,
+                                      const BloomParams& params,
+                                      bool* used_index) const;
+
+ private:
+  DbCluster* cluster_;
+  uint32_t index_;
+};
+
+/// The whole parallel database.
+class DbCluster {
+ public:
+  explicit DbCluster(const DbConfig& config);
+
+  uint32_t num_workers() const { return config_.num_workers; }
+  DbWorker* worker(uint32_t i) { return workers_[i].get(); }
+
+  /// Registers a table in the catalog.
+  Status CreateTable(DbTableMeta meta);
+
+  /// Loads rows, hash-partitioning them on the distribution column.
+  Status LoadTable(const std::string& name, const RecordBatch& rows);
+
+  /// Builds a per-partition sorted composite index over integer columns
+  /// (e.g. {"corPred", "indPred", "joinKey"}).
+  Status CreateIndex(const std::string& table,
+                     const std::vector<std::string>& columns);
+
+  Result<DbTableMeta> LookupTable(const std::string& name) const;
+
+  /// Total rows across all partitions.
+  Result<uint64_t> TableRows(const std::string& name) const;
+
+ private:
+  friend class DbWorker;
+
+  struct TableData {
+    DbTableMeta meta;
+    /// partitions[worker] -> batches.
+    std::vector<std::vector<RecordBatch>> partitions;
+    /// indexes[worker], keyed by first declared column list, joined by ','.
+    std::vector<std::map<std::string, DbPartitionIndex>> indexes;
+  };
+
+  const TableData* FindTable(const std::string& name) const;
+
+  DbConfig config_;
+  std::vector<std::unique_ptr<DbWorker>> workers_;
+  mutable std::mutex mu_;
+  std::map<std::string, TableData> tables_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EDW_DB_CLUSTER_H_

@@ -1,0 +1,173 @@
+#include "edw/db_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hybridjoin {
+
+namespace {
+
+/// Intersects the bound implied by `op lit` with [lo, hi] over int64.
+void TightenBound(CmpOp op, int64_t lit, int64_t* lo, int64_t* hi) {
+  switch (op) {
+    case CmpOp::kEq:
+      *lo = std::max(*lo, lit);
+      *hi = std::min(*hi, lit);
+      break;
+    case CmpOp::kLt:
+      *hi = std::min(*hi, lit - 1);
+      break;
+    case CmpOp::kLe:
+      *hi = std::min(*hi, lit);
+      break;
+    case CmpOp::kGt:
+      *lo = std::max(*lo, lit + 1);
+      break;
+    case CmpOp::kGe:
+      *lo = std::max(*lo, lit);
+      break;
+    case CmpOp::kNe:
+      break;  // not a range constraint
+  }
+}
+
+bool EvalCmp(CmpOp op, int64_t v, int64_t lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return v == lit;
+    case CmpOp::kNe:
+      return v != lit;
+    case CmpOp::kLt:
+      return v < lit;
+    case CmpOp::kLe:
+      return v <= lit;
+    case CmpOp::kGt:
+      return v > lit;
+    case CmpOp::kGe:
+      return v >= lit;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DbPartitionIndex> DbPartitionIndex::Build(
+    const std::vector<RecordBatch>& partition,
+    const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  DbPartitionIndex index;
+  index.columns_ = columns;
+  index.cols_.resize(columns.size());
+
+  for (const RecordBatch& batch : partition) {
+    std::vector<const ColumnVector*> sources;
+    sources.reserve(columns.size());
+    for (const std::string& name : columns) {
+      HJ_ASSIGN_OR_RETURN(size_t idx, batch.schema()->IndexOf(name));
+      const ColumnVector& cv = batch.column(idx);
+      if (cv.physical_type() != PhysicalType::kInt32 &&
+          cv.physical_type() != PhysicalType::kInt64) {
+        return Status::InvalidArgument("index column '" + name +
+                                       "' is not integer-typed");
+      }
+      sources.push_back(&cv);
+    }
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      for (size_t c = 0; c < sources.size(); ++c) {
+        const ColumnVector& cv = *sources[c];
+        index.cols_[c].push_back(cv.physical_type() == PhysicalType::kInt32
+                                     ? cv.i32()[r]
+                                     : cv.i64()[r]);
+      }
+    }
+  }
+
+  // Sort entries lexicographically via a permutation.
+  const size_t n = index.cols_[0].size();
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    for (const auto& col : index.cols_) {
+      if (col[a] != col[b]) return col[a] < col[b];
+    }
+    return false;
+  });
+  for (auto& col : index.cols_) {
+    std::vector<int64_t> sorted(n);
+    for (size_t i = 0; i < n; ++i) sorted[i] = col[perm[i]];
+    col = std::move(sorted);
+  }
+  return index;
+}
+
+bool DbPartitionIndex::Covers(const Predicate& predicate,
+                              const std::string& output_column) const {
+  if (!predicate.IsConjunctiveIntCmps()) return false;
+  std::vector<std::string> used;
+  predicate.CollectColumns(&used);
+  used.push_back(output_column);
+  for (const std::string& name : used) {
+    if (std::find(columns_.begin(), columns_.end(), name) == columns_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status DbPartitionIndex::ScanValues(
+    const std::vector<ConjunctiveIntCmp>& cmps,
+    const std::string& output_column,
+    const std::function<void(int64_t)>& fn) const {
+  auto out_it = std::find(columns_.begin(), columns_.end(), output_column);
+  if (out_it == columns_.end()) {
+    return Status::InvalidArgument("output column not in index");
+  }
+  const size_t out_col = static_cast<size_t>(out_it - columns_.begin());
+
+  // Resolve each comparison to an indexed column.
+  struct Bound {
+    size_t col;
+    CmpOp op;
+    int64_t lit;
+  };
+  std::vector<Bound> residual;
+  int64_t lead_lo = std::numeric_limits<int64_t>::min();
+  int64_t lead_hi = std::numeric_limits<int64_t>::max();
+  for (const auto& cmp : cmps) {
+    auto it = std::find(columns_.begin(), columns_.end(), cmp.column);
+    if (it == columns_.end()) {
+      return Status::InvalidArgument("predicate column '" + cmp.column +
+                                     "' not in index");
+    }
+    const size_t col = static_cast<size_t>(it - columns_.begin());
+    if (col == 0 && cmp.op != CmpOp::kNe) {
+      TightenBound(cmp.op, cmp.literal, &lead_lo, &lead_hi);
+    } else {
+      residual.push_back({col, cmp.op, cmp.literal});
+    }
+  }
+  if (cols_.empty() || cols_[0].empty() || lead_lo > lead_hi) {
+    return Status::OK();
+  }
+
+  const auto& lead = cols_[0];
+  const auto begin =
+      std::lower_bound(lead.begin(), lead.end(), lead_lo) - lead.begin();
+  const auto end =
+      std::upper_bound(lead.begin(), lead.end(), lead_hi) - lead.begin();
+  for (auto i = begin; i < end; ++i) {
+    bool pass = true;
+    for (const Bound& b : residual) {
+      if (!EvalCmp(b.op, cols_[b.col][i], b.lit)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) fn(cols_[out_col][i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,59 @@
+// DbPartitionIndex: a sorted composite index over the integer columns of
+// one table partition, supporting index-only evaluation of conjunctive
+// integer predicates.
+//
+// This models the paper's setup (§5): an index on (corPred, indPred,
+// joinKey) lets DB2 compute the Bloom filter with an index-only access plan,
+// which is why scanning the database table twice in the zigzag join is
+// cheap relative to re-scanning HDFS.
+
+#ifndef HYBRIDJOIN_EDW_DB_INDEX_H_
+#define HYBRIDJOIN_EDW_DB_INDEX_H_
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+/// Immutable sorted index over int-typed columns of one partition.
+class DbPartitionIndex {
+ public:
+  /// Builds from the partition's batches. All `columns` must be
+  /// integer-physical. Entries are sorted lexicographically by `columns`.
+  static Result<DbPartitionIndex> Build(
+      const std::vector<RecordBatch>& partition,
+      const std::vector<std::string>& columns);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_entries() const {
+    return cols_.empty() ? 0 : cols_[0].size();
+  }
+
+  /// True if the predicate can be answered from this index alone: it is a
+  /// pure conjunction of integer comparisons, and (together with the output
+  /// column) touches only indexed columns.
+  bool Covers(const Predicate& predicate,
+              const std::string& output_column) const;
+
+  /// Index-only scan: streams the `output_column` value of every entry
+  /// satisfying `cmps` (a conjunction). Uses a binary-searched range on the
+  /// leading column when a comparison constrains it; residual comparisons
+  /// are applied to the remaining columns.
+  Status ScanValues(const std::vector<ConjunctiveIntCmp>& cmps,
+                    const std::string& output_column,
+                    const std::function<void(int64_t)>& fn) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<int64_t>> cols_;  // SoA, sorted lexicographically
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EDW_DB_INDEX_H_

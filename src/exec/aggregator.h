@@ -1,0 +1,90 @@
+// Hash-based group-by aggregation, the last stage of every join variant.
+// Each worker keeps a partial HashAggregator; partials are serialized,
+// merged at a designated worker and finalized into the query result
+// (the paper's "partial aggregation ... final aggregation" steps).
+
+#ifndef HYBRIDJOIN_EXEC_AGGREGATOR_H_
+#define HYBRIDJOIN_EXEC_AGGREGATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+enum class AggOp : uint8_t {
+  kCountStar = 0,
+  kSum = 1,  ///< over an integer column
+  kMin = 2,
+  kMax = 3,
+};
+
+const char* AggOpName(AggOp op);
+
+/// Grouping + aggregate list of a query.
+struct AggSpec {
+  /// Group-by column name in the joined schema (e.g. "L.groupByExtractCol").
+  std::string group_column;
+  /// Apply ExtractGroup() to a string group column (the paper's
+  /// extract_group UDF); otherwise the column must be integer-typed.
+  bool extract_group = false;
+
+  struct Item {
+    AggOp op = AggOp::kCountStar;
+    std::string column;       ///< unused for kCountStar
+    std::string result_name;  ///< output column name
+  };
+  std::vector<Item> items;
+
+  /// COUNT(*) grouped by `group_column` — the paper's query shape.
+  static AggSpec CountStar(std::string group_column, bool extract_group) {
+    AggSpec s;
+    s.group_column = std::move(group_column);
+    s.extract_group = extract_group;
+    s.items.push_back({AggOp::kCountStar, "", "count"});
+    return s;
+  }
+
+  /// Output schema: [group int64, one int64 per aggregate].
+  SchemaPtr ResultSchema() const;
+};
+
+/// Accumulates grouped aggregates. Not thread-safe; one per worker thread.
+class HashAggregator {
+ public:
+  explicit HashAggregator(AggSpec spec) : spec_(std::move(spec)) {}
+
+  const AggSpec& spec() const { return spec_; }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Folds the selected rows of a joined batch into the aggregate state.
+  Status Update(const RecordBatch& batch, const std::vector<uint32_t>& sel);
+
+  /// Folds a partial-state batch (produced by Partial()) into this one.
+  Status Merge(const RecordBatch& partial);
+
+  /// Serializes the current state as a partial-aggregate batch.
+  RecordBatch Partial() const;
+
+  /// Final result, sorted by group key.
+  RecordBatch Finish() const { return Partial(); }
+
+ private:
+  struct State {
+    std::vector<int64_t> acc;
+    bool initialized = false;
+  };
+
+  Status FoldRow(int64_t group, const std::vector<const ColumnVector*>& cols,
+                 uint32_t row);
+
+  AggSpec spec_;
+  std::unordered_map<int64_t, State> groups_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_AGGREGATOR_H_

@@ -1,0 +1,211 @@
+#include "exec/grace_join.h"
+
+#include "common/hash.h"
+
+namespace hybridjoin {
+
+namespace {
+constexpr uint64_t kGraceSeed = 0x9eaceULL;
+constexpr size_t kPendingFlushRows = 4096;
+
+/// Splits a batch's rows into per-partition selections.
+std::vector<std::vector<uint32_t>> RouteRows(const RecordBatch& batch,
+                                             size_t key_column,
+                                             uint32_t num_partitions) {
+  std::vector<std::vector<uint32_t>> routed(num_partitions);
+  const ColumnVector& key = batch.column(key_column);
+  const bool is32 = key.physical_type() == PhysicalType::kInt32;
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    const int64_t k = is32 ? key.i32()[r] : key.i64()[r];
+    const uint32_t p = static_cast<uint32_t>(
+        HashInt64(static_cast<uint64_t>(k), kGraceSeed) % num_partitions);
+    routed[p].push_back(r);
+  }
+  return routed;
+}
+
+}  // namespace
+
+GraceHashJoin::GraceHashJoin(SchemaPtr build_schema, std::string build_alias,
+                             size_t build_key, SchemaPtr probe_schema,
+                             std::string probe_alias, size_t probe_key,
+                             PredicatePtr post_join_predicate,
+                             HashAggregator* aggregator, Metrics* metrics,
+                             SpillArea* spill, GraceJoinOptions options)
+    : build_schema_(std::move(build_schema)),
+      build_alias_(std::move(build_alias)),
+      build_key_(build_key),
+      probe_schema_(std::move(probe_schema)),
+      probe_alias_(std::move(probe_alias)),
+      probe_key_(probe_key),
+      post_join_predicate_(std::move(post_join_predicate)),
+      aggregator_(aggregator),
+      metrics_(metrics),
+      spill_(spill),
+      options_(options) {
+  HJ_CHECK_GT(options_.num_partitions, 0u);
+  HJ_CHECK(spill_ != nullptr);
+  partitions_.resize(options_.num_partitions);
+  for (auto& p : partitions_) {
+    p.build_pending = RecordBatch(build_schema_);
+    p.probe_pending = RecordBatch(probe_schema_);
+  }
+}
+
+uint32_t GraceHashJoin::PartitionOf(int64_t key) const {
+  return static_cast<uint32_t>(HashInt64(static_cast<uint64_t>(key),
+                                         kGraceSeed) %
+                               options_.num_partitions);
+}
+
+Status GraceHashJoin::FlushPending(Partition* p, bool build_side) {
+  RecordBatch& pending = build_side ? p->build_pending : p->probe_pending;
+  if (pending.num_rows() == 0) return Status::OK();
+  const SpillArea::FileId file = build_side ? p->build_file : p->probe_file;
+  HJ_RETURN_IF_ERROR(spill_->Append(file, pending));
+  pending = RecordBatch(build_side ? build_schema_ : probe_schema_);
+  return Status::OK();
+}
+
+Status GraceHashJoin::SpillLargestResident() {
+  Partition* victim = nullptr;
+  for (auto& p : partitions_) {
+    if (p.spilled) continue;
+    if (victim == nullptr || p.resident_bytes > victim->resident_bytes) {
+      victim = &p;
+    }
+  }
+  if (victim == nullptr || victim->resident_bytes == 0) {
+    // Nothing left to evict; the budget is simply too small — carry on
+    // resident rather than thrash.
+    return Status::OK();
+  }
+  victim->spilled = true;
+  victim->build_file = spill_->Create();
+  victim->probe_file = spill_->Create();
+  ++spilled_count_;
+  if (metrics_ != nullptr) metrics_->Add(metric::kSpilledPartitions, 1);
+  for (const RecordBatch& batch : victim->build_batches) {
+    HJ_RETURN_IF_ERROR(spill_->Append(victim->build_file, batch));
+  }
+  victim->build_batches.clear();
+  resident_bytes_ -= victim->resident_bytes;
+  victim->resident_bytes = 0;
+  return Status::OK();
+}
+
+Status GraceHashJoin::AddBuild(RecordBatch&& batch) {
+  if (build_finished_) return Status::Internal("AddBuild after FinishBuild");
+  build_rows_ += static_cast<int64_t>(batch.num_rows());
+  auto routed = RouteRows(batch, build_key_, options_.num_partitions);
+  for (uint32_t pi = 0; pi < options_.num_partitions; ++pi) {
+    if (routed[pi].empty()) continue;
+    Partition& p = partitions_[pi];
+    RecordBatch rows = batch.Gather(routed[pi]);
+    if (p.spilled) {
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        p.build_pending.AppendRowFrom(rows, r);
+      }
+      if (p.build_pending.num_rows() >= kPendingFlushRows) {
+        HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/true));
+      }
+      continue;
+    }
+    const uint64_t bytes = rows.ByteSize();
+    p.build_batches.push_back(std::move(rows));
+    p.resident_bytes += bytes;
+    resident_bytes_ += bytes;
+    while (options_.memory_budget_bytes != 0 &&
+           resident_bytes_ > options_.memory_budget_bytes) {
+      const uint64_t before = resident_bytes_;
+      HJ_RETURN_IF_ERROR(SpillLargestResident());
+      if (resident_bytes_ == before) break;  // nothing evictable
+    }
+  }
+  return Status::OK();
+}
+
+Status GraceHashJoin::FinishBuild() {
+  if (build_finished_) return Status::OK();
+  build_finished_ = true;
+  for (auto& p : partitions_) {
+    if (p.spilled) {
+      HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/true));
+      continue;
+    }
+    p.table = std::make_unique<JoinHashTable>(build_key_);
+    for (RecordBatch& batch : p.build_batches) {
+      HJ_RETURN_IF_ERROR(p.table->AddBatch(std::move(batch)));
+    }
+    p.build_batches.clear();
+    p.table->Finalize();
+    p.prober = std::make_unique<JoinProber>(
+        p.table.get(), build_schema_, build_alias_, probe_schema_,
+        probe_alias_, probe_key_, post_join_predicate_, aggregator_,
+        metrics_);
+  }
+  return Status::OK();
+}
+
+Status GraceHashJoin::AddProbe(const RecordBatch& batch) {
+  if (!build_finished_) {
+    return Status::Internal("AddProbe before FinishBuild");
+  }
+  auto routed = RouteRows(batch, probe_key_, options_.num_partitions);
+  for (uint32_t pi = 0; pi < options_.num_partitions; ++pi) {
+    if (routed[pi].empty()) continue;
+    Partition& p = partitions_[pi];
+    RecordBatch rows = batch.Gather(routed[pi]);
+    if (!p.spilled) {
+      HJ_RETURN_IF_ERROR(p.prober->ProbeBatch(rows));
+      continue;
+    }
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      p.probe_pending.AppendRowFrom(rows, r);
+    }
+    if (p.probe_pending.num_rows() >= kPendingFlushRows) {
+      HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status GraceHashJoin::JoinSpilledPartition(Partition* p) {
+  JoinHashTable table(build_key_);
+  HJ_RETURN_IF_ERROR(spill_->ForEach(
+      p->build_file, build_schema_, [&](RecordBatch&& batch) {
+        return table.AddBatch(std::move(batch));
+      }));
+  table.Finalize();
+  JoinProber prober(&table, build_schema_, build_alias_, probe_schema_,
+                    probe_alias_, probe_key_, post_join_predicate_,
+                    aggregator_, metrics_);
+  HJ_RETURN_IF_ERROR(spill_->ForEach(
+      p->probe_file, probe_schema_,
+      [&](RecordBatch&& batch) { return prober.ProbeBatch(batch); }));
+  HJ_RETURN_IF_ERROR(prober.Flush());
+  spill_->Drop(p->build_file);
+  spill_->Drop(p->probe_file);
+  return Status::OK();
+}
+
+Status GraceHashJoin::Finish() {
+  if (finished_) return Status::OK();
+  if (!build_finished_) {
+    return Status::Internal("Finish before FinishBuild");
+  }
+  finished_ = true;
+  for (auto& p : partitions_) {
+    if (!p.spilled) {
+      if (p.prober != nullptr) {
+        HJ_RETURN_IF_ERROR(p.prober->Flush());
+      }
+      continue;
+    }
+    HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/false));
+    HJ_RETURN_IF_ERROR(JoinSpilledPartition(&p));
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridjoin

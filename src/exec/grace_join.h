@@ -1,0 +1,95 @@
+// GraceHashJoin: a hybrid (Grace) hash join with a memory budget — the
+// paper's future-work extension to JEN's in-memory join (§4.4).
+//
+// Build rows are hash-partitioned; while the budget allows, partitions stay
+// in memory. When it is exceeded, the largest resident partition spills.
+// Probe rows against resident partitions join immediately (pipelined, like
+// the in-memory path); probe rows of spilled partitions spill too, and the
+// spilled pairs are joined partition-by-partition in Finish().
+//
+// Equivalent output to JoinHashTable + JoinProber; every surviving joined
+// row feeds the same HashAggregator.
+
+#ifndef HYBRIDJOIN_EXEC_GRACE_JOIN_H_
+#define HYBRIDJOIN_EXEC_GRACE_JOIN_H_
+
+#include <memory>
+
+#include "exec/join_prober.h"
+#include "exec/spill.h"
+
+namespace hybridjoin {
+
+struct GraceJoinOptions {
+  /// Resident-build budget in bytes; 0 = unlimited (never spills).
+  uint64_t memory_budget_bytes = 0;
+  uint32_t num_partitions = 16;
+};
+
+class GraceHashJoin {
+ public:
+  /// Same collaborators as JoinProber, plus the spill area.
+  GraceHashJoin(SchemaPtr build_schema, std::string build_alias,
+                size_t build_key, SchemaPtr probe_schema,
+                std::string probe_alias, size_t probe_key,
+                PredicatePtr post_join_predicate, HashAggregator* aggregator,
+                Metrics* metrics, SpillArea* spill,
+                GraceJoinOptions options);
+
+  // Phase 1: add every build batch, then freeze.
+  Status AddBuild(RecordBatch&& batch);
+  Status FinishBuild();
+
+  // Phase 2: stream probe batches.
+  Status AddProbe(const RecordBatch& batch);
+
+  // Phase 3: join the spilled partition pairs and flush.
+  Status Finish();
+
+  uint32_t spilled_partitions() const { return spilled_count_; }
+  int64_t build_rows() const { return build_rows_; }
+
+ private:
+  struct Partition {
+    // Resident state.
+    std::vector<RecordBatch> build_batches;
+    uint64_t resident_bytes = 0;
+    // Spilled state.
+    bool spilled = false;
+    SpillArea::FileId build_file = 0;
+    SpillArea::FileId probe_file = 0;
+    RecordBatch build_pending;  // buffered rows before flush to spill
+    RecordBatch probe_pending;
+    // Probe-ready state (resident partitions after FinishBuild).
+    std::unique_ptr<JoinHashTable> table;
+    std::unique_ptr<JoinProber> prober;
+  };
+
+  uint32_t PartitionOf(int64_t key) const;
+  Status SpillLargestResident();
+  Status FlushPending(Partition* p, bool build_side);
+  Status JoinSpilledPartition(Partition* p);
+
+  SchemaPtr build_schema_;
+  std::string build_alias_;
+  size_t build_key_;
+  SchemaPtr probe_schema_;
+  std::string probe_alias_;
+  size_t probe_key_;
+  PredicatePtr post_join_predicate_;
+  HashAggregator* aggregator_;
+  Metrics* metrics_;
+  SpillArea* spill_;
+  GraceJoinOptions options_;
+
+  std::vector<Partition> partitions_;
+  uint64_t resident_bytes_ = 0;
+  uint32_t spilled_count_ = 0;
+  int64_t build_rows_ = 0;
+  bool build_finished_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_GRACE_JOIN_H_

@@ -1,0 +1,58 @@
+#include "exec/join_hash_table.h"
+
+namespace hybridjoin {
+
+Status JoinHashTable::AddBatch(RecordBatch batch) {
+  if (finalized_) return Status::Internal("AddBatch after Finalize");
+  if (batch.num_rows() == 0) return Status::OK();
+  if (key_column_ >= batch.num_columns()) {
+    return Status::InvalidArgument("join key column out of range");
+  }
+  const ColumnVector& key = batch.column(key_column_);
+  const uint32_t batch_index = static_cast<uint32_t>(batches_.size());
+  const size_t n = batch.num_rows();
+  entries_.reserve(entries_.size() + n);
+  switch (key.physical_type()) {
+    case PhysicalType::kInt32: {
+      const auto& keys = key.i32();
+      for (uint32_t r = 0; r < n; ++r) {
+        entries_.push_back({keys[r], batch_index, r, kNil});
+      }
+      break;
+    }
+    case PhysicalType::kInt64: {
+      const auto& keys = key.i64();
+      for (uint32_t r = 0; r < n; ++r) {
+        entries_.push_back({keys[r], batch_index, r, kNil});
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("join key must be integer-typed");
+  }
+  batches_.push_back(std::move(batch));
+  return Status::OK();
+}
+
+void JoinHashTable::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (entries_.empty()) {
+    buckets_.clear();
+    bucket_mask_ = 0;
+    return;
+  }
+  size_t num_buckets = 16;
+  while (num_buckets < entries_.size() * 2) num_buckets <<= 1;
+  buckets_.assign(num_buckets, kNil);
+  bucket_mask_ = num_buckets - 1;
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    const uint64_t h =
+        HashInt64(static_cast<uint64_t>(entries_[e].key), kProbeSeed);
+    uint32_t& head = buckets_[h & bucket_mask_];
+    entries_[e].next = head;
+    head = e;
+  }
+}
+
+}  // namespace hybridjoin

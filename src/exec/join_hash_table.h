@@ -1,0 +1,78 @@
+// JoinHashTable: the chained hash table every join variant builds on one
+// side and probes with the other. Single-writer build, then frozen and
+// probed concurrently.
+
+#ifndef HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_
+#define HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+/// Hash table over an integer join key. Stores whole record batches and
+/// indexes rows, so probe matches can copy any payload column.
+class JoinHashTable {
+ public:
+  /// `key_column` is the index of the join key (int32/int64 physical) in
+  /// every added batch.
+  explicit JoinHashTable(size_t key_column) : key_column_(key_column) {}
+
+  /// Adds a batch (takes ownership). Must not be called after Finalize.
+  Status AddBatch(RecordBatch batch);
+
+  /// Builds the bucket directory. Idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t num_rows() const { return entries_.size(); }
+  const std::vector<RecordBatch>& batches() const { return batches_; }
+  size_t key_column() const { return key_column_; }
+
+  /// Invokes fn(batch_index, row_index) for every row whose key equals
+  /// `key`. Must be finalized.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (buckets_.empty()) return;
+    const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
+    uint32_t e = buckets_[h & bucket_mask_];
+    while (e != kNil) {
+      const Entry& entry = entries_[e];
+      if (entry.key == key) fn(entry.batch, entry.row);
+      e = entry.next;
+    }
+  }
+
+  /// True if any row has this key (early-out point lookup).
+  bool Contains(int64_t key) const {
+    bool found = false;
+    ForEachMatch(key, [&found](uint32_t, uint32_t) { found = true; });
+    return found;
+  }
+
+ private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr uint64_t kProbeSeed = 0x7ab1eULL;
+
+  struct Entry {
+    int64_t key;
+    uint32_t batch;
+    uint32_t row;
+    uint32_t next;
+  };
+
+  size_t key_column_;
+  std::vector<RecordBatch> batches_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> buckets_;
+  uint64_t bucket_mask_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_

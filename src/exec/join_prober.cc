@@ -1,0 +1,100 @@
+#include "exec/join_prober.h"
+
+namespace hybridjoin {
+
+SchemaPtr MakeJoinedSchema(const SchemaPtr& build_schema,
+                           const std::string& build_alias,
+                           const SchemaPtr& probe_schema,
+                           const std::string& probe_alias) {
+  std::vector<Field> fields;
+  fields.reserve(build_schema->num_fields() + probe_schema->num_fields());
+  for (const Field& f : build_schema->fields()) {
+    fields.push_back({build_alias + "." + f.name, f.type});
+  }
+  for (const Field& f : probe_schema->fields()) {
+    fields.push_back({probe_alias + "." + f.name, f.type});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+JoinProber::JoinProber(const JoinHashTable* build, SchemaPtr build_schema,
+                       std::string build_alias, SchemaPtr probe_schema,
+                       std::string probe_alias, size_t probe_key_column,
+                       PredicatePtr post_join_predicate,
+                       HashAggregator* aggregator, Metrics* metrics,
+                       JoinProberOptions options)
+    : build_(build),
+      probe_schema_(std::move(probe_schema)),
+      probe_key_column_(probe_key_column),
+      post_join_predicate_(std::move(post_join_predicate)),
+      aggregator_(aggregator),
+      metrics_(metrics),
+      options_(options),
+      joined_schema_(MakeJoinedSchema(build_schema, build_alias,
+                                      probe_schema_, probe_alias)),
+      build_width_(build_schema->num_fields()),
+      pending_(joined_schema_) {
+  HJ_CHECK(build_->finalized()) << "probe against non-finalized hash table";
+}
+
+Status JoinProber::ProbeBatch(const RecordBatch& batch) {
+  if (probe_key_column_ >= batch.num_columns()) {
+    return Status::InvalidArgument("probe key column out of range");
+  }
+  const ColumnVector& key_col = batch.column(probe_key_column_);
+  const size_t n = batch.num_rows();
+  const auto& build_batches = build_->batches();
+  Status status;
+
+  auto emit = [&](int64_t key, uint32_t probe_row) {
+    build_->ForEachMatch(key, [&](uint32_t bbatch, uint32_t brow) {
+      ++join_matches_;
+      const RecordBatch& src = build_batches[bbatch];
+      for (size_t c = 0; c < build_width_; ++c) {
+        pending_.mutable_column(c).AppendFrom(src.column(c), brow);
+      }
+      for (size_t c = 0; c < batch.num_columns(); ++c) {
+        pending_.mutable_column(build_width_ + c)
+            .AppendFrom(batch.column(c), probe_row);
+      }
+    });
+    if (pending_.num_rows() >= options_.output_batch_rows && status.ok()) {
+      status = Flush();
+    }
+  };
+
+  switch (key_col.physical_type()) {
+    case PhysicalType::kInt32: {
+      const auto& keys = key_col.i32();
+      for (uint32_t r = 0; r < n && status.ok(); ++r) emit(keys[r], r);
+      break;
+    }
+    case PhysicalType::kInt64: {
+      const auto& keys = key_col.i64();
+      for (uint32_t r = 0; r < n && status.ok(); ++r) emit(keys[r], r);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("probe key must be integer-typed");
+  }
+  return status;
+}
+
+Status JoinProber::Flush() {
+  if (pending_.num_rows() == 0) return Status::OK();
+  std::vector<uint32_t> sel(pending_.num_rows());
+  for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+  if (post_join_predicate_ != nullptr) {
+    HJ_RETURN_IF_ERROR(post_join_predicate_->Filter(pending_, &sel));
+  }
+  output_rows_ += static_cast<int64_t>(sel.size());
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric::kJoinOutputTuples,
+                  static_cast<int64_t>(sel.size()));
+  }
+  HJ_RETURN_IF_ERROR(aggregator_->Update(pending_, sel));
+  pending_ = RecordBatch(joined_schema_);
+  return Status::OK();
+}
+
+}  // namespace hybridjoin

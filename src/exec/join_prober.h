@@ -1,0 +1,80 @@
+// JoinProber: probe a JoinHashTable with record batches, materialize the
+// matches as joined rows (columns renamed "<alias>.<name>"), apply the
+// post-join predicate, and fold survivors into a HashAggregator.
+//
+// This one component is reused by every join algorithm: in JEN workers for
+// the HDFS-side joins, in DB workers for the DB-side join, and in the
+// single-node reference executor the tests compare against.
+
+#ifndef HYBRIDJOIN_EXEC_JOIN_PROBER_H_
+#define HYBRIDJOIN_EXEC_JOIN_PROBER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "exec/aggregator.h"
+#include "exec/join_hash_table.h"
+#include "expr/predicate.h"
+
+namespace hybridjoin {
+
+struct JoinProberOptions {
+  /// Joined rows are buffered and filtered/aggregated in chunks this large.
+  size_t output_batch_rows = 4096;
+};
+
+/// One-pass hash-join probe + post-join filter + aggregate pipeline.
+class JoinProber {
+ public:
+  /// `build` must already be finalized. `build_alias`/`probe_alias` prefix
+  /// the joined schema's column names ("T", "L"). `probe_key_column` is the
+  /// join key's index in probe batches. `post_join_predicate` may be null.
+  /// `aggregator` is borrowed and receives the surviving joined rows.
+  JoinProber(const JoinHashTable* build, SchemaPtr build_schema,
+             std::string build_alias, SchemaPtr probe_schema,
+             std::string probe_alias, size_t probe_key_column,
+             PredicatePtr post_join_predicate, HashAggregator* aggregator,
+             Metrics* metrics, JoinProberOptions options = {});
+
+  /// The joined schema (build columns first, then probe columns).
+  const SchemaPtr& joined_schema() const { return joined_schema_; }
+
+  /// Probes every row of `batch`; buffers matches and flushes full chunks
+  /// through the post-join predicate into the aggregator.
+  Status ProbeBatch(const RecordBatch& batch);
+
+  /// Flushes buffered joined rows. Call once after the last ProbeBatch.
+  Status Flush();
+
+  /// Joined rows that matched the equi-join (before the post-join filter).
+  int64_t join_matches() const { return join_matches_; }
+  /// Rows that survived the post-join predicate.
+  int64_t output_rows() const { return output_rows_; }
+
+ private:
+  const JoinHashTable* build_;
+  SchemaPtr probe_schema_;
+  size_t probe_key_column_;
+  PredicatePtr post_join_predicate_;
+  HashAggregator* aggregator_;
+  Metrics* metrics_;
+  JoinProberOptions options_;
+
+  SchemaPtr joined_schema_;
+  size_t build_width_;
+  RecordBatch pending_;
+  int64_t join_matches_ = 0;
+  int64_t output_rows_ = 0;
+};
+
+/// Builds the prefixed joined schema: build fields as "<build_alias>.<name>"
+/// followed by probe fields as "<probe_alias>.<name>".
+SchemaPtr MakeJoinedSchema(const SchemaPtr& build_schema,
+                           const std::string& build_alias,
+                           const SchemaPtr& probe_schema,
+                           const std::string& probe_alias);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_JOIN_PROBER_H_

@@ -1,0 +1,82 @@
+// PartitionedAppender: routes filtered rows into per-destination pending
+// batches by a partition function of the join key and hands full batches to
+// a sink — the building block of every repartition/shuffle step (JEN
+// workers shuffling L', DB workers shipping T' with the agreed hash).
+
+#ifndef HYBRIDJOIN_EXEC_PARTITIONED_APPENDER_H_
+#define HYBRIDJOIN_EXEC_PARTITIONED_APPENDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+/// Not thread-safe; one per producer thread.
+class PartitionedAppender {
+ public:
+  using PartitionFn = std::function<uint32_t(int64_t key)>;
+  /// Sink receives (partition, full batch). It may block (e.g. on network
+  /// throttles) — producers are paced by it.
+  using Sink = std::function<Status(uint32_t partition, RecordBatch&& batch)>;
+
+  PartitionedAppender(SchemaPtr schema, uint32_t num_partitions,
+                      size_t key_column, PartitionFn partition_fn,
+                      size_t flush_rows, Sink sink)
+      : schema_(std::move(schema)),
+        key_column_(key_column),
+        partition_fn_(std::move(partition_fn)),
+        flush_rows_(flush_rows),
+        sink_(std::move(sink)) {
+    pending_.reserve(num_partitions);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      pending_.emplace_back(schema_);
+    }
+  }
+
+  /// Routes the selected rows of `batch` (whose layout matches `schema`).
+  Status Append(const RecordBatch& batch, const std::vector<uint32_t>& sel) {
+    const ColumnVector& key_col = batch.column(key_column_);
+    for (uint32_t r : sel) {
+      const int64_t key = key_col.physical_type() == PhysicalType::kInt32
+                              ? key_col.i32()[r]
+                              : key_col.i64()[r];
+      const uint32_t p = partition_fn_(key);
+      pending_[p].AppendRowFrom(batch, r);
+      ++routed_rows_;
+      if (pending_[p].num_rows() >= flush_rows_) {
+        HJ_RETURN_IF_ERROR(sink_(p, std::move(pending_[p])));
+        pending_[p] = RecordBatch(schema_);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Flushes every non-empty pending batch.
+  Status FlushAll() {
+    for (uint32_t p = 0; p < pending_.size(); ++p) {
+      if (pending_[p].num_rows() > 0) {
+        HJ_RETURN_IF_ERROR(sink_(p, std::move(pending_[p])));
+        pending_[p] = RecordBatch(schema_);
+      }
+    }
+    return Status::OK();
+  }
+
+  int64_t routed_rows() const { return routed_rows_; }
+
+ private:
+  SchemaPtr schema_;
+  size_t key_column_;
+  PartitionFn partition_fn_;
+  size_t flush_rows_;
+  Sink sink_;
+  std::vector<RecordBatch> pending_;
+  int64_t routed_rows_ = 0;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_PARTITIONED_APPENDER_H_

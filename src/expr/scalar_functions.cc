@@ -1,0 +1,87 @@
+#include "expr/scalar_functions.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+
+namespace hybridjoin {
+
+int32_t ExtractGroup(std::string_view s) {
+  if (!s.empty() && (s[0] == 'g' || s[0] == 'G')) {
+    int32_t v = 0;
+    size_t i = 1;
+    bool any = false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + (s[i] - '0');
+      any = true;
+      ++i;
+    }
+    if (any && (i == s.size() || s[i] == '/')) return v;
+  }
+  return static_cast<int32_t>(HashString(s) & 0x7fffffff);
+}
+
+std::string UrlPrefix(std::string_view url) {
+  // Strip scheme.
+  const size_t scheme = url.find("://");
+  size_t start = scheme == std::string_view::npos ? 0 : scheme + 3;
+  // Host.
+  size_t slash = url.find('/', start);
+  if (slash == std::string_view::npos) {
+    return std::string(url.substr(start));
+  }
+  // First path segment.
+  size_t second = url.find('/', slash + 1);
+  size_t end = second == std::string_view::npos ? url.size() : second;
+  // Trim query string if it sneaks into the segment.
+  const size_t q = url.find('?', slash);
+  if (q != std::string_view::npos && q < end) end = q;
+  return std::string(url.substr(start, end - start));
+}
+
+std::string RegionOfIp(std::string_view ip) {
+  int octet = 0;
+  size_t i = 0;
+  while (i < ip.size() && ip[i] >= '0' && ip[i] <= '9') {
+    octet = octet * 10 + (ip[i] - '0');
+    ++i;
+  }
+  switch ((octet / 32) % 4) {
+    case 0:
+      return "East Coast";
+    case 1:
+      return "West Coast";
+    case 2:
+      return "Midwest";
+    default:
+      return "South";
+  }
+}
+
+int32_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil algorithm.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int32_t days, int* year, int* month, int* day) {
+  int32_t z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = y + (*month <= 2);
+}
+
+}  // namespace hybridjoin

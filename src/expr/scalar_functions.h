@@ -1,0 +1,34 @@
+// Scalar helper functions mirroring the UDFs in the paper's example query:
+// extract_group() pulls an integer group id out of a varchar column, and
+// UrlPrefix()/RegionOfIp() support the click-log example applications.
+
+#ifndef HYBRIDJOIN_EXPR_SCALAR_FUNCTIONS_H_
+#define HYBRIDJOIN_EXPR_SCALAR_FUNCTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hybridjoin {
+
+/// Parses the integer group id from a value shaped like "g<digits>/<rest>"
+/// (the workload's groupByExtractCol). Falls back to a hash of the full
+/// string for values not in that shape, so it is total.
+int32_t ExtractGroup(std::string_view s);
+
+/// Returns the prefix of a URL up to and including the first path segment,
+/// e.g. "http://shop.example.com/cameras/canon?x=1" -> "shop.example.com/cameras".
+std::string UrlPrefix(std::string_view url);
+
+/// Coarse geographic bucket of a dotted-quad IPv4 string; the example query
+/// filters on region(L.ip) = 'East Coast'. Deterministic on the first octet.
+std::string RegionOfIp(std::string_view ip);
+
+/// Days-since-epoch helpers for building date literals in tests/examples.
+/// Proleptic Gregorian; valid for years 1970-2199.
+int32_t DaysFromCivil(int year, int month, int day);
+void CivilFromDays(int32_t days, int* year, int* month, int* day);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXPR_SCALAR_FUNCTIONS_H_

@@ -1,0 +1,110 @@
+#include "hdfs/datanode.h"
+
+#include "common/check.h"
+
+namespace hybridjoin {
+
+DataNode::DataNode(uint32_t index, const DataNodeConfig& config)
+    : index_(index), config_(config), cache_bucket_(config.cache_read_bps) {
+  HJ_CHECK_GT(config.num_disks, 0u);
+  disk_buckets_.reserve(config.num_disks);
+  for (uint32_t d = 0; d < config.num_disks; ++d) {
+    disk_buckets_.push_back(
+        std::make_unique<TokenBucket>(config.disk_read_bps));
+  }
+}
+
+Status DataNode::StoreBlock(uint64_t block_id, uint32_t disk,
+                            std::shared_ptr<const StoredBlock> block) {
+  if (disk >= disk_buckets_.size()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = blocks_.try_emplace(block_id);
+  if (!inserted) {
+    return Status::AlreadyExists("block " + std::to_string(block_id) +
+                                 " already on datanode " +
+                                 std::to_string(index_));
+  }
+  it->second.block = std::move(block);
+  it->second.disk = disk;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const StoredBlock>> DataNode::Fetch(
+    uint64_t block_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(block_id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block_id) +
+                            " not on datanode " + std::to_string(index_));
+  }
+  return it->second.block;
+}
+
+bool DataNode::AccountRead(uint64_t block_id, uint64_t bytes) {
+  uint32_t disk = 0;
+  bool warm = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(block_id);
+    if (it == blocks_.end()) return false;  // unknown block; nothing to charge
+    disk = it->second.disk;
+    auto cit = cache_index_.find(block_id);
+    if (cit != cache_index_.end()) {
+      warm = true;
+      // Touch.
+      lru_.erase(cit->second);
+      lru_.push_front(block_id);
+      cit->second = lru_.begin();
+    } else {
+      // Will be resident after this read.
+      const uint64_t block_bytes = it->second.block->ByteSize();
+      if (block_bytes <= config_.cache_capacity_bytes) {
+        while (cache_used_ + block_bytes > config_.cache_capacity_bytes &&
+               !lru_.empty()) {
+          const uint64_t victim = lru_.back();
+          lru_.pop_back();
+          cache_index_.erase(victim);
+          auto vit = blocks_.find(victim);
+          if (vit != blocks_.end()) {
+            cache_used_ -= vit->second.block->ByteSize();
+          }
+        }
+        lru_.push_front(block_id);
+        cache_index_[block_id] = lru_.begin();
+        cache_used_ += block_bytes;
+      }
+    }
+  }
+  // Charge outside the lock so concurrent readers overlap their waits only
+  // on the shared bucket, not on the metadata mutex.
+  if (warm) {
+    cache_bucket_.Acquire(bytes);
+  } else {
+    disk_buckets_[disk]->Acquire(bytes);
+  }
+  return warm;
+}
+
+void DataNode::DropCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  cache_index_.clear();
+  cache_used_ = 0;
+}
+
+void DataNode::SetCacheCapacity(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  cache_index_.clear();
+  cache_used_ = 0;
+  config_.cache_capacity_bytes = bytes;
+}
+
+uint64_t DataNode::CacheUsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_used_;
+}
+
+}  // namespace hybridjoin

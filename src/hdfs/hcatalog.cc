@@ -1,0 +1,46 @@
+#include "hdfs/hcatalog.h"
+
+namespace hybridjoin {
+
+Status HCatalog::RegisterTable(HdfsTableMeta meta) {
+  if (meta.name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (meta.schema == nullptr || meta.schema->num_fields() == 0) {
+    return Status::InvalidArgument("table schema must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.try_emplace(meta.name, std::move(meta));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("HDFS table already registered");
+  }
+  return Status::OK();
+}
+
+Result<HdfsTableMeta> HCatalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("HDFS table '" + name + "' not in HCatalog");
+  }
+  return it->second;
+}
+
+Status HCatalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("HDFS table '" + name + "' not in HCatalog");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> HCatalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, meta] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,42 @@
+// HCatalog: table metadata for HDFS tables (schema, format, file path),
+// mirroring the paper's use of Apache HCatalog — JEN's coordinator resolves
+// a table name here, then asks the NameNode for block locations.
+
+#ifndef HYBRIDJOIN_HDFS_HCATALOG_H_
+#define HYBRIDJOIN_HDFS_HCATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "hdfs/format.h"
+#include "types/schema.h"
+
+namespace hybridjoin {
+
+/// Everything the engine needs to scan an HDFS table.
+struct HdfsTableMeta {
+  std::string name;
+  std::string path;  ///< file path in the NameNode namespace
+  SchemaPtr schema;
+  HdfsFormat format = HdfsFormat::kColumnar;
+  uint64_t num_rows = 0;
+};
+
+/// The metadata catalog for HDFS-resident tables.
+class HCatalog {
+ public:
+  Status RegisterTable(HdfsTableMeta meta);
+  Result<HdfsTableMeta> Lookup(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, HdfsTableMeta> tables_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HDFS_HCATALOG_H_

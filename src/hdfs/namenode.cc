@@ -1,0 +1,103 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hybridjoin {
+
+NameNode::NameNode(std::vector<DataNode*> datanodes,
+                   uint32_t replication_factor, uint64_t placement_seed)
+    : datanodes_(std::move(datanodes)),
+      replication_(std::min<uint32_t>(
+          std::max<uint32_t>(replication_factor, 1),
+          static_cast<uint32_t>(datanodes_.size()))),
+      next_disk_(datanodes_.size(), 0),
+      rng_(placement_seed) {
+  HJ_CHECK(!datanodes_.empty());
+}
+
+Status NameNode::CreateFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = files_.try_emplace(path);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("file '" + path + "' already exists");
+  }
+  return Status::OK();
+}
+
+bool NameNode::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status NameNode::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("file '" + path + "' does not exist");
+  }
+  // Block payloads stay on the DataNodes; a real HDFS would garbage-collect
+  // them asynchronously. Fine for a loader-once substrate.
+  return Status::OK();
+}
+
+Status NameNode::AppendBlock(const std::string& path,
+                             std::shared_ptr<const StoredBlock> block) {
+  std::vector<ReplicaLocation> replicas;
+  uint64_t block_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::NotFound("file '" + path + "' does not exist");
+    }
+    block_id = next_block_id_++;
+    // Primary replica: round robin over nodes for even spread.
+    const uint32_t primary = next_primary_;
+    next_primary_ = (next_primary_ + 1) % datanodes_.size();
+    replicas.push_back(
+        {primary, next_disk_[primary]++ %
+                      datanodes_[primary]->num_disks()});
+    // Remaining replicas: random distinct nodes (HDFS default w/o racks).
+    while (replicas.size() < replication_) {
+      const uint32_t node = static_cast<uint32_t>(
+          rng_.Uniform(datanodes_.size()));
+      bool dup = false;
+      for (const auto& r : replicas) dup |= (r.node == node);
+      if (dup) continue;
+      replicas.push_back(
+          {node, next_disk_[node]++ % datanodes_[node]->num_disks()});
+    }
+    BlockInfo info;
+    info.block_id = block_id;
+    info.num_rows = block->num_rows;
+    info.byte_size = block->ByteSize();
+    info.replicas = replicas;
+    it->second.push_back(std::move(info));
+  }
+  for (const auto& r : replicas) {
+    HJ_RETURN_IF_ERROR(
+        datanodes_[r.node]->StoreBlock(block_id, r.disk, block));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BlockInfo>> NameNode::GetBlocks(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + path + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<uint64_t> NameNode::FileSize(const std::string& path) const {
+  HJ_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks, GetBlocks(path));
+  uint64_t total = 0;
+  for (const auto& b : blocks) total += b.byte_size;
+  return total;
+}
+
+}  // namespace hybridjoin

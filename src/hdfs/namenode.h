@@ -1,0 +1,77 @@
+// NameNode: file -> block metadata, replica placement, and the block
+// location service JEN's coordinator queries for locality-aware assignment.
+
+#ifndef HYBRIDJOIN_HDFS_NAMENODE_H_
+#define HYBRIDJOIN_HDFS_NAMENODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "hdfs/datanode.h"
+
+namespace hybridjoin {
+
+/// Where one replica of a block lives.
+struct ReplicaLocation {
+  uint32_t node = 0;
+  uint32_t disk = 0;
+};
+
+/// Metadata for one block of a file.
+struct BlockInfo {
+  uint64_t block_id = 0;
+  uint32_t num_rows = 0;
+  uint64_t byte_size = 0;
+  std::vector<ReplicaLocation> replicas;
+};
+
+/// The HDFS metadata server. Owns placement policy; actual bytes live on
+/// the DataNodes.
+class NameNode {
+ public:
+  /// `datanodes` are borrowed; they must outlive the NameNode.
+  NameNode(std::vector<DataNode*> datanodes, uint32_t replication_factor,
+           uint64_t placement_seed = 42);
+
+  uint32_t num_datanodes() const {
+    return static_cast<uint32_t>(datanodes_.size());
+  }
+  uint32_t replication_factor() const { return replication_; }
+
+  Status CreateFile(const std::string& path);
+  bool FileExists(const std::string& path) const;
+  Status DeleteFile(const std::string& path);
+
+  /// Appends a block to `path`, placing `replication_factor` replicas on
+  /// distinct nodes (round-robin primary with a randomized second replica,
+  /// like HDFS's default policy without rack awareness).
+  Status AppendBlock(const std::string& path,
+                     std::shared_ptr<const StoredBlock> block);
+
+  /// All blocks of a file, with replica locations.
+  Result<std::vector<BlockInfo>> GetBlocks(const std::string& path) const;
+
+  /// Total logical bytes of a file.
+  Result<uint64_t> FileSize(const std::string& path) const;
+
+ private:
+  std::vector<DataNode*> datanodes_;
+  const uint32_t replication_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<BlockInfo>> files_;
+  uint64_t next_block_id_ = 1;
+  uint32_t next_primary_ = 0;
+  std::vector<uint32_t> next_disk_;  // per node, round robin
+  Rng rng_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HDFS_NAMENODE_H_

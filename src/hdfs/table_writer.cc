@@ -1,0 +1,67 @@
+#include "hdfs/table_writer.h"
+
+namespace hybridjoin {
+
+HdfsTableWriter::HdfsTableWriter(NameNode* namenode, HCatalog* hcatalog,
+                                 std::string name, SchemaPtr schema,
+                                 HdfsWriteOptions options)
+    : namenode_(namenode),
+      hcatalog_(hcatalog),
+      name_(std::move(name)),
+      path_("/warehouse/" + name_),
+      schema_(std::move(schema)),
+      options_(options),
+      pending_(schema_) {}
+
+Status HdfsTableWriter::Open() {
+  if (open_) return Status::Internal("writer already open");
+  HJ_RETURN_IF_ERROR(namenode_->CreateFile(path_));
+  open_ = true;
+  return Status::OK();
+}
+
+Status HdfsTableWriter::Append(const RecordBatch& batch) {
+  if (!open_ || closed_) return Status::Internal("writer not open");
+  if (!(*batch.schema() == *schema_)) {
+    return Status::InvalidArgument("batch schema does not match table");
+  }
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    pending_.AppendRowFrom(batch, r);
+    if (pending_.num_rows() >= options_.rows_per_block) {
+      HJ_RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  return Status::OK();
+}
+
+Status HdfsTableWriter::FlushBlock() {
+  if (pending_.num_rows() == 0) return Status::OK();
+  auto block = std::make_shared<StoredBlock>();
+  block->format = options_.format;
+  block->num_rows = static_cast<uint32_t>(pending_.num_rows());
+  if (options_.format == HdfsFormat::kText) {
+    block->text = std::make_shared<const std::vector<uint8_t>>(
+        EncodeText(pending_));
+  } else {
+    block->columnar = std::make_shared<const ColumnarBlock>(
+        EncodeColumnarBlock(pending_, options_.columnar));
+  }
+  rows_written_ += pending_.num_rows();
+  pending_ = RecordBatch(schema_);
+  return namenode_->AppendBlock(path_, std::move(block));
+}
+
+Status HdfsTableWriter::Close() {
+  if (!open_ || closed_) return Status::Internal("writer not open");
+  HJ_RETURN_IF_ERROR(FlushBlock());
+  closed_ = true;
+  HdfsTableMeta meta;
+  meta.name = name_;
+  meta.path = path_;
+  meta.schema = schema_;
+  meta.format = options_.format;
+  meta.num_rows = rows_written_;
+  return hcatalog_->RegisterTable(std::move(meta));
+}
+
+}  // namespace hybridjoin

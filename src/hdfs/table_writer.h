@@ -1,0 +1,61 @@
+// HdfsTableWriter: loads record batches into an HDFS table — chunks rows
+// into blocks, encodes them in the chosen format, places replicas through
+// the NameNode and registers the table in HCatalog.
+
+#ifndef HYBRIDJOIN_HDFS_TABLE_WRITER_H_
+#define HYBRIDJOIN_HDFS_TABLE_WRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hdfs/hcatalog.h"
+#include "hdfs/namenode.h"
+
+namespace hybridjoin {
+
+struct HdfsWriteOptions {
+  HdfsFormat format = HdfsFormat::kColumnar;
+  ColumnarWriteOptions columnar;
+  /// Target rows per HDFS block (a block is the scan/assignment unit).
+  uint32_t rows_per_block = 64 * 1024;
+};
+
+/// Streams batches into one HDFS file. Usage:
+///   HdfsTableWriter w(namenode, hcatalog, "L", schema, options);
+///   HJ_RETURN_IF_ERROR(w.Open());
+///   w.Append(batch); ...; w.Close();
+class HdfsTableWriter {
+ public:
+  HdfsTableWriter(NameNode* namenode, HCatalog* hcatalog, std::string name,
+                  SchemaPtr schema, HdfsWriteOptions options);
+
+  /// Creates the file. Fails if the table or file already exists.
+  Status Open();
+
+  /// Buffers rows, flushing full blocks to HDFS.
+  Status Append(const RecordBatch& batch);
+
+  /// Flushes the tail block and registers the table in HCatalog.
+  Status Close();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  Status FlushBlock();
+
+  NameNode* namenode_;
+  HCatalog* hcatalog_;
+  const std::string name_;
+  const std::string path_;
+  SchemaPtr schema_;
+  const HdfsWriteOptions options_;
+
+  RecordBatch pending_;
+  uint64_t rows_written_ = 0;
+  bool open_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HDFS_TABLE_WRITER_H_

@@ -1,0 +1,187 @@
+#include "hybrid/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hybrid/algorithms.h"
+
+namespace hybridjoin {
+
+namespace {
+
+/// Nominal bandwidths used when the config leaves a resource unthrottled
+/// (the advisor still needs relative costs to rank algorithms).
+constexpr double kNominalDiskBps = 100.0 * 1024 * 1024;
+constexpr double kNominalHdfsNicBps = 120.0 * 1024 * 1024;
+constexpr double kNominalDbNicBps = 1200.0 * 1024 * 1024;
+constexpr double kNominalCrossBps = 2400.0 * 1024 * 1024;
+
+double Effective(uint64_t configured, double fallback) {
+  return configured == 0 ? fallback : static_cast<double>(configured);
+}
+
+}  // namespace
+
+std::string Advice::ToString() const {
+  std::ostringstream os;
+  os << "advice: " << JoinAlgorithmName(algorithm)
+     << " (est. costs s — broadcast: " << broadcast_cost
+     << ", db(BF): " << db_side_cost << ", zigzag: " << zigzag_cost << ")";
+  return os.str();
+}
+
+Advice AdviseAlgorithm(const EngineContext& ctx, const QueryEstimates& est) {
+  const SimulationConfig& cfg = ctx.config();
+  const double n = cfg.jen_workers;
+  const double m = cfg.db.num_workers;
+  const double disk =
+      Effective(cfg.datanode.disk_read_bps, kNominalDiskBps) *
+      cfg.datanode.num_disks;
+  const double hdfs_nic = Effective(cfg.net.hdfs_nic_bps, kNominalHdfsNicBps);
+  const double db_nic = Effective(cfg.net.db_nic_bps, kNominalDbNicBps);
+  const double cross = Effective(cfg.net.cross_switch_bps, kNominalCrossBps);
+
+  // Shared: every HDFS-side algorithm scans L once, in parallel.
+  const double scan = static_cast<double>(est.hdfs_scan_bytes) / (n * disk);
+
+  Advice advice;
+  // Broadcast (§3.2): T' is copied to all n workers through the switch;
+  // no L shuffle at all.
+  advice.broadcast_cost =
+      scan + static_cast<double>(est.db_filtered_bytes) * n / cross;
+
+  // DB-side with Bloom filter (§3.1): L' (after join-key pruning) crosses
+  // the switch and funnels into m database NICs, then an internal join
+  // roughly re-shuffles it inside the database.
+  const double l_moved = static_cast<double>(est.hdfs_filtered_bytes) *
+                         est.hdfs_joinkey_selectivity;
+  advice.db_side_cost = scan + l_moved / std::min(cross, m * db_nic) +
+                        l_moved / (m * db_nic);
+
+  // Zigzag (§3.4): the L' shuffle overlaps the scan (it is masked unless
+  // the NICs are slower than the disks); T'' crosses the switch after
+  // two-way pruning.
+  const double shuffle = l_moved / (n * hdfs_nic);
+  const double t_moved = static_cast<double>(est.db_filtered_bytes) *
+                         est.db_joinkey_selectivity;
+  advice.zigzag_cost = std::max(scan, shuffle) + t_moved / cross;
+
+  advice.algorithm = JoinAlgorithm::kZigzag;
+  double best = advice.zigzag_cost;
+  if (advice.db_side_cost < best) {
+    best = advice.db_side_cost;
+    advice.algorithm = JoinAlgorithm::kDbSideBloom;
+  }
+  if (advice.broadcast_cost < best) {
+    best = advice.broadcast_cost;
+    advice.algorithm = JoinAlgorithm::kBroadcast;
+  }
+  return advice;
+}
+
+Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
+                                     const HybridQuery& query) {
+  HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
+  QueryEstimates est;
+
+  // --- Database side: sample worker 0's first stored batch. ---
+  HJ_ASSIGN_OR_RETURN(const std::vector<RecordBatch>* partition,
+                      ctx->db().worker(0)->Partition(query.db.table));
+  HJ_ASSIGN_OR_RETURN(uint64_t db_rows, ctx->db().TableRows(query.db.table));
+  double db_sel = 1.0;
+  double db_row_bytes = 32.0;
+  if (!partition->empty() && (*partition)[0].num_rows() > 0) {
+    const RecordBatch& sample = (*partition)[0];
+    std::vector<uint32_t> sel(sample.num_rows());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    if (query.db.predicate != nullptr) {
+      HJ_RETURN_IF_ERROR(query.db.predicate->Filter(sample, &sel));
+    }
+    db_sel = static_cast<double>(sel.size()) /
+             static_cast<double>(sample.num_rows());
+    std::vector<size_t> idx;
+    for (const auto& name : query.db.projection) {
+      HJ_ASSIGN_OR_RETURN(size_t i, sample.schema()->IndexOf(name));
+      idx.push_back(i);
+    }
+    const RecordBatch projected = sample.Project(idx);
+    db_row_bytes = static_cast<double>(projected.ByteSize()) /
+                   static_cast<double>(projected.num_rows());
+  }
+  est.db_filtered_bytes = static_cast<uint64_t>(
+      db_sel * static_cast<double>(db_rows) * db_row_bytes);
+
+  // --- HDFS side: decode the first block. ---
+  HJ_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
+                      ctx->namenode().GetBlocks(prepared.scan_plan.meta.path));
+  HJ_ASSIGN_OR_RETURN(uint64_t file_bytes,
+                      ctx->namenode().FileSize(prepared.scan_plan.meta.path));
+  est.hdfs_scan_bytes = file_bytes;
+  double hdfs_sel = 1.0;
+  double hdfs_row_bytes = 32.0;
+  uint64_t hdfs_rows = prepared.scan_plan.meta.num_rows;
+  if (!blocks.empty()) {
+    const BlockInfo& b = blocks.front();
+    HJ_ASSIGN_OR_RETURN(
+        std::shared_ptr<const StoredBlock> stored,
+        ctx->datanode(b.replicas.front().node)->Fetch(b.block_id));
+    // Materialize predicate + projection columns.
+    std::vector<std::string> needed = query.hdfs.projection;
+    if (query.hdfs.predicate != nullptr) {
+      query.hdfs.predicate->CollectColumns(&needed);
+    }
+    std::vector<size_t> materialize;
+    for (const auto& name : needed) {
+      HJ_ASSIGN_OR_RETURN(size_t i,
+                          prepared.scan_plan.meta.schema->IndexOf(name));
+      materialize.push_back(i);
+    }
+    std::sort(materialize.begin(), materialize.end());
+    materialize.erase(std::unique(materialize.begin(), materialize.end()),
+                      materialize.end());
+    Result<RecordBatch> decoded =
+        stored->format == HdfsFormat::kText
+            ? DecodeText(stored->text->data(), stored->text->size(),
+                         prepared.scan_plan.meta.schema, materialize)
+            : DecodeColumnarBlock(*stored->columnar,
+                                  prepared.scan_plan.meta.schema,
+                                  materialize);
+    HJ_RETURN_IF_ERROR(decoded.status());
+    const RecordBatch& sample = decoded.value();
+    std::vector<uint32_t> sel(sample.num_rows());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    if (query.hdfs.predicate != nullptr) {
+      HJ_RETURN_IF_ERROR(query.hdfs.predicate->Filter(sample, &sel));
+    }
+    hdfs_sel = sample.num_rows() == 0
+                   ? 1.0
+                   : static_cast<double>(sel.size()) /
+                         static_cast<double>(sample.num_rows());
+    std::vector<size_t> proj_idx;
+    for (const auto& name : query.hdfs.projection) {
+      HJ_ASSIGN_OR_RETURN(size_t i, sample.schema()->IndexOf(name));
+      proj_idx.push_back(i);
+    }
+    const RecordBatch projected = sample.Project(proj_idx);
+    if (projected.num_rows() > 0) {
+      hdfs_row_bytes = static_cast<double>(projected.ByteSize()) /
+                       static_cast<double>(projected.num_rows());
+    }
+    // Columnar scans only read the materialized chunks.
+    if (stored->format == HdfsFormat::kColumnar) {
+      uint64_t chunk_bytes = 0;
+      for (size_t idx : materialize) {
+        chunk_bytes += stored->columnar->chunks[idx].ByteSize();
+      }
+      const double fraction = static_cast<double>(chunk_bytes) /
+                              static_cast<double>(stored->ByteSize());
+      est.hdfs_scan_bytes =
+          static_cast<uint64_t>(fraction * static_cast<double>(file_bytes));
+    }
+  }
+  est.hdfs_filtered_bytes = static_cast<uint64_t>(
+      hdfs_sel * static_cast<double>(hdfs_rows) * hdfs_row_bytes);
+  return est;
+}
+
+}  // namespace hybridjoin

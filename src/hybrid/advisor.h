@@ -1,0 +1,45 @@
+// AlgorithmAdvisor: encodes the decision rules of the paper's discussion
+// (§5.5) as a coarse communication/scan cost model over the configured
+// bandwidths: broadcast only for tiny T', DB-side only for very selective
+// HDFS predicates, zigzag otherwise.
+
+#ifndef HYBRIDJOIN_HYBRID_ADVISOR_H_
+#define HYBRIDJOIN_HYBRID_ADVISOR_H_
+
+#include "hybrid/context.h"
+#include "hybrid/query.h"
+#include "hybrid/report.h"
+
+namespace hybridjoin {
+
+/// Size/selectivity estimates driving the choice.
+struct QueryEstimates {
+  uint64_t db_filtered_bytes = 0;    ///< |T'| across all workers
+  uint64_t hdfs_filtered_bytes = 0;  ///< |L'| across all workers
+  uint64_t hdfs_scan_bytes = 0;      ///< bytes the HDFS scan must read
+  /// Join-key selectivities if known (1.0 = no join pruning expected).
+  double db_joinkey_selectivity = 1.0;
+  double hdfs_joinkey_selectivity = 1.0;
+};
+
+/// Per-algorithm estimated cost (seconds) plus the pick.
+struct Advice {
+  JoinAlgorithm algorithm = JoinAlgorithm::kZigzag;
+  double broadcast_cost = 0;
+  double db_side_cost = 0;
+  double zigzag_cost = 0;
+  std::string ToString() const;
+};
+
+/// Chooses among broadcast, db(BF) and zigzag with a coarse cost model
+/// using the context's configured bandwidths.
+Advice AdviseAlgorithm(const EngineContext& ctx, const QueryEstimates& est);
+
+/// Estimates selectivities/sizes by sampling: the first stored batch of the
+/// DB table on worker 0 and the first block of the HDFS table.
+Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
+                                     const HybridQuery& query);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_ADVISOR_H_

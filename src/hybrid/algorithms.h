@@ -1,0 +1,81 @@
+// The join drivers — one entry point per algorithm of §3, plus a prepared
+// query shared by all of them. These are the functions HybridWarehouse
+// dispatches to.
+
+#ifndef HYBRIDJOIN_HYBRID_ALGORITHMS_H_
+#define HYBRIDJOIN_HYBRID_ALGORITHMS_H_
+
+#include "bloom/bloom_filter.h"
+#include "hybrid/context.h"
+#include "hybrid/query.h"
+#include "hybrid/report.h"
+#include "jen/coordinator.h"
+
+namespace hybridjoin {
+
+/// A validated query with every name resolved against real schemas, so the
+/// multi-threaded drivers cannot hit user errors mid-flight.
+struct PreparedQuery {
+  HybridQuery query;
+  DbTableMeta db_meta;
+  ScanPlan scan_plan;        ///< HDFS block assignments for all JEN workers
+  SchemaPtr db_proj_schema;  ///< schema of T' (db projection)
+  size_t db_key_idx = 0;     ///< join key position in db_proj_schema
+  SchemaPtr hdfs_out_schema; ///< schema of L' (hdfs projection)
+  size_t hdfs_key_idx = 0;   ///< join key position in hdfs_out_schema
+  BloomParams bloom_params;
+};
+
+/// Validates and resolves a query against the context's catalogs.
+Result<PreparedQuery> PrepareQuery(EngineContext* ctx,
+                                   const HybridQuery& query);
+
+/// §3.1 — fetch filtered HDFS data into the database and join there,
+/// optionally pruning with a DB Bloom filter first.
+Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
+                                  const PreparedQuery& prepared,
+                                  bool use_bloom);
+
+/// §3.2 — broadcast T' to every JEN worker, join and aggregate on HDFS.
+Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
+                                     const PreparedQuery& prepared);
+
+/// How the zigzag join's *second* (HDFS -> DB) pruning step is realized.
+enum class SecondFilterKind {
+  /// The paper's choice: a global Bloom filter BF_H (~5% false positives,
+  /// fixed size, one broadcast).
+  kBloom = 0,
+  /// The classic exact semijoin of the related work (§6): every DB worker
+  /// ships its T' join keys to the responsible JEN workers, which answer
+  /// with exact membership bitmaps. No false positives, but the keys
+  /// themselves cross the interconnect (bytes proportional to |T'|).
+  kExactSemijoin = 1,
+};
+
+/// Driver-level knobs (ablations; the defaults are the paper's choices).
+struct JoinDriverOptions {
+  /// §4.4: the paper builds the join hash table on the *shuffled HDFS
+  /// data*, because it is fully received right after the scan while the
+  /// database records cannot arrive before BF_H is complete. Setting this
+  /// buffers L' instead and builds on the (usually smaller) database data
+  /// — the "obvious" choice the paper argues against.
+  bool build_on_db_data = false;
+  /// Second-filter realization for the zigzag join. kExactSemijoin
+  /// requires the default build side (build_on_db_data == false).
+  SecondFilterKind second_filter = SecondFilterKind::kBloom;
+};
+
+/// §3.3 / §3.4 — repartition-based HDFS-side joins. `use_db_bloom` sends
+/// BF_DB to prune the HDFS scan; `zigzag` additionally sends BF_H back to
+/// prune the database data (the full zigzag join).
+Result<QueryResult> RunRepartitionFamilyJoin(
+    EngineContext* ctx, const PreparedQuery& prepared, bool use_db_bloom,
+    bool zigzag, const JoinDriverOptions& options = {});
+
+/// Dispatch by algorithm enum (prepares internally).
+Result<QueryResult> RunJoin(EngineContext* ctx, const HybridQuery& query,
+                            JoinAlgorithm algorithm);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_ALGORITHMS_H_

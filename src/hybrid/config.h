@@ -1,0 +1,45 @@
+// SimulationConfig: every knob of the two-cluster substrate in one options
+// struct. The defaults disable all throttling (unit tests run at memory
+// speed); benches install bandwidths scaled from the paper's testbed
+// (§5: 30 HDFS DataNodes with 4 data disks and 1 GbE each, 30 DB2 workers
+// on faster 10 GbE servers, a 20 Gbit inter-cluster switch).
+
+#ifndef HYBRIDJOIN_HYBRID_CONFIG_H_
+#define HYBRIDJOIN_HYBRID_CONFIG_H_
+
+#include "edw/db_cluster.h"
+#include "hdfs/datanode.h"
+#include "jen/coordinator.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+
+struct BloomConfig {
+  /// Paper uses 8 bits per distinct key and 2 hash functions (~5% FPR).
+  double bits_per_key = 8.0;
+  uint32_t num_hashes = 2;
+  /// Expected distinct join keys (paper: 16M). Workload loaders overwrite
+  /// this with the generated key-domain size.
+  uint64_t expected_keys = 1 << 16;
+};
+
+struct SimulationConfig {
+  DbConfig db;
+  uint32_t jen_workers = 4;  ///< == number of HDFS DataNodes
+  DataNodeConfig datanode;
+  uint32_t hdfs_replication = 2;
+  NetworkConfig net;
+  JenConfig jen;
+  BloomConfig bloom;
+
+  /// A scaled-down version of the paper's testbed with real throttling,
+  /// used by the benches. `scale` multiplies every bandwidth (1.0 keeps the
+  /// defaults below).
+  static SimulationConfig PaperTestbed(uint32_t db_workers,
+                                       uint32_t jen_workers,
+                                       double scale = 1.0);
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_CONFIG_H_

@@ -1,0 +1,47 @@
+#include "hybrid/context.h"
+
+namespace hybridjoin {
+
+namespace {
+
+std::vector<std::unique_ptr<DataNode>> MakeDataNodes(
+    const SimulationConfig& config) {
+  std::vector<std::unique_ptr<DataNode>> nodes;
+  nodes.reserve(config.jen_workers);
+  for (uint32_t i = 0; i < config.jen_workers; ++i) {
+    nodes.push_back(std::make_unique<DataNode>(i, config.datanode));
+  }
+  return nodes;
+}
+
+std::vector<DataNode*> Pointers(
+    const std::vector<std::unique_ptr<DataNode>>& nodes) {
+  std::vector<DataNode*> out;
+  out.reserve(nodes.size());
+  for (const auto& n : nodes) out.push_back(n.get());
+  return out;
+}
+
+}  // namespace
+
+EngineContext::EngineContext(const SimulationConfig& config)
+    : config_(config),
+      network_(config.net, config.db.num_workers, config.jen_workers,
+               &metrics_),
+      datanodes_(MakeDataNodes(config)),
+      datanode_ptrs_(Pointers(datanodes_)),
+      namenode_(datanode_ptrs_, config.hdfs_replication),
+      db_(config.db),
+      coordinator_(&hcatalog_, &namenode_, config.jen_workers, config.jen) {
+  jen_workers_.reserve(config.jen_workers);
+  for (uint32_t i = 0; i < config.jen_workers; ++i) {
+    jen_workers_.push_back(std::make_unique<JenWorker>(
+        i, datanode_ptrs_, &network_, &metrics_, config.jen));
+  }
+}
+
+void EngineContext::DropHdfsCaches() {
+  for (auto& node : datanodes_) node->DropCache();
+}
+
+}  // namespace hybridjoin

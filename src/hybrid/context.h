@@ -1,0 +1,68 @@
+// EngineContext: the assembled hybrid warehouse — both clusters, the
+// interconnect, metadata services and metrics. Join drivers operate on a
+// context; HybridWarehouse (the public facade) owns one.
+
+#ifndef HYBRIDJOIN_HYBRID_CONTEXT_H_
+#define HYBRIDJOIN_HYBRID_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "edw/db_cluster.h"
+#include "hdfs/hcatalog.h"
+#include "hdfs/namenode.h"
+#include "hybrid/config.h"
+#include "jen/coordinator.h"
+#include "jen/worker.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+
+/// Owns every component. One query runs at a time (drivers snapshot the
+/// shared metrics around the run).
+class EngineContext {
+ public:
+  explicit EngineContext(const SimulationConfig& config);
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  const SimulationConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  Network& network() { return network_; }
+  NameNode& namenode() { return namenode_; }
+  HCatalog& hcatalog() { return hcatalog_; }
+  DbCluster& db() { return db_; }
+  JenCoordinator& coordinator() { return coordinator_; }
+  JenWorker* jen_worker(uint32_t i) { return jen_workers_[i].get(); }
+  DataNode* datanode(uint32_t i) { return datanodes_[i].get(); }
+
+  uint32_t num_db_workers() const { return config_.db.num_workers; }
+  uint32_t num_jen_workers() const { return config_.jen_workers; }
+
+  /// Bloom parameters per the configured sizing policy.
+  BloomParams bloom_params() const {
+    return BloomParams::ForKeys(config_.bloom.expected_keys,
+                                config_.bloom.bits_per_key,
+                                config_.bloom.num_hashes);
+  }
+
+  /// Drops every DataNode's page cache (for cold-run benchmarking).
+  void DropHdfsCaches();
+
+ private:
+  SimulationConfig config_;
+  Metrics metrics_;
+  Network network_;
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::vector<DataNode*> datanode_ptrs_;
+  NameNode namenode_;
+  HCatalog hcatalog_;
+  DbCluster db_;
+  JenCoordinator coordinator_;
+  std::vector<std::unique_ptr<JenWorker>> jen_workers_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_CONTEXT_H_

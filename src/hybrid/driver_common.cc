@@ -1,0 +1,175 @@
+#include "hybrid/driver_common.h"
+
+#include "jen/worker.h"
+
+namespace hybridjoin {
+namespace driver {
+
+Tags Tags::Allocate(Network* network) {
+  const uint64_t base = network->AllocateTagBlock(16);
+  Tags t;
+  t.bloom_local = base + 0;
+  t.bloom_global = base + 1;
+  t.bloom_to_jen = base + 2;
+  t.shuffle = base + 3;
+  t.db_data = base + 4;
+  t.bloom_h_local = base + 5;
+  t.bloom_h_global = base + 6;
+  t.agg = base + 7;
+  t.result = base + 8;
+  t.l_data = base + 9;
+  t.control = base + 10;
+  t.counts = base + 11;
+  t.strategy = base + 12;
+  t.db_shuffle_t = base + 13;
+  t.db_shuffle_l = base + 14;
+  return t;
+}
+
+ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm)
+    : ctx_(ctx), algorithm_(algorithm) {
+  counters_before_ = ctx_->metrics().Snapshot();
+  for (int i = 0; i < 4; ++i) {
+    net_before_[i] =
+        ctx_->network().BytesMoved(static_cast<FlowClass>(i));
+  }
+}
+
+void ReportBuilder::Mark(const std::string& name) {
+  const double t = stopwatch_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, unused] : marks_) {
+    if (existing == name) return;  // first caller wins
+  }
+  marks_.emplace_back(name, t);
+}
+
+ExecutionReport ReportBuilder::Finish() {
+  ExecutionReport report;
+  report.algorithm = algorithm_;
+  report.wall_seconds = stopwatch_.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.phases = marks_;
+  }
+  for (const auto& [name, value] : ctx_->metrics().Snapshot()) {
+    auto it = counters_before_.find(name);
+    const int64_t before = it == counters_before_.end() ? 0 : it->second;
+    if (value - before != 0) report.counters[name] = value - before;
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto fc = static_cast<FlowClass>(i);
+    const int64_t delta = ctx_->network().BytesMoved(fc) - net_before_[i];
+    if (delta != 0) report.network_bytes[FlowClassName(fc)] = delta;
+  }
+  return report;
+}
+
+Result<BloomFilter> CombineBloomAtDbWorker0(EngineContext* ctx,
+                                            uint32_t worker,
+                                            const BloomFilter& local,
+                                            const Tags& tags) {
+  Network& net = ctx->network();
+  const NodeId self = NodeId::Db(worker);
+  SendBloom(&net, self, NodeId::Db(0), tags.bloom_local, local,
+            &ctx->metrics());
+  if (worker == 0) {
+    BloomFilter global(local.params());
+    for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
+      HJ_ASSIGN_OR_RETURN(BloomFilter received,
+                          RecvBloom(&net, self, tags.bloom_local));
+      HJ_RETURN_IF_ERROR(global.UnionWith(received));
+    }
+    for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
+      SendBloom(&net, self, NodeId::Db(i), tags.bloom_global, global,
+                &ctx->metrics());
+    }
+  }
+  return RecvBloom(&net, self, tags.bloom_global);
+}
+
+Status JenAggregateAndReturn(EngineContext* ctx, uint32_t jen_worker,
+                             HashAggregator* partial, const Tags& tags) {
+  Network& net = ctx->network();
+  const NodeId self = NodeId::Hdfs(jen_worker);
+  const uint32_t designated = ctx->coordinator().designated_worker();
+  const SchemaPtr partial_schema = partial->spec().ResultSchema();
+
+  net.SendControl(self, NodeId::Hdfs(designated), tags.agg,
+                  partial->Partial().Serialize());
+  if (jen_worker != designated) return Status::OK();
+
+  HashAggregator final_agg(partial->spec());
+  for (uint32_t i = 0; i < ctx->num_jen_workers(); ++i) {
+    Message msg = net.Recv(self, tags.agg);
+    if (msg.eos || msg.payload == nullptr) {
+      return Status::Internal("expected partial aggregate, got EOS");
+    }
+    HJ_ASSIGN_OR_RETURN(
+        RecordBatch batch,
+        RecordBatch::Deserialize(*msg.payload, partial_schema));
+    HJ_RETURN_IF_ERROR(final_agg.Merge(batch));
+  }
+  net.SendControl(self, NodeId::Db(0), tags.result,
+                  final_agg.Finish().Serialize());
+  return Status::OK();
+}
+
+Result<RecordBatch> DbReceiveResult(EngineContext* ctx, const AggSpec& agg,
+                                    const Tags& tags) {
+  Message msg = ctx->network().Recv(NodeId::Db(0), tags.result);
+  if (msg.eos || msg.payload == nullptr) {
+    return Status::Internal("expected final result, got EOS");
+  }
+  return RecordBatch::Deserialize(*msg.payload, agg.ResultSchema());
+}
+
+std::vector<uint32_t> OwnerOfJenWorkers(EngineContext* ctx) {
+  const auto groups =
+      ctx->coordinator().GroupWorkersForDb(ctx->num_db_workers());
+  std::vector<uint32_t> owner(ctx->num_jen_workers(), 0);
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    for (uint32_t w : groups[g]) owner[w] = g;
+  }
+  return owner;
+}
+
+std::vector<NodeId> AllJenNodes(EngineContext* ctx) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(ctx->num_jen_workers());
+  for (uint32_t i = 0; i < ctx->num_jen_workers(); ++i) {
+    nodes.push_back(NodeId::Hdfs(i));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> AllDbNodes(EngineContext* ctx) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(ctx->num_db_workers());
+  for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
+    nodes.push_back(NodeId::Db(i));
+  }
+  return nodes;
+}
+
+std::vector<uint32_t> AllRows(size_t n) {
+  std::vector<uint32_t> sel(n);
+  for (uint32_t i = 0; i < n; ++i) sel[i] = i;
+  return sel;
+}
+
+Result<std::vector<RecordBatch>> FilterBatchesByBloom(
+    const std::vector<RecordBatch>& batches, const std::string& column,
+    const BloomFilter& bloom) {
+  std::vector<RecordBatch> out;
+  out.reserve(batches.size());
+  for (const RecordBatch& batch : batches) {
+    std::vector<uint32_t> sel = AllRows(batch.num_rows());
+    HJ_RETURN_IF_ERROR(FilterByBloom(batch, column, bloom, &sel));
+    if (!sel.empty()) out.push_back(batch.Gather(sel));
+  }
+  return out;
+}
+
+}  // namespace driver
+}  // namespace hybridjoin

@@ -1,0 +1,124 @@
+// Shared plumbing for the join drivers: per-query channel tags, cross-thread
+// status collection, the Bloom combine patterns of §3 (local filters OR-ed
+// into a global one at a designated node), and the report builder.
+
+#ifndef HYBRIDJOIN_HYBRID_DRIVER_COMMON_H_
+#define HYBRIDJOIN_HYBRID_DRIVER_COMMON_H_
+
+#include <functional>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "exec/aggregator.h"
+#include "hybrid/context.h"
+#include "hybrid/query.h"
+#include "hybrid/report.h"
+#include "jen/exchange.h"
+
+namespace hybridjoin {
+namespace driver {
+
+/// Channel tags for one query execution, carved out of the network's tag
+/// space so concurrent executions can never collide.
+struct Tags {
+  uint64_t bloom_local;    ///< DB worker -> DB worker 0 (local BF_DB)
+  uint64_t bloom_global;   ///< DB worker 0 -> DB workers (global BF_DB)
+  uint64_t bloom_to_jen;   ///< DB worker -> its JEN group (global BF_DB)
+  uint64_t shuffle;        ///< JEN <-> JEN (L' repartition)
+  uint64_t db_data;        ///< DB -> JEN (T' / T'')
+  uint64_t bloom_h_local;  ///< JEN worker -> designated (local BF_H)
+  uint64_t bloom_h_global; ///< designated JEN -> DB workers (global BF_H)
+  uint64_t agg;            ///< partial aggregates -> designated node
+  uint64_t result;         ///< final rows -> DB worker 0
+  uint64_t l_data;         ///< JEN -> DB (L'' for the DB-side join)
+  uint64_t control;        ///< DB -> JEN scan requests
+  uint64_t counts;         ///< DB stats -> DB worker 0 (optimizer input)
+  uint64_t strategy;       ///< DB worker 0 -> DB workers (plan decision)
+  uint64_t db_shuffle_t;   ///< intra-DB exchange of T'
+  uint64_t db_shuffle_l;   ///< intra-DB exchange of L''
+
+  static Tags Allocate(Network* network);
+};
+
+/// First-error-wins status aggregation across worker threads.
+class StatusCollector {
+ public:
+  void Record(const Status& status) {
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = status;
+  }
+  Status First() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+/// Builds the ExecutionReport: snapshots metrics and per-class network
+/// bytes at construction, takes deltas at Finish. Mark() records named
+/// timestamps from any thread (first caller wins per name).
+class ReportBuilder {
+ public:
+  ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm);
+
+  /// Thread-safe named timestamp (seconds since start).
+  void Mark(const std::string& name);
+
+  ExecutionReport Finish();
+
+ private:
+  EngineContext* ctx_;
+  JoinAlgorithm algorithm_;
+  Stopwatch stopwatch_;
+  std::map<std::string, int64_t> counters_before_;
+  int64_t net_before_[4];
+  std::mutex mu_;
+  std::vector<std::pair<std::string, double>> marks_;
+};
+
+/// The DB side's get_filter/combine_filter pattern: every DB worker calls
+/// this with its local filter; worker 0 receives all of them, ORs them and
+/// redistributes the global filter; every caller returns with the global
+/// filter. (Paper §3.1 / §4.1.1.)
+Result<BloomFilter> CombineBloomAtDbWorker0(EngineContext* ctx,
+                                            uint32_t worker,
+                                            const BloomFilter& local,
+                                            const Tags& tags);
+
+/// Serializes this worker's partial aggregate to the designated JEN worker;
+/// the designated worker merges all partials, sends the final rows to DB
+/// worker 0, and every JEN caller returns. (Steps "partial aggregation /
+/// final aggregation / send result" of Figures 2-4.)
+Status JenAggregateAndReturn(EngineContext* ctx, uint32_t jen_worker,
+                             HashAggregator* partial, const Tags& tags);
+
+/// DB worker 0 blocks for the final rows sent by the designated JEN worker.
+Result<RecordBatch> DbReceiveResult(EngineContext* ctx, const AggSpec& agg,
+                                    const Tags& tags);
+
+/// Owner DB worker of each JEN worker under the coordinator's grouping.
+std::vector<uint32_t> OwnerOfJenWorkers(EngineContext* ctx);
+
+/// All JEN node ids.
+std::vector<NodeId> AllJenNodes(EngineContext* ctx);
+/// All DB node ids.
+std::vector<NodeId> AllDbNodes(EngineContext* ctx);
+
+/// The identity selection [0, n).
+std::vector<uint32_t> AllRows(size_t n);
+
+/// Filters a materialized batch list by a Bloom filter on `column`,
+/// returning the surviving rows (used for T'' = BF_H(T') in the zigzag
+/// join).
+Result<std::vector<RecordBatch>> FilterBatchesByBloom(
+    const std::vector<RecordBatch>& batches, const std::string& column,
+    const BloomFilter& bloom);
+
+}  // namespace driver
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_DRIVER_COMMON_H_

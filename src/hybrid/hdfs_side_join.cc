@@ -1,0 +1,576 @@
+// HDFS-side join drivers: the broadcast join (§3.2, Figure 2), the
+// repartition join with and without Bloom filter (§3.3, Figure 3), and the
+// zigzag join (§3.4, Figure 4). Every DB worker and every JEN worker runs
+// on its own thread; data moves through the simulated interconnect.
+
+#include <thread>
+
+#include "exec/grace_join.h"
+#include "exec/join_prober.h"
+#include "exec/partitioned_appender.h"
+#include "hybrid/algorithms.h"
+#include "hybrid/driver_common.h"
+#include "jen/exchange.h"
+#include "jen/worker.h"
+
+namespace hybridjoin {
+
+using driver::AllDbNodes;
+using driver::AllJenNodes;
+using driver::AllRows;
+using driver::ReportBuilder;
+using driver::StatusCollector;
+using driver::Tags;
+
+namespace {
+
+/// Builds the ScanTask for one JEN worker from the prepared query.
+ScanTask MakeScanTask(const PreparedQuery& prepared, uint32_t worker,
+                      const BloomFilter* bloom) {
+  ScanTask task;
+  task.meta = prepared.scan_plan.meta;
+  task.blocks = prepared.scan_plan.per_worker[worker];
+  task.predicate = prepared.query.hdfs.predicate;
+  task.projection = prepared.query.hdfs.projection;
+  task.bloom = bloom;
+  task.bloom_column = prepared.query.hdfs.join_key;
+  return task;
+}
+
+/// Appends the join-key column values of a batch to a Bloom filter.
+void AddKeysToBloom(const RecordBatch& batch, size_t key_idx,
+                    BloomFilter* bloom) {
+  const ColumnVector& key = batch.column(key_idx);
+  if (key.physical_type() == PhysicalType::kInt32) {
+    for (int32_t k : key.i32()) bloom->Add(k);
+  } else {
+    for (int64_t k : key.i64()) bloom->Add(k);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Broadcast join (§3.2)
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
+                                     const PreparedQuery& prepared) {
+  const HybridQuery& query = prepared.query;
+  const uint32_t m = ctx->num_db_workers();
+  const uint32_t n = ctx->num_jen_workers();
+  Network& net = ctx->network();
+  const Tags tags = Tags::Allocate(&net);
+  const std::vector<NodeId> jen_nodes = AllJenNodes(ctx);
+
+  ReportBuilder report(ctx, JoinAlgorithm::kBroadcast);
+  StatusCollector errors;
+  RecordBatch result_rows;
+
+  std::vector<std::thread> threads;
+  threads.reserve(m + n);
+
+  // --- DB workers: filter/project T', broadcast it to every JEN node. ---
+  for (uint32_t i = 0; i < m; ++i) {
+    threads.emplace_back([&, i] {
+      BatchSender sender(&net, NodeId::Db(i), tags.db_data,
+                         ctx->config().jen.send_threads, &ctx->metrics(),
+                         metric::kDbTuplesSent);
+      auto scanned = ctx->db().worker(i)->ScanFilterProject(
+          query.db.table, query.db.predicate, query.db.projection,
+          &ctx->metrics());
+      if (scanned.ok()) {
+        for (const RecordBatch& batch : *scanned) {
+          auto payload = std::make_shared<const std::vector<uint8_t>>(
+              batch.Serialize());
+          sender.SendSerialized(jen_nodes, payload,
+                                static_cast<int64_t>(batch.num_rows()));
+        }
+      } else {
+        errors.Record(scanned.status());
+      }
+      sender.Finish(jen_nodes);  // EOS obligation even on error
+      if (i == 0) {
+        report.Mark("db_broadcast_done");
+        auto rows = driver::DbReceiveResult(ctx, query.agg, tags);
+        if (rows.ok()) {
+          result_rows = std::move(rows).value();
+        } else {
+          errors.Record(rows.status());
+        }
+      }
+    });
+  }
+
+  // --- JEN workers: hash T', scan L probing in the pipeline, aggregate. ---
+  for (uint32_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      JoinHashTable table(prepared.db_key_idx);
+      errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w), tags.db_data,
+                                         m, prepared.db_proj_schema,
+                                         &table));
+      table.Finalize();
+      if (w == ctx->coordinator().designated_worker()) {
+        report.Mark("jen_hash_built");
+      }
+
+      HashAggregator agg(query.agg);
+      // Build side is the (small) database table; probe with L during the
+      // scan so network wait, scan and join overlap.
+      JoinProber prober(&table, prepared.db_proj_schema, query.db.alias,
+                        prepared.hdfs_out_schema, query.hdfs.alias,
+                        prepared.hdfs_key_idx, query.post_join_predicate,
+                        &agg, &ctx->metrics());
+      const ScanTask task = MakeScanTask(prepared, w, nullptr);
+      Status st = ctx->jen_worker(w)->ScanBlocks(
+          task,
+          [&](RecordBatch&& batch) { return prober.ProbeBatch(batch); });
+      if (st.ok()) st = prober.Flush();
+      errors.Record(st);
+      if (w == ctx->coordinator().designated_worker()) {
+        report.Mark("jen_scan_probe_done");
+      }
+      errors.Record(driver::JenAggregateAndReturn(ctx, w, &agg, tags));
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  HJ_RETURN_IF_ERROR(errors.First());
+
+  QueryResult result;
+  result.rows = std::move(result_rows);
+  result.report = report.Finish();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Repartition join (§3.3) and zigzag join (§3.4)
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
+                                             const PreparedQuery& prepared,
+                                             bool use_db_bloom, bool zigzag,
+                                             const JoinDriverOptions& options) {
+  if (zigzag && !use_db_bloom) {
+    return Status::InvalidArgument("zigzag join requires the DB Bloom filter");
+  }
+  const bool semijoin =
+      zigzag && options.second_filter == SecondFilterKind::kExactSemijoin;
+  if (semijoin && options.build_on_db_data) {
+    return Status::InvalidArgument(
+        "exact semijoin needs the hash table on the HDFS side");
+  }
+  if (semijoin && ctx->config().jen.join_memory_budget_bytes > 0) {
+    return Status::InvalidArgument(
+        "exact semijoin is not supported with a join-memory budget");
+  }
+  const HybridQuery& query = prepared.query;
+  const uint32_t m = ctx->num_db_workers();
+  const uint32_t n = ctx->num_jen_workers();
+  Network& net = ctx->network();
+  const Tags tags = Tags::Allocate(&net);
+  const std::vector<NodeId> jen_nodes = AllJenNodes(ctx);
+  const auto groups = ctx->coordinator().GroupWorkersForDb(m);
+  const uint32_t designated = ctx->coordinator().designated_worker();
+  const JoinAlgorithm algorithm =
+      zigzag ? JoinAlgorithm::kZigzag
+             : (use_db_bloom ? JoinAlgorithm::kRepartitionBloom
+                             : JoinAlgorithm::kRepartition);
+
+  ReportBuilder report(ctx, algorithm);
+  StatusCollector errors;
+  RecordBatch result_rows;
+
+  auto agreed_hash = [n](int64_t key) { return AgreedPartition(key, n); };
+
+  std::vector<std::thread> threads;
+  threads.reserve(m + n);
+
+  // --- DB workers (Figures 3/4, left column). ---
+  for (uint32_t i = 0; i < m; ++i) {
+    threads.emplace_back([&, i] {
+      const NodeId self = NodeId::Db(i);
+      Status st;
+
+      // Step 1-2: local Bloom filters, combined and multicast to JEN.
+      if (use_db_bloom) {
+        bool used_index = false;
+        auto local = ctx->db().worker(i)->BuildLocalBloom(
+            query.db.table, query.db.predicate, query.db.join_key,
+            prepared.bloom_params, &used_index);
+        BloomFilter local_bf = local.ok() ? std::move(local).value()
+                                          : BloomFilter(prepared.bloom_params);
+        if (!local.ok()) st = local.status();
+        auto global = driver::CombineBloomAtDbWorker0(ctx, i, local_bf, tags);
+        if (!global.ok() && st.ok()) st = global.status();
+        // Multicast BF_DB to this worker's JEN group (Figure 5).
+        const BloomFilter& to_send =
+            global.ok() ? global.value() : local_bf;
+        for (uint32_t w : groups[i]) {
+          SendBloom(&net, self, NodeId::Hdfs(w), tags.bloom_to_jen, to_send,
+                    &ctx->metrics());
+        }
+        if (i == 0) report.Mark("bf_db_sent");
+      }
+
+      // Apply local predicates & projection; materialize T'.
+      std::vector<RecordBatch> t_prime;
+      {
+        auto scanned = ctx->db().worker(i)->ScanFilterProject(
+            query.db.table, query.db.predicate, query.db.projection,
+            &ctx->metrics());
+        if (scanned.ok()) {
+          t_prime = std::move(scanned).value();
+        } else if (st.ok()) {
+          st = scanned.status();
+        }
+      }
+
+      // Zigzag step 5: wait for BF_H and prune T' down to T''.
+      if (zigzag && !semijoin) {
+        auto bf_h = RecvBloom(&net, self, tags.bloom_h_global);
+        if (bf_h.ok()) {
+          auto pruned = driver::FilterBatchesByBloom(
+              t_prime, query.db.join_key, bf_h.value());
+          if (pruned.ok()) {
+            t_prime = std::move(pruned).value();
+          } else if (st.ok()) {
+            st = pruned.status();
+          }
+          if (i == 0) report.Mark("bf_h_applied");
+        } else if (st.ok()) {
+          st = bf_h.status();
+        }
+      }
+
+      // Ship T' (or T'') to the JEN workers with the agreed hash function.
+      BatchSender sender(&net, self, tags.db_data,
+                         ctx->config().jen.send_threads, &ctx->metrics(),
+                         metric::kDbTuplesSent);
+      if (semijoin) {
+        // Exact-semijoin variant of the second filter: ship the T' join
+        // keys (partitioned by the agreed hash) to the responsible JEN
+        // workers, receive exact membership bitmaps, and send only the
+        // surviving rows. The key/bitmap exchange is a protocol
+        // obligation, so it runs even after an earlier error (with empty
+        // key lists) to keep every JEN worker unblocked.
+        if (!st.ok()) t_prime.clear();
+        std::vector<RecordBatch> parts;
+        parts.reserve(n);
+        for (uint32_t p = 0; p < n; ++p) {
+          parts.emplace_back(prepared.db_proj_schema);
+        }
+        for (const RecordBatch& batch : t_prime) {
+          const ColumnVector& key = batch.column(prepared.db_key_idx);
+          const bool is32 = key.physical_type() == PhysicalType::kInt32;
+          for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+            const int64_t k = is32 ? key.i32()[r] : key.i64()[r];
+            parts[agreed_hash(k)].AppendRowFrom(batch, r);
+          }
+        }
+        for (uint32_t p = 0; p < n; ++p) {
+          const ColumnVector& key = parts[p].column(prepared.db_key_idx);
+          const bool is32 = key.physical_type() == PhysicalType::kInt32;
+          BinaryWriter keys;
+          keys.PutVarint(parts[p].num_rows());
+          for (uint32_t r = 0; r < parts[p].num_rows(); ++r) {
+            keys.PutI64(is32 ? key.i32()[r] : key.i64()[r]);
+          }
+          ctx->metrics().Add("semijoin.key_bytes_sent",
+                             static_cast<int64_t>(keys.size()));
+          net.Send(self, NodeId::Hdfs(p), tags.bloom_h_local,
+                   keys.Release());
+        }
+        // Collect one bitmap per JEN worker (any arrival order).
+        std::vector<std::vector<uint8_t>> bitmaps(n);
+        for (uint32_t b = 0; b < n; ++b) {
+          Message msg = net.Recv(self, tags.bloom_h_global);
+          if (msg.eos || msg.payload == nullptr) {
+            if (st.ok()) st = Status::Internal("expected semijoin bitmap");
+            continue;
+          }
+          bitmaps[msg.from.index] = *msg.payload;
+        }
+        for (uint32_t p = 0; p < n && st.ok(); ++p) {
+          std::vector<uint32_t> keep;
+          for (uint32_t r = 0; r < parts[p].num_rows(); ++r) {
+            if (r / 8 < bitmaps[p].size() &&
+                (bitmaps[p][r / 8] >> (r % 8)) & 1) {
+              keep.push_back(r);
+            }
+          }
+          if (!keep.empty()) {
+            sender.Send(NodeId::Hdfs(p), parts[p].Gather(keep));
+          }
+        }
+        if (i == 0) report.Mark("semijoin_applied");
+      } else if (st.ok()) {
+        PartitionedAppender appender(
+            prepared.db_proj_schema, n, prepared.db_key_idx, agreed_hash,
+            ctx->config().jen.shuffle_batch_rows,
+            [&](uint32_t p, RecordBatch&& batch) {
+              sender.Send(NodeId::Hdfs(p), batch);
+              return Status::OK();
+            });
+        for (const RecordBatch& batch : t_prime) {
+          Status append = appender.Append(batch, AllRows(batch.num_rows()));
+          if (!append.ok()) {
+            st = append;
+            break;
+          }
+        }
+        Status flush = appender.FlushAll();
+        if (st.ok()) st = flush;
+      }
+      sender.Finish(jen_nodes);  // EOS obligation
+      errors.Record(st);
+
+      if (i == 0) {
+        auto rows = driver::DbReceiveResult(ctx, query.agg, tags);
+        if (rows.ok()) {
+          result_rows = std::move(rows).value();
+        } else {
+          errors.Record(rows.status());
+        }
+      }
+    });
+  }
+
+  // --- JEN workers (Figures 3/4, right column; pipeline of Figure 7). ---
+  for (uint32_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      const NodeId self = NodeId::Hdfs(w);
+      Status st;
+
+      // Blocking wait for BF_DB before the scan starts (paper §4.4).
+      BloomFilter bf_db_storage;
+      const BloomFilter* bf_db = nullptr;
+      if (use_db_bloom) {
+        auto received = RecvBloom(&net, self, tags.bloom_to_jen);
+        if (received.ok()) {
+          bf_db_storage = std::move(received).value();
+          bf_db = &bf_db_storage;
+        } else {
+          st = received.status();
+        }
+      }
+
+      // Receive threads drain the shuffled L' as it arrives (Figure 7,
+      // right side) — into the join hash table by default (the paper's
+      // choice: the shuffle completes with the scan, long before any
+      // database record can arrive), into a memory-bounded Grace join
+      // when a budget is configured (§4.4 future work), or into a plain
+      // buffer for the build-on-DB-data ablation.
+      const JenConfig& jen_config = ctx->config().jen;
+      const bool use_grace =
+          !options.build_on_db_data &&
+          jen_config.join_memory_budget_bytes > 0;
+      HashAggregator agg(query.agg);
+      SpillArea spill(jen_config.spill_write_bps, jen_config.spill_read_bps,
+                      &ctx->metrics());
+      GraceJoinOptions grace_options;
+      grace_options.memory_budget_bytes =
+          jen_config.join_memory_budget_bytes;
+      grace_options.num_partitions = jen_config.grace_partitions;
+      GraceHashJoin grace(prepared.hdfs_out_schema, query.hdfs.alias,
+                          prepared.hdfs_key_idx, prepared.db_proj_schema,
+                          query.db.alias, prepared.db_key_idx,
+                          query.post_join_predicate, &agg, &ctx->metrics(),
+                          &spill, grace_options);
+      JoinHashTable l_table(prepared.hdfs_key_idx);
+      std::vector<RecordBatch> l_buffer;
+      Status receive_status;
+      std::thread receiver([&] {
+        if (use_grace) {
+          StreamReceiver shuffle_stream(&net, self, tags.shuffle, n);
+          while (auto msg = shuffle_stream.Next()) {
+            auto batch = RecordBatch::Deserialize(*msg->payload,
+                                                  prepared.hdfs_out_schema);
+            if (!batch.ok()) {
+              receive_status = batch.status();
+              continue;
+            }
+            Status a = grace.AddBuild(std::move(batch).value());
+            if (!a.ok() && receive_status.ok()) receive_status = a;
+          }
+        } else if (options.build_on_db_data) {
+          auto received = ReceiveAllBatches(&net, self, tags.shuffle, n,
+                                            prepared.hdfs_out_schema);
+          if (received.ok()) {
+            l_buffer = std::move(received).value();
+          } else {
+            receive_status = received.status();
+          }
+        } else {
+          receive_status =
+              ReceiveIntoHashTable(&net, self, tags.shuffle, n,
+                                   prepared.hdfs_out_schema, &l_table);
+        }
+      });
+
+      // Scan + filter + BF_DB + projection, shuffling L' with the agreed
+      // hash while building the local HDFS Bloom filter (zigzag).
+      BloomFilter bf_h_local(prepared.bloom_params);
+      BatchSender shuffle_sender(&net, self, tags.shuffle,
+                                 ctx->config().jen.send_threads,
+                                 &ctx->metrics(),
+                                 metric::kHdfsTuplesShuffled);
+      PartitionedAppender appender(
+          prepared.hdfs_out_schema, n, prepared.hdfs_key_idx, agreed_hash,
+          ctx->config().jen.shuffle_batch_rows,
+          [&](uint32_t p, RecordBatch&& batch) {
+            shuffle_sender.Send(NodeId::Hdfs(p), batch);
+            return Status::OK();
+          });
+      if (st.ok()) {
+        const ScanTask task = MakeScanTask(prepared, w, bf_db);
+        st = ctx->jen_worker(w)->ScanBlocks(
+            task, [&](RecordBatch&& batch) {
+              if (zigzag && !semijoin) {
+                AddKeysToBloom(batch, prepared.hdfs_key_idx, &bf_h_local);
+              }
+              return appender.Append(batch, AllRows(batch.num_rows()));
+            });
+        if (st.ok()) st = appender.FlushAll();
+      }
+      shuffle_sender.Finish(jen_nodes);  // EOS obligation
+      if (w == designated) report.Mark("jen_scan_done");
+
+      // Zigzag steps 3b/4: combine BF_H at the designated worker and send
+      // it to every DB worker.
+      if (zigzag && !semijoin) {
+        SendBloom(&net, self, NodeId::Hdfs(designated), tags.bloom_h_local,
+                  bf_h_local, &ctx->metrics());
+        if (w == designated) {
+          BloomFilter bf_h(prepared.bloom_params);
+          for (uint32_t j = 0; j < n; ++j) {
+            auto local = RecvBloom(&net, self, tags.bloom_h_local);
+            if (local.ok()) {
+              Status u = bf_h.UnionWith(local.value());
+              if (!u.ok() && st.ok()) st = u;
+            } else if (st.ok()) {
+              st = local.status();
+            }
+          }
+          for (uint32_t j = 0; j < m; ++j) {
+            SendBloom(&net, self, NodeId::Db(j), tags.bloom_h_global, bf_h,
+                      &ctx->metrics());
+          }
+          report.Mark("bf_h_sent");
+        }
+      }
+
+      // Drain the shuffle.
+      receiver.join();
+      if (st.ok()) st = receive_status;
+      if (use_grace) {
+        // Grace/hybrid hash join: resident partitions were built during
+        // the shuffle; spilled ones are joined pairwise at the end.
+        if (st.ok()) st = grace.FinishBuild();
+        if (w == designated) report.Mark("jen_hash_built");
+        StreamReceiver db_stream(&net, self, tags.db_data, m);
+        while (auto msg = db_stream.Next()) {
+          if (!st.ok()) continue;  // keep draining to honor the protocol
+          auto batch = RecordBatch::Deserialize(*msg->payload,
+                                                prepared.db_proj_schema);
+          if (batch.ok()) {
+            Status p = grace.AddProbe(batch.value());
+            if (!p.ok()) st = p;
+          } else {
+            st = batch.status();
+          }
+        }
+        if (st.ok()) st = grace.Finish();
+      } else if (!options.build_on_db_data) {
+        // Paper's plan: hash table over L', probe with arriving database
+        // records (buffered by the network while we were building).
+        l_table.Finalize();
+        if (w == designated) report.Mark("jen_hash_built");
+        if (semijoin) {
+          // Answer each DB worker's key list with an exact membership
+          // bitmap over this worker's shuffled L' keys. Replying to all m
+          // lists is a protocol obligation, even after an earlier error
+          // (an all-zero bitmap then suffices to unblock the sender).
+          for (uint32_t j = 0; j < m; ++j) {
+            Message msg = net.Recv(self, tags.bloom_h_local);
+            if (msg.eos || msg.payload == nullptr) {
+              if (st.ok()) {
+                st = Status::Internal("expected semijoin key list");
+              }
+              continue;
+            }
+            BinaryReader r(*msg.payload);
+            std::vector<uint8_t> bitmap;
+            auto count = r.GetVarint();
+            if (count.ok()) {
+              bitmap.assign((*count + 7) / 8, 0);
+              for (uint64_t k = 0; k < *count; ++k) {
+                auto key = r.GetI64();
+                if (!key.ok()) {
+                  if (st.ok()) st = key.status();
+                  break;
+                }
+                if (st.ok() && l_table.Contains(*key)) {
+                  bitmap[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
+                }
+              }
+            } else if (st.ok()) {
+              st = count.status();
+            }
+            net.Send(self, msg.from, tags.bloom_h_global,
+                     std::move(bitmap));
+          }
+        }
+        JoinProber prober(&l_table, prepared.hdfs_out_schema,
+                          query.hdfs.alias, prepared.db_proj_schema,
+                          query.db.alias, prepared.db_key_idx,
+                          query.post_join_predicate, &agg, &ctx->metrics());
+        StreamReceiver db_stream(&net, self, tags.db_data, m);
+        while (auto msg = db_stream.Next()) {
+          if (!st.ok()) continue;  // keep draining to honor the protocol
+          auto batch = RecordBatch::Deserialize(*msg->payload,
+                                                prepared.db_proj_schema);
+          if (batch.ok()) {
+            Status p = prober.ProbeBatch(batch.value());
+            if (!p.ok()) st = p;
+          } else {
+            st = batch.status();
+          }
+        }
+        if (st.ok()) st = prober.Flush();
+      } else {
+        // Ablation: build on the database records (which only start to
+        // arrive after BF_H — all of L' sits buffered meanwhile).
+        JoinHashTable db_table(prepared.db_key_idx);
+        Status build_status = ReceiveIntoHashTable(
+            &net, self, tags.db_data, m, prepared.db_proj_schema, &db_table);
+        if (st.ok()) st = build_status;
+        db_table.Finalize();
+        if (w == designated) report.Mark("jen_hash_built");
+        JoinProber prober(&db_table, prepared.db_proj_schema, query.db.alias,
+                          prepared.hdfs_out_schema, query.hdfs.alias,
+                          prepared.hdfs_key_idx, query.post_join_predicate,
+                          &agg, &ctx->metrics());
+        for (const RecordBatch& batch : l_buffer) {
+          if (!st.ok()) break;
+          Status p = prober.ProbeBatch(batch);
+          if (!p.ok()) st = p;
+        }
+        if (st.ok()) st = prober.Flush();
+      }
+      errors.Record(st);
+      if (w == designated) report.Mark("jen_probe_done");
+      errors.Record(driver::JenAggregateAndReturn(ctx, w, &agg, tags));
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  HJ_RETURN_IF_ERROR(errors.First());
+
+  QueryResult result;
+  result.rows = std::move(result_rows);
+  result.report = report.Finish();
+  return result;
+}
+
+}  // namespace hybridjoin

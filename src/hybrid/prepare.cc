@@ -1,0 +1,126 @@
+#include "hybrid/algorithms.h"
+
+#include "exec/join_prober.h"
+
+namespace hybridjoin {
+
+namespace {
+
+Result<std::pair<SchemaPtr, size_t>> ResolveProjection(
+    const SchemaPtr& schema, const std::vector<std::string>& projection,
+    const std::string& join_key, const std::string& side) {
+  std::vector<size_t> indexes;
+  for (const std::string& name : projection) {
+    auto idx = schema->IndexOf(name);
+    if (!idx.ok()) {
+      return Status::InvalidArgument(side + " projection column '" + name +
+                                     "' not in table schema " +
+                                     schema->ToString());
+    }
+    indexes.push_back(idx.value());
+  }
+  SchemaPtr projected = schema->Project(indexes);
+  HJ_ASSIGN_OR_RETURN(size_t key_idx, projected->IndexOf(join_key));
+  const DataType key_type = projected->field(key_idx).type;
+  if (PhysicalTypeOf(key_type) != PhysicalType::kInt32 &&
+      PhysicalTypeOf(key_type) != PhysicalType::kInt64) {
+    return Status::InvalidArgument(side + " join key must be integer-typed");
+  }
+  return std::make_pair(projected, key_idx);
+}
+
+Status ValidatePredicateColumns(const PredicatePtr& predicate,
+                                const SchemaPtr& schema,
+                                const std::string& side) {
+  if (predicate == nullptr) return Status::OK();
+  std::vector<std::string> columns;
+  predicate->CollectColumns(&columns);
+  for (const std::string& name : columns) {
+    if (!schema->HasColumn(name)) {
+      return Status::InvalidArgument(side + " predicate references '" + name +
+                                     "' which is not in the table schema");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PreparedQuery> PrepareQuery(EngineContext* ctx,
+                                   const HybridQuery& query) {
+  HJ_RETURN_IF_ERROR(query.Validate());
+  PreparedQuery prepared;
+  prepared.query = query;
+
+  HJ_ASSIGN_OR_RETURN(prepared.db_meta,
+                      ctx->db().LookupTable(query.db.table));
+  HJ_ASSIGN_OR_RETURN(prepared.scan_plan,
+                      ctx->coordinator().PlanScan(query.hdfs.table));
+
+  HJ_RETURN_IF_ERROR(ValidatePredicateColumns(
+      query.db.predicate, prepared.db_meta.schema, "db"));
+  HJ_RETURN_IF_ERROR(ValidatePredicateColumns(
+      query.hdfs.predicate, prepared.scan_plan.meta.schema, "hdfs"));
+
+  HJ_ASSIGN_OR_RETURN(
+      auto db_resolved,
+      ResolveProjection(prepared.db_meta.schema, query.db.projection,
+                        query.db.join_key, "db"));
+  prepared.db_proj_schema = db_resolved.first;
+  prepared.db_key_idx = db_resolved.second;
+
+  HJ_ASSIGN_OR_RETURN(
+      auto hdfs_resolved,
+      ResolveProjection(prepared.scan_plan.meta.schema, query.hdfs.projection,
+                        query.hdfs.join_key, "hdfs"));
+  prepared.hdfs_out_schema = hdfs_resolved.first;
+  prepared.hdfs_key_idx = hdfs_resolved.second;
+
+  // Check post-join and aggregate references against the joined schema.
+  const SchemaPtr joined =
+      MakeJoinedSchema(prepared.hdfs_out_schema, query.hdfs.alias,
+                       prepared.db_proj_schema, query.db.alias);
+  std::vector<std::string> referenced;
+  if (query.post_join_predicate != nullptr) {
+    query.post_join_predicate->CollectColumns(&referenced);
+  }
+  referenced.push_back(query.agg.group_column);
+  for (const auto& item : query.agg.items) {
+    if (item.op != AggOp::kCountStar) referenced.push_back(item.column);
+  }
+  for (const std::string& name : referenced) {
+    if (!joined->HasColumn(name)) {
+      return Status::InvalidArgument("post-join reference '" + name +
+                                     "' not found in joined schema " +
+                                     joined->ToString());
+    }
+  }
+
+  prepared.bloom_params = ctx->bloom_params();
+  return prepared;
+}
+
+Result<QueryResult> RunJoin(EngineContext* ctx, const HybridQuery& query,
+                            JoinAlgorithm algorithm) {
+  HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
+  switch (algorithm) {
+    case JoinAlgorithm::kDbSide:
+      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/false);
+    case JoinAlgorithm::kDbSideBloom:
+      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/true);
+    case JoinAlgorithm::kBroadcast:
+      return RunBroadcastJoin(ctx, prepared);
+    case JoinAlgorithm::kRepartition:
+      return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/false,
+                                      /*zigzag=*/false);
+    case JoinAlgorithm::kRepartitionBloom:
+      return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
+                                      /*zigzag=*/false);
+    case JoinAlgorithm::kZigzag:
+      return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
+                                      /*zigzag=*/true);
+  }
+  return Status::InvalidArgument("unknown join algorithm");
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,59 @@
+#include "hybrid/query.h"
+
+#include <algorithm>
+
+namespace hybridjoin {
+
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+Status HybridQuery::Validate() const {
+  if (db.table.empty() || hdfs.table.empty()) {
+    return Status::InvalidArgument("both table names must be set");
+  }
+  if (db.alias.empty() || hdfs.alias.empty() || db.alias == hdfs.alias) {
+    return Status::InvalidArgument("aliases must be non-empty and distinct");
+  }
+  if (db.join_key.empty() || hdfs.join_key.empty()) {
+    return Status::InvalidArgument("join keys must be set on both sides");
+  }
+  if (!Contains(db.projection, db.join_key)) {
+    return Status::InvalidArgument(
+        "db projection must include the join key '" + db.join_key + "'");
+  }
+  if (!Contains(hdfs.projection, hdfs.join_key)) {
+    return Status::InvalidArgument(
+        "hdfs projection must include the join key '" + hdfs.join_key + "'");
+  }
+  if (agg.items.empty()) {
+    return Status::InvalidArgument("query must aggregate (paper workload)");
+  }
+  // Every aliased column referenced after the join must come from a
+  // projected column of the right side.
+  std::vector<std::string> joined;
+  for (const auto& c : hdfs.projection) joined.push_back(hdfs.alias + "." + c);
+  for (const auto& c : db.projection) joined.push_back(db.alias + "." + c);
+  std::vector<std::string> referenced;
+  if (post_join_predicate != nullptr) {
+    post_join_predicate->CollectColumns(&referenced);
+  }
+  referenced.push_back(agg.group_column);
+  for (const auto& item : agg.items) {
+    if (item.op != AggOp::kCountStar) referenced.push_back(item.column);
+  }
+  for (const auto& name : referenced) {
+    if (!Contains(joined, name)) {
+      return Status::InvalidArgument(
+          "post-join reference '" + name +
+          "' is not a projected column of either side");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridjoin

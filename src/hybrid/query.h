@@ -1,0 +1,42 @@
+// HybridQuery: the class of queries the paper studies (§2) — an equi-join
+// between a database table and an HDFS table, with local predicates and
+// projections on both sides, a post-join predicate, and a grouped
+// aggregation whose small result returns to the database.
+
+#ifndef HYBRIDJOIN_HYBRID_QUERY_H_
+#define HYBRIDJOIN_HYBRID_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/aggregator.h"
+#include "expr/predicate.h"
+
+namespace hybridjoin {
+
+/// One side of the join.
+struct TableSide {
+  std::string table;                    ///< catalog name
+  std::string alias;                    ///< name prefix in the joined schema
+  PredicatePtr predicate;               ///< local predicates (nullable)
+  std::vector<std::string> projection;  ///< columns carried into the join
+  std::string join_key;                 ///< equi-join column (int-typed)
+};
+
+/// The full query. The post-join predicate and the aggregation reference
+/// joined columns as "<alias>.<column>".
+struct HybridQuery {
+  TableSide db;    ///< the warehouse table (paper's T)
+  TableSide hdfs;  ///< the HDFS table (paper's L)
+  PredicatePtr post_join_predicate;  ///< nullable
+  AggSpec agg;
+
+  /// Structural validation (projections contain the join key, aliases are
+  /// distinct, aggregation references resolvable names, ...). Drivers call
+  /// this before running.
+  Status Validate() const;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_QUERY_H_

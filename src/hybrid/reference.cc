@@ -1,0 +1,86 @@
+#include "hybrid/reference.h"
+
+#include "exec/join_prober.h"
+
+namespace hybridjoin {
+
+namespace {
+
+Result<std::vector<RecordBatch>> FilterProject(
+    const std::vector<RecordBatch>& batches, const PredicatePtr& predicate,
+    const std::vector<std::string>& projection) {
+  std::vector<RecordBatch> out;
+  for (const RecordBatch& batch : batches) {
+    std::vector<uint32_t> sel(batch.num_rows());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    if (predicate != nullptr) {
+      HJ_RETURN_IF_ERROR(predicate->Filter(batch, &sel));
+    }
+    if (sel.empty()) continue;
+    std::vector<size_t> indexes;
+    for (const std::string& name : projection) {
+      HJ_ASSIGN_OR_RETURN(size_t idx, batch.schema()->IndexOf(name));
+      indexes.push_back(idx);
+    }
+    out.push_back(batch.Project(indexes).Gather(sel));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RecordBatch> RunReferenceJoin(
+    const std::vector<RecordBatch>& db_batches,
+    const std::vector<RecordBatch>& hdfs_batches, const HybridQuery& query) {
+  HJ_RETURN_IF_ERROR(query.Validate());
+  HJ_ASSIGN_OR_RETURN(
+      std::vector<RecordBatch> t_prime,
+      FilterProject(db_batches, query.db.predicate, query.db.projection));
+  HJ_ASSIGN_OR_RETURN(std::vector<RecordBatch> l_prime,
+                      FilterProject(hdfs_batches, query.hdfs.predicate,
+                                    query.hdfs.projection));
+
+  // Schemas of the filtered sides.
+  SchemaPtr db_schema;
+  SchemaPtr hdfs_schema;
+  {
+    // Derive projected schemas even when a side filtered down to nothing.
+    if (db_batches.empty() || hdfs_batches.empty()) {
+      return Status::InvalidArgument("reference join needs input batches");
+    }
+    std::vector<size_t> idx;
+    for (const auto& name : query.db.projection) {
+      HJ_ASSIGN_OR_RETURN(size_t i, db_batches[0].schema()->IndexOf(name));
+      idx.push_back(i);
+    }
+    db_schema = db_batches[0].schema()->Project(idx);
+    idx.clear();
+    for (const auto& name : query.hdfs.projection) {
+      HJ_ASSIGN_OR_RETURN(size_t i, hdfs_batches[0].schema()->IndexOf(name));
+      idx.push_back(i);
+    }
+    hdfs_schema = hdfs_batches[0].schema()->Project(idx);
+  }
+  HJ_ASSIGN_OR_RETURN(size_t db_key, db_schema->IndexOf(query.db.join_key));
+  HJ_ASSIGN_OR_RETURN(size_t hdfs_key,
+                      hdfs_schema->IndexOf(query.hdfs.join_key));
+
+  // Build on the HDFS side (as the HDFS-side drivers do), probe with T'.
+  JoinHashTable table(hdfs_key);
+  for (RecordBatch& batch : l_prime) {
+    HJ_RETURN_IF_ERROR(table.AddBatch(std::move(batch)));
+  }
+  table.Finalize();
+
+  HashAggregator agg(query.agg);
+  JoinProber prober(&table, hdfs_schema, query.hdfs.alias, db_schema,
+                    query.db.alias, db_key, query.post_join_predicate, &agg,
+                    /*metrics=*/nullptr);
+  for (const RecordBatch& batch : t_prime) {
+    HJ_RETURN_IF_ERROR(prober.ProbeBatch(batch));
+  }
+  HJ_RETURN_IF_ERROR(prober.Flush());
+  return agg.Finish();
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,59 @@
+// JoinAlgorithm / ExecutionReport / QueryResult: what a join run returns —
+// the aggregated rows plus everything the paper's evaluation section
+// measures (wall time, tuples shuffled and sent, bytes per network class,
+// per-phase timings).
+
+#ifndef HYBRIDJOIN_HYBRID_REPORT_H_
+#define HYBRIDJOIN_HYBRID_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+/// The five algorithms of §3 (Bloom variants split out, as in the figures).
+enum class JoinAlgorithm {
+  kDbSide = 0,           ///< §3.1 without Bloom filter ("db")
+  kDbSideBloom = 1,      ///< §3.1 with Bloom filter   ("db(BF)")
+  kBroadcast = 2,        ///< §3.2                      ("broadcast")
+  kRepartition = 3,      ///< §3.3 without Bloom filter ("repartition")
+  kRepartitionBloom = 4, ///< §3.3 with Bloom filter    ("repartition(BF)")
+  kZigzag = 5,           ///< §3.4                      ("zigzag")
+};
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+/// True for the algorithms whose final join runs on the HDFS side.
+bool IsHdfsSide(JoinAlgorithm algorithm);
+
+/// Everything measured during one execution.
+struct ExecutionReport {
+  JoinAlgorithm algorithm = JoinAlgorithm::kDbSide;
+  double wall_seconds = 0.0;
+  /// Ordered coarse phases with durations (driver-level).
+  std::vector<std::pair<std::string, double>> phases;
+  /// Engine counters (metric::k* names), as deltas over this execution.
+  std::map<std::string, int64_t> counters;
+  /// Bytes moved per network flow class, as deltas over this execution.
+  std::map<std::string, int64_t> network_bytes;
+
+  int64_t Counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  std::string ToString() const;
+};
+
+/// Final rows ([group, aggregates...], sorted by group) plus the report.
+struct QueryResult {
+  RecordBatch rows;
+  ExecutionReport report;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_HYBRID_REPORT_H_

@@ -1,0 +1,96 @@
+#include "jen/coordinator.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace hybridjoin {
+
+double ScanPlan::LocalityFraction() const {
+  size_t total = 0;
+  size_t local = 0;
+  for (const auto& worker_blocks : per_worker) {
+    for (const auto& a : worker_blocks) {
+      ++total;
+      if (a.local) ++local;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(local) /
+                                static_cast<double>(total);
+}
+
+Result<ScanPlan> JenCoordinator::PlanScan(const std::string& table) const {
+  ScanPlan plan;
+  HJ_ASSIGN_OR_RETURN(plan.meta, hcatalog_->Lookup(table));
+  HJ_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
+                      namenode_->GetBlocks(plan.meta.path));
+  plan.per_worker.resize(num_workers_);
+
+  const size_t ceiling =
+      (blocks.size() + num_workers_ - 1) / num_workers_;
+  std::vector<size_t> load(num_workers_, 0);
+
+  if (config_.locality_aware) {
+    // Pass 1: place each block on its least-loaded replica holder, as long
+    // as that holder stays within the balanced ceiling.
+    std::vector<const BlockInfo*> overflow;
+    for (const BlockInfo& b : blocks) {
+      const ReplicaLocation* best = nullptr;
+      for (const ReplicaLocation& r : b.replicas) {
+        if (r.node >= num_workers_) continue;  // no worker on that node
+        if (load[r.node] >= ceiling) continue;
+        if (best == nullptr || load[r.node] < load[best->node]) best = &r;
+      }
+      if (best != nullptr) {
+        plan.per_worker[best->node].push_back({b, *best, /*local=*/true});
+        ++load[best->node];
+      } else {
+        overflow.push_back(&b);
+      }
+    }
+    // Pass 2: remaining blocks go to the least-loaded workers as remote
+    // reads from their first replica.
+    for (const BlockInfo* b : overflow) {
+      const uint32_t w = static_cast<uint32_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      const ReplicaLocation replica = b->replicas.front();
+      plan.per_worker[w].push_back(
+          {*b, replica, /*local=*/replica.node == w});
+      ++load[w];
+    }
+  } else {
+    // Placement-blind assignment: spread blocks by a hash of the block id
+    // (what a scheduler that ignores replica locations effectively does;
+    // plain round-robin would accidentally align with the NameNode's
+    // round-robin primary placement).
+    for (const BlockInfo& b : blocks) {
+      const uint32_t w = static_cast<uint32_t>(
+          HashInt64(b.block_id, /*seed=*/0xb10c) % num_workers_);
+      bool local = false;
+      ReplicaLocation replica = b.replicas.front();
+      for (const ReplicaLocation& r : b.replicas) {
+        if (r.node == w) {
+          replica = r;
+          local = true;
+          break;
+        }
+      }
+      plan.per_worker[w].push_back({b, replica, local});
+    }
+  }
+  return plan;
+}
+
+std::vector<std::vector<uint32_t>> JenCoordinator::GroupWorkersForDb(
+    uint32_t num_db_workers) const {
+  std::vector<std::vector<uint32_t>> groups(num_db_workers);
+  // Contiguous, near-even split. When there are more DB workers than JEN
+  // workers, trailing groups stay empty and those DB workers receive no
+  // HDFS data (they still participate in DB-internal phases).
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    groups[w % num_db_workers].push_back(w);
+  }
+  return groups;
+}
+
+}  // namespace hybridjoin

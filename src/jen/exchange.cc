@@ -1,0 +1,161 @@
+#include "jen/exchange.h"
+
+namespace hybridjoin {
+
+BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
+                         uint32_t num_threads, Metrics* metrics,
+                         const char* tuple_counter)
+    : network_(network),
+      self_(self),
+      tag_(tag),
+      metrics_(metrics),
+      tuple_counter_(tuple_counter) {
+  HJ_CHECK_GT(num_threads, 0u);
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto item = queue_.Pop()) {
+        network_->Send(self_, item->dest, tag_, std::move(item->payload));
+      }
+    });
+  }
+}
+
+BatchSender::~BatchSender() {
+  if (!finished_) {
+    queue_.Close();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void BatchSender::Send(NodeId dest, const RecordBatch& batch) {
+  const int64_t rows = static_cast<int64_t>(batch.num_rows());
+  tuples_sent_.fetch_add(rows, std::memory_order_relaxed);
+  if (metrics_ != nullptr && tuple_counter_ != nullptr) {
+    metrics_->Add(tuple_counter_, rows);
+  }
+  auto payload =
+      std::make_shared<const std::vector<uint8_t>>(batch.Serialize());
+  queue_.Push(Item{dest, std::move(payload)});
+}
+
+void BatchSender::SendSerialized(
+    const std::vector<NodeId>& dests,
+    std::shared_ptr<const std::vector<uint8_t>> payload,
+    int64_t tuple_count) {
+  for (NodeId dest : dests) {
+    tuples_sent_.fetch_add(tuple_count, std::memory_order_relaxed);
+    if (metrics_ != nullptr && tuple_counter_ != nullptr) {
+      metrics_->Add(tuple_counter_, tuple_count);
+    }
+    queue_.Push(Item{dest, payload});
+  }
+}
+
+void BatchSender::Finish(const std::vector<NodeId>& dests) {
+  HJ_CHECK(!finished_) << "BatchSender::Finish called twice";
+  finished_ = true;
+  queue_.Close();
+  for (auto& t : threads_) t.join();
+  // Drain anything the closed queue still holds (Close lets Pop continue
+  // to drain, but the threads may have exited on the closed signal first).
+  while (auto item = queue_.TryPop()) {
+    network_->Send(self_, item->dest, tag_, std::move(item->payload));
+  }
+  for (NodeId dest : dests) {
+    network_->SendEos(self_, dest, tag_);
+  }
+}
+
+Result<std::vector<RecordBatch>> ReceiveAllBatches(Network* network,
+                                                   NodeId self, uint64_t tag,
+                                                   uint32_t expected_senders,
+                                                   const SchemaPtr& schema) {
+  std::vector<RecordBatch> out;
+  StreamReceiver receiver(network, self, tag, expected_senders);
+  while (auto msg = receiver.Next()) {
+    HJ_ASSIGN_OR_RETURN(RecordBatch batch,
+                        RecordBatch::Deserialize(*msg->payload, schema));
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+Status ReceiveIntoHashTable(Network* network, NodeId self, uint64_t tag,
+                            uint32_t expected_senders,
+                            const SchemaPtr& schema, JoinHashTable* table) {
+  StreamReceiver receiver(network, self, tag, expected_senders);
+  while (auto msg = receiver.Next()) {
+    HJ_ASSIGN_OR_RETURN(RecordBatch batch,
+                        RecordBatch::Deserialize(*msg->payload, schema));
+    HJ_RETURN_IF_ERROR(table->AddBatch(std::move(batch)));
+  }
+  return Status::OK();
+}
+
+void SendBloom(Network* network, NodeId from, NodeId to, uint64_t tag,
+               const BloomFilter& bloom, Metrics* metrics) {
+  auto payload =
+      std::make_shared<const std::vector<uint8_t>>(bloom.Serialize());
+  if (metrics != nullptr) {
+    metrics->Add(metric::kBloomFiltersSent, 1);
+    metrics->Add(metric::kBloomBytesSent,
+                 static_cast<int64_t>(payload->size()));
+  }
+  network->SendControl(from, to, tag, std::move(payload));
+}
+
+Result<BloomFilter> RecvBloom(Network* network, NodeId self, uint64_t tag) {
+  Message msg = network->Recv(self, tag);
+  if (msg.eos || msg.payload == nullptr) {
+    return Status::Internal("expected Bloom filter, got EOS");
+  }
+  return BloomFilter::Deserialize(*msg.payload);
+}
+
+std::vector<uint8_t> ScanRequest::Serialize() const {
+  BinaryWriter w;
+  if (predicate != nullptr) {
+    w.PutU8(1);
+    predicate->SerializeTo(&w);
+  } else {
+    w.PutU8(0);
+  }
+  w.PutVarint(projection.size());
+  for (const auto& name : projection) w.PutString(name);
+  if (bloom.has_value()) {
+    w.PutU8(1);
+    w.PutString(bloom_column);
+    bloom->SerializeTo(&w);
+  } else {
+    w.PutU8(0);
+  }
+  return w.Release();
+}
+
+Result<ScanRequest> ScanRequest::Deserialize(
+    const std::vector<uint8_t>& buf) {
+  ScanRequest req;
+  BinaryReader r(buf);
+  HJ_ASSIGN_OR_RETURN(uint8_t has_pred, r.GetU8());
+  if (has_pred != 0) {
+    HJ_ASSIGN_OR_RETURN(req.predicate, Predicate::Deserialize(&r));
+  }
+  HJ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > 4096) return Status::IOError("scan request projection too large");
+  req.projection.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HJ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    req.projection.push_back(std::move(name));
+  }
+  HJ_ASSIGN_OR_RETURN(uint8_t has_bloom, r.GetU8());
+  if (has_bloom != 0) {
+    HJ_ASSIGN_OR_RETURN(req.bloom_column, r.GetString());
+    HJ_ASSIGN_OR_RETURN(BloomFilter bloom, BloomFilter::Deserialize(&r));
+    req.bloom = std::move(bloom);
+  }
+  if (!r.AtEnd()) return Status::IOError("scan request trailing bytes");
+  return req;
+}
+
+}  // namespace hybridjoin

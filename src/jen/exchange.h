@@ -1,0 +1,99 @@
+// Exchange helpers shared by the join drivers: a pooled batch sender (the
+// paper's send-buffer + send-thread scheme, Figure 7), stream receivers that
+// collect batches or feed a hash table, and small wire helpers for Bloom
+// filters and the DB->JEN scan-request control message.
+
+#ifndef HYBRIDJOIN_JEN_EXCHANGE_H_
+#define HYBRIDJOIN_JEN_EXCHANGE_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/blocking_queue.h"
+#include "exec/join_hash_table.h"
+#include "expr/predicate.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+
+/// Serializes batches on the caller's thread (the "process thread" filling
+/// send buffers) and ships them from a small pool of send threads, so
+/// network waits overlap with scanning/processing.
+class BatchSender {
+ public:
+  BatchSender(Network* network, NodeId self, uint64_t tag,
+              uint32_t num_threads, Metrics* metrics = nullptr,
+              const char* tuple_counter = nullptr);
+  ~BatchSender();
+
+  BatchSender(const BatchSender&) = delete;
+  BatchSender& operator=(const BatchSender&) = delete;
+
+  /// Serializes and enqueues a batch for `dest`.
+  void Send(NodeId dest, const RecordBatch& batch);
+
+  /// Enqueues an already-serialized payload for several destinations
+  /// (broadcast; the payload is shared, not copied).
+  void SendSerialized(const std::vector<NodeId>& dests,
+                      std::shared_ptr<const std::vector<uint8_t>> payload,
+                      int64_t tuple_count);
+
+  /// Drains the queue, then emits EOS to every node in `dests`. The sender
+  /// is unusable afterwards.
+  void Finish(const std::vector<NodeId>& dests);
+
+  int64_t tuples_sent() const { return tuples_sent_; }
+
+ private:
+  struct Item {
+    NodeId dest;
+    std::shared_ptr<const std::vector<uint8_t>> payload;
+  };
+
+  Network* network_;
+  NodeId self_;
+  uint64_t tag_;
+  Metrics* metrics_;
+  const char* tuple_counter_;
+  BlockingQueue<Item> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> tuples_sent_{0};
+  bool finished_ = false;
+};
+
+/// Receives every batch from `expected_senders` streams on (self, tag).
+Result<std::vector<RecordBatch>> ReceiveAllBatches(Network* network,
+                                                   NodeId self, uint64_t tag,
+                                                   uint32_t expected_senders,
+                                                   const SchemaPtr& schema);
+
+/// Receives batches directly into a hash table (the paper's receive threads
+/// that build the join hash table as shuffled data arrives). Does not
+/// finalize the table.
+Status ReceiveIntoHashTable(Network* network, NodeId self, uint64_t tag,
+                            uint32_t expected_senders,
+                            const SchemaPtr& schema, JoinHashTable* table);
+
+/// Bloom filter transfer (metered under the bloom.* counters).
+void SendBloom(Network* network, NodeId from, NodeId to, uint64_t tag,
+               const BloomFilter& bloom, Metrics* metrics);
+Result<BloomFilter> RecvBloom(Network* network, NodeId self, uint64_t tag);
+
+/// The DB->JEN scan request of the DB-side join (paper Figure 5): local
+/// predicates on the HDFS table, required columns, optional Bloom filter
+/// and its key column.
+struct ScanRequest {
+  PredicatePtr predicate;  // may be null
+  std::vector<std::string> projection;
+  std::optional<BloomFilter> bloom;
+  std::string bloom_column;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<ScanRequest> Deserialize(const std::vector<uint8_t>& buf);
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_JEN_EXCHANGE_H_

@@ -1,0 +1,282 @@
+#include "jen/worker.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "common/blocking_queue.h"
+
+namespace hybridjoin {
+
+namespace {
+
+/// True when chunk stats prove no row can satisfy `cmp`.
+bool StatsRefute(const ConjunctiveIntCmp& cmp, int64_t min_val,
+                 int64_t max_val) {
+  switch (cmp.op) {
+    case CmpOp::kEq:
+      return cmp.literal < min_val || cmp.literal > max_val;
+    case CmpOp::kNe:
+      return min_val == max_val && min_val == cmp.literal;
+    case CmpOp::kLt:
+      return min_val >= cmp.literal;
+    case CmpOp::kLe:
+      return min_val > cmp.literal;
+    case CmpOp::kGt:
+      return max_val <= cmp.literal;
+    case CmpOp::kGe:
+      return max_val < cmp.literal;
+  }
+  return false;
+}
+
+/// Computes the union of output projection, predicate columns, and the
+/// Bloom column — the columns the scan must materialize — as schema indexes
+/// in schema order.
+Result<std::vector<size_t>> MaterializeSet(const ScanTask& task) {
+  std::vector<std::string> needed = task.projection;
+  if (task.predicate != nullptr) {
+    task.predicate->CollectColumns(&needed);
+  }
+  if (task.bloom != nullptr) needed.push_back(task.bloom_column);
+  std::vector<size_t> indexes;
+  for (const std::string& name : needed) {
+    HJ_ASSIGN_OR_RETURN(size_t idx, task.meta.schema->IndexOf(name));
+    indexes.push_back(idx);
+  }
+  std::sort(indexes.begin(), indexes.end());
+  indexes.erase(std::unique(indexes.begin(), indexes.end()), indexes.end());
+  return indexes;
+}
+
+struct ReadItem {
+  std::shared_ptr<const StoredBlock> block;
+};
+
+}  // namespace
+
+Result<SchemaPtr> JenWorker::OutputSchema(const ScanTask& task) {
+  std::vector<size_t> indexes;
+  for (const std::string& name : task.projection) {
+    HJ_ASSIGN_OR_RETURN(size_t idx, task.meta.schema->IndexOf(name));
+    indexes.push_back(idx);
+  }
+  return task.meta.schema->Project(indexes);
+}
+
+Status FilterByBloom(const RecordBatch& batch, const std::string& column,
+                     const BloomFilter& bloom, std::vector<uint32_t>* sel) {
+  HJ_ASSIGN_OR_RETURN(size_t idx, batch.schema()->IndexOf(column));
+  const ColumnVector& cv = batch.column(idx);
+  size_t out = 0;
+  switch (cv.physical_type()) {
+    case PhysicalType::kInt32: {
+      const auto& keys = cv.i32();
+      for (uint32_t r : *sel) {
+        if (bloom.MayContain(keys[r])) (*sel)[out++] = r;
+      }
+      break;
+    }
+    case PhysicalType::kInt64: {
+      const auto& keys = cv.i64();
+      for (uint32_t r : *sel) {
+        if (bloom.MayContain(keys[r])) (*sel)[out++] = r;
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("Bloom column must be integer-typed");
+  }
+  sel->resize(out);
+  return Status::OK();
+}
+
+Status JenWorker::ScanBlocks(
+    const ScanTask& task,
+    const std::function<Status(RecordBatch&&)>& consumer, ScanStats* stats) {
+  ScanStats local_stats;
+  ScanStats* st = stats != nullptr ? stats : &local_stats;
+
+  HJ_ASSIGN_OR_RETURN(std::vector<size_t> materialize, MaterializeSet(task));
+
+  // Conjunctive comparisons for columnar chunk skipping.
+  std::vector<ConjunctiveIntCmp> skip_cmps;
+  if (config_.chunk_skipping && task.predicate != nullptr &&
+      task.meta.format == HdfsFormat::kColumnar) {
+    task.predicate->CollectConjunctiveIntCmps(&skip_cmps);
+  }
+  // Map predicate columns to schema indexes once.
+  std::map<std::string, size_t> col_index;
+  for (size_t i = 0; i < task.meta.schema->num_fields(); ++i) {
+    col_index[task.meta.schema->field(i).name] = i;
+  }
+
+  // Partition assigned blocks into per-read-thread lists: one list per
+  // local disk plus one list for remote blocks.
+  std::map<uint32_t, std::vector<const BlockAssignment*>> by_disk;
+  std::vector<const BlockAssignment*> remote;
+  for (const BlockAssignment& a : task.blocks) {
+    if (a.local) {
+      by_disk[a.replica.disk].push_back(&a);
+    } else {
+      remote.push_back(&a);
+    }
+  }
+
+  BlockingQueue<ReadItem> queue(config_.read_queue_capacity);
+  std::mutex status_mu;
+  Status first_error;
+  auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(status_mu);
+    if (first_error.ok()) first_error = s;
+  };
+  std::atomic<int64_t> bytes_read{0};
+  std::atomic<int64_t> blocks_read{0};
+  std::atomic<int64_t> blocks_skipped{0};
+  std::atomic<int64_t> blocks_remote{0};
+
+  auto read_loop = [&](const std::vector<const BlockAssignment*>& blocks) {
+    for (const BlockAssignment* a : blocks) {
+      DataNode* owner = datanodes_[a->replica.node];
+      auto fetched = owner->Fetch(a->info.block_id);
+      if (!fetched.ok()) {
+        record_error(fetched.status());
+        return;
+      }
+      std::shared_ptr<const StoredBlock> block = std::move(fetched).value();
+
+      // Columnar: chunk skipping + projection pushdown decide the I/O.
+      uint64_t read_bytes = 0;
+      bool skip = false;
+      if (block->format == HdfsFormat::kColumnar) {
+        for (const ConjunctiveIntCmp& cmp : skip_cmps) {
+          auto it = col_index.find(cmp.column);
+          if (it == col_index.end()) continue;
+          const ColumnChunk& chunk = block->columnar->chunks[it->second];
+          if (chunk.has_stats &&
+              StatsRefute(cmp, chunk.min_val, chunk.max_val)) {
+            skip = true;
+            break;
+          }
+        }
+        if (skip) {
+          read_bytes = config_.footer_read_bytes;
+        } else {
+          for (size_t idx : materialize) {
+            read_bytes += block->columnar->chunks[idx].ByteSize();
+          }
+        }
+      } else {
+        read_bytes = block->ByteSize();
+      }
+
+      owner->AccountRead(a->info.block_id, read_bytes);
+      if (!a->local) {
+        network_->Transfer(NodeId::Hdfs(a->replica.node), node(),
+                           read_bytes);
+        blocks_remote.fetch_add(1, std::memory_order_relaxed);
+      }
+      bytes_read.fetch_add(static_cast<int64_t>(read_bytes),
+                           std::memory_order_relaxed);
+      if (skip) {
+        blocks_skipped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      blocks_read.fetch_add(1, std::memory_order_relaxed);
+      if (!queue.Push(ReadItem{std::move(block)})) return;  // aborted
+    }
+  };
+
+  // Launch the read threads (Figure 7: one per disk, plus one draining the
+  // remote blocks).
+  std::vector<std::thread> readers;
+  for (auto& [disk, blocks] : by_disk) {
+    readers.emplace_back(read_loop, std::cref(blocks));
+  }
+  if (!remote.empty()) {
+    readers.emplace_back(read_loop, std::cref(remote));
+  }
+  std::thread closer([&readers, &queue] {
+    for (auto& t : readers) t.join();
+    queue.Close();
+  });
+
+  // Process loop (this thread): parse/decode -> predicate -> Bloom ->
+  // projection -> consumer.
+  Status process_status;
+  // Indexes of projection columns within the materialized subset.
+  SchemaPtr materialized_schema = task.meta.schema->Project(materialize);
+  std::vector<size_t> out_indexes;
+  for (const std::string& name : task.projection) {
+    auto idx = materialized_schema->IndexOf(name);
+    if (!idx.ok()) {
+      process_status = idx.status();
+      break;
+    }
+    out_indexes.push_back(idx.value());
+  }
+
+  while (process_status.ok()) {
+    auto item = queue.Pop();
+    if (!item.has_value()) break;
+    const StoredBlock& block = *item->block;
+    Result<RecordBatch> decoded =
+        block.format == HdfsFormat::kText
+            ? DecodeText(block.text->data(), block.text->size(),
+                         task.meta.schema, materialize)
+            : DecodeColumnarBlock(*block.columnar, task.meta.schema,
+                                  materialize);
+    if (!decoded.ok()) {
+      process_status = decoded.status();
+      break;
+    }
+    RecordBatch batch = std::move(decoded).value();
+    st->rows_scanned += static_cast<int64_t>(batch.num_rows());
+
+    std::vector<uint32_t> sel(batch.num_rows());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    if (task.predicate != nullptr) {
+      process_status = task.predicate->Filter(batch, &sel);
+      if (!process_status.ok()) break;
+    }
+    const size_t after_pred = sel.size();
+    if (task.bloom != nullptr) {
+      process_status =
+          FilterByBloom(batch, task.bloom_column, *task.bloom, &sel);
+      if (!process_status.ok()) break;
+    }
+    st->rows_dropped_by_bloom +=
+        static_cast<int64_t>(after_pred - sel.size());
+    st->rows_after_filter += static_cast<int64_t>(sel.size());
+    if (sel.empty()) continue;
+
+    RecordBatch out = batch.Gather(sel).Project(out_indexes);
+    process_status = consumer(std::move(out));
+  }
+
+  // Tear down readers regardless of processing outcome.
+  queue.Close();
+  closer.join();
+
+  st->blocks_read += blocks_read.load();
+  st->blocks_skipped += blocks_skipped.load();
+  st->bytes_read += bytes_read.load();
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric::kHdfsBytesRead, bytes_read.load());
+    metrics_->Add(metric::kHdfsTuplesScanned, st->rows_scanned);
+    metrics_->Add(metric::kHdfsTuplesAfterFilter, st->rows_after_filter);
+    metrics_->Add(metric::kHdfsBlocksLocal,
+                  blocks_read.load() + blocks_skipped.load() -
+                      blocks_remote.load());
+    metrics_->Add(metric::kHdfsBlocksRemote, blocks_remote.load());
+  }
+
+  HJ_RETURN_IF_ERROR(process_status);
+  {
+    std::lock_guard<std::mutex> lock(status_mu);
+    HJ_RETURN_IF_ERROR(first_error);
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,91 @@
+// JenWorker: one JEN worker process (paper §4.1/§4.4). Implements the
+// multi-threaded scan pipeline of Figure 7: one read thread per disk feeds
+// raw blocks through a bounded queue to the process thread, which parses /
+// decodes, applies local predicates, the database Bloom filter and the
+// projection, and hands filtered batches to a consumer (shuffle sender,
+// probe pipeline, or DB upload) — all overlapped.
+
+#ifndef HYBRIDJOIN_JEN_WORKER_H_
+#define HYBRIDJOIN_JEN_WORKER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/metrics.h"
+#include "expr/predicate.h"
+#include "hdfs/datanode.h"
+#include "jen/coordinator.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+
+/// Everything a worker needs to scan its share of one table.
+struct ScanTask {
+  HdfsTableMeta meta;
+  std::vector<BlockAssignment> blocks;
+  /// Local predicates on the HDFS table (nullable).
+  PredicatePtr predicate;
+  /// Output columns, in output order.
+  std::vector<std::string> projection;
+  /// Optional database Bloom filter applied to `bloom_column` (the paper's
+  /// BF_DB pruning of non-joinable HDFS records).
+  const BloomFilter* bloom = nullptr;
+  std::string bloom_column;
+};
+
+/// Per-scan statistics (also mirrored into Metrics).
+struct ScanStats {
+  int64_t blocks_read = 0;
+  int64_t blocks_skipped = 0;  ///< pruned by columnar min/max stats
+  int64_t bytes_read = 0;
+  int64_t rows_scanned = 0;
+  int64_t rows_after_filter = 0;
+  int64_t rows_dropped_by_bloom = 0;
+};
+
+class JenWorker {
+ public:
+  /// `datanodes` indexes every DataNode in the cluster; the worker's own
+  /// node is `datanodes[index]` (JEN runs one worker per DataNode).
+  JenWorker(uint32_t index, std::vector<DataNode*> datanodes,
+            Network* network, Metrics* metrics, JenConfig config)
+      : index_(index),
+        datanodes_(std::move(datanodes)),
+        network_(network),
+        metrics_(metrics),
+        config_(config) {}
+
+  uint32_t index() const { return index_; }
+  NodeId node() const { return NodeId::Hdfs(index_); }
+  Network* network() const { return network_; }
+  Metrics* metrics() const { return metrics_; }
+  const JenConfig& config() const { return config_; }
+
+  /// The schema of the batches the consumer receives (task projection).
+  static Result<SchemaPtr> OutputSchema(const ScanTask& task);
+
+  /// Runs the Figure-7 scan pipeline on the calling thread (which acts as
+  /// the process thread). `consumer` receives filtered, projected batches
+  /// and may block (e.g. on network throttles) — that is the intended
+  /// backpressure. Returns after all assigned blocks are processed.
+  Status ScanBlocks(const ScanTask& task,
+                    const std::function<Status(RecordBatch&&)>& consumer,
+                    ScanStats* stats = nullptr);
+
+ private:
+  uint32_t index_;
+  std::vector<DataNode*> datanodes_;
+  Network* network_;
+  Metrics* metrics_;
+  JenConfig config_;
+};
+
+/// Narrows `sel` to rows of `batch` whose `column` value may be in `bloom`.
+Status FilterByBloom(const RecordBatch& batch, const std::string& column,
+                     const BloomFilter& bloom, std::vector<uint32_t>* sel);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_JEN_WORKER_H_

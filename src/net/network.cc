@@ -1,0 +1,117 @@
+#include "net/network.h"
+
+namespace hybridjoin {
+
+const char* FlowClassName(FlowClass fc) {
+  switch (fc) {
+    case FlowClass::kLoopback:
+      return "loopback";
+    case FlowClass::kIntraDb:
+      return "intra_db";
+    case FlowClass::kIntraHdfs:
+      return "intra_hdfs";
+    case FlowClass::kCrossCluster:
+      return "cross_cluster";
+  }
+  return "unknown";
+}
+
+FlowClass ClassifyFlow(NodeId from, NodeId to) {
+  if (from == to) return FlowClass::kLoopback;
+  if (from.cluster != to.cluster) return FlowClass::kCrossCluster;
+  return from.cluster == ClusterId::kDb ? FlowClass::kIntraDb
+                                        : FlowClass::kIntraHdfs;
+}
+
+Network::Network(const NetworkConfig& config, uint32_t num_db_nodes,
+                 uint32_t num_hdfs_nodes, Metrics* metrics)
+    : config_(config),
+      num_db_nodes_(num_db_nodes),
+      num_hdfs_nodes_(num_hdfs_nodes),
+      metrics_(metrics),
+      cross_switch_(config.cross_switch_bps) {
+  db_nics_.reserve(num_db_nodes);
+  for (uint32_t i = 0; i < num_db_nodes; ++i) {
+    db_nics_.push_back(std::make_unique<TokenBucket>(config.db_nic_bps));
+  }
+  hdfs_nics_.reserve(num_hdfs_nodes);
+  for (uint32_t i = 0; i < num_hdfs_nodes; ++i) {
+    hdfs_nics_.push_back(std::make_unique<TokenBucket>(config.hdfs_nic_bps));
+  }
+}
+
+Network::Channel* Network::GetChannel(NodeId to, uint64_t tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = channels_[{to, tag}];
+  if (!slot) slot = std::make_unique<Channel>();
+  return slot.get();
+}
+
+TokenBucket* Network::NicBucket(NodeId node) {
+  if (node.cluster == ClusterId::kDb) {
+    HJ_CHECK_LT(node.index, db_nics_.size());
+    return db_nics_[node.index].get();
+  }
+  HJ_CHECK_LT(node.index, hdfs_nics_.size());
+  return hdfs_nics_[node.index].get();
+}
+
+void Network::Throttle(NodeId from, NodeId to, uint64_t bytes) {
+  const FlowClass fc = ClassifyFlow(from, to);
+  bytes_by_class_[static_cast<int>(fc)].fetch_add(
+      static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  if (fc == FlowClass::kLoopback) return;
+  NicBucket(from)->Acquire(bytes);
+  NicBucket(to)->Acquire(bytes);
+  if (fc == FlowClass::kCrossCluster) cross_switch_.Acquire(bytes);
+}
+
+void Network::Send(NodeId from, NodeId to, uint64_t tag,
+                   std::shared_ptr<const std::vector<uint8_t>> payload) {
+  HJ_CHECK(payload != nullptr);
+  Throttle(from, to, payload->size() + config_.per_message_overhead_bytes);
+  GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
+}
+
+void Network::SendControl(
+    NodeId from, NodeId to, uint64_t tag,
+    std::shared_ptr<const std::vector<uint8_t>> payload) {
+  HJ_CHECK(payload != nullptr);
+  const FlowClass fc = ClassifyFlow(from, to);
+  bytes_by_class_[static_cast<int>(fc)].fetch_add(
+      static_cast<int64_t>(payload->size() +
+                           config_.per_message_overhead_bytes),
+      std::memory_order_relaxed);
+  GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
+}
+
+void Network::SendEos(NodeId from, NodeId to, uint64_t tag) {
+  Throttle(from, to, config_.per_message_overhead_bytes);
+  GetChannel(to, tag)->Push(Message{from, nullptr, /*eos=*/true});
+}
+
+Message Network::Recv(NodeId to, uint64_t tag) {
+  auto m = GetChannel(to, tag)->Pop();
+  HJ_CHECK(m.has_value()) << "channel closed while receiving on "
+                          << to.ToString() << " tag " << tag;
+  return std::move(*m);
+}
+
+void Network::Transfer(NodeId from, NodeId to, uint64_t bytes) {
+  Throttle(from, to, bytes);
+  if (metrics_ != nullptr && from.cluster == ClusterId::kHdfs &&
+      to.cluster == ClusterId::kHdfs && !(from == to)) {
+    metrics_->Add(metric::kHdfsBytesReadRemote, static_cast<int64_t>(bytes));
+  }
+}
+
+int64_t Network::BytesMoved(FlowClass fc) const {
+  return bytes_by_class_[static_cast<int>(fc)].load(
+      std::memory_order_relaxed);
+}
+
+uint64_t Network::AllocateTagBlock(uint64_t width) {
+  return next_tag_.fetch_add(width, std::memory_order_relaxed);
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,185 @@
+// The simulated interconnect of the hybrid warehouse: a DB cluster and an
+// HDFS cluster, each node with its own NIC bandwidth, joined by a shared
+// inter-cluster switch (the paper's 20 Gbit link between the DB2 DPF rack
+// and the HDFS rack).
+//
+// Every worker is a real thread; Send() physically moves bytes through
+// in-memory channels and *blocks* on token buckets sized to the configured
+// bandwidths, so measured wall-clock reflects the testbed's asymmetries.
+// All traffic is metered per flow class for the ExecutionReport.
+
+#ifndef HYBRIDJOIN_NET_NETWORK_H_
+#define HYBRIDJOIN_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/token_bucket.h"
+
+namespace hybridjoin {
+
+/// Which cluster a node belongs to.
+enum class ClusterId : uint8_t { kDb = 0, kHdfs = 1 };
+
+/// Globally unique node address.
+struct NodeId {
+  ClusterId cluster = ClusterId::kDb;
+  uint32_t index = 0;
+
+  static NodeId Db(uint32_t i) { return {ClusterId::kDb, i}; }
+  static NodeId Hdfs(uint32_t i) { return {ClusterId::kHdfs, i}; }
+
+  bool operator==(const NodeId& o) const {
+    return cluster == o.cluster && index == o.index;
+  }
+  bool operator<(const NodeId& o) const {
+    if (cluster != o.cluster) return cluster < o.cluster;
+    return index < o.index;
+  }
+  std::string ToString() const {
+    return (cluster == ClusterId::kDb ? "db" : "hdfs") +
+           std::string(":") + std::to_string(index);
+  }
+};
+
+/// Traffic classes, for accounting and for picking which buckets to charge.
+enum class FlowClass : uint8_t {
+  kLoopback = 0,     ///< same node; free
+  kIntraDb = 1,      ///< DB worker <-> DB worker
+  kIntraHdfs = 2,    ///< JEN worker <-> JEN worker (shuffle)
+  kCrossCluster = 3, ///< through the inter-cluster switch
+};
+
+const char* FlowClassName(FlowClass fc);
+
+FlowClass ClassifyFlow(NodeId from, NodeId to);
+
+/// One message on a channel. Payload is shared so broadcasts don't copy.
+struct Message {
+  NodeId from;
+  std::shared_ptr<const std::vector<uint8_t>> payload;
+  bool eos = false;
+};
+
+/// Bandwidths in bytes/sec; 0 disables throttling for that resource.
+struct NetworkConfig {
+  uint64_t db_nic_bps = 0;
+  uint64_t hdfs_nic_bps = 0;
+  uint64_t cross_switch_bps = 0;
+  /// Fixed framing overhead charged per message (headers etc.).
+  uint64_t per_message_overhead_bytes = 64;
+};
+
+/// The interconnect. Channels are identified by (destination, tag); any
+/// number of senders may feed one channel, and exactly one logical receiver
+/// drains it (multiple receiver threads are allowed — the queue is MPMC).
+class Network {
+ public:
+  Network(const NetworkConfig& config, uint32_t num_db_nodes,
+          uint32_t num_hdfs_nodes, Metrics* metrics);
+
+  uint32_t num_db_nodes() const { return num_db_nodes_; }
+  uint32_t num_hdfs_nodes() const { return num_hdfs_nodes_; }
+
+  /// Sends a payload. Blocks while the configured bandwidths admit the
+  /// bytes (sender NIC, receiver NIC, and the cross switch if applicable).
+  void Send(NodeId from, NodeId to, uint64_t tag,
+            std::shared_ptr<const std::vector<uint8_t>> payload);
+
+  void Send(NodeId from, NodeId to, uint64_t tag,
+            std::vector<uint8_t> payload) {
+    Send(from, to, tag,
+         std::make_shared<const std::vector<uint8_t>>(std::move(payload)));
+  }
+
+  /// Control-plane send: bytes are accounted but not throttled. Used for
+  /// Bloom filters, scan requests, plan decisions and final aggregates —
+  /// the paper observes these are "much smaller than the actual data, how
+  /// to transfer them has little impact on the overall performance" (§4.3),
+  /// and unlike the row-ingest path they move over raw sockets, not through
+  /// per-row UDF processing.
+  void SendControl(NodeId from, NodeId to, uint64_t tag,
+                   std::shared_ptr<const std::vector<uint8_t>> payload);
+  void SendControl(NodeId from, NodeId to, uint64_t tag,
+                   std::vector<uint8_t> payload) {
+    SendControl(from, to, tag, std::make_shared<const std::vector<uint8_t>>(
+                                   std::move(payload)));
+  }
+
+  /// Marks end-of-stream from `from` on this channel. Receivers count these.
+  void SendEos(NodeId from, NodeId to, uint64_t tag);
+
+  /// Blocking receive of the next message on (to, tag) — data or EOS.
+  Message Recv(NodeId to, uint64_t tag);
+
+  /// Charges a raw byte transfer without enqueuing a message (used for the
+  /// pull-style remote HDFS block reads).
+  void Transfer(NodeId from, NodeId to, uint64_t bytes);
+
+  /// Total bytes moved in a flow class since construction.
+  int64_t BytesMoved(FlowClass fc) const;
+
+  /// Allocates a fresh tag namespace (monotone); drivers carve per-purpose
+  /// tags out of it so concurrent queries never collide.
+  uint64_t AllocateTagBlock(uint64_t width = 64);
+
+ private:
+  using Channel = BlockingQueue<Message>;
+
+  Channel* GetChannel(NodeId to, uint64_t tag);
+  void Throttle(NodeId from, NodeId to, uint64_t bytes);
+  TokenBucket* NicBucket(NodeId node);
+
+  const NetworkConfig config_;
+  const uint32_t num_db_nodes_;
+  const uint32_t num_hdfs_nodes_;
+  Metrics* metrics_;
+
+  std::vector<std::unique_ptr<TokenBucket>> db_nics_;
+  std::vector<std::unique_ptr<TokenBucket>> hdfs_nics_;
+  TokenBucket cross_switch_;
+
+  std::mutex mu_;
+  std::map<std::pair<NodeId, uint64_t>, std::unique_ptr<Channel>> channels_;
+  std::atomic<uint64_t> next_tag_{1};
+  std::atomic<int64_t> bytes_by_class_[4] = {0, 0, 0, 0};
+};
+
+/// Helper that drains a channel fed by `expected_senders` streams and stops
+/// after seeing that many EOS markers.
+class StreamReceiver {
+ public:
+  StreamReceiver(Network* net, NodeId to, uint64_t tag,
+                 uint32_t expected_senders)
+      : net_(net), to_(to), tag_(tag), remaining_eos_(expected_senders) {}
+
+  /// Next data message, or nullopt once every sender has finished.
+  std::optional<Message> Next() {
+    while (remaining_eos_ > 0) {
+      Message m = net_->Recv(to_, tag_);
+      if (m.eos) {
+        --remaining_eos_;
+        continue;
+      }
+      return m;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Network* net_;
+  NodeId to_;
+  uint64_t tag_;
+  uint32_t remaining_eos_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_NET_NETWORK_H_

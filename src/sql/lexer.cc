@@ -1,0 +1,120 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace hybridjoin {
+namespace sql {
+
+bool Token::Is(const char* word) const {
+  if (kind != TokenKind::kIdent) return false;
+  size_t i = 0;
+  for (; word[i] != '\0' && i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return word[i] == '\0' && i == text.size();
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      int64_t value = 0;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        value = value * 10 + (input[j] - '0');
+        ++j;
+      }
+      token.kind = TokenKind::kNumber;
+      token.number = value;
+      token.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "sql: unterminated string literal at offset " +
+            std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      i = j;
+    } else {
+      token.kind = TokenKind::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = input.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.text = two == "!=" ? "<>" : two;
+          tokens.push_back(std::move(token));
+          i += 2;
+          continue;
+        }
+      }
+      switch (c) {
+        case ',':
+        case '(':
+        case ')':
+        case '.':
+        case '*':
+        case '=':
+        case '<':
+        case '>':
+        case '+':
+        case '-':
+          token.text = std::string(1, c);
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("sql: unexpected character '") + c +
+              "' at offset " + std::to_string(i));
+      }
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace hybridjoin

@@ -1,0 +1,43 @@
+// SQL lexer for the hybrid-warehouse query dialect (see parser.h). Small,
+// hand-rolled, and error-reporting by token position.
+
+#ifndef HYBRIDJOIN_SQL_LEXER_H_
+#define HYBRIDJOIN_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hybridjoin {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdent,    ///< bare identifier (keywords are classified by the parser)
+  kNumber,   ///< integer literal
+  kString,   ///< '...' literal (quotes stripped, '' unescaped)
+  kSymbol,   ///< one of , ( ) . * = <> != < <= > >= + -
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier/symbol text; string contents
+  int64_t number = 0;   ///< value for kNumber
+  size_t position = 0;  ///< byte offset in the input, for error messages
+
+  /// Case-insensitive keyword/identifier comparison.
+  bool Is(const char* word) const;
+  bool IsSymbol(const char* symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+/// Tokenizes a full statement. Errors carry the offending position.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_SQL_LEXER_H_

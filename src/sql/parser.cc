@@ -1,0 +1,585 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "expr/scalar_functions.h"
+#include "sql/lexer.h"
+
+namespace hybridjoin {
+namespace sql {
+
+namespace {
+
+Status ParseError(const Token& at, const std::string& message) {
+  return Status::InvalidArgument("sql: " + message + " (near offset " +
+                                 std::to_string(at.position) + ")");
+}
+
+/// A column bound to one of the two FROM tables.
+struct BoundColumn {
+  int side = -1;  // index into Parser::sides_
+  std::string column;
+};
+
+struct SideInfo {
+  std::string table;
+  std::string alias;
+  TableSideKind kind = TableSideKind::kDb;
+  SchemaPtr schema;
+  std::vector<PredicatePtr> local_predicates;
+  std::set<std::string> referenced;
+  std::string join_key;
+};
+
+struct Aggregate {
+  AggOp op = AggOp::kCountStar;
+  BoundColumn column;  // unused for COUNT(*)
+  std::string result_name;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const TableResolver& resolver)
+      : tokens_(std::move(tokens)), resolver_(resolver) {}
+
+  Result<HybridQuery> Parse();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AcceptSymbol(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* word) {
+    if (Peek().Is(word)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return ParseError(Peek(), std::string("expected '") + symbol + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* word) {
+    if (!AcceptKeyword(word)) {
+      return ParseError(Peek(), std::string("expected ") + word);
+    }
+    return Status::OK();
+  }
+
+  // Grammar pieces.
+  Status ParseSelectList();
+  Status ParseFrom();
+  Status ParseWhere();
+  Status ParseGroupBy();
+
+  /// column | alias.column; validated against the FROM schemas.
+  Result<BoundColumn> ParseColumnRef();
+  /// integer | 'string' | DATE 'yyyy-mm-dd'
+  Result<Value> ParseLiteral();
+  /// A single-side predicate expression (handles OR / NOT / parens).
+  Result<std::pair<PredicatePtr, int>> ParseOrExpr();
+  Result<std::pair<PredicatePtr, int>> ParseUnary();
+  Result<std::pair<PredicatePtr, int>> ParseSimpleComparison();
+  /// One top-level conjunct: local predicate, equi-join, or diff-range.
+  Status ParseConjunct();
+
+  /// group expression: column or extract_group(column); returns canonical
+  /// text for SELECT/GROUP BY matching.
+  Result<std::string> ParseGroupExpr(BoundColumn* column, bool* extract);
+
+  Result<BoundColumn> Resolve(const Token& first);
+
+  std::string Prefixed(const BoundColumn& c) const {
+    return sides_[c.side].alias + "." + c.column;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const TableResolver& resolver_;
+
+  SideInfo sides_[2];
+  int num_sides_ = 0;
+
+  bool have_group_ = false;
+  BoundColumn group_column_;
+  bool group_extract_ = false;
+  std::string group_text_;  // canonical, from SELECT
+  std::vector<Aggregate> aggregates_;
+
+  bool have_join_ = false;
+  std::vector<PredicatePtr> post_join_;  // over prefixed names
+  std::set<int> post_join_sides_;
+};
+
+Result<BoundColumn> Parser::Resolve(const Token& first) {
+  if (first.kind != TokenKind::kIdent) {
+    return ParseError(first, "expected a column reference");
+  }
+  // alias.column?
+  if (Peek().IsSymbol(".")) {
+    ++pos_;  // consume '.'
+    Token col = Take();
+    if (col.kind != TokenKind::kIdent) {
+      return ParseError(col, "expected column name after '.'");
+    }
+    for (int s = 0; s < num_sides_; ++s) {
+      if (first.Is(sides_[s].alias.c_str())) {
+        if (!sides_[s].schema->HasColumn(col.text)) {
+          return ParseError(col, "table " + sides_[s].alias +
+                                     " has no column '" + col.text + "'");
+        }
+        sides_[s].referenced.insert(col.text);
+        return BoundColumn{s, col.text};
+      }
+    }
+    return ParseError(first, "unknown table alias '" + first.text + "'");
+  }
+  // Unqualified: must be unambiguous.
+  int found = -1;
+  for (int s = 0; s < num_sides_; ++s) {
+    if (sides_[s].schema->HasColumn(first.text)) {
+      if (found >= 0) {
+        return ParseError(first,
+                          "ambiguous column '" + first.text + "'");
+      }
+      found = s;
+    }
+  }
+  if (found < 0) {
+    return ParseError(first, "unknown column '" + first.text + "'");
+  }
+  sides_[found].referenced.insert(first.text);
+  return BoundColumn{found, first.text};
+}
+
+Result<BoundColumn> Parser::ParseColumnRef() {
+  Token first = Take();
+  return Resolve(first);
+}
+
+Result<Value> Parser::ParseLiteral() {
+  if (Peek().Is("DATE")) {
+    ++pos_;
+    Token s = Take();
+    if (s.kind != TokenKind::kString || s.text.size() != 10 ||
+        s.text[4] != '-' || s.text[7] != '-') {
+      return ParseError(s, "expected DATE 'yyyy-mm-dd'");
+    }
+    const int y = std::atoi(s.text.substr(0, 4).c_str());
+    const int m = std::atoi(s.text.substr(5, 2).c_str());
+    const int d = std::atoi(s.text.substr(8, 2).c_str());
+    return Value(DaysFromCivil(y, m, d));
+  }
+  bool negative = false;
+  if (Peek().IsSymbol("-")) {
+    ++pos_;
+    negative = true;
+  }
+  Token t = Take();
+  if (t.kind == TokenKind::kNumber) {
+    const int64_t v = negative ? -t.number : t.number;
+    if (v >= INT32_MIN && v <= INT32_MAX) {
+      return Value(static_cast<int32_t>(v));
+    }
+    return Value(v);
+  }
+  if (t.kind == TokenKind::kString && !negative) {
+    return Value(t.text);
+  }
+  return ParseError(t, "expected a literal");
+}
+
+Result<std::pair<PredicatePtr, int>> Parser::ParseSimpleComparison() {
+  HJ_ASSIGN_OR_RETURN(BoundColumn column, ParseColumnRef());
+
+  if (AcceptKeyword("BETWEEN")) {
+    HJ_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+    HJ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    HJ_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+    PredicatePtr p = And({Cmp(column.column, CmpOp::kGe, std::move(lo)),
+                          Cmp(column.column, CmpOp::kLe, std::move(hi))});
+    return std::make_pair(std::move(p), column.side);
+  }
+  if (AcceptKeyword("LIKE")) {
+    Token s = Take();
+    if (s.kind != TokenKind::kString || s.text.empty() ||
+        s.text.back() != '%' ||
+        s.text.find('%') != s.text.size() - 1) {
+      return ParseError(s, "only LIKE 'prefix%' is supported");
+    }
+    PredicatePtr p =
+        StrPrefix(column.column, s.text.substr(0, s.text.size() - 1));
+    return std::make_pair(std::move(p), column.side);
+  }
+
+  Token op = Take();
+  CmpOp cmp;
+  if (op.IsSymbol("=")) {
+    cmp = CmpOp::kEq;
+  } else if (op.IsSymbol("<>")) {
+    cmp = CmpOp::kNe;
+  } else if (op.IsSymbol("<")) {
+    cmp = CmpOp::kLt;
+  } else if (op.IsSymbol("<=")) {
+    cmp = CmpOp::kLe;
+  } else if (op.IsSymbol(">")) {
+    cmp = CmpOp::kGt;
+  } else if (op.IsSymbol(">=")) {
+    cmp = CmpOp::kGe;
+  } else {
+    return ParseError(op, "expected a comparison operator");
+  }
+  HJ_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+  PredicatePtr p = Cmp(column.column, cmp, std::move(literal));
+  return std::make_pair(std::move(p), column.side);
+}
+
+Result<std::pair<PredicatePtr, int>> Parser::ParseUnary() {
+  if (AcceptKeyword("NOT")) {
+    HJ_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+    return std::make_pair(Not(std::move(inner.first)), inner.second);
+  }
+  if (AcceptSymbol("(")) {
+    HJ_ASSIGN_OR_RETURN(auto inner, ParseOrExpr());
+    HJ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  return ParseSimpleComparison();
+}
+
+Result<std::pair<PredicatePtr, int>> Parser::ParseOrExpr() {
+  HJ_ASSIGN_OR_RETURN(auto first, ParseUnary());
+  if (!Peek().Is("OR")) return first;
+  std::vector<PredicatePtr> branches;
+  branches.push_back(std::move(first.first));
+  const int side = first.second;
+  while (AcceptKeyword("OR")) {
+    HJ_ASSIGN_OR_RETURN(auto next, ParseUnary());
+    if (next.second != side) {
+      return ParseError(Peek(),
+                        "OR must not mix columns of both tables");
+    }
+    branches.push_back(std::move(next.first));
+  }
+  return std::make_pair(Or(std::move(branches)), side);
+}
+
+Status Parser::ParseConjunct() {
+  // Lookahead for the two cross-side forms, which are only legal as
+  // top-level conjuncts: `a.x = b.y` and `a.x - b.y BETWEEN lo AND hi`.
+  const size_t start = pos_;
+  if (Peek().kind == TokenKind::kIdent && !Peek().Is("NOT")) {
+    Token first = Take();
+    auto lhs = Resolve(first);
+    if (lhs.ok()) {
+      if (AcceptSymbol("=") && Peek().kind == TokenKind::kIdent) {
+        const size_t rhs_start = pos_;
+        Token second = Take();
+        auto rhs = Resolve(second);
+        if (rhs.ok() && rhs->side != lhs->side) {
+          if (have_join_) {
+            return ParseError(first, "only one equi-join is supported");
+          }
+          have_join_ = true;
+          sides_[lhs->side].join_key = lhs->column;
+          sides_[rhs->side].join_key = rhs->column;
+          return Status::OK();
+        }
+        pos_ = rhs_start;  // same-side col = col is unsupported; rewind
+        return ParseError(second,
+                          "right side of '=' must be the other table's "
+                          "column or a literal");
+      }
+      if (AcceptSymbol("-")) {
+        HJ_ASSIGN_OR_RETURN(BoundColumn rhs, ParseColumnRef());
+        if (rhs.side == lhs->side) {
+          return ParseError(first,
+                            "date arithmetic must span both tables");
+        }
+        HJ_RETURN_IF_ERROR(ExpectKeyword("BETWEEN"));
+        HJ_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+        HJ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        HJ_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+        if (!lo.is_int32() && !lo.is_int64()) {
+          return ParseError(first, "BETWEEN bounds must be integers");
+        }
+        post_join_.push_back(DiffRange(Prefixed(*lhs), Prefixed(rhs),
+                                       lo.AsInt64Lenient(),
+                                       hi.AsInt64Lenient()));
+        post_join_sides_.insert(lhs->side);
+        post_join_sides_.insert(rhs.side);
+        return Status::OK();
+      }
+    }
+    pos_ = start;  // fall through to the general predicate parser
+  }
+  HJ_ASSIGN_OR_RETURN(auto predicate, ParseOrExpr());
+  sides_[predicate.second].local_predicates.push_back(
+      std::move(predicate.first));
+  return Status::OK();
+}
+
+Result<std::string> Parser::ParseGroupExpr(BoundColumn* column,
+                                           bool* extract) {
+  if (Peek().Is("extract_group")) {
+    ++pos_;
+    HJ_RETURN_IF_ERROR(ExpectSymbol("("));
+    HJ_ASSIGN_OR_RETURN(*column, ParseColumnRef());
+    HJ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    *extract = true;
+    return "extract_group(" + Prefixed(*column) + ")";
+  }
+  HJ_ASSIGN_OR_RETURN(*column, ParseColumnRef());
+  *extract = false;
+  return Prefixed(*column);
+}
+
+Status Parser::ParseSelectList() {
+  while (true) {
+    if (AcceptKeyword("COUNT")) {
+      HJ_RETURN_IF_ERROR(ExpectSymbol("("));
+      HJ_RETURN_IF_ERROR(ExpectSymbol("*"));
+      HJ_RETURN_IF_ERROR(ExpectSymbol(")"));
+      Aggregate agg;
+      agg.op = AggOp::kCountStar;
+      agg.result_name = "count";
+      if (AcceptKeyword("AS")) {
+        Token name = Take();
+        if (name.kind != TokenKind::kIdent) {
+          return ParseError(name, "expected name after AS");
+        }
+        agg.result_name = name.text;
+      }
+      aggregates_.push_back(std::move(agg));
+    } else if (Peek().Is("SUM") || Peek().Is("MIN") || Peek().Is("MAX")) {
+      Token fn = Take();
+      Aggregate agg;
+      agg.op = fn.Is("SUM") ? AggOp::kSum
+                            : (fn.Is("MIN") ? AggOp::kMin : AggOp::kMax);
+      HJ_RETURN_IF_ERROR(ExpectSymbol("("));
+      HJ_ASSIGN_OR_RETURN(agg.column, ParseColumnRef());
+      HJ_RETURN_IF_ERROR(ExpectSymbol(")"));
+      std::string lowered = fn.text;
+      for (char& c : lowered) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      agg.result_name = lowered + "_" + agg.column.column;
+      if (AcceptKeyword("AS")) {
+        Token name = Take();
+        if (name.kind != TokenKind::kIdent) {
+          return ParseError(name, "expected name after AS");
+        }
+        agg.result_name = name.text;
+      }
+      aggregates_.push_back(std::move(agg));
+    } else {
+      if (have_group_) {
+        return ParseError(Peek(),
+                          "only one group expression is supported");
+      }
+      HJ_ASSIGN_OR_RETURN(group_text_,
+                          ParseGroupExpr(&group_column_, &group_extract_));
+      have_group_ = true;
+      if (AcceptKeyword("AS")) {
+        Token name = Take();
+        if (name.kind != TokenKind::kIdent) {
+          return ParseError(name, "expected name after AS");
+        }
+      }
+    }
+    if (!AcceptSymbol(",")) break;
+  }
+  if (!have_group_) {
+    return ParseError(Peek(), "SELECT must include the group expression");
+  }
+  if (aggregates_.empty()) {
+    return ParseError(Peek(), "SELECT must include an aggregate");
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseFrom() {
+  HJ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  for (int s = 0; s < 2; ++s) {
+    Token table = Take();
+    if (table.kind != TokenKind::kIdent) {
+      return ParseError(table, "expected table name");
+    }
+    SideInfo& side = sides_[num_sides_];
+    side.table = table.text;
+    side.alias = table.text;
+    if (Peek().kind == TokenKind::kIdent && !Peek().Is("WHERE") &&
+        !Peek().Is("GROUP")) {
+      side.alias = Take().text;
+    }
+    HJ_ASSIGN_OR_RETURN(side.kind, resolver_.side(side.table));
+    HJ_ASSIGN_OR_RETURN(side.schema, resolver_.schema(side.table));
+    ++num_sides_;
+    if (s == 0) {
+      HJ_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+  }
+  if (sides_[0].alias == sides_[1].alias) {
+    return ParseError(Peek(), "table aliases must be distinct");
+  }
+  if (sides_[0].kind == sides_[1].kind) {
+    return ParseError(Peek(),
+                      "one table must be in the database and one on HDFS");
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseWhere() {
+  if (!AcceptKeyword("WHERE")) return Status::OK();
+  HJ_RETURN_IF_ERROR(ParseConjunct());
+  while (AcceptKeyword("AND")) {
+    HJ_RETURN_IF_ERROR(ParseConjunct());
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseGroupBy() {
+  HJ_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+  HJ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+  BoundColumn column;
+  bool extract = false;
+  HJ_ASSIGN_OR_RETURN(std::string text, ParseGroupExpr(&column, &extract));
+  if (text != group_text_) {
+    return ParseError(Peek(), "GROUP BY expression '" + text +
+                                  "' does not match SELECT's '" +
+                                  group_text_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<HybridQuery> Parser::Parse() {
+  HJ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  // Column references in the SELECT list need the FROM schemas, so locate
+  // and parse the FROM clause first, then come back for the select list.
+  const size_t select_start = pos_;
+  size_t from_pos = pos_;
+  int depth = 0;
+  while (tokens_[from_pos].kind != TokenKind::kEnd) {
+    if (tokens_[from_pos].IsSymbol("(")) ++depth;
+    if (tokens_[from_pos].IsSymbol(")")) --depth;
+    if (depth == 0 && tokens_[from_pos].Is("FROM")) break;
+    ++from_pos;
+  }
+  if (tokens_[from_pos].kind == TokenKind::kEnd) {
+    return ParseError(tokens_[from_pos], "expected FROM clause");
+  }
+  pos_ = from_pos;
+  HJ_RETURN_IF_ERROR(ParseFrom());
+  const size_t from_end = pos_;
+
+  pos_ = select_start;
+  HJ_RETURN_IF_ERROR(ParseSelectList());
+  if (pos_ != from_pos) {
+    return ParseError(Peek(), "unexpected token in SELECT list");
+  }
+
+  pos_ = from_end;
+  HJ_RETURN_IF_ERROR(ParseWhere());
+  HJ_RETURN_IF_ERROR(ParseGroupBy());
+  if (Peek().kind != TokenKind::kEnd) {
+    return ParseError(Peek(), "unexpected trailing input");
+  }
+  if (!have_join_) {
+    return ParseError(Peek(), "an equi-join between the two tables is "
+                              "required (T.key = L.key)");
+  }
+
+  HybridQuery q;
+  for (int s = 0; s < num_sides_; ++s) {
+    const SideInfo& side = sides_[s];
+    TableSide& out = side.kind == TableSideKind::kDb ? q.db : q.hdfs;
+    out.table = side.table;
+    out.alias = side.alias;
+    out.join_key = side.join_key;
+    if (side.join_key.empty()) {
+      return Status::InvalidArgument(
+          "sql: join key missing for table " + side.table);
+    }
+    if (!side.local_predicates.empty()) {
+      out.predicate = side.local_predicates.size() == 1
+                          ? side.local_predicates[0]
+                          : And(side.local_predicates);
+    }
+    // Projection: join key first, then the other referenced columns in
+    // schema order (predicate-only columns are evaluated pre-projection
+    // and need not travel, but including them is simpler and matches what
+    // the reference executor expects; prune to post-join needs only).
+    std::set<std::string> needed;
+    needed.insert(side.join_key);
+    // Post-join and group/aggregate references for this side.
+    for (const auto& p : post_join_) {
+      std::vector<std::string> cols;
+      p->CollectColumns(&cols);
+      for (const auto& name : cols) {
+        const std::string prefix = side.alias + ".";
+        if (name.rfind(prefix, 0) == 0) {
+          needed.insert(name.substr(prefix.size()));
+        }
+      }
+    }
+    if (group_column_.side == s) needed.insert(group_column_.column);
+    for (const auto& agg : aggregates_) {
+      if (agg.op != AggOp::kCountStar && agg.column.side == s) {
+        needed.insert(agg.column.column);
+      }
+    }
+    for (const Field& f : side.schema->fields()) {
+      if (needed.count(f.name)) out.projection.push_back(f.name);
+    }
+  }
+
+  if (!post_join_.empty()) {
+    q.post_join_predicate =
+        post_join_.size() == 1 ? post_join_[0] : And(post_join_);
+  }
+
+  AggSpec spec;
+  spec.group_column = Prefixed(group_column_);
+  spec.extract_group = group_extract_;
+  for (const auto& agg : aggregates_) {
+    AggSpec::Item item;
+    item.op = agg.op;
+    item.result_name = agg.result_name;
+    if (agg.op != AggOp::kCountStar) {
+      item.column = Prefixed(agg.column);
+    }
+    spec.items.push_back(std::move(item));
+  }
+  q.agg = std::move(spec);
+
+  HJ_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+}  // namespace
+
+Result<HybridQuery> ParseHybridQuery(const std::string& statement,
+                                     const TableResolver& resolver) {
+  if (resolver.side == nullptr || resolver.schema == nullptr) {
+    return Status::InvalidArgument("sql: resolver callbacks must be set");
+  }
+  HJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens), resolver);
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace hybridjoin

@@ -1,0 +1,58 @@
+// SQL front end for hybrid joins. Parses the dialect the paper's example
+// query is written in (§2) into a HybridQuery:
+//
+//   SELECT extract_group(L.groupByExtractCol), COUNT(*)
+//   FROM T, L
+//   WHERE T.corPred < 100000 AND T.indPred < 500000
+//     AND L.corPred < 400000 AND L.indPred < 1000000
+//     AND T.joinKey = L.joinKey
+//     AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1
+//   GROUP BY extract_group(L.groupByExtractCol)
+//
+// Supported pieces:
+//   - exactly two FROM tables, each optionally aliased ("FROM T, L" or
+//     "FROM transactions T, logs L"); one must resolve to the database,
+//     one to HDFS
+//   - WHERE: a conjunction whose conjuncts are
+//       * single-side comparisons  col <op> literal, BETWEEN, LIKE
+//         'prefix%', and parenthesized OR / NOT combinations of these
+//       * exactly one cross-side equi-join  a.x = b.y
+//       * optional cross-side date arithmetic
+//         a.x - b.y BETWEEN lo AND hi
+//   - literals: integers, 'strings', DATE 'yyyy-mm-dd'
+//   - SELECT/GROUP BY: one group expression (a column or
+//     extract_group(column)) plus aggregates COUNT(*), SUM/MIN/MAX(col),
+//     each with optional AS name
+//
+// Projections are inferred from the referenced columns. Everything else
+// (join order, n-way joins, subqueries) is out of scope, as in the paper.
+
+#ifndef HYBRIDJOIN_SQL_PARSER_H_
+#define HYBRIDJOIN_SQL_PARSER_H_
+
+#include <functional>
+#include <string>
+
+#include "hybrid/query.h"
+
+namespace hybridjoin {
+namespace sql {
+
+/// Which system a FROM table lives in.
+enum class TableSideKind { kDb, kHdfs };
+
+/// Resolves a table name to its side and schema. HybridWarehouse provides
+/// one backed by its catalogs; tests can stub it.
+struct TableResolver {
+  std::function<Result<TableSideKind>(const std::string& table)> side;
+  std::function<Result<SchemaPtr>(const std::string& table)> schema;
+};
+
+/// Parses one SELECT statement into a HybridQuery (validated).
+Result<HybridQuery> ParseHybridQuery(const std::string& statement,
+                                     const TableResolver& resolver);
+
+}  // namespace sql
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_SQL_PARSER_H_

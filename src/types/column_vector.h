@@ -1,0 +1,191 @@
+// ColumnVector: a typed, densely packed column of values — the unit of
+// vectorized execution throughout the engine.
+
+#ifndef HYBRIDJOIN_TYPES_COLUMN_VECTOR_H_
+#define HYBRIDJOIN_TYPES_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace hybridjoin {
+
+/// A single column. Physical storage is selected by the logical type
+/// (dates/times live in the int32 vector).
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type = DataType::kInt32) : type_(type) {
+    switch (PhysicalTypeOf(type_)) {
+      case PhysicalType::kInt32:
+        data_.emplace<std::vector<int32_t>>();
+        break;
+      case PhysicalType::kInt64:
+        data_.emplace<std::vector<int64_t>>();
+        break;
+      case PhysicalType::kFloat64:
+        data_.emplace<std::vector<double>>();
+        break;
+      case PhysicalType::kString:
+        data_.emplace<std::vector<std::string>>();
+        break;
+    }
+  }
+
+  DataType type() const { return type_; }
+  PhysicalType physical_type() const { return PhysicalTypeOf(type_); }
+
+  size_t size() const {
+    return std::visit([](const auto& v) { return v.size(); }, data_);
+  }
+
+  void Reserve(size_t n) {
+    std::visit([n](auto& v) { v.reserve(n); }, data_);
+  }
+  void Clear() {
+    std::visit([](auto& v) { v.clear(); }, data_);
+  }
+
+  // Typed accessors. HJ_CHECK on physical-type mismatch.
+  const std::vector<int32_t>& i32() const {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+  const std::vector<int64_t>& i64() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  const std::vector<double>& f64() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<std::string>& str() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  std::vector<int32_t>& mutable_i32() {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+  std::vector<int64_t>& mutable_i64() {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::vector<double>& mutable_f64() {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<std::string>& mutable_str() {
+    return std::get<std::vector<std::string>>(data_);
+  }
+
+  /// Generic cell read (slow path; for tests and result rendering).
+  Value GetValue(size_t row) const {
+    switch (physical_type()) {
+      case PhysicalType::kInt32:
+        return Value(i32()[row]);
+      case PhysicalType::kInt64:
+        return Value(i64()[row]);
+      case PhysicalType::kFloat64:
+        return Value(f64()[row]);
+      case PhysicalType::kString:
+        return Value(str()[row]);
+    }
+    return Value();
+  }
+
+  /// Generic cell append (slow path).
+  void AppendValue(const Value& v) {
+    switch (physical_type()) {
+      case PhysicalType::kInt32:
+        mutable_i32().push_back(v.as_int32());
+        break;
+      case PhysicalType::kInt64:
+        mutable_i64().push_back(v.as_int64());
+        break;
+      case PhysicalType::kFloat64:
+        mutable_f64().push_back(v.as_float64());
+        break;
+      case PhysicalType::kString:
+        mutable_str().push_back(v.as_string());
+        break;
+    }
+  }
+
+  /// Appends row `row` of `src` (same physical type) to this column.
+  void AppendFrom(const ColumnVector& src, size_t row) {
+    HJ_DCHECK(physical_type() == src.physical_type());
+    switch (physical_type()) {
+      case PhysicalType::kInt32:
+        mutable_i32().push_back(src.i32()[row]);
+        break;
+      case PhysicalType::kInt64:
+        mutable_i64().push_back(src.i64()[row]);
+        break;
+      case PhysicalType::kFloat64:
+        mutable_f64().push_back(src.f64()[row]);
+        break;
+      case PhysicalType::kString:
+        mutable_str().push_back(src.str()[row]);
+        break;
+    }
+  }
+
+  /// Returns a new column with only the rows whose indexes appear in `sel`.
+  ColumnVector Gather(const std::vector<uint32_t>& sel) const {
+    ColumnVector out(type_);
+    out.Reserve(sel.size());
+    switch (physical_type()) {
+      case PhysicalType::kInt32: {
+        const auto& in = i32();
+        auto& o = out.mutable_i32();
+        for (uint32_t r : sel) o.push_back(in[r]);
+        break;
+      }
+      case PhysicalType::kInt64: {
+        const auto& in = i64();
+        auto& o = out.mutable_i64();
+        for (uint32_t r : sel) o.push_back(in[r]);
+        break;
+      }
+      case PhysicalType::kFloat64: {
+        const auto& in = f64();
+        auto& o = out.mutable_f64();
+        for (uint32_t r : sel) o.push_back(in[r]);
+        break;
+      }
+      case PhysicalType::kString: {
+        const auto& in = str();
+        auto& o = out.mutable_str();
+        for (uint32_t r : sel) o.push_back(in[r]);
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// Approximate in-memory / wire footprint in bytes.
+  size_t ByteSize() const {
+    switch (physical_type()) {
+      case PhysicalType::kInt32:
+        return i32().size() * 4;
+      case PhysicalType::kInt64:
+        return i64().size() * 8;
+      case PhysicalType::kFloat64:
+        return f64().size() * 8;
+      case PhysicalType::kString: {
+        size_t total = 0;
+        for (const auto& s : str()) total += s.size() + 2;
+        return total;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  DataType type_;
+  std::variant<std::vector<int32_t>, std::vector<int64_t>,
+               std::vector<double>, std::vector<std::string>>
+      data_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_TYPES_COLUMN_VECTOR_H_

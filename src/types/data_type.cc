@@ -1,0 +1,42 @@
+#include "types/data_type.h"
+
+namespace hybridjoin {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+  }
+  return "unknown";
+}
+
+bool ParseDataType(const std::string& name, DataType* out) {
+  if (name == "int32") {
+    *out = DataType::kInt32;
+  } else if (name == "int64" || name == "bigint") {
+    *out = DataType::kInt64;
+  } else if (name == "float64" || name == "double") {
+    *out = DataType::kFloat64;
+  } else if (name == "string" || name == "varchar") {
+    *out = DataType::kString;
+  } else if (name == "date") {
+    *out = DataType::kDate;
+  } else if (name == "time") {
+    *out = DataType::kTime;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hybridjoin

@@ -1,0 +1,68 @@
+// Logical column types of the engine. Dates are stored as int32 days since
+// 1970-01-01 and times as int32 seconds since midnight, matching the schemas
+// in the paper's workload (T has DATE and TIME columns).
+
+#ifndef HYBRIDJOIN_TYPES_DATA_TYPE_H_
+#define HYBRIDJOIN_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hybridjoin {
+
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+  kDate = 4,  // int32 days since epoch
+  kTime = 5,  // int32 seconds since midnight
+};
+
+/// Physical storage class of a logical type.
+enum class PhysicalType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+};
+
+const char* DataTypeName(DataType type);
+
+inline PhysicalType PhysicalTypeOf(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kTime:
+      return PhysicalType::kInt32;
+    case DataType::kInt64:
+      return PhysicalType::kInt64;
+    case DataType::kFloat64:
+      return PhysicalType::kFloat64;
+    case DataType::kString:
+      return PhysicalType::kString;
+  }
+  return PhysicalType::kInt32;
+}
+
+/// Fixed wire width of a physical type; 0 for variable-width (string).
+inline size_t FixedWidthOf(DataType type) {
+  switch (PhysicalTypeOf(type)) {
+    case PhysicalType::kInt32:
+      return 4;
+    case PhysicalType::kInt64:
+      return 8;
+    case PhysicalType::kFloat64:
+      return 8;
+    case PhysicalType::kString:
+      return 0;
+  }
+  return 0;
+}
+
+/// Parses "int32", "date", ... (as used by HCatalog text schemas).
+bool ParseDataType(const std::string& name, DataType* out);
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_TYPES_DATA_TYPE_H_

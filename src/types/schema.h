@@ -1,0 +1,84 @@
+// Field / Schema: column metadata shared by the EDW catalog, HCatalog, the
+// HDFS formats and the wire protocol.
+
+#ifndef HYBRIDJOIN_TYPES_SCHEMA_H_
+#define HYBRIDJOIN_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace hybridjoin {
+
+/// One named, typed column.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields. Shared (immutable) via shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static std::shared_ptr<Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with this name, or error.
+  Result<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+  bool HasColumn(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  /// Schema of a projection (columns at `indices`, in that order).
+  std::shared_ptr<Schema> Project(const std::vector<size_t>& indices) const {
+    std::vector<Field> out;
+    out.reserve(indices.size());
+    for (size_t i : indices) out.push_back(fields_[i]);
+    return Make(std::move(out));
+  }
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fields_[i].name;
+      out += " ";
+      out += DataTypeName(fields_[i].type);
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_TYPES_SCHEMA_H_

@@ -1,0 +1,60 @@
+// Value: a single scalar cell, used at API boundaries (predicate literals,
+// query results). Bulk data always moves as ColumnVector/RecordBatch.
+
+#ifndef HYBRIDJOIN_TYPES_VALUE_H_
+#define HYBRIDJOIN_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/check.h"
+#include "types/data_type.h"
+
+namespace hybridjoin {
+
+/// A typed scalar. The variant alternative must match the column's
+/// PhysicalType (dates/times are int32).
+class Value {
+ public:
+  Value() : v_(int32_t{0}) {}
+  Value(int32_t v) : v_(v) {}
+  Value(int64_t v) : v_(v) {}
+  Value(double v) : v_(v) {}
+  Value(std::string v) : v_(std::move(v)) {}
+  Value(const char* v) : v_(std::string(v)) {}
+
+  bool is_int32() const { return std::holds_alternative<int32_t>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_float64() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int32_t as_int32() const { return std::get<int32_t>(v_); }
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  double as_float64() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric widening accessor: int32 or int64 as int64.
+  int64_t AsInt64Lenient() const {
+    if (is_int32()) return as_int32();
+    HJ_CHECK(is_int64()) << "Value is not integral";
+    return as_int64();
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  std::string ToString() const {
+    if (is_int32()) return std::to_string(as_int32());
+    if (is_int64()) return std::to_string(as_int64());
+    if (is_float64()) return std::to_string(as_float64());
+    return as_string();
+  }
+
+ private:
+  std::variant<int32_t, int64_t, double, std::string> v_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_TYPES_VALUE_H_

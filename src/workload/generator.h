@@ -1,0 +1,115 @@
+// Synthetic workload generator reproducing the paper's dataset (§5):
+//
+//   T(uniqKey bigint, joinKey int, corPred int, indPred int,
+//     predAfterJoin date, dummy1 varchar(50), dummy2 int, dummy3 time)
+//   L(joinKey int, corPred int, indPred int, predAfterJoin date,
+//     groupByExtractCol varchar(46), dummy char(8))
+//
+// corPred is correlated with the join key (each key maps to one corPred
+// value), indPred is uniform and independent. A query's local predicate is
+// `corPred < a AND indPred < b`: the corPred conjunct selects a *window of
+// join keys* (setting the join-key selectivity) and the indPred conjunct
+// scales the tuple selectivity without touching the key set — exactly the
+// knob the paper turns ("by modifying constants a and c we change the
+// number of join keys participating; b and d keep the combined selectivity
+// intact").
+//
+// The key windows of T and L are offset against each other so that all four
+// targets (sigma_T, sigma_L, S_T', S_L') are independently settable; the
+// solver below computes window widths/offsets and predicate constants.
+
+#ifndef HYBRIDJOIN_WORKLOAD_GENERATOR_H_
+#define HYBRIDJOIN_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "hybrid/query.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+/// Dataset shape (defaults are a laptop-scale version of the paper's
+/// 1.6 B x 15 B row tables, keeping the L:T row ratio and rows-per-key
+/// structure).
+struct WorkloadConfig {
+  uint64_t num_join_keys = 8192;   ///< paper: 16 M distinct keys
+  uint64_t t_rows = 256 * 1024;    ///< paper: 1.6 B
+  uint64_t l_rows = 1200 * 1024;   ///< paper: ~15 B
+  uint32_t num_groups = 200;       ///< distinct group-by values
+  uint32_t pred_domain = 1000000;  ///< resolution of corPred/indPred values
+  int32_t date_base_days = 16000;  ///< predAfterJoin window start
+  int32_t date_window_days = 30;   ///< both sides draw dates from this window
+  uint64_t seed = 7;
+  uint32_t batch_rows = 64 * 1024; ///< generation granularity
+};
+
+/// The four selectivity targets of the paper's grid.
+struct SelectivitySpec {
+  double sigma_t = 0.1;  ///< local-predicate selectivity on T
+  double sigma_l = 0.1;  ///< local-predicate selectivity on L
+  double st = 0.5;       ///< join-key selectivity of T' (S_T')
+  double sl = 0.5;       ///< join-key selectivity of L' (S_L')
+};
+
+/// Everything the solver derives from a SelectivitySpec.
+struct SolvedSpec {
+  double wt = 1.0;      ///< T key-window width (corPred selectivity on T)
+  double wl = 1.0;      ///< L key-window width
+  double offset_l = 0;  ///< L window offset in key-hash space
+  double bt = 1.0;      ///< indPred selectivity on T
+  double bl = 1.0;      ///< indPred selectivity on L
+  int32_t t_cor_lit = 0;  ///< literal for corPred < lit on T
+  int32_t t_ind_lit = 0;
+  int32_t l_cor_lit = 0;
+  int32_t l_ind_lit = 0;
+};
+
+/// Solves window widths and predicate literals for the targets; fails when
+/// the combination is infeasible (e.g. sigma > join-key window possible).
+Result<SolvedSpec> SolveSelectivities(const SelectivitySpec& spec,
+                                      const WorkloadConfig& config);
+
+/// A generated workload: the schemas, the data, and a query factory.
+class Workload {
+ public:
+  /// Generates both tables for one (config, spec) cell.
+  static Result<Workload> Generate(const WorkloadConfig& config,
+                                   const SelectivitySpec& spec);
+
+  static SchemaPtr TSchema();
+  static SchemaPtr LSchema();
+
+  const WorkloadConfig& config() const { return config_; }
+  const SelectivitySpec& spec() const { return spec_; }
+  const SolvedSpec& solved() const { return solved_; }
+
+  /// T as one batch (loaded into the EDW by the caller).
+  const RecordBatch& t_rows() const { return t_; }
+  /// L as a list of batches (written to HDFS by the caller).
+  const std::vector<RecordBatch>& l_batches() const { return l_; }
+
+  /// Replaces L's batches while keeping the query untouched — used by
+  /// layout ablations (e.g. clustering L on a predicate column so columnar
+  /// chunk skipping has ranges to prune).
+  void OverrideLBatches(std::vector<RecordBatch> batches) {
+    l_ = std::move(batches);
+  }
+
+  /// The paper's example query over this workload: local predicates from
+  /// the solved literals, equi-join on joinKey, date predicate after the
+  /// join, COUNT(*) grouped by extract_group(groupByExtractCol).
+  HybridQuery MakeQuery() const;
+
+ private:
+  WorkloadConfig config_;
+  SelectivitySpec spec_;
+  SolvedSpec solved_;
+  RecordBatch t_;
+  std::vector<RecordBatch> l_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_WORKLOAD_GENERATOR_H_

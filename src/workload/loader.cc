@@ -1,0 +1,26 @@
+#include "workload/loader.h"
+
+namespace hybridjoin {
+
+Status LoadWorkload(HybridWarehouse* warehouse, const Workload& workload,
+                    const LoadOptions& options) {
+  // T: hash-distributed on its unique key, exactly as in the paper.
+  DbTableMeta meta;
+  meta.name = "T";
+  meta.schema = Workload::TSchema();
+  meta.distribution_column = "uniqKey";
+  HJ_RETURN_IF_ERROR(warehouse->CreateDbTable(std::move(meta)));
+  HJ_RETURN_IF_ERROR(warehouse->LoadDbTable("T", workload.t_rows()));
+  if (options.create_indexes) {
+    HJ_RETURN_IF_ERROR(
+        warehouse->CreateDbIndex("T", {"corPred", "indPred"}));
+    HJ_RETURN_IF_ERROR(
+        warehouse->CreateDbIndex("T", {"corPred", "indPred", "joinKey"}));
+  }
+
+  // L: one HDFS table in the requested format.
+  return warehouse->WriteHdfsTable("L", Workload::LSchema(), options.hdfs,
+                                   workload.l_batches());
+}
+
+}  // namespace hybridjoin

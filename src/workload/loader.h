@@ -1,0 +1,29 @@
+// Loads a generated Workload into a HybridWarehouse: T into the EDW
+// (distributed on uniqKey, with the paper's two indexes) and L onto HDFS in
+// the chosen format.
+
+#ifndef HYBRIDJOIN_WORKLOAD_LOADER_H_
+#define HYBRIDJOIN_WORKLOAD_LOADER_H_
+
+#include "hybrid/warehouse.h"
+#include "workload/generator.h"
+
+namespace hybridjoin {
+
+struct LoadOptions {
+  HdfsWriteOptions hdfs;  ///< format / codec / block size for L
+  /// Build the paper's indexes on T: (corPred, indPred) and
+  /// (corPred, indPred, joinKey) — the latter enables index-only Bloom
+  /// filter computation.
+  bool create_indexes = true;
+};
+
+/// Loads both tables. The warehouse's SimulationConfig.bloom.expected_keys
+/// should be set to workload.config().num_join_keys before construction for
+/// paper-faithful Bloom sizing.
+Status LoadWorkload(HybridWarehouse* warehouse, const Workload& workload,
+                    const LoadOptions& options = {});
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_WORKLOAD_LOADER_H_

@@ -1,0 +1,168 @@
+// Tests for the algorithm advisor (§5.5 decision rules) and query
+// preparation/validation.
+
+#include <gtest/gtest.h>
+
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+SimulationConfig ThrottledConfig() {
+  SimulationConfig c = SimulationConfig::PaperTestbed(2, 3, /*scale=*/1.0);
+  c.bloom.expected_keys = 1024;
+  return c;
+}
+
+TEST(AdvisorRulesTest, TinyDbSideFavorsBroadcast) {
+  EngineContext ctx(ThrottledConfig());
+  QueryEstimates est;
+  est.db_filtered_bytes = 10 * 1024;           // tiny T' (paper sigma_T<=0.001)
+  est.hdfs_filtered_bytes = 150 * 1024 * 1024; // large L' (shuffle-heavy)
+  est.hdfs_scan_bytes = 200 * 1024 * 1024;
+  const Advice advice = AdviseAlgorithm(ctx, est);
+  EXPECT_EQ(advice.algorithm, JoinAlgorithm::kBroadcast)
+      << advice.ToString();
+}
+
+TEST(AdvisorRulesTest, TinyHdfsSideFavorsDbSide) {
+  EngineContext ctx(ThrottledConfig());
+  QueryEstimates est;
+  est.db_filtered_bytes = 50 * 1024 * 1024;
+  est.hdfs_filtered_bytes = 20 * 1024;  // very selective sigma_L
+  est.hdfs_scan_bytes = 200 * 1024 * 1024;
+  const Advice advice = AdviseAlgorithm(ctx, est);
+  EXPECT_EQ(advice.algorithm, JoinAlgorithm::kDbSideBloom)
+      << advice.ToString();
+}
+
+TEST(AdvisorRulesTest, LargeBothSidesFavorsZigzag) {
+  EngineContext ctx(ThrottledConfig());
+  QueryEstimates est;
+  est.db_filtered_bytes = 40 * 1024 * 1024;
+  est.hdfs_filtered_bytes = 300 * 1024 * 1024;
+  est.hdfs_scan_bytes = 800 * 1024 * 1024;
+  est.db_joinkey_selectivity = 0.2;
+  est.hdfs_joinkey_selectivity = 0.1;
+  const Advice advice = AdviseAlgorithm(ctx, est);
+  EXPECT_EQ(advice.algorithm, JoinAlgorithm::kZigzag) << advice.ToString();
+  EXPECT_FALSE(advice.ToString().empty());
+}
+
+class AdvisorEstimateTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadConfig wc;
+    wc.num_join_keys = 1024;
+    wc.t_rows = 30000;
+    wc.l_rows = 80000;
+    auto workload = Workload::Generate(wc, {0.2, 0.1, 0.5, 0.5});
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::make_unique<Workload>(std::move(*workload));
+    SimulationConfig config;
+    config.db.num_workers = 2;
+    config.jen_workers = 3;
+    config.bloom.expected_keys = wc.num_join_keys;
+    hw_ = std::make_unique<HybridWarehouse>(config);
+    ASSERT_TRUE(LoadWorkload(hw_.get(), *workload_).ok());
+  }
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<HybridWarehouse> hw_;
+};
+
+TEST_F(AdvisorEstimateTest, SampledSelectivitiesAreClose) {
+  auto est = EstimateQuery(&hw_->context(), workload_->MakeQuery());
+  ASSERT_TRUE(est.ok()) << est.status();
+  // sigma_T = 0.2 of 30000 rows, ~ 14 projected bytes/row.
+  EXPECT_GT(est->db_filtered_bytes, 0u);
+  EXPECT_GT(est->hdfs_filtered_bytes, 0u);
+  EXPECT_GT(est->hdfs_scan_bytes, 0u);
+  // The filtered HDFS estimate should be within 3x of truth: 8000 rows
+  // x ~35 wire bytes.
+  EXPECT_GT(est->hdfs_filtered_bytes, 80000u);
+  EXPECT_LT(est->hdfs_filtered_bytes, 1200000u);
+}
+
+TEST_F(AdvisorEstimateTest, ExecuteAutoProducesCorrectResult) {
+  Advice advice;
+  auto result = hw_->ExecuteAuto(workload_->MakeQuery(), &advice);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = hw_->Execute(workload_->MakeQuery(),
+                               JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(result->rows.num_rows(), expected->rows.num_rows());
+  for (size_t r = 0; r < result->rows.num_rows(); ++r) {
+    EXPECT_EQ(result->rows.column(1).i64()[r],
+              expected->rows.column(1).i64()[r]);
+  }
+}
+
+// ----------------------------- Query validation ---------------------------
+
+class QueryValidationTest : public testing::Test {
+ protected:
+  HybridQuery Valid() {
+    HybridQuery q;
+    q.db.table = "T";
+    q.db.alias = "T";
+    q.db.projection = {"joinKey", "predAfterJoin"};
+    q.db.join_key = "joinKey";
+    q.hdfs.table = "L";
+    q.hdfs.alias = "L";
+    q.hdfs.projection = {"joinKey", "groupByExtractCol"};
+    q.hdfs.join_key = "joinKey";
+    q.agg = AggSpec::CountStar("L.groupByExtractCol", true);
+    return q;
+  }
+};
+
+TEST_F(QueryValidationTest, ValidPasses) {
+  EXPECT_TRUE(Valid().Validate().ok());
+}
+
+TEST_F(QueryValidationTest, RejectsStructuralErrors) {
+  {
+    HybridQuery q = Valid();
+    q.db.table = "";
+    EXPECT_FALSE(q.Validate().ok());
+  }
+  {
+    HybridQuery q = Valid();
+    q.hdfs.alias = "T";  // duplicate alias
+    EXPECT_FALSE(q.Validate().ok());
+  }
+  {
+    HybridQuery q = Valid();
+    q.db.projection = {"predAfterJoin"};  // join key not projected
+    EXPECT_FALSE(q.Validate().ok());
+  }
+  {
+    HybridQuery q = Valid();
+    q.agg.items.clear();  // no aggregates
+    EXPECT_FALSE(q.Validate().ok());
+  }
+  {
+    HybridQuery q = Valid();
+    q.agg.group_column = "L.notProjected";
+    EXPECT_FALSE(q.Validate().ok());
+  }
+  {
+    HybridQuery q = Valid();
+    q.post_join_predicate = DiffRange("T.predAfterJoin", "L.missing", 0, 1);
+    EXPECT_FALSE(q.Validate().ok());
+  }
+}
+
+TEST_F(QueryValidationTest, PrepareCatchesCatalogErrors) {
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 2;
+  EngineContext ctx(config);
+  HybridQuery q = Valid();
+  // Neither table exists yet.
+  EXPECT_FALSE(PrepareQuery(&ctx, q).ok());
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,135 @@
+// Unit + property tests for the Bloom filter, including the paper's sizing
+// (8 bits/key, k=2 -> ~5% FPR) and the OR-combination used for the global
+// filter.
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/random.h"
+
+namespace hybridjoin {
+namespace {
+
+TEST(BloomParamsTest, SizingRoundsToWords) {
+  auto p = BloomParams::ForKeys(1000, 8.0, 2);
+  EXPECT_EQ(p.num_bits % 64, 0u);
+  EXPECT_GE(p.num_bits, 8000u);
+  EXPECT_EQ(p.num_hashes, 2u);
+  // Degenerate inputs still produce a valid filter.
+  auto tiny = BloomParams::ForKeys(0, 8.0, 0);
+  EXPECT_GE(tiny.num_bits, 64u);
+  EXPECT_GE(tiny.num_hashes, 1u);
+}
+
+TEST(BloomParamsTest, ExpectedFprMatchesFormula) {
+  // Paper configuration: 8 bits/key, 2 hashes -> (1 - e^-0.25)^2 ~ 4.9%.
+  auto p = BloomParams::ForKeys(1 << 20, 8.0, 2);
+  EXPECT_NEAR(p.ExpectedFpr(1 << 20), 0.0489, 0.002);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(BloomParams::ForKeys(10000));
+  for (int64_t k = 0; k < 10000; ++k) bf.Add(k * 7919);
+  for (int64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(bf.MayContain(k * 7919));
+  }
+}
+
+TEST(BloomFilterTest, MeasuredFprNearExpected) {
+  const uint64_t n = 1 << 15;
+  BloomFilter bf(BloomParams::ForKeys(n, 8.0, 2));
+  for (uint64_t k = 0; k < n; ++k) bf.Add(static_cast<int64_t>(k));
+  int64_t false_positives = 0;
+  const int64_t probes = 100000;
+  for (int64_t k = 0; k < probes; ++k) {
+    if (bf.MayContain(static_cast<int64_t>(n) + k)) ++false_positives;
+  }
+  const double fpr =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_NEAR(fpr, bf.params().ExpectedFpr(n), 0.015);
+}
+
+TEST(BloomFilterTest, UnionEqualsJointConstruction) {
+  const auto params = BloomParams::ForKeys(4096);
+  BloomFilter a(params), b(params), joint(params);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.Next() >> 8);
+    if (i % 2 == 0) {
+      a.Add(k);
+    } else {
+      b.Add(k);
+    }
+    joint.Add(k);
+  }
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  EXPECT_EQ(a.FillRatio(), joint.FillRatio());
+  // Spot-check membership equivalence on random probes.
+  Rng probe(6);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = static_cast<int64_t>(probe.Next() >> 8);
+    EXPECT_EQ(a.MayContain(k), joint.MayContain(k));
+  }
+}
+
+TEST(BloomFilterTest, UnionRejectsMismatchedParams) {
+  BloomFilter a(BloomParams{128, 2});
+  BloomFilter b(BloomParams{256, 2});
+  BloomFilter c(BloomParams{128, 3});
+  EXPECT_FALSE(a.UnionWith(b).ok());
+  EXPECT_FALSE(a.UnionWith(c).ok());
+}
+
+TEST(BloomFilterTest, SerdeRoundTrip) {
+  BloomFilter bf(BloomParams::ForKeys(1000, 10.0, 3));
+  for (int64_t k = 0; k < 500; ++k) bf.Add(k * 3 + 1);
+  auto decoded = BloomFilter::Deserialize(bf.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->params(), bf.params());
+  EXPECT_EQ(decoded->FillRatio(), bf.FillRatio());
+  for (int64_t k = 0; k < 500; ++k) {
+    EXPECT_TRUE(decoded->MayContain(k * 3 + 1));
+  }
+}
+
+TEST(BloomFilterTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> short_buf = {1, 2, 3};
+  EXPECT_FALSE(BloomFilter::Deserialize(short_buf).ok());
+
+  BinaryWriter w;
+  w.PutU64(63);  // not a multiple of 64
+  w.PutU32(2);
+  EXPECT_FALSE(BloomFilter::Deserialize(w.buffer()).ok());
+
+  BinaryWriter w2;
+  w2.PutU64(1ULL << 50);  // implausibly large
+  w2.PutU32(2);
+  EXPECT_FALSE(BloomFilter::Deserialize(w2.buffer()).ok());
+
+  BinaryWriter w3;  // truncated body
+  w3.PutU64(128);
+  w3.PutU32(2);
+  w3.PutU64(0);  // only one of two words
+  EXPECT_FALSE(BloomFilter::Deserialize(w3.buffer()).ok());
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInsertions) {
+  BloomFilter bf(BloomParams::ForKeys(1000));
+  EXPECT_EQ(bf.FillRatio(), 0.0);
+  bf.Add(1);
+  const double one = bf.FillRatio();
+  EXPECT_GT(one, 0.0);
+  for (int64_t k = 2; k < 500; ++k) bf.Add(k);
+  EXPECT_GT(bf.FillRatio(), one);
+  EXPECT_LT(bf.FillRatio(), 1.0);
+}
+
+TEST(BloomFilterTest, ByteSizeTracksBits) {
+  BloomFilter small(BloomParams{1024, 2});
+  BloomFilter big(BloomParams{1024 * 64, 2});
+  EXPECT_LT(small.ByteSize(), big.ByteSize());
+  EXPECT_GE(big.ByteSize(), 64u * 1024 / 8);
+}
+
+}  // namespace
+}  // namespace hybridjoin

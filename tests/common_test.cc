@@ -1,0 +1,377 @@
+// Unit tests for the common substrate: Status/Result, binary serde,
+// hashing, RNG, queues, thread pool, token bucket, metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/binary_io.h"
+#include "common/blocking_queue.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "common/token_bucket.h"
+
+namespace hybridjoin {
+namespace {
+
+// --------------------------- Status / Result ------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "no such table");
+  EXPECT_EQ(s.ToString(), "NotFound: no such table");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::IOError("disk gone");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk gone");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  HJ_ASSIGN_OR_RETURN(int half, Half(v));
+  HJ_ASSIGN_OR_RETURN(int quarter, Half(half));
+  *out = quarter;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(UseAssignOrReturn(6, &out).IsInvalidArgument());
+}
+
+// ------------------------------ Binary IO ---------------------------------
+
+TEST(BinaryIoTest, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutI32(-123456);
+  w.PutI64(-99887766554433LL);
+  w.PutF64(3.5);
+  w.PutString("hello|world");
+  const auto buf = w.Release();
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetI32().value(), -123456);
+  EXPECT_EQ(r.GetI64().value(), -99887766554433LL);
+  EXPECT_EQ(r.GetF64().value(), 3.5);
+  EXPECT_EQ(r.GetString().value(), "hello|world");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, VarintBoundaries) {
+  BinaryWriter w;
+  const uint64_t values[] = {0,    1,       127,        128,
+                             300,  16383,   16384,      (1ULL << 32),
+                             ~0ULL};
+  for (uint64_t v : values) w.PutVarint(v);
+  BinaryReader r(w.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+}
+
+TEST(BinaryIoTest, SignedVarintZigzag) {
+  BinaryWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutSignedVarint(v);
+  BinaryReader r(w.buffer());
+  for (int64_t v : values) {
+    EXPECT_EQ(r.GetSignedVarint().value(), v);
+  }
+}
+
+TEST(BinaryIoTest, TruncatedReadsAreErrors) {
+  BinaryWriter w;
+  w.PutU32(1);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.GetU64().status().code() == StatusCode::kOutOfRange);
+}
+
+TEST(BinaryIoTest, TruncatedVarintIsError) {
+  std::vector<uint8_t> bad = {0x80, 0x80};  // never terminates
+  BinaryReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(BinaryIoTest, TruncatedStringIsError) {
+  BinaryWriter w;
+  w.PutVarint(100);  // declared length 100, no bytes follow
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+// ------------------------------- Hashing ----------------------------------
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total += __builtin_popcountll(Mix64(12345) ^ Mix64(12345 ^ (1ULL << bit)));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+TEST(HashTest, SeedsDecorrelate) {
+  EXPECT_NE(HashInt64(42, 1), HashInt64(42, 2));
+  EXPECT_NE(HashString("abc", 1), HashString("abc", 2));
+}
+
+TEST(HashTest, AgreedPartitionIsBalancedAndStable) {
+  const uint32_t parts = 7;
+  std::vector<int> counts(parts, 0);
+  for (int64_t k = 0; k < 70000; ++k) {
+    const uint32_t p = AgreedPartition(k, parts);
+    ASSERT_LT(p, parts);
+    EXPECT_EQ(p, AgreedPartition(k, parts));  // deterministic
+    counts[p]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 700);
+  }
+}
+
+// -------------------------------- Random ----------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(9), b(9), c(10);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---------------------------- BlockingQueue -------------------------------
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.Push(5);
+  q.Close();
+  EXPECT_FALSE(q.Push(6));
+  EXPECT_EQ(*q.Pop(), 5);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, BoundedBlocksProducerUntilConsumed) {
+  BlockingQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q(8);
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> seen{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        seen++;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.load(), kProducers * kPerProducer);
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------ ThreadPool --------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
+  std::vector<int> hits(32, 0);
+  ParallelFor(32, [&](size_t i) { hits[i] = static_cast<int>(i) + 1; });
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(hits[i], i + 1);
+}
+
+// ------------------------------ TokenBucket -------------------------------
+
+TEST(TokenBucketTest, UnlimitedNeverBlocks) {
+  TokenBucket tb(0);
+  Stopwatch sw;
+  tb.Acquire(1ULL << 30);
+  EXPECT_LT(sw.ElapsedSeconds(), 0.05);
+}
+
+TEST(TokenBucketTest, RateLimitsThroughput) {
+  // 10 MB/s, ask for ~2 MB beyond the burst: should take ~0.2 s.
+  TokenBucket tb(10 * 1024 * 1024, /*burst_bytes=*/64 * 1024);
+  tb.Acquire(64 * 1024);  // drain the initial burst
+  Stopwatch sw;
+  tb.Acquire(2 * 1024 * 1024);
+  const double elapsed = sw.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.12);
+  EXPECT_LT(elapsed, 0.8);
+}
+
+TEST(TokenBucketTest, ConcurrentAcquirersShareTheRate) {
+  TokenBucket tb(20 * 1024 * 1024, 64 * 1024);
+  tb.Acquire(64 * 1024);
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&tb] { tb.Acquire(1024 * 1024); });
+  }
+  for (auto& t : threads) t.join();
+  // 4 MB at 20 MB/s shared => ~0.2 s total regardless of thread count.
+  EXPECT_GT(sw.ElapsedSeconds(), 0.1);
+}
+
+// -------------------------------- Metrics ---------------------------------
+
+TEST(MetricsTest, CountersAccumulate) {
+  Metrics m;
+  m.Add("x", 5);
+  m.Add("x", 7);
+  m.Add("y", 1);
+  EXPECT_EQ(m.Get("x"), 12);
+  EXPECT_EQ(m.Get("y"), 1);
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.at("x"), 12);
+  m.Reset();
+  EXPECT_EQ(m.Get("x"), 0);
+}
+
+TEST(MetricsTest, HandleIsFastPath) {
+  Metrics m;
+  auto* counter = m.GetCounter("hot");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < 10000; ++i) {
+        counter->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.Get("hot"), 40000);
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,130 @@
+// Unit + property tests for the LZ byte codec.
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/compress.h"
+#include "common/random.h"
+
+namespace hybridjoin {
+namespace {
+
+void RoundTrip(const std::vector<uint8_t>& input) {
+  const auto compressed = LzCompress(input);
+  auto decompressed = LzDecompress(compressed);
+  ASSERT_TRUE(decompressed.ok()) << decompressed.status();
+  EXPECT_EQ(*decompressed, input);
+}
+
+TEST(LzTest, EmptyInput) { RoundTrip({}); }
+
+TEST(LzTest, TinyInputs) {
+  for (size_t n = 1; n <= 8; ++n) {
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(i * 37);
+    RoundTrip(v);
+  }
+}
+
+TEST(LzTest, HighlyRepetitiveCompressesWell) {
+  std::vector<uint8_t> v(100000, 'a');
+  const auto compressed = LzCompress(v);
+  EXPECT_LT(compressed.size(), v.size() / 50);
+  RoundTrip(v);
+}
+
+TEST(LzTest, RepeatedPhraseUsesMatches) {
+  std::string phrase = "the quick brown fox jumps over the lazy dog. ";
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += phrase;
+  std::vector<uint8_t> v(text.begin(), text.end());
+  const auto compressed = LzCompress(v);
+  EXPECT_LT(compressed.size(), v.size() / 4);
+  RoundTrip(v);
+}
+
+TEST(LzTest, IncompressibleRandomRoundTrips) {
+  Rng rng(3);
+  std::vector<uint8_t> v(50000);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  RoundTrip(v);
+}
+
+TEST(LzTest, OverlappingCopyPattern) {
+  // "abcabcabc..." exercises offset < match length replication.
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back("abc"[i % 3]);
+  RoundTrip(v);
+}
+
+TEST(LzTest, EndsExactlyOnMatch) {
+  // Input whose tail is a match (regression for the trailing-token bug).
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 64; ++i) v.push_back(static_cast<uint8_t>(i));
+  for (int i = 0; i < 64; ++i) v.push_back(static_cast<uint8_t>(i));
+  RoundTrip(v);
+}
+
+TEST(LzTest, MalformedInputsRejected) {
+  // Truncated stream.
+  std::vector<uint8_t> v(1000, 'x');
+  auto compressed = LzCompress(v);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(LzDecompress(compressed).ok());
+
+  // Garbage header claiming a huge size.
+  std::vector<uint8_t> garbage = {0xff, 0xff, 0xff, 0x7f, 0x01, 0x41};
+  EXPECT_FALSE(LzDecompress(garbage).ok());
+
+  // Bad match offset (offset beyond what has been produced).
+  BinaryWriter w;
+  w.PutVarint(10);  // original size
+  w.PutVarint(2);   // 2 literals
+  w.PutRaw("ab", 2);
+  w.PutVarint(4);   // match of 4
+  w.PutVarint(99);  // offset 99 > produced 2
+  EXPECT_FALSE(LzDecompress(w.buffer()).ok());
+}
+
+TEST(LzTest, PropertyRandomStructuredInputs) {
+  Rng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    // A mix of runs, phrases and noise.
+    std::vector<uint8_t> v;
+    const int segments = 1 + static_cast<int>(rng.Uniform(20));
+    for (int s = 0; s < segments; ++s) {
+      const int kind = static_cast<int>(rng.Uniform(3));
+      const size_t len = rng.Uniform(2000);
+      if (kind == 0) {
+        v.insert(v.end(), len, static_cast<uint8_t>(rng.Next()));
+      } else if (kind == 1) {
+        for (size_t i = 0; i < len; ++i) {
+          v.push_back(static_cast<uint8_t>(rng.Next()));
+        }
+      } else if (!v.empty()) {
+        // Copy a previous slice (creates real matches).
+        const size_t start = rng.Uniform(v.size());
+        const size_t n = std::min(len, v.size() - start);
+        for (size_t i = 0; i < n; ++i) v.push_back(v[start + i]);
+      }
+    }
+    RoundTrip(v);
+  }
+}
+
+TEST(CodecTest, NoneCodecIsIdentity) {
+  std::vector<uint8_t> v = {1, 2, 3};
+  auto c = Compress(Codec::kNone, v.data(), v.size());
+  EXPECT_EQ(c, v);
+  auto d = Decompress(Codec::kNone, c.data(), c.size());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, v);
+}
+
+TEST(CodecTest, Names) {
+  EXPECT_STREQ(CodecName(Codec::kNone), "none");
+  EXPECT_STREQ(CodecName(Codec::kLz), "lz");
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,93 @@
+// Exercises the DB-internal join strategies of the DB-side join driver
+// (the paper §4.3: "DB2 can choose whatever algorithms for the final join
+// that it sees fit based on data statistics ... broadcast the database
+// table / broadcast the HDFS data / a repartition-based join").
+
+#include <gtest/gtest.h>
+
+#include "hybrid/reference.h"
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+/// Runs the DB-side join and returns the strategy phase mark recorded by
+/// DB worker 0 ("strategy_broadcast_db", "strategy_broadcast_hdfs",
+/// "strategy_repartition").
+std::string RunAndGetStrategy(HybridWarehouse* hw, const HybridQuery& query,
+                              RecordBatch* rows) {
+  auto result = hw->Execute(query, JoinAlgorithm::kDbSide);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return "";
+  *rows = result->rows;
+  for (const auto& [name, t] : result->report.phases) {
+    if (name.rfind("strategy_", 0) == 0) return name;
+  }
+  return "";
+}
+
+class DbStrategyTest : public testing::Test {
+ protected:
+  void Load(const SelectivitySpec& spec) {
+    WorkloadConfig wc;
+    wc.num_join_keys = 512;
+    wc.t_rows = 20000;
+    wc.l_rows = 40000;
+    auto workload = Workload::Generate(wc, spec);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::make_unique<Workload>(std::move(*workload));
+    SimulationConfig config;
+    config.db.num_workers = 3;
+    config.jen_workers = 3;
+    config.bloom.expected_keys = wc.num_join_keys;
+    hw_ = std::make_unique<HybridWarehouse>(config);
+    ASSERT_TRUE(LoadWorkload(hw_.get(), *workload_).ok());
+  }
+
+  void ExpectMatchesReference(const RecordBatch& rows) {
+    auto expected = RunReferenceJoin({workload_->t_rows()},
+                                     workload_->l_batches(),
+                                     workload_->MakeQuery());
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(rows.num_rows(), expected->num_rows());
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      EXPECT_EQ(rows.column(1).i64()[r], expected->column(1).i64()[r]);
+    }
+  }
+
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<HybridWarehouse> hw_;
+};
+
+TEST_F(DbStrategyTest, TinyDbSideBroadcastsT) {
+  // sigma_T = 0.002 -> T' is tiny; the optimizer should broadcast it.
+  Load({0.002, 0.3, 1.0, 1.0});
+  RecordBatch rows;
+  EXPECT_EQ(RunAndGetStrategy(hw_.get(), workload_->MakeQuery(), &rows),
+            "strategy_broadcast_db");
+  ExpectMatchesReference(rows);
+}
+
+TEST_F(DbStrategyTest, TinyHdfsSideBroadcastsL) {
+  // sigma_L = 0.002 -> the ingested L'' is tiny; broadcast it instead.
+  Load({0.3, 0.002, 1.0, 1.0});
+  RecordBatch rows;
+  EXPECT_EQ(RunAndGetStrategy(hw_.get(), workload_->MakeQuery(), &rows),
+            "strategy_broadcast_hdfs");
+  ExpectMatchesReference(rows);
+}
+
+TEST_F(DbStrategyTest, ComparableSidesRepartition) {
+  // Comparable wire sizes: T' is narrow (8 bytes/row) while L'' carries a
+  // string, so sigma_T = 0.4 vs sigma_L = 0.05 lands both near 64 KB and
+  // the repartition plan is cheapest.
+  Load({0.4, 0.05, 1.0, 1.0});
+  RecordBatch rows;
+  EXPECT_EQ(RunAndGetStrategy(hw_.get(), workload_->MakeQuery(), &rows),
+            "strategy_repartition");
+  ExpectMatchesReference(rows);
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,253 @@
+// Edge cases and failure injection for the distributed drivers: empty
+// intermediate results (a classic distributed-deadlock source), tiny
+// clusters, missing catalog entries, and throttled-run accounting.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hybrid/reference.h"
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+constexpr JoinAlgorithm kAll[] = {
+    JoinAlgorithm::kDbSide,      JoinAlgorithm::kDbSideBloom,
+    JoinAlgorithm::kBroadcast,   JoinAlgorithm::kRepartition,
+    JoinAlgorithm::kRepartitionBloom, JoinAlgorithm::kZigzag};
+
+class EdgeCaseTest : public testing::Test {
+ protected:
+  void Build(uint32_t db_workers, uint32_t jen_workers) {
+    WorkloadConfig wc;
+    wc.num_join_keys = 256;
+    wc.t_rows = 5000;
+    wc.l_rows = 20000;
+    auto workload = Workload::Generate(wc, {0.2, 0.2, 0.5, 0.5});
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::make_unique<Workload>(std::move(*workload));
+    SimulationConfig config;
+    config.db.num_workers = db_workers;
+    config.jen_workers = jen_workers;
+    config.bloom.expected_keys = wc.num_join_keys;
+    hw_ = std::make_unique<HybridWarehouse>(config);
+    ASSERT_TRUE(LoadWorkload(hw_.get(), *workload_).ok());
+  }
+
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<HybridWarehouse> hw_;
+};
+
+TEST_F(EdgeCaseTest, EmptyDbSideResultDoesNotDeadlock) {
+  Build(3, 3);
+  HybridQuery q = workload_->MakeQuery();
+  // A predicate no T row satisfies: T' is empty on every worker.
+  q.db.predicate = Cmp("corPred", CmpOp::kLt, -1);
+  for (JoinAlgorithm algorithm : kAll) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    auto result = hw_->Execute(q, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.num_rows(), 0u);
+  }
+}
+
+TEST_F(EdgeCaseTest, EmptyHdfsSideResultDoesNotDeadlock) {
+  Build(3, 3);
+  HybridQuery q = workload_->MakeQuery();
+  q.hdfs.predicate = Cmp("corPred", CmpOp::kLt, -1);
+  for (JoinAlgorithm algorithm : kAll) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    auto result = hw_->Execute(q, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.num_rows(), 0u);
+  }
+}
+
+TEST_F(EdgeCaseTest, DisjointKeySetsJoinToNothing) {
+  Build(2, 4);
+  HybridQuery q = workload_->MakeQuery();
+  // Join keys survive locally but never match: a date window no pair
+  // satisfies.
+  q.post_join_predicate =
+      DiffRange("T.predAfterJoin", "L.predAfterJoin", 1000, 2000);
+  for (JoinAlgorithm algorithm : kAll) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    auto result = hw_->Execute(q, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.num_rows(), 0u);
+  }
+}
+
+TEST_F(EdgeCaseTest, SingleWorkerEachSide) {
+  Build(1, 1);
+  const HybridQuery q = workload_->MakeQuery();
+  auto expected = RunReferenceJoin({workload_->t_rows()},
+                                   workload_->l_batches(), q);
+  ASSERT_TRUE(expected.ok());
+  for (JoinAlgorithm algorithm : kAll) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    auto result = hw_->Execute(q, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->rows.num_rows(), expected->num_rows());
+  }
+}
+
+TEST_F(EdgeCaseTest, UnknownTablesRejectedBeforeThreading) {
+  Build(2, 2);
+  HybridQuery q = workload_->MakeQuery();
+  q.db.table = "missing";
+  EXPECT_FALSE(hw_->Execute(q, JoinAlgorithm::kZigzag).ok());
+  q = workload_->MakeQuery();
+  q.hdfs.table = "missing";
+  EXPECT_FALSE(hw_->Execute(q, JoinAlgorithm::kZigzag).ok());
+}
+
+TEST_F(EdgeCaseTest, BadColumnReferencesRejectedBeforeThreading) {
+  Build(2, 2);
+  {
+    HybridQuery q = workload_->MakeQuery();
+    q.db.predicate = Cmp("notThere", CmpOp::kLt, 5);
+    EXPECT_FALSE(hw_->Execute(q, JoinAlgorithm::kZigzag).ok());
+  }
+  {
+    HybridQuery q = workload_->MakeQuery();
+    q.hdfs.projection = {"joinKey", "notThere"};
+    EXPECT_FALSE(hw_->Execute(q, JoinAlgorithm::kDbSide).ok());
+  }
+  {
+    HybridQuery q = workload_->MakeQuery();
+    q.agg.group_column = "L.bogus";
+    EXPECT_FALSE(hw_->Execute(q, JoinAlgorithm::kBroadcast).ok());
+  }
+}
+
+TEST_F(EdgeCaseTest, RepeatedExecutionsAreStable) {
+  Build(2, 3);
+  const HybridQuery q = workload_->MakeQuery();
+  auto first = hw_->Execute(q, JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto again = hw_->Execute(q, JoinAlgorithm::kZigzag);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->rows.num_rows(), first->rows.num_rows());
+    for (size_t r = 0; r < first->rows.num_rows(); ++r) {
+      EXPECT_EQ(again->rows.column(1).i64()[r],
+                first->rows.column(1).i64()[r]);
+    }
+  }
+}
+
+// Throttled end-to-end: the network accounting must reflect each
+// algorithm's data-movement profile.
+TEST(ThrottledAccountingTest, CrossClusterBytesOrdering) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 1024;
+  wc.t_rows = 20000;
+  wc.l_rows = 60000;
+  auto workload = Workload::Generate(wc, {0.2, 0.3, 0.2, 0.2});
+  ASSERT_TRUE(workload.ok());
+  SimulationConfig config;
+  config.db.num_workers = 3;
+  config.jen_workers = 3;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+  const HybridQuery q = workload->MakeQuery();
+
+  auto cross = [&](JoinAlgorithm algorithm) {
+    auto result = hw.Execute(q, algorithm);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->report.network_bytes.count("cross_cluster")
+                           ? result->report.network_bytes.at("cross_cluster")
+                           : 0
+                       : 0;
+  };
+
+  const int64_t db_plain = cross(JoinAlgorithm::kDbSide);
+  const int64_t db_bf = cross(JoinAlgorithm::kDbSideBloom);
+  const int64_t repart = cross(JoinAlgorithm::kRepartition);
+  const int64_t zigzag = cross(JoinAlgorithm::kZigzag);
+  const int64_t bcast = cross(JoinAlgorithm::kBroadcast);
+
+  // BF prunes the cross transfer of the DB-side join (S_L' = 0.2).
+  EXPECT_LT(db_bf, db_plain / 2);
+  // Zigzag moves less across the switch than the plain repartition join
+  // (T'' << T').
+  EXPECT_LT(zigzag, repart);
+  // Broadcast ships T' once per JEN worker: strictly more than the
+  // repartition join's single copy.
+  EXPECT_GT(bcast, repart);
+}
+
+TEST(ThrottledAccountingTest, ShuffleStaysInsideHdfs) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 512;
+  wc.t_rows = 8000;
+  wc.l_rows = 30000;
+  auto workload = Workload::Generate(wc, {0.2, 0.4, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 3;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+
+  auto result = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(result.ok());
+  // The L' shuffle is intra-HDFS traffic; the DB-side join has none.
+  EXPECT_GT(result->report.network_bytes.at("intra_hdfs"), 0);
+  auto db_side = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kDbSide);
+  ASSERT_TRUE(db_side.ok());
+  const auto it = db_side->report.network_bytes.find("intra_hdfs");
+  const int64_t db_side_hdfs_bytes =
+      it == db_side->report.network_bytes.end() ? 0 : it->second;
+  EXPECT_LT(db_side_hdfs_bytes,
+            result->report.network_bytes.at("intra_hdfs") / 4);
+}
+
+// Concurrent executions on one warehouse must not interfere: the per-query
+// tag blocks isolate every channel.
+TEST(ConcurrencyTest, ParallelQueriesProduceIndependentResults) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 512;
+  wc.t_rows = 8000;
+  wc.l_rows = 30000;
+  auto workload = Workload::Generate(wc, {0.2, 0.2, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 2;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+  const HybridQuery query = workload->MakeQuery();
+  auto baseline = hw.Execute(query, JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kConcurrent = 3;
+  std::vector<Result<QueryResult>> results(
+      kConcurrent, Result<QueryResult>(Status::Internal("unset")));
+  std::vector<std::thread> threads;
+  const JoinAlgorithm algos[kConcurrent] = {JoinAlgorithm::kZigzag,
+                                            JoinAlgorithm::kRepartition,
+                                            JoinAlgorithm::kBroadcast};
+  for (int i = 0; i < kConcurrent; ++i) {
+    threads.emplace_back([&, i] { results[i] = hw.Execute(query, algos[i]); });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kConcurrent; ++i) {
+    SCOPED_TRACE(JoinAlgorithmName(algos[i]));
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    ASSERT_EQ(results[i]->rows.num_rows(), baseline->rows.num_rows());
+    for (size_t r = 0; r < baseline->rows.num_rows(); ++r) {
+      EXPECT_EQ(results[i]->rows.column(1).i64()[r],
+                baseline->rows.column(1).i64()[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridjoin

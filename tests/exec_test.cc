@@ -1,0 +1,334 @@
+// Unit tests for the shared execution primitives: JoinHashTable,
+// HashAggregator, JoinProber and PartitionedAppender.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/hash.h"
+#include "exec/join_prober.h"
+#include "exec/partitioned_appender.h"
+
+namespace hybridjoin {
+namespace {
+
+SchemaPtr BuildSchema() {
+  return Schema::Make(
+      {{"joinKey", DataType::kInt32}, {"payload", DataType::kString}});
+}
+
+SchemaPtr ProbeSchema() {
+  return Schema::Make(
+      {{"joinKey", DataType::kInt32}, {"v", DataType::kInt32}});
+}
+
+RecordBatch BuildBatch(std::vector<std::pair<int32_t, std::string>> rows) {
+  RecordBatch b(BuildSchema());
+  for (auto& [k, s] : rows) b.AppendRow({Value(k), Value(std::move(s))});
+  return b;
+}
+
+// ----------------------------- JoinHashTable ------------------------------
+
+TEST(JoinHashTableTest, FindsAllDuplicates) {
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(BuildBatch({{1, "a"}, {2, "b"}, {1, "c"}})).ok());
+  ASSERT_TRUE(table.AddBatch(BuildBatch({{1, "d"}, {3, "e"}})).ok());
+  table.Finalize();
+  EXPECT_EQ(table.num_rows(), 5u);
+
+  std::multiset<std::string> matches;
+  table.ForEachMatch(1, [&](uint32_t b, uint32_t r) {
+    matches.insert(table.batches()[b].column(1).str()[r]);
+  });
+  EXPECT_EQ(matches, (std::multiset<std::string>{"a", "c", "d"}));
+  EXPECT_TRUE(table.Contains(3));
+  EXPECT_FALSE(table.Contains(42));
+}
+
+TEST(JoinHashTableTest, EmptyTableProbesCleanly) {
+  JoinHashTable table(0);
+  table.Finalize();
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(JoinHashTableTest, EmptyBatchesIgnored) {
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(RecordBatch(BuildSchema())).ok());
+  table.Finalize();
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(JoinHashTableTest, RejectsMisuse) {
+  JoinHashTable table(0);
+  table.Finalize();
+  EXPECT_FALSE(table.AddBatch(BuildBatch({{1, "a"}})).ok());
+
+  JoinHashTable bad_key(5);
+  EXPECT_FALSE(bad_key.AddBatch(BuildBatch({{1, "a"}})).ok());
+
+  JoinHashTable string_key(1);  // column 1 is the string payload
+  EXPECT_FALSE(string_key.AddBatch(BuildBatch({{1, "a"}})).ok());
+}
+
+TEST(JoinHashTableTest, Int64Keys) {
+  auto schema = Schema::Make({{"k", DataType::kInt64}});
+  RecordBatch b(schema);
+  b.AppendRow({Value(int64_t{1} << 40)});
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(std::move(b)).ok());
+  table.Finalize();
+  EXPECT_TRUE(table.Contains(int64_t{1} << 40));
+}
+
+TEST(JoinHashTableTest, ScalesPastResize) {
+  JoinHashTable table(0);
+  RecordBatch big(BuildSchema());
+  for (int32_t i = 0; i < 50000; ++i) {
+    big.AppendRow({Value(i % 1000), Value("p")});
+  }
+  ASSERT_TRUE(table.AddBatch(std::move(big)).ok());
+  table.Finalize();
+  int count = 0;
+  table.ForEachMatch(7, [&](uint32_t, uint32_t) { ++count; });
+  EXPECT_EQ(count, 50);
+}
+
+// ----------------------------- HashAggregator -----------------------------
+
+TEST(HashAggregatorTest, CountStarGroupsCorrectly) {
+  auto spec = AggSpec::CountStar("g", /*extract_group=*/false);
+  HashAggregator agg(spec);
+  auto schema = Schema::Make({{"g", DataType::kInt32}});
+  RecordBatch b(schema);
+  for (int32_t g : {3, 1, 3, 3, 2, 1}) b.AppendRow({Value(g)});
+  std::vector<uint32_t> sel = {0, 1, 2, 3, 4, 5};
+  ASSERT_TRUE(agg.Update(b, sel).ok());
+  RecordBatch out = agg.Finish();
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column(0).i64(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(out.column(1).i64(), (std::vector<int64_t>{2, 1, 3}));
+}
+
+TEST(HashAggregatorTest, ExtractGroupFromStrings) {
+  auto spec = AggSpec::CountStar("g", /*extract_group=*/true);
+  HashAggregator agg(spec);
+  auto schema = Schema::Make({{"g", DataType::kString}});
+  RecordBatch b(schema);
+  b.AppendRow({Value("g7/x")});
+  b.AppendRow({Value("g7/y")});
+  b.AppendRow({Value("g9/z")});
+  ASSERT_TRUE(agg.Update(b, {0, 1, 2}).ok());
+  RecordBatch out = agg.Finish();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column(0).i64()[0], 7);
+  EXPECT_EQ(out.column(1).i64()[0], 2);
+}
+
+TEST(HashAggregatorTest, SumMinMax) {
+  AggSpec spec;
+  spec.group_column = "g";
+  spec.items = {{AggOp::kSum, "v", "sum_v"},
+                {AggOp::kMin, "v", "min_v"},
+                {AggOp::kMax, "v", "max_v"}};
+  HashAggregator agg(spec);
+  auto schema =
+      Schema::Make({{"g", DataType::kInt32}, {"v", DataType::kInt32}});
+  RecordBatch b(schema);
+  b.AppendRow({Value(int32_t{1}), Value(int32_t{10})});
+  b.AppendRow({Value(int32_t{1}), Value(int32_t{-2})});
+  b.AppendRow({Value(int32_t{2}), Value(int32_t{5})});
+  ASSERT_TRUE(agg.Update(b, {0, 1, 2}).ok());
+  RecordBatch out = agg.Finish();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column(1).i64()[0], 8);   // sum group 1
+  EXPECT_EQ(out.column(2).i64()[0], -2);  // min group 1
+  EXPECT_EQ(out.column(3).i64()[0], 10);  // max group 1
+  EXPECT_EQ(out.column(1).i64()[1], 5);
+}
+
+TEST(HashAggregatorTest, PartialMergeEqualsDirect) {
+  auto spec = AggSpec::CountStar("g", false);
+  auto schema = Schema::Make({{"g", DataType::kInt32}});
+  RecordBatch b1(schema), b2(schema), all(schema);
+  for (int32_t g : {1, 2, 1}) {
+    b1.AppendRow({Value(g)});
+    all.AppendRow({Value(g)});
+  }
+  for (int32_t g : {2, 3}) {
+    b2.AppendRow({Value(g)});
+    all.AppendRow({Value(g)});
+  }
+  HashAggregator w1(spec), w2(spec), merged(spec), direct(spec);
+  ASSERT_TRUE(w1.Update(b1, {0, 1, 2}).ok());
+  ASSERT_TRUE(w2.Update(b2, {0, 1}).ok());
+  ASSERT_TRUE(merged.Merge(w1.Partial()).ok());
+  ASSERT_TRUE(merged.Merge(w2.Partial()).ok());
+  ASSERT_TRUE(direct.Update(all, {0, 1, 2, 3, 4}).ok());
+  RecordBatch a = merged.Finish();
+  RecordBatch e = direct.Finish();
+  ASSERT_EQ(a.num_rows(), e.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.column(0).i64()[r], e.column(0).i64()[r]);
+    EXPECT_EQ(a.column(1).i64()[r], e.column(1).i64()[r]);
+  }
+}
+
+TEST(HashAggregatorTest, MergeMinMaxUsesOpSemantics) {
+  AggSpec spec;
+  spec.group_column = "g";
+  spec.items = {{AggOp::kMin, "v", "min_v"}};
+  auto schema =
+      Schema::Make({{"g", DataType::kInt32}, {"v", DataType::kInt32}});
+  HashAggregator a(spec), b(spec);
+  RecordBatch r1(schema), r2(schema);
+  r1.AppendRow({Value(int32_t{1}), Value(int32_t{5})});
+  r2.AppendRow({Value(int32_t{1}), Value(int32_t{3})});
+  ASSERT_TRUE(a.Update(r1, {0}).ok());
+  ASSERT_TRUE(b.Update(r2, {0}).ok());
+  ASSERT_TRUE(a.Merge(b.Partial()).ok());
+  EXPECT_EQ(a.Finish().column(1).i64()[0], 3);
+}
+
+TEST(HashAggregatorTest, ErrorsOnBadInputs) {
+  auto spec = AggSpec::CountStar("missing", false);
+  HashAggregator agg(spec);
+  auto schema = Schema::Make({{"g", DataType::kInt32}});
+  RecordBatch b(schema);
+  b.AppendRow({Value(int32_t{1})});
+  EXPECT_FALSE(agg.Update(b, {0}).ok());
+
+  auto str_spec = AggSpec::CountStar("g", /*extract_group=*/false);
+  HashAggregator agg2(str_spec);
+  auto str_schema = Schema::Make({{"g", DataType::kString}});
+  RecordBatch sb(str_schema);
+  sb.AppendRow({Value("x")});
+  EXPECT_FALSE(agg2.Update(sb, {0}).ok());
+}
+
+// ------------------------------- JoinProber -------------------------------
+
+TEST(JoinProberTest, JoinWithPostPredicateAndAggregation) {
+  // Build: L'(joinKey, date); Probe: T'(joinKey, date).
+  auto l_schema =
+      Schema::Make({{"joinKey", DataType::kInt32}, {"ldate", DataType::kDate},
+                    {"grp", DataType::kInt32}});
+  auto t_schema =
+      Schema::Make({{"joinKey", DataType::kInt32}, {"tdate", DataType::kDate}});
+  RecordBatch l(l_schema);
+  l.AppendRow({Value(int32_t{1}), Value(int32_t{100}), Value(int32_t{7})});
+  l.AppendRow({Value(int32_t{1}), Value(int32_t{105}), Value(int32_t{7})});
+  l.AppendRow({Value(int32_t{2}), Value(int32_t{100}), Value(int32_t{8})});
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(std::move(l)).ok());
+  table.Finalize();
+
+  auto spec = AggSpec::CountStar("L.grp", false);
+  HashAggregator agg(spec);
+  JoinProber prober(&table, l_schema, "L", t_schema, "T", 0,
+                    DiffRange("T.tdate", "L.ldate", 0, 1), &agg, nullptr);
+
+  RecordBatch t(t_schema);
+  t.AppendRow({Value(int32_t{1}), Value(int32_t{101})});  // joins ldate=100
+  t.AppendRow({Value(int32_t{2}), Value(int32_t{100})});  // joins ldate=100
+  t.AppendRow({Value(int32_t{2}), Value(int32_t{300})});  // date pred fails
+  t.AppendRow({Value(int32_t{9}), Value(int32_t{100})});  // no key match
+  ASSERT_TRUE(prober.ProbeBatch(t).ok());
+  ASSERT_TRUE(prober.Flush().ok());
+
+  EXPECT_EQ(prober.join_matches(), 4);  // key 1 matches 2 rows, key 2 twice
+  EXPECT_EQ(prober.output_rows(), 2);
+  RecordBatch out = agg.Finish();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column(0).i64(), (std::vector<int64_t>{7, 8}));
+  EXPECT_EQ(out.column(1).i64(), (std::vector<int64_t>{1, 1}));
+}
+
+TEST(JoinProberTest, JoinedSchemaUsesAliases) {
+  auto a = Schema::Make({{"k", DataType::kInt32}});
+  auto b = Schema::Make({{"k", DataType::kInt32}});
+  auto joined = MakeJoinedSchema(a, "L", b, "T");
+  ASSERT_EQ(joined->num_fields(), 2u);
+  EXPECT_EQ(joined->field(0).name, "L.k");
+  EXPECT_EQ(joined->field(1).name, "T.k");
+}
+
+TEST(JoinProberTest, FlushesAcrossBatchBoundaries) {
+  auto schema = Schema::Make({{"k", DataType::kInt32}});
+  RecordBatch build(schema);
+  for (int32_t i = 0; i < 10; ++i) build.AppendRow({Value(i)});
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(std::move(build)).ok());
+  table.Finalize();
+
+  auto spec = AggSpec::CountStar("T.k", false);
+  HashAggregator agg(spec);
+  JoinProberOptions options;
+  options.output_batch_rows = 3;  // force many internal flushes
+  JoinProber prober(&table, schema, "L", schema, "T", 0, nullptr, &agg,
+                    nullptr, options);
+  RecordBatch probe(schema);
+  for (int32_t i = 0; i < 10; ++i) probe.AppendRow({Value(i)});
+  ASSERT_TRUE(prober.ProbeBatch(probe).ok());
+  ASSERT_TRUE(prober.Flush().ok());
+  EXPECT_EQ(prober.output_rows(), 10);
+  EXPECT_EQ(agg.Finish().num_rows(), 10u);
+}
+
+// --------------------------- PartitionedAppender --------------------------
+
+TEST(PartitionedAppenderTest, RoutesByPartitionFunction) {
+  auto schema = Schema::Make({{"k", DataType::kInt32}});
+  std::map<uint32_t, std::vector<int32_t>> received;
+  PartitionedAppender appender(
+      schema, 4, 0, [](int64_t k) { return static_cast<uint32_t>(k % 4); },
+      /*flush_rows=*/2,
+      [&](uint32_t p, RecordBatch&& b) {
+        for (int32_t v : b.column(0).i32()) received[p].push_back(v);
+        return Status::OK();
+      });
+  RecordBatch b(schema);
+  for (int32_t i = 0; i < 10; ++i) b.AppendRow({Value(i)});
+  std::vector<uint32_t> sel = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ASSERT_TRUE(appender.Append(b, sel).ok());
+  ASSERT_TRUE(appender.FlushAll().ok());
+  EXPECT_EQ(appender.routed_rows(), 10);
+  for (uint32_t p = 0; p < 4; ++p) {
+    for (int32_t v : received[p]) {
+      EXPECT_EQ(static_cast<uint32_t>(v % 4), p);
+    }
+  }
+  size_t total = 0;
+  for (auto& [p, v] : received) total += v.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(PartitionedAppenderTest, RespectsSelectionVector) {
+  auto schema = Schema::Make({{"k", DataType::kInt32}});
+  int64_t received = 0;
+  PartitionedAppender appender(
+      schema, 2, 0, [](int64_t) { return 0u; }, 100,
+      [&](uint32_t, RecordBatch&& b) {
+        received += b.num_rows();
+        return Status::OK();
+      });
+  RecordBatch b(schema);
+  for (int32_t i = 0; i < 10; ++i) b.AppendRow({Value(i)});
+  ASSERT_TRUE(appender.Append(b, {1, 3, 5}).ok());
+  ASSERT_TRUE(appender.FlushAll().ok());
+  EXPECT_EQ(received, 3);
+}
+
+TEST(PartitionedAppenderTest, PropagatesSinkErrors) {
+  auto schema = Schema::Make({{"k", DataType::kInt32}});
+  PartitionedAppender appender(
+      schema, 1, 0, [](int64_t) { return 0u; }, 1,
+      [](uint32_t, RecordBatch&&) { return Status::IOError("sink down"); });
+  RecordBatch b(schema);
+  b.AppendRow({Value(int32_t{1})});
+  EXPECT_TRUE(appender.Append(b, {0}).IsIOError());
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,134 @@
+// End-to-end correctness: every join algorithm, over both HDFS formats,
+// must produce exactly the rows of the single-node reference executor.
+
+#include <gtest/gtest.h>
+
+#include "hybrid/reference.h"
+#include "hybrid/warehouse.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+struct Cell {
+  SelectivitySpec spec;
+  HdfsFormat format;
+  uint32_t db_workers;
+  uint32_t jen_workers;
+};
+
+std::string CellName(const testing::TestParamInfo<Cell>& info) {
+  const Cell& c = info.param;
+  auto pct = [](double v) { return std::to_string(static_cast<int>(v * 1000)); };
+  return std::string(HdfsFormatName(c.format)) + "_sT" + pct(c.spec.sigma_t) +
+         "_sL" + pct(c.spec.sigma_l) + "_st" + pct(c.spec.st) + "_sl" +
+         pct(c.spec.sl) + "_m" + std::to_string(c.db_workers) + "_n" +
+         std::to_string(c.jen_workers);
+}
+
+class HybridJoinEndToEnd : public testing::TestWithParam<Cell> {
+ protected:
+  static WorkloadConfig SmallWorkload() {
+    WorkloadConfig wc;
+    wc.num_join_keys = 512;
+    wc.t_rows = 12000;
+    wc.l_rows = 50000;
+    wc.num_groups = 23;
+    wc.batch_rows = 8192;
+    return wc;
+  }
+};
+
+TEST_P(HybridJoinEndToEnd, AllAlgorithmsMatchReference) {
+  const Cell& cell = GetParam();
+  const WorkloadConfig wc = SmallWorkload();
+  auto workload = Workload::Generate(wc, cell.spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  SimulationConfig config;
+  config.db.num_workers = cell.db_workers;
+  config.jen_workers = cell.jen_workers;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  LoadOptions load;
+  load.hdfs.format = cell.format;
+  load.hdfs.rows_per_block = 4096;
+  ASSERT_TRUE(LoadWorkload(&hw, *workload, load).ok());
+
+  const HybridQuery query = workload->MakeQuery();
+  auto expected = RunReferenceJoin({workload->t_rows()},
+                                   workload->l_batches(), query);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(expected->num_rows(), 0u) << "degenerate cell: empty result";
+
+  for (JoinAlgorithm algorithm :
+       {JoinAlgorithm::kDbSide, JoinAlgorithm::kDbSideBloom,
+        JoinAlgorithm::kBroadcast, JoinAlgorithm::kRepartition,
+        JoinAlgorithm::kRepartitionBloom, JoinAlgorithm::kZigzag}) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    auto result = hw.Execute(query, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    const RecordBatch& rows = result->rows;
+    ASSERT_EQ(rows.num_rows(), expected->num_rows());
+    ASSERT_EQ(rows.num_columns(), expected->num_columns());
+    for (size_t c = 0; c < rows.num_columns(); ++c) {
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        ASSERT_EQ(rows.column(c).i64()[r], expected->column(c).i64()[r])
+            << "mismatch at row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HybridJoinEndToEnd,
+    testing::Values(
+        Cell{{0.1, 0.1, 0.5, 0.5}, HdfsFormat::kColumnar, 3, 4},
+        Cell{{0.1, 0.4, 0.2, 0.1}, HdfsFormat::kColumnar, 4, 4},
+        Cell{{0.5, 0.5, 1.0, 1.0}, HdfsFormat::kColumnar, 2, 5},
+        Cell{{0.01, 0.2, 0.5, 0.5}, HdfsFormat::kColumnar, 4, 3},
+        Cell{{0.1, 0.1, 0.5, 0.5}, HdfsFormat::kText, 3, 4},
+        Cell{{0.2, 0.4, 0.35, 0.4}, HdfsFormat::kText, 4, 4},
+        // More DB workers than JEN workers (empty groups edge case).
+        Cell{{0.1, 0.2, 0.5, 0.5}, HdfsFormat::kColumnar, 5, 2}),
+    CellName);
+
+// The report must carry the headline counters of Table 1.
+TEST(HybridJoinReport, CountersArePopulated) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 256;
+  wc.t_rows = 4000;
+  wc.l_rows = 20000;
+  auto workload = Workload::Generate(wc, {0.2, 0.4, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 3;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+
+  auto zigzag = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(zigzag.ok()) << zigzag.status();
+  const ExecutionReport& report = zigzag->report;
+  EXPECT_GT(report.Counter(metric::kHdfsTuplesShuffled), 0);
+  EXPECT_GT(report.Counter(metric::kDbTuplesSent), 0);
+  EXPECT_GT(report.Counter(metric::kHdfsTuplesScanned), 0);
+  EXPECT_GT(report.Counter(metric::kBloomFiltersSent), 0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_FALSE(report.ToString().empty());
+
+  auto repartition =
+      hw.Execute(workload->MakeQuery(), JoinAlgorithm::kRepartition);
+  ASSERT_TRUE(repartition.ok());
+  // The zigzag's two-way pruning must move no more data than the plain
+  // repartition join (Table 1's headline claim).
+  EXPECT_LE(zigzag->report.Counter(metric::kHdfsTuplesShuffled),
+            repartition->report.Counter(metric::kHdfsTuplesShuffled));
+  EXPECT_LE(zigzag->report.Counter(metric::kDbTuplesSent),
+            repartition->report.Counter(metric::kDbTuplesSent));
+}
+
+}  // namespace
+}  // namespace hybridjoin

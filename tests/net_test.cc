@@ -1,0 +1,181 @@
+// Unit tests for the simulated interconnect: channels, EOS streams, flow
+// classification and accounting, bandwidth throttling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+namespace {
+
+std::vector<uint8_t> Bytes(size_t n, uint8_t fill = 7) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST(FlowClassTest, Classification) {
+  EXPECT_EQ(ClassifyFlow(NodeId::Db(1), NodeId::Db(1)), FlowClass::kLoopback);
+  EXPECT_EQ(ClassifyFlow(NodeId::Db(0), NodeId::Db(1)), FlowClass::kIntraDb);
+  EXPECT_EQ(ClassifyFlow(NodeId::Hdfs(0), NodeId::Hdfs(2)),
+            FlowClass::kIntraHdfs);
+  EXPECT_EQ(ClassifyFlow(NodeId::Db(0), NodeId::Hdfs(0)),
+            FlowClass::kCrossCluster);
+  EXPECT_EQ(ClassifyFlow(NodeId::Hdfs(3), NodeId::Db(2)),
+            FlowClass::kCrossCluster);
+}
+
+TEST(NetworkTest, SendRecvPreservesPayloadAndSender) {
+  Network net(NetworkConfig{}, 2, 2, nullptr);
+  net.Send(NodeId::Db(1), NodeId::Hdfs(0), 5, Bytes(10, 42));
+  Message m = net.Recv(NodeId::Hdfs(0), 5);
+  EXPECT_FALSE(m.eos);
+  EXPECT_EQ(m.from, NodeId::Db(1));
+  ASSERT_EQ(m.payload->size(), 10u);
+  EXPECT_EQ((*m.payload)[0], 42);
+}
+
+TEST(NetworkTest, TagsIsolateChannels) {
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, Bytes(1, 1));
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 2, Bytes(1, 2));
+  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 2).payload)[0], 2);
+  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 1).payload)[0], 1);
+}
+
+TEST(NetworkTest, RecvBlocksUntilSend) {
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    net.Recv(NodeId::Db(0), 9);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  net.Send(NodeId::Hdfs(0), NodeId::Db(0), 9, Bytes(1));
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(NetworkTest, StreamReceiverCountsEos) {
+  Network net(NetworkConfig{}, 3, 1, nullptr);
+  for (uint32_t s = 0; s < 3; ++s) {
+    net.Send(NodeId::Db(s), NodeId::Hdfs(0), 4, Bytes(1, s));
+    net.SendEos(NodeId::Db(s), NodeId::Hdfs(0), 4);
+  }
+  StreamReceiver receiver(&net, NodeId::Hdfs(0), 4, 3);
+  int data = 0;
+  while (receiver.Next()) ++data;
+  EXPECT_EQ(data, 3);
+}
+
+TEST(NetworkTest, StreamReceiverZeroSendersEndsImmediately) {
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  StreamReceiver receiver(&net, NodeId::Hdfs(0), 4, 0);
+  EXPECT_FALSE(receiver.Next().has_value());
+}
+
+TEST(NetworkTest, BytesAccountedPerFlowClass) {
+  NetworkConfig config;
+  config.per_message_overhead_bytes = 0;
+  Network net(config, 2, 2, nullptr);
+  net.Send(NodeId::Db(0), NodeId::Db(1), 1, Bytes(100));
+  net.Send(NodeId::Hdfs(0), NodeId::Hdfs(1), 1, Bytes(200));
+  net.Send(NodeId::Db(0), NodeId::Hdfs(1), 1, Bytes(300));
+  net.Transfer(NodeId::Hdfs(0), NodeId::Hdfs(1), 50);
+  EXPECT_EQ(net.BytesMoved(FlowClass::kIntraDb), 100);
+  EXPECT_EQ(net.BytesMoved(FlowClass::kIntraHdfs), 250);
+  EXPECT_EQ(net.BytesMoved(FlowClass::kCrossCluster), 300);
+  EXPECT_EQ(net.BytesMoved(FlowClass::kLoopback), 0);
+}
+
+TEST(NetworkTest, LoopbackIsFreeAndUnthrottled) {
+  NetworkConfig config;
+  config.db_nic_bps = 1024;  // brutally slow
+  Network net(config, 1, 1, nullptr);
+  Stopwatch sw;
+  net.Send(NodeId::Db(0), NodeId::Db(0), 1, Bytes(1 << 20));
+  EXPECT_LT(sw.ElapsedSeconds(), 0.1);
+  EXPECT_EQ(net.BytesMoved(FlowClass::kLoopback),
+            static_cast<int64_t>((1 << 20) +
+                                 config.per_message_overhead_bytes));
+}
+
+TEST(NetworkTest, CrossTrafficThrottledBySwitch) {
+  NetworkConfig config;
+  config.cross_switch_bps = 10 * 1024 * 1024;  // 10 MB/s
+  Network net(config, 1, 1, nullptr);
+  // Drain the burst, then time 1 MB: ~0.1 s.
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, Bytes(1024 * 1024));
+  Stopwatch sw;
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, Bytes(1024 * 1024));
+  EXPECT_GT(sw.ElapsedSeconds(), 0.05);
+}
+
+TEST(NetworkTest, IntraClusterAvoidsTheSwitch) {
+  NetworkConfig config;
+  config.cross_switch_bps = 1024;  // nearly stalled switch
+  Network net(config, 2, 2, nullptr);
+  Stopwatch sw;
+  net.Send(NodeId::Hdfs(0), NodeId::Hdfs(1), 1, Bytes(1 << 20));
+  EXPECT_LT(sw.ElapsedSeconds(), 0.2);  // unaffected by the switch
+}
+
+TEST(NetworkTest, TagBlocksAreDisjoint) {
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  const uint64_t a = net.AllocateTagBlock(16);
+  const uint64_t b = net.AllocateTagBlock(16);
+  EXPECT_GE(b, a + 16);
+}
+
+TEST(NetworkTest, SharedPayloadBroadcastDoesNotCopy) {
+  Network net(NetworkConfig{}, 1, 2, nullptr);
+  auto payload = std::make_shared<const std::vector<uint8_t>>(Bytes(8, 3));
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, payload);
+  net.Send(NodeId::Db(0), NodeId::Hdfs(1), 1, payload);
+  Message m0 = net.Recv(NodeId::Hdfs(0), 1);
+  Message m1 = net.Recv(NodeId::Hdfs(1), 1);
+  EXPECT_EQ(m0.payload.get(), m1.payload.get());  // same buffer
+}
+
+TEST(NetworkStressTest, ManySendersManyTagsDeliverExactly) {
+  Network net(NetworkConfig{}, 4, 4, nullptr);
+  constexpr int kMessagesPerPair = 200;
+  const uint64_t tag = net.AllocateTagBlock();
+  std::atomic<int64_t> payload_sum{0};
+  std::vector<std::thread> threads;
+  // Every node sends to every HDFS node on one shared tag.
+  for (uint32_t s = 0; s < 4; ++s) {
+    threads.emplace_back([&net, s, tag] {
+      for (int i = 0; i < kMessagesPerPair; ++i) {
+        for (uint32_t d = 0; d < 4; ++d) {
+          net.Send(NodeId::Db(s), NodeId::Hdfs(d), tag,
+                   std::vector<uint8_t>{static_cast<uint8_t>(i % 251)});
+        }
+      }
+      for (uint32_t d = 0; d < 4; ++d) {
+        net.SendEos(NodeId::Db(s), NodeId::Hdfs(d), tag);
+      }
+    });
+  }
+  std::atomic<int64_t> received{0};
+  for (uint32_t d = 0; d < 4; ++d) {
+    threads.emplace_back([&, d] {
+      StreamReceiver receiver(&net, NodeId::Hdfs(d), tag, 4);
+      while (auto msg = receiver.Next()) {
+        payload_sum += (*msg->payload)[0];
+        received++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(received.load(), 4 * 4 * kMessagesPerPair);
+  int64_t expected_sum = 0;
+  for (int i = 0; i < kMessagesPerPair; ++i) expected_sum += i % 251;
+  EXPECT_EQ(payload_sum.load(), expected_sum * 16);
+}
+
+}  // namespace
+}  // namespace hybridjoin

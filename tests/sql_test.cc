@@ -1,0 +1,241 @@
+// Tests for the SQL front end: lexer, parser (including the paper's §2 /
+// §4.1.1 query shapes), error reporting, and end-to-end equivalence of a
+// SQL statement against the hand-built HybridQuery.
+
+#include <gtest/gtest.h>
+
+#include "expr/scalar_functions.h"
+#include "hybrid/reference.h"
+#include "hybrid/warehouse.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+using sql::TableResolver;
+using sql::TableSideKind;
+using sql::Token;
+using sql::TokenKind;
+using sql::Tokenize;
+
+// -------------------------------- Lexer -----------------------------------
+
+TEST(SqlLexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, COUNT(*) FROM t WHERE x <= 10");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 14u);
+  EXPECT_TRUE((*tokens)[0].Is("select"));
+  EXPECT_TRUE((*tokens)[1].Is("a"));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("."));
+  EXPECT_TRUE((*tokens)[4].IsSymbol(","));
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+  // "<=" is one token.
+  bool found_le = false;
+  for (const Token& t : *tokens) found_le |= t.IsSymbol("<=");
+  EXPECT_TRUE(found_le);
+}
+
+TEST(SqlLexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'Canon Camera' 'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Canon Camera");
+  EXPECT_EQ((*tokens)[1].text, "O'Brien");
+}
+
+TEST(SqlLexerTest, NotEqualsVariants) {
+  auto tokens = Tokenize("a <> b != c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));  // != normalized
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+// -------------------------------- Parser ----------------------------------
+
+class SqlParserTest : public testing::Test {
+ protected:
+  TableResolver Resolver() {
+    TableResolver r;
+    r.side = [](const std::string& table) -> Result<TableSideKind> {
+      if (table == "T") return TableSideKind::kDb;
+      if (table == "L") return TableSideKind::kHdfs;
+      return Status::NotFound("no table " + table);
+    };
+    r.schema = [](const std::string& table) -> Result<SchemaPtr> {
+      if (table == "T") return Workload::TSchema();
+      if (table == "L") return Workload::LSchema();
+      return Status::NotFound("no table " + table);
+    };
+    return r;
+  }
+
+  Result<HybridQuery> Parse(const std::string& statement) {
+    const TableResolver r = Resolver();
+    return sql::ParseHybridQuery(statement, r);
+  }
+};
+
+TEST_F(SqlParserTest, ParsesThePapersExampleQueryShape) {
+  auto q = Parse(
+      "SELECT extract_group(L.groupByExtractCol), COUNT(*) "
+      "FROM T, L "
+      "WHERE T.corPred < 100000 AND T.indPred < 500000 "
+      "AND L.corPred < 400000 AND L.indPred < 1000000 "
+      "AND T.joinKey = L.joinKey "
+      "AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1 "
+      "GROUP BY extract_group(L.groupByExtractCol)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->db.table, "T");
+  EXPECT_EQ(q->hdfs.table, "L");
+  EXPECT_EQ(q->db.join_key, "joinKey");
+  EXPECT_EQ(q->hdfs.join_key, "joinKey");
+  ASSERT_NE(q->db.predicate, nullptr);
+  ASSERT_NE(q->hdfs.predicate, nullptr);
+  ASSERT_NE(q->post_join_predicate, nullptr);
+  EXPECT_TRUE(q->agg.extract_group);
+  EXPECT_EQ(q->agg.group_column, "L.groupByExtractCol");
+  ASSERT_EQ(q->agg.items.size(), 1u);
+  EXPECT_EQ(q->agg.items[0].op, AggOp::kCountStar);
+  // Projections include exactly what travels: join key + post-join +
+  // group columns.
+  EXPECT_EQ(q->db.projection,
+            (std::vector<std::string>{"joinKey", "predAfterJoin"}));
+  EXPECT_EQ(q->hdfs.projection,
+            (std::vector<std::string>{"joinKey", "predAfterJoin",
+                                      "groupByExtractCol"}));
+}
+
+TEST_F(SqlParserTest, TableOrderAndAliasesAreFlexible) {
+  auto q = Parse(
+      "SELECT extract_group(logs.groupByExtractCol), COUNT(*) AS views "
+      "FROM L logs, T txn "
+      "WHERE txn.joinKey = logs.joinKey "
+      "GROUP BY extract_group(logs.groupByExtractCol)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->db.alias, "txn");
+  EXPECT_EQ(q->hdfs.alias, "logs");
+  EXPECT_EQ(q->agg.items[0].result_name, "views");
+}
+
+TEST_F(SqlParserTest, AggregatesAndLiterals) {
+  auto q = Parse(
+      "SELECT L.joinKey, COUNT(*), SUM(T.dummy2) AS total, MIN(dummy2), "
+      "MAX(T.dummy2) "
+      "FROM T, L "
+      "WHERE T.joinKey = L.joinKey AND T.predAfterJoin >= DATE '2014-01-01' "
+      "AND L.groupByExtractCol LIKE 'g1%' "
+      "AND (T.corPred < 5 OR NOT T.indPred BETWEEN 10 AND 20) "
+      "GROUP BY L.joinKey");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_FALSE(q->agg.extract_group);
+  ASSERT_EQ(q->agg.items.size(), 4u);
+  EXPECT_EQ(q->agg.items[1].result_name, "total");
+  EXPECT_EQ(q->agg.items[1].column, "T.dummy2");
+  EXPECT_EQ(q->agg.items[2].op, AggOp::kMin);
+  // Date literal resolved to days-since-epoch.
+  EXPECT_NE(q->db.predicate->ToString().find(
+                std::to_string(DaysFromCivil(2014, 1, 1))),
+            std::string::npos);
+  // LIKE became a prefix predicate on the HDFS side.
+  EXPECT_NE(q->hdfs.predicate->ToString().find("LIKE 'g1%'"),
+            std::string::npos);
+}
+
+TEST_F(SqlParserTest, RejectsMalformedStatements) {
+  // Missing join.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "GROUP BY L.joinKey")
+                   .ok());
+  // No aggregate.
+  EXPECT_FALSE(Parse("SELECT L.joinKey FROM T, L "
+                     "WHERE T.joinKey = L.joinKey GROUP BY L.joinKey")
+                   .ok());
+  // GROUP BY mismatch.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey GROUP BY L.corPred")
+                   .ok());
+  // Unknown column.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey AND T.bogus < 1 "
+                     "GROUP BY L.joinKey")
+                   .ok());
+  // Unknown table.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM X, L "
+                     "WHERE X.joinKey = L.joinKey GROUP BY L.joinKey")
+                   .ok());
+  // OR across sides.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey AND "
+                     "(T.corPred < 1 OR L.corPred < 1) "
+                     "GROUP BY L.joinKey")
+                   .ok());
+  // Two joins.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey AND T.corPred = L.corPred "
+                     "GROUP BY L.joinKey")
+                   .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(Parse("SELECT L.joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey GROUP BY L.joinKey LIMIT 5")
+                   .ok());
+  // Ambiguous unqualified column (joinKey exists on both sides).
+  EXPECT_FALSE(Parse("SELECT joinKey, COUNT(*) FROM T, L "
+                     "WHERE T.joinKey = L.joinKey GROUP BY joinKey")
+                   .ok());
+}
+
+// --------------------------- End-to-end via SQL ---------------------------
+
+TEST(SqlEndToEndTest, SqlMatchesHandBuiltQuery) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 512;
+  wc.t_rows = 10000;
+  wc.l_rows = 40000;
+  auto workload = Workload::Generate(wc, {0.2, 0.3, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+  SimulationConfig config;
+  config.db.num_workers = 3;
+  config.jen_workers = 3;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+
+  const HybridQuery hand_built = workload->MakeQuery();
+  const SolvedSpec& solved = workload->solved();
+  const std::string statement =
+      "SELECT extract_group(L.groupByExtractCol), COUNT(*) FROM T, L "
+      "WHERE T.corPred < " + std::to_string(solved.t_cor_lit) +
+      " AND T.indPred < " + std::to_string(solved.t_ind_lit) +
+      " AND L.corPred < " + std::to_string(solved.l_cor_lit) +
+      " AND L.indPred < " + std::to_string(solved.l_ind_lit) +
+      " AND T.joinKey = L.joinKey"
+      " AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1 "
+      "GROUP BY extract_group(L.groupByExtractCol)";
+
+  auto via_sql = hw.ExecuteSql(statement, JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(via_sql.ok()) << via_sql.status();
+  auto direct = hw.Execute(hand_built, JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_sql->rows.num_rows(), direct->rows.num_rows());
+  ASSERT_GT(via_sql->rows.num_rows(), 0u);
+  for (size_t r = 0; r < via_sql->rows.num_rows(); ++r) {
+    EXPECT_EQ(via_sql->rows.column(0).i64()[r],
+              direct->rows.column(0).i64()[r]);
+    EXPECT_EQ(via_sql->rows.column(1).i64()[r],
+              direct->rows.column(1).i64()[r]);
+  }
+
+  // The warehouse resolver rejects unknown tables.
+  EXPECT_FALSE(hw.ParseSql("SELECT x.a, COUNT(*) FROM nope x, L "
+                           "WHERE x.a = L.joinKey GROUP BY x.a")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,175 @@
+// Unit tests for the type system: DataType, Value, Schema, ColumnVector,
+// RecordBatch and the wire serde.
+
+#include <gtest/gtest.h>
+
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+namespace {
+
+TEST(DataTypeTest, PhysicalMapping) {
+  EXPECT_EQ(PhysicalTypeOf(DataType::kDate), PhysicalType::kInt32);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kTime), PhysicalType::kInt32);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kInt64), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kString), PhysicalType::kString);
+  EXPECT_EQ(FixedWidthOf(DataType::kInt32), 4u);
+  EXPECT_EQ(FixedWidthOf(DataType::kFloat64), 8u);
+  EXPECT_EQ(FixedWidthOf(DataType::kString), 0u);
+}
+
+TEST(DataTypeTest, ParseNames) {
+  DataType t;
+  EXPECT_TRUE(ParseDataType("int32", &t));
+  EXPECT_EQ(t, DataType::kInt32);
+  EXPECT_TRUE(ParseDataType("bigint", &t));
+  EXPECT_EQ(t, DataType::kInt64);
+  EXPECT_TRUE(ParseDataType("varchar", &t));
+  EXPECT_EQ(t, DataType::kString);
+  EXPECT_TRUE(ParseDataType("date", &t));
+  EXPECT_EQ(t, DataType::kDate);
+  EXPECT_FALSE(ParseDataType("blob", &t));
+}
+
+TEST(ValueTest, TypedAccessors) {
+  Value i32(int32_t{5});
+  Value i64(int64_t{5});
+  Value str("abc");
+  EXPECT_TRUE(i32.is_int32());
+  EXPECT_TRUE(i64.is_int64());
+  EXPECT_FALSE(i32.is_int64());
+  EXPECT_EQ(i32.AsInt64Lenient(), 5);
+  EXPECT_EQ(i64.AsInt64Lenient(), 5);
+  EXPECT_EQ(str.as_string(), "abc");
+  EXPECT_EQ(str.ToString(), "abc");
+  EXPECT_EQ(i32.ToString(), "5");
+}
+
+TEST(SchemaTest, IndexOfAndProject) {
+  auto schema = Schema::Make(
+      {{"a", DataType::kInt32}, {"b", DataType::kString},
+       {"c", DataType::kDate}});
+  EXPECT_EQ(schema->IndexOf("b").value(), 1u);
+  EXPECT_FALSE(schema->IndexOf("zz").ok());
+  EXPECT_TRUE(schema->HasColumn("c"));
+  auto projected = schema->Project({2, 0});
+  ASSERT_EQ(projected->num_fields(), 2u);
+  EXPECT_EQ(projected->field(0).name, "c");
+  EXPECT_EQ(projected->field(1).name, "a");
+  EXPECT_NE(schema->ToString().find("b string"), std::string::npos);
+}
+
+RecordBatch MakeBatch() {
+  auto schema = Schema::Make({{"k", DataType::kInt32},
+                              {"v", DataType::kInt64},
+                              {"s", DataType::kString}});
+  RecordBatch b(schema);
+  b.AppendRow({Value(int32_t{1}), Value(int64_t{10}), Value("one")});
+  b.AppendRow({Value(int32_t{2}), Value(int64_t{20}), Value("two")});
+  b.AppendRow({Value(int32_t{3}), Value(int64_t{30}), Value("three")});
+  return b;
+}
+
+TEST(RecordBatchTest, BasicShape) {
+  RecordBatch b = MakeBatch();
+  EXPECT_EQ(b.num_rows(), 3u);
+  EXPECT_EQ(b.num_columns(), 3u);
+  EXPECT_EQ(b.column(0).i32()[1], 2);
+  EXPECT_EQ(b.column(2).str()[2], "three");
+  EXPECT_GT(b.ByteSize(), 0u);
+}
+
+TEST(RecordBatchTest, GatherSelectsRows) {
+  RecordBatch b = MakeBatch();
+  RecordBatch g = b.Gather({2, 0});
+  ASSERT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.column(0).i32()[0], 3);
+  EXPECT_EQ(g.column(0).i32()[1], 1);
+  EXPECT_EQ(g.column(2).str()[0], "three");
+}
+
+TEST(RecordBatchTest, ProjectReordersColumns) {
+  RecordBatch b = MakeBatch();
+  RecordBatch p = b.Project({2, 0});
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.schema()->field(0).name, "s");
+  EXPECT_EQ(p.column(1).i32()[0], 1);
+}
+
+TEST(RecordBatchTest, AppendRowFromAnotherBatch) {
+  RecordBatch src = MakeBatch();
+  RecordBatch dst(src.schema());
+  dst.AppendRowFrom(src, 1);
+  ASSERT_EQ(dst.num_rows(), 1u);
+  EXPECT_EQ(dst.column(2).str()[0], "two");
+}
+
+TEST(RecordBatchTest, SerdeRoundTrip) {
+  RecordBatch b = MakeBatch();
+  auto bytes = b.Serialize();
+  auto decoded = RecordBatch::Deserialize(bytes, b.schema());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(decoded->column(0).i32()[r], b.column(0).i32()[r]);
+    EXPECT_EQ(decoded->column(1).i64()[r], b.column(1).i64()[r]);
+    EXPECT_EQ(decoded->column(2).str()[r], b.column(2).str()[r]);
+  }
+}
+
+TEST(RecordBatchTest, SerdeEmptyBatch) {
+  RecordBatch b(MakeBatch().schema());
+  auto decoded = RecordBatch::Deserialize(b.Serialize(), b.schema());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_rows(), 0u);
+}
+
+TEST(RecordBatchTest, SerdeRejectsSchemaMismatch) {
+  RecordBatch b = MakeBatch();
+  auto bytes = b.Serialize();
+  auto wrong = Schema::Make({{"k", DataType::kInt32}});
+  EXPECT_FALSE(RecordBatch::Deserialize(bytes, wrong).ok());
+  auto wrong_type = Schema::Make({{"k", DataType::kString},
+                                  {"v", DataType::kInt64},
+                                  {"s", DataType::kString}});
+  EXPECT_FALSE(RecordBatch::Deserialize(bytes, wrong_type).ok());
+}
+
+TEST(RecordBatchTest, SerdeRejectsTruncation) {
+  RecordBatch b = MakeBatch();
+  auto bytes = b.Serialize();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(RecordBatch::Deserialize(bytes, b.schema()).ok());
+}
+
+TEST(RecordBatchTest, DateAndTimeLogicalTypesSurviveSerde) {
+  auto schema =
+      Schema::Make({{"d", DataType::kDate}, {"t", DataType::kTime}});
+  RecordBatch b(schema);
+  b.AppendRow({Value(int32_t{16000}), Value(int32_t{3661})});
+  auto decoded = RecordBatch::Deserialize(b.Serialize(), schema);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->column(0).type(), DataType::kDate);
+  EXPECT_EQ(decoded->column(0).i32()[0], 16000);
+}
+
+TEST(RecordBatchTest, ConcatBatches) {
+  RecordBatch a = MakeBatch();
+  RecordBatch b = MakeBatch();
+  RecordBatch all = ConcatBatches(a.schema(), {a, b});
+  EXPECT_EQ(all.num_rows(), 6u);
+  EXPECT_EQ(all.column(0).i32()[3], 1);
+}
+
+TEST(ColumnVectorTest, GetAndAppendValue) {
+  ColumnVector c(DataType::kString);
+  c.AppendValue(Value("x"));
+  EXPECT_EQ(c.GetValue(0).as_string(), "x");
+  ColumnVector i(DataType::kInt32);
+  i.AppendValue(Value(int32_t{4}));
+  EXPECT_EQ(i.GetValue(0).as_int32(), 4);
+  EXPECT_EQ(i.ByteSize(), 4u);
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -1,0 +1,210 @@
+// Tests for the workload generator: the selectivity solver's guarantees and
+// the achieved selectivities of generated data (property-style sweeps over
+// the paper's parameter grid).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "expr/scalar_functions.h"
+#include "workload/generator.h"
+
+namespace hybridjoin {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig wc;
+  wc.num_join_keys = 2048;
+  wc.t_rows = 60000;
+  wc.l_rows = 120000;
+  return wc;
+}
+
+// Measures the actual selectivities of a generated workload.
+struct Measured {
+  double sigma_t;
+  double sigma_l;
+  double st;  // |JK(T') ∩ JK(L')| / |JK(T')|
+  double sl;
+};
+
+Measured Measure(const Workload& w) {
+  const HybridQuery q = w.MakeQuery();
+  const RecordBatch& t = w.t_rows();
+  auto t_sel = q.db.predicate->FilterAll(t);
+  EXPECT_TRUE(t_sel.ok());
+  std::set<int32_t> t_keys;
+  for (uint32_t r : *t_sel) t_keys.insert(t.column(1).i32()[r]);
+
+  size_t l_total = 0;
+  size_t l_kept = 0;
+  std::set<int32_t> l_keys;
+  for (const RecordBatch& b : w.l_batches()) {
+    auto sel = q.hdfs.predicate->FilterAll(b);
+    EXPECT_TRUE(sel.ok());
+    l_total += b.num_rows();
+    l_kept += sel->size();
+    for (uint32_t r : *sel) l_keys.insert(b.column(0).i32()[r]);
+  }
+  std::set<int32_t> both;
+  for (int32_t k : t_keys) {
+    if (l_keys.count(k)) both.insert(k);
+  }
+  Measured m;
+  m.sigma_t = static_cast<double>(t_sel->size()) /
+              static_cast<double>(t.num_rows());
+  m.sigma_l = static_cast<double>(l_kept) / static_cast<double>(l_total);
+  m.st = t_keys.empty() ? 0
+                        : static_cast<double>(both.size()) /
+                              static_cast<double>(t_keys.size());
+  m.sl = l_keys.empty() ? 0
+                        : static_cast<double>(both.size()) /
+                              static_cast<double>(l_keys.size());
+  return m;
+}
+
+TEST(SolverTest, ExactWhenFeasible) {
+  WorkloadConfig wc = SmallConfig();
+  // The Table-1 cell of the paper.
+  SelectivitySpec spec{0.1, 0.4, 0.2, 0.1};
+  auto solved = SolveSelectivities(spec, wc);
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  EXPECT_LE(solved->wt, 1.0);
+  EXPECT_LE(solved->wl, 1.0);
+  EXPECT_LE(solved->bt, 1.0);
+  EXPECT_LE(solved->bl, 1.0);
+  EXPECT_NEAR(solved->wt * solved->bt, spec.sigma_t, 1e-9);
+  EXPECT_NEAR(solved->wl * solved->bl, spec.sigma_l, 1e-9);
+  // Windows fit in [0, 1).
+  EXPECT_LE(solved->offset_l + solved->wl, 1.0 + 1e-9);
+}
+
+TEST(SolverTest, RejectsBadInput) {
+  WorkloadConfig wc = SmallConfig();
+  EXPECT_FALSE(SolveSelectivities({0.0, 0.1, 0.5, 0.5}, wc).ok());
+  EXPECT_FALSE(SolveSelectivities({0.1, 1.5, 0.5, 0.5}, wc).ok());
+  EXPECT_FALSE(SolveSelectivities({0.7, 0.7, 0.5, 0.5}, wc).ok());
+}
+
+TEST(SolverTest, InfeasibleTargetsDegradeGracefully) {
+  WorkloadConfig wc = SmallConfig();
+  // sigma_l = 0.4 with sl = 0.4 and st = 0.2 cannot be packed exactly
+  // (see generator.h); the solver must still produce valid windows.
+  auto solved = SolveSelectivities({0.1, 0.4, 0.2, 0.4}, wc);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_LE(solved->bt, 1.0 + 1e-9);
+  EXPECT_LE(solved->bl, 1.0 + 1e-9);
+  EXPECT_LE(solved->wt + solved->wl - (solved->wt - solved->offset_l), 1.01);
+}
+
+struct SpecCase {
+  SelectivitySpec spec;
+};
+
+class GeneratorSelectivity : public testing::TestWithParam<SpecCase> {};
+
+TEST_P(GeneratorSelectivity, AchievedMatchesTargets) {
+  const SelectivitySpec spec = GetParam().spec;
+  auto w = Workload::Generate(SmallConfig(), spec);
+  ASSERT_TRUE(w.ok()) << w.status();
+  const Measured m = Measure(*w);
+  // Tuple selectivities are tight (law of large numbers over rows).
+  EXPECT_NEAR(m.sigma_t, spec.sigma_t, spec.sigma_t * 0.15 + 0.005);
+  EXPECT_NEAR(m.sigma_l, spec.sigma_l, spec.sigma_l * 0.15 + 0.005);
+  // Join-key selectivities are noisier (key-level sampling + indPred
+  // dilution of rare keys) but must track the target.
+  EXPECT_NEAR(m.st, spec.st, spec.st * 0.25 + 0.05);
+  EXPECT_NEAR(m.sl, spec.sl, spec.sl * 0.25 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, GeneratorSelectivity,
+    testing::Values(SpecCase{{0.1, 0.4, 0.2, 0.1}},   // Table 1
+                    SpecCase{{0.1, 0.1, 0.5, 0.5}},
+                    SpecCase{{0.1, 0.2, 0.5, 0.5}},
+                    SpecCase{{0.2, 0.2, 0.1, 0.2}},
+                    SpecCase{{0.1, 0.4, 0.5, 0.8}},   // Fig 9(a)
+                    SpecCase{{0.1, 0.4, 0.5, 0.1}},
+                    SpecCase{{0.05, 0.2, 0.5, 0.05}},
+                    SpecCase{{0.01, 0.01, 1.0, 1.0}}));
+
+TEST(GeneratorTest, SchemasMatchThePaper) {
+  auto t = Workload::TSchema();
+  ASSERT_EQ(t->num_fields(), 8u);
+  EXPECT_EQ(t->field(0).name, "uniqKey");
+  EXPECT_EQ(t->field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->field(4).type, DataType::kDate);
+  EXPECT_EQ(t->field(7).type, DataType::kTime);
+  auto l = Workload::LSchema();
+  ASSERT_EQ(l->num_fields(), 6u);
+  EXPECT_EQ(l->field(4).name, "groupByExtractCol");
+}
+
+TEST(GeneratorTest, RowCountsAndDeterminism) {
+  WorkloadConfig wc = SmallConfig();
+  wc.batch_rows = 7000;
+  auto a = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  auto b = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->t_rows().num_rows(), wc.t_rows);
+  size_t l_rows = 0;
+  for (const auto& batch : a->l_batches()) {
+    l_rows += batch.num_rows();
+    EXPECT_LE(batch.num_rows(), wc.batch_rows);
+  }
+  EXPECT_EQ(l_rows, wc.l_rows);
+  // Same seed, same data.
+  EXPECT_EQ(a->t_rows().column(1).i32(), b->t_rows().column(1).i32());
+  EXPECT_EQ(a->l_batches()[0].column(4).str(),
+            b->l_batches()[0].column(4).str());
+  // Different seed, different data.
+  wc.seed = 99;
+  auto c = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->t_rows().column(1).i32(), c->t_rows().column(1).i32());
+}
+
+TEST(GeneratorTest, QueryValidatesAndGroupValuesParse) {
+  auto w = Workload::Generate(SmallConfig(), {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(w.ok());
+  const HybridQuery q = w->MakeQuery();
+  EXPECT_TRUE(q.Validate().ok()) << q.Validate();
+  // groupByExtractCol values parse to group ids < num_groups.
+  const auto& col = w->l_batches()[0].column(4).str();
+  for (size_t r = 0; r < std::min<size_t>(col.size(), 100); ++r) {
+    const int32_t g = ExtractGroup(col[r]);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, static_cast<int32_t>(SmallConfig().num_groups));
+  }
+}
+
+TEST(GeneratorTest, CorPredIsKeyCorrelated) {
+  auto w = Workload::Generate(SmallConfig(), {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(w.ok());
+  // Same join key -> same corPred, on both tables.
+  std::map<int32_t, int32_t> t_map;
+  const RecordBatch& t = w->t_rows();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int32_t k = t.column(1).i32()[r];
+    const int32_t c = t.column(2).i32()[r];
+    auto [it, inserted] = t_map.insert({k, c});
+    if (!inserted) {
+      EXPECT_EQ(it->second, c);
+    }
+  }
+  std::map<int32_t, int32_t> l_map;
+  const RecordBatch& l = w->l_batches()[0];
+  for (size_t r = 0; r < l.num_rows(); ++r) {
+    const int32_t k = l.column(0).i32()[r];
+    const int32_t c = l.column(1).i32()[r];
+    auto [it, inserted] = l_map.insert({k, c});
+    if (!inserted) {
+      EXPECT_EQ(it->second, c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridjoin
