@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_semijoin.dir/bench_ablation_semijoin.cc.o"
+  "CMakeFiles/bench_ablation_semijoin.dir/bench_ablation_semijoin.cc.o.d"
+  "bench_ablation_semijoin"
+  "bench_ablation_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_broadcast_vs_repartition.dir/bench_fig10_broadcast_vs_repartition.cc.o"
+  "CMakeFiles/bench_fig10_broadcast_vs_repartition.dir/bench_fig10_broadcast_vs_repartition.cc.o.d"
+  "bench_fig10_broadcast_vs_repartition"
+  "bench_fig10_broadcast_vs_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_broadcast_vs_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_db_vs_hdfs_nobf.dir/bench_fig12_db_vs_hdfs_nobf.cc.o"
+  "CMakeFiles/bench_fig12_db_vs_hdfs_nobf.dir/bench_fig12_db_vs_hdfs_nobf.cc.o.d"
+  "bench_fig12_db_vs_hdfs_nobf"
+  "bench_fig12_db_vs_hdfs_nobf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_db_vs_hdfs_nobf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_db_vs_hdfs_bf.dir/bench_fig13_db_vs_hdfs_bf.cc.o"
+  "CMakeFiles/bench_fig13_db_vs_hdfs_bf.dir/bench_fig13_db_vs_hdfs_bf.cc.o.d"
+  "bench_fig13_db_vs_hdfs_bf"
+  "bench_fig13_db_vs_hdfs_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_db_vs_hdfs_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_db_vs_hdfs_bf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_format.dir/bench_fig14_format.cc.o"
+  "CMakeFiles/bench_fig14_format.dir/bench_fig14_format.cc.o.d"
+  "bench_fig14_format"
+  "bench_fig14_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_text_bloom.dir/bench_fig15_text_bloom.cc.o"
+  "CMakeFiles/bench_fig15_text_bloom.dir/bench_fig15_text_bloom.cc.o.d"
+  "bench_fig15_text_bloom"
+  "bench_fig15_text_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_text_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

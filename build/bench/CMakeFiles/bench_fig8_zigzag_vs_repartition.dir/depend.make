@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_zigzag_vs_repartition.
+# This may be replaced when dependencies are built.

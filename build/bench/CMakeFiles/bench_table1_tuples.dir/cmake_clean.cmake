@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tuples.dir/bench_table1_tuples.cc.o"
+  "CMakeFiles/bench_table1_tuples.dir/bench_table1_tuples.cc.o.d"
+  "bench_table1_tuples"
+  "bench_table1_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_analysis.dir/clickstream_analysis.cc.o"
+  "CMakeFiles/clickstream_analysis.dir/clickstream_analysis.cc.o.d"
+  "clickstream_analysis"
+  "clickstream_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_comparison.dir/format_comparison.cc.o"
+  "CMakeFiles/format_comparison.dir/format_comparison.cc.o.d"
+  "format_comparison"
+  "format_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cc" "src/CMakeFiles/hybridjoin.dir/bloom/bloom_filter.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/bloom/bloom_filter.cc.o.d"
+  "/root/repo/src/common/compress.cc" "src/CMakeFiles/hybridjoin.dir/common/compress.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/common/compress.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hybridjoin.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hybridjoin.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/common/status.cc.o.d"
+  "/root/repo/src/edw/db_cluster.cc" "src/CMakeFiles/hybridjoin.dir/edw/db_cluster.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/edw/db_cluster.cc.o.d"
+  "/root/repo/src/edw/db_index.cc" "src/CMakeFiles/hybridjoin.dir/edw/db_index.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/edw/db_index.cc.o.d"
+  "/root/repo/src/exec/aggregator.cc" "src/CMakeFiles/hybridjoin.dir/exec/aggregator.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/exec/aggregator.cc.o.d"
+  "/root/repo/src/exec/grace_join.cc" "src/CMakeFiles/hybridjoin.dir/exec/grace_join.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/exec/grace_join.cc.o.d"
+  "/root/repo/src/exec/join_hash_table.cc" "src/CMakeFiles/hybridjoin.dir/exec/join_hash_table.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/exec/join_hash_table.cc.o.d"
+  "/root/repo/src/exec/join_prober.cc" "src/CMakeFiles/hybridjoin.dir/exec/join_prober.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/exec/join_prober.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/CMakeFiles/hybridjoin.dir/expr/predicate.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/expr/predicate.cc.o.d"
+  "/root/repo/src/expr/scalar_functions.cc" "src/CMakeFiles/hybridjoin.dir/expr/scalar_functions.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/expr/scalar_functions.cc.o.d"
+  "/root/repo/src/hdfs/datanode.cc" "src/CMakeFiles/hybridjoin.dir/hdfs/datanode.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hdfs/datanode.cc.o.d"
+  "/root/repo/src/hdfs/format.cc" "src/CMakeFiles/hybridjoin.dir/hdfs/format.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hdfs/format.cc.o.d"
+  "/root/repo/src/hdfs/hcatalog.cc" "src/CMakeFiles/hybridjoin.dir/hdfs/hcatalog.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hdfs/hcatalog.cc.o.d"
+  "/root/repo/src/hdfs/namenode.cc" "src/CMakeFiles/hybridjoin.dir/hdfs/namenode.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hdfs/namenode.cc.o.d"
+  "/root/repo/src/hdfs/table_writer.cc" "src/CMakeFiles/hybridjoin.dir/hdfs/table_writer.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hdfs/table_writer.cc.o.d"
+  "/root/repo/src/hybrid/advisor.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/advisor.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/advisor.cc.o.d"
+  "/root/repo/src/hybrid/config.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/config.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/config.cc.o.d"
+  "/root/repo/src/hybrid/context.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/context.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/context.cc.o.d"
+  "/root/repo/src/hybrid/db_side_join.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/db_side_join.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/db_side_join.cc.o.d"
+  "/root/repo/src/hybrid/driver_common.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/driver_common.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/driver_common.cc.o.d"
+  "/root/repo/src/hybrid/hdfs_side_join.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/hdfs_side_join.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/hdfs_side_join.cc.o.d"
+  "/root/repo/src/hybrid/prepare.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/prepare.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/prepare.cc.o.d"
+  "/root/repo/src/hybrid/query.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/query.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/query.cc.o.d"
+  "/root/repo/src/hybrid/reference.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/reference.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/reference.cc.o.d"
+  "/root/repo/src/hybrid/report.cc" "src/CMakeFiles/hybridjoin.dir/hybrid/report.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/hybrid/report.cc.o.d"
+  "/root/repo/src/jen/coordinator.cc" "src/CMakeFiles/hybridjoin.dir/jen/coordinator.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/jen/coordinator.cc.o.d"
+  "/root/repo/src/jen/exchange.cc" "src/CMakeFiles/hybridjoin.dir/jen/exchange.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/jen/exchange.cc.o.d"
+  "/root/repo/src/jen/worker.cc" "src/CMakeFiles/hybridjoin.dir/jen/worker.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/jen/worker.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/hybridjoin.dir/net/network.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/net/network.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/hybridjoin.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/hybridjoin.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/sql/parser.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/hybridjoin.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/record_batch.cc" "src/CMakeFiles/hybridjoin.dir/types/record_batch.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/types/record_batch.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/hybridjoin.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/loader.cc" "src/CMakeFiles/hybridjoin.dir/workload/loader.cc.o" "gcc" "src/CMakeFiles/hybridjoin.dir/workload/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_strategy_test.dir/db_strategy_test.cc.o"
+  "CMakeFiles/db_strategy_test.dir/db_strategy_test.cc.o.d"
+  "db_strategy_test"
+  "db_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edw_test.dir/edw_test.cc.o"
+  "CMakeFiles/edw_test.dir/edw_test.cc.o.d"
+  "edw_test"
+  "edw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grace_join_test.dir/grace_join_test.cc.o"
+  "CMakeFiles/grace_join_test.dir/grace_join_test.cc.o.d"
+  "grace_join_test"
+  "grace_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grace_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_join_test.dir/hybrid_join_test.cc.o"
+  "CMakeFiles/hybrid_join_test.dir/hybrid_join_test.cc.o.d"
+  "hybrid_join_test"
+  "hybrid_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jen_test.dir/jen_test.cc.o"
+  "CMakeFiles/jen_test.dir/jen_test.cc.o.d"
+  "jen_test"
+  "jen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
