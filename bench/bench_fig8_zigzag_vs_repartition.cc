@@ -5,6 +5,13 @@
 // Paper's shape: zigzag is fastest everywhere — up to 2.1x over plain
 // repartition and up to 1.8x over repartition(BF); all three grow modestly
 // with sigma_L.
+//
+// Besides the printed table this bench writes BENCH_fig8.json: every cell's
+// wall times plus the trace-derived per-phase latency summaries
+// (ExecutionReport::histograms), a perf-trajectory baseline for future PRs.
+
+#include <sstream>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -13,8 +20,41 @@ using namespace hybridjoin::bench;
 
 namespace {
 
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string PhasesJson(const ExecutionReport& report) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& [name, h] : report.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"count\":" << h.count
+        << ",\"total_seconds\":" << Num(h.total_seconds)
+        << ",\"p50_seconds\":" << Num(h.p50_seconds)
+        << ",\"p95_seconds\":" << Num(h.p95_seconds)
+        << ",\"p99_seconds\":" << Num(h.p99_seconds) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string AlgorithmJson(JoinAlgorithm algorithm, double wall,
+                          const ExecutionReport& report) {
+  std::ostringstream out;
+  out << "{\"algorithm\":\"" << JoinAlgorithmName(algorithm)
+      << "\",\"wall_seconds\":" << Num(wall)
+      << ",\"phases\":" << PhasesJson(report) << "}";
+  return out.str();
+}
+
 void RunSubfigure(const BenchConfig& config, const char* label,
-                  double sigma_t, double sl) {
+                  double sigma_t, double sl,
+                  std::vector<std::string>* json_cells) {
   std::printf("\n--- Figure 8(%s): sigma_T=%.2f, S_L'=%.2f ---\n", label,
               sigma_t, sl);
   std::printf("%8s %6s %15s %18s %10s\n", "sigma_L", "S_T'", "repartition(s)",
@@ -29,11 +69,28 @@ void RunSubfigure(const BenchConfig& config, const char* label,
       const SelectivitySpec spec{sigma_t, sigma_l, st, sl};
       auto cell = BenchCell::Create(config, spec, HdfsFormat::kColumnar);
       if (cell == nullptr) continue;
-      const double repart = cell->Run(JoinAlgorithm::kRepartition);
-      const double repart_bf = cell->Run(JoinAlgorithm::kRepartitionBloom);
-      const double zigzag = cell->Run(JoinAlgorithm::kZigzag);
+      // Trace the runs so the JSON baseline carries per-phase latencies
+      // (disabled-tracer overhead is <2%, enabled is in the same ballpark).
+      cell->warehouse().context().tracer().set_enabled(true);
+      ExecutionReport r_repart, r_repart_bf, r_zigzag;
+      const double repart = cell->Run(JoinAlgorithm::kRepartition, &r_repart);
+      const double repart_bf =
+          cell->Run(JoinAlgorithm::kRepartitionBloom, &r_repart_bf);
+      const double zigzag = cell->Run(JoinAlgorithm::kZigzag, &r_zigzag);
       std::printf("%8.2f %6.2f %15.3f %18.3f %10.3f\n", sigma_l, st, repart,
                   repart_bf, zigzag);
+      std::ostringstream cell_json;
+      cell_json << "{\"subfigure\":\"" << label
+                << "\",\"sigma_t\":" << Num(sigma_t) << ",\"sl\":" << Num(sl)
+                << ",\"sigma_l\":" << Num(sigma_l) << ",\"st\":" << Num(st)
+                << ",\"algorithms\":["
+                << AlgorithmJson(JoinAlgorithm::kRepartition, repart, r_repart)
+                << ","
+                << AlgorithmJson(JoinAlgorithm::kRepartitionBloom, repart_bf,
+                                 r_repart_bf)
+                << "," << AlgorithmJson(JoinAlgorithm::kZigzag, zigzag, r_zigzag)
+                << "]}";
+      json_cells->push_back(cell_json.str());
       sum_repart += repart;
       sum_repart_bf += repart_bf;
       sum_zigzag += zigzag;
@@ -57,7 +114,31 @@ int main() {
   const BenchConfig config = BenchConfig::FromEnv();
   PrintPreamble("Figure 8", "zigzag vs repartition joins, execution time",
                 config);
-  RunSubfigure(config, "a", 0.1, 0.1);
-  RunSubfigure(config, "b", 0.2, 0.2);
+  std::vector<std::string> cells;
+  RunSubfigure(config, "a", 0.1, 0.1, &cells);
+  RunSubfigure(config, "b", 0.2, 0.2, &cells);
+
+  const char* out_path = "BENCH_fig8.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path);
+    return 1;
+  }
+  std::ostringstream doc;
+  doc << "{\"exhibit\":\"fig8\",\"workload\":{"
+      << "\"t_rows\":" << config.workload.t_rows
+      << ",\"l_rows\":" << config.workload.l_rows
+      << ",\"join_keys\":" << config.workload.num_join_keys
+      << ",\"db_workers\":" << config.db_workers
+      << ",\"jen_workers\":" << config.jen_workers << "},\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) doc << ",";
+    doc << cells[i];
+  }
+  doc << "]}\n";
+  std::fputs(doc.str().c_str(), out);
+  std::fclose(out);
+  std::printf("wrote per-phase latency baseline to %s (%zu cells)\n", out_path,
+              cells.size());
   return 0;
 }

@@ -3,15 +3,31 @@
 // report.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --trace_out=query.json   # Chrome/Perfetto trace
+//
+// Open the trace file in chrome://tracing or https://ui.perfetto.dev to see
+// the per-node, per-thread phase breakdown.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "hybrid/warehouse.h"
 #include "workload/loader.h"
 
 using namespace hybridjoin;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kTraceFlag[] = "--trace_out=";
+    if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
+      trace_out = argv[i] + sizeof(kTraceFlag) - 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace_out=FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
   // 1. Generate a small workload: T (transactions, database side) and
   //    L (logs, HDFS side), with 10% local-predicate selectivity on both
   //    sides and 50% join-key selectivity.
@@ -33,6 +49,10 @@ int main() {
   config.db.num_workers = 4;
   config.jen_workers = 4;
   config.bloom.expected_keys = wc.num_join_keys;
+  if (!trace_out.empty()) {
+    config.trace.enabled = true;
+    config.trace.chrome_out = trace_out;
+  }
   HybridWarehouse warehouse(config);
 
   // 3. Load T into the database (hash-partitioned, with covering indexes)

@@ -1,6 +1,9 @@
-// Metrics: thread-safe named counters collected during a query execution.
-// Every join driver returns a snapshot of these in its ExecutionReport, and
-// the Table-1 bench reads the tuple-movement counters from here.
+// Metrics: thread-safe named counters and latency histograms collected
+// during a query execution. Every join driver returns a snapshot of these
+// in its ExecutionReport, and the Table-1 bench reads the tuple-movement
+// counters from here. Histograms are fed by the tracing subsystem
+// (src/trace/): every finished span's duration is recorded under the
+// span's name.
 
 #ifndef HYBRIDJOIN_COMMON_METRICS_H_
 #define HYBRIDJOIN_COMMON_METRICS_H_
@@ -11,6 +14,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "common/histogram.h"
 
 namespace hybridjoin {
 
@@ -52,16 +57,41 @@ class Metrics {
     return out;
   }
 
+  /// Returns (creating if needed) the latency histogram with this name.
+  /// Handles are stable for the registry's lifetime; RecordMicros on a
+  /// handle is lock-free.
+  LatencyHistogram* GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return slot.get();
+  }
+
+  /// Point-in-time percentile summaries of every non-empty histogram.
+  std::map<std::string, HistogramSummary> HistogramSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, HistogramSummary> out;
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSummary s = histogram->Summarize();
+      if (s.count > 0) out[name] = s;
+    }
+    return out;
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_) {
       counter->store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, histogram] : histograms_) {
+      histogram->Reset();
     }
   }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 
 // Canonical counter names used by the engine. Kept as constants so benches,

@@ -107,6 +107,21 @@ Status DbCluster::CreateIndex(const std::string& table,
     }
     data = &it->second;
   }
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  // Validate against the schema up front: partitions may be empty at DDL
+  // time, so the per-partition Build() cannot be relied on to reject bad
+  // column lists.
+  for (const std::string& column : columns) {
+    HJ_ASSIGN_OR_RETURN(size_t idx, data->meta.schema->IndexOf(column));
+    const PhysicalType type =
+        PhysicalTypeOf(data->meta.schema->field(idx).type);
+    if (type != PhysicalType::kInt32 && type != PhysicalType::kInt64) {
+      return Status::InvalidArgument("index column '" + column +
+                                     "' is not integer-typed");
+    }
+  }
   const std::string key = IndexKey(columns);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     HJ_ASSIGN_OR_RETURN(DbPartitionIndex index,
@@ -156,6 +171,8 @@ Result<const std::vector<RecordBatch>*> DbWorker::Partition(
 Result<std::vector<RecordBatch>> DbWorker::ScanFilterProject(
     const std::string& table, const PredicatePtr& predicate,
     const std::vector<std::string>& projection, Metrics* metrics) const {
+  trace::Span span(cluster_->tracer(), trace::span::kDbScan,
+                   trace::span::kCatScan, node());
   HJ_ASSIGN_OR_RETURN(const std::vector<RecordBatch>* partition,
                       Partition(table));
   std::vector<RecordBatch> out;
@@ -190,6 +207,8 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
                                               const std::string& key_column,
                                               const BloomParams& params,
                                               bool* used_index) const {
+  trace::Span span(cluster_->tracer(), trace::span::kDbBloomBuild,
+                   trace::span::kCatScan, node());
   const DbCluster::TableData* data = cluster_->FindTable(table);
   if (data == nullptr) {
     return Status::NotFound("db table '" + table + "' does not exist");

@@ -18,6 +18,7 @@
 #include "edw/db_index.h"
 #include "expr/predicate.h"
 #include "net/network.h"
+#include "trace/tracer.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -79,6 +80,11 @@ class DbCluster {
   uint32_t num_workers() const { return config_.num_workers; }
   DbWorker* worker(uint32_t i) { return workers_[i].get(); }
 
+  /// Installs the tracer recording edw.scan / edw.bloom_build spans
+  /// (nullptr disables, the default).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Registers a table in the catalog.
   Status CreateTable(DbTableMeta meta);
 
@@ -109,6 +115,7 @@ class DbCluster {
   const TableData* FindTable(const std::string& name) const;
 
   DbConfig config_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<DbWorker>> workers_;
   mutable std::mutex mu_;
   std::map<std::string, TableData> tables_;

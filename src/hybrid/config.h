@@ -7,12 +7,24 @@
 #ifndef HYBRIDJOIN_HYBRID_CONFIG_H_
 #define HYBRIDJOIN_HYBRID_CONFIG_H_
 
+#include <string>
+
 #include "edw/db_cluster.h"
 #include "hdfs/datanode.h"
 #include "jen/coordinator.h"
 #include "net/network.h"
 
 namespace hybridjoin {
+
+struct TraceConfig {
+  /// Master switch for span recording (see src/trace/). Off by default:
+  /// a disabled tracer costs one branch per span site.
+  bool enabled = false;
+  /// If non-empty, every Execute() writes a Chrome trace-event JSON here
+  /// (chrome://tracing / Perfetto-loadable); the path lands in
+  /// ExecutionReport::trace_file. Overwritten per execution.
+  std::string chrome_out;
+};
 
 struct BloomConfig {
   /// Paper uses 8 bits per distinct key and 2 hash functions (~5% FPR).
@@ -31,6 +43,7 @@ struct SimulationConfig {
   NetworkConfig net;
   JenConfig jen;
   BloomConfig bloom;
+  TraceConfig trace;
 
   /// A scaled-down version of the paper's testbed with real throttling,
   /// used by the benches. `scale` multiplies every bandwidth (1.0 keeps the

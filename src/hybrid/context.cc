@@ -26,6 +26,7 @@ std::vector<DataNode*> Pointers(
 
 EngineContext::EngineContext(const SimulationConfig& config)
     : config_(config),
+      tracer_(config.trace.enabled, &metrics_),
       network_(config.net, config.db.num_workers, config.jen_workers,
                &metrics_),
       datanodes_(MakeDataNodes(config)),
@@ -33,10 +34,12 @@ EngineContext::EngineContext(const SimulationConfig& config)
       namenode_(datanode_ptrs_, config.hdfs_replication),
       db_(config.db),
       coordinator_(&hcatalog_, &namenode_, config.jen_workers, config.jen) {
+  network_.set_tracer(&tracer_);
+  db_.set_tracer(&tracer_);
   jen_workers_.reserve(config.jen_workers);
   for (uint32_t i = 0; i < config.jen_workers; ++i) {
     jen_workers_.push_back(std::make_unique<JenWorker>(
-        i, datanode_ptrs_, &network_, &metrics_, config.jen));
+        i, datanode_ptrs_, &network_, &metrics_, config.jen, &tracer_));
   }
 }
 

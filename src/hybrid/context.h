@@ -15,6 +15,7 @@
 #include "jen/coordinator.h"
 #include "jen/worker.h"
 #include "net/network.h"
+#include "trace/tracer.h"
 
 namespace hybridjoin {
 
@@ -29,6 +30,7 @@ class EngineContext {
 
   const SimulationConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
+  trace::Tracer& tracer() { return tracer_; }
   Network& network() { return network_; }
   NameNode& namenode() { return namenode_; }
   HCatalog& hcatalog() { return hcatalog_; }
@@ -53,6 +55,7 @@ class EngineContext {
  private:
   SimulationConfig config_;
   Metrics metrics_;
+  trace::Tracer tracer_;
   Network network_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;
   std::vector<DataNode*> datanode_ptrs_;

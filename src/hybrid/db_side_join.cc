@@ -14,6 +14,7 @@
 #include "hybrid/driver_common.h"
 #include "jen/exchange.h"
 #include "jen/worker.h"
+#include "trace/tracer.h"
 
 namespace hybridjoin {
 
@@ -158,6 +159,9 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       const NodeId self = NodeId::Db(i);
+      trace::ThreadScope thread_scope(self, "db_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
+                              trace::span::kCatDriver);
       Status st;
 
       // Bloom filter (steps 1-2 of Figure 1).
@@ -211,6 +215,8 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
       // read_hdfs UDF, part 2: ingest L'' from the group in parallel.
       std::vector<RecordBatch> l_received;
       {
+        trace::Span ingest_span(&ctx->tracer(), trace::span::kDbIngest,
+                                trace::span::kCatExchange);
         auto received = ReceiveAllBatches(
             &net, self, tags.l_data,
             static_cast<uint32_t>(groups[i].size()),
@@ -348,6 +354,8 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
       // Local hash join + aggregation.
       HashAggregator agg(query.agg);
       if (st.ok()) {
+        trace::Span join_span(&ctx->tracer(), trace::span::kDbJoin,
+                              trace::span::kCatJoin);
         JoinHashTable table(build_key);
         for (RecordBatch& batch : build_batches) {
           Status a = table.AddBatch(std::move(batch));
@@ -400,6 +408,9 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       const NodeId self = NodeId::Hdfs(w);
+      trace::ThreadScope thread_scope(self, "jen_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
+                              trace::span::kCatDriver);
       Status st;
       ScanRequest request;
       {

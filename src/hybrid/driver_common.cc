@@ -1,6 +1,9 @@
 #include "hybrid/driver_common.h"
 
+#include <memory>
+
 #include "jen/worker.h"
+#include "trace/chrome_trace.h"
 
 namespace hybridjoin {
 namespace driver {
@@ -33,6 +36,9 @@ ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm)
     net_before_[i] =
         ctx_->network().BytesMoved(static_cast<FlowClass>(i));
   }
+  // One query runs at a time per context, so the span buffer is ours: drop
+  // anything a previous execution left behind.
+  if (ctx_->tracer().enabled()) ctx_->tracer().Clear();
 }
 
 void ReportBuilder::Mark(const std::string& name) {
@@ -61,6 +67,23 @@ ExecutionReport ReportBuilder::Finish() {
     const auto fc = static_cast<FlowClass>(i);
     const int64_t delta = ctx_->network().BytesMoved(fc) - net_before_[i];
     if (delta != 0) report.network_bytes[FlowClassName(fc)] = delta;
+  }
+  if (ctx_->tracer().enabled()) {
+    const std::vector<trace::TraceEvent> events = ctx_->tracer().Snapshot();
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> per_name;
+    for (const trace::TraceEvent& e : events) {
+      auto& hist = per_name[e.name];
+      if (hist == nullptr) hist = std::make_unique<LatencyHistogram>();
+      hist->RecordMicros(e.dur_us);
+    }
+    for (const auto& [name, hist] : per_name) {
+      report.histograms[name] = hist->Summarize();
+    }
+    const std::string& out = ctx_->config().trace.chrome_out;
+    if (!out.empty()) {
+      const Status written = trace::WriteChromeTrace(events, out);
+      if (written.ok()) report.trace_file = out;
+    }
   }
   return report;
 }

@@ -12,6 +12,7 @@
 #include "hybrid/driver_common.h"
 #include "jen/exchange.h"
 #include "jen/worker.h"
+#include "trace/tracer.h"
 
 namespace hybridjoin {
 
@@ -73,6 +74,9 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   // --- DB workers: filter/project T', broadcast it to every JEN node. ---
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
+      trace::ThreadScope thread_scope(NodeId::Db(i), "db_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
+                              trace::span::kCatDriver);
       BatchSender sender(&net, NodeId::Db(i), tags.db_data,
                          ctx->config().jen.send_threads, &ctx->metrics(),
                          metric::kDbTuplesSent);
@@ -105,11 +109,18 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   // --- JEN workers: hash T', scan L probing in the pipeline, aggregate. ---
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
+      trace::ThreadScope thread_scope(NodeId::Hdfs(w), "jen_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
+                              trace::span::kCatDriver);
       JoinHashTable table(prepared.db_key_idx);
-      errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w), tags.db_data,
-                                         m, prepared.db_proj_schema,
-                                         &table));
-      table.Finalize();
+      {
+        trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
+                               trace::span::kCatJoin);
+        errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w),
+                                           tags.db_data, m,
+                                           prepared.db_proj_schema, &table));
+        table.Finalize();
+      }
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_hash_built");
       }
@@ -123,13 +134,18 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
                         &agg, &ctx->metrics());
       const ScanTask task = MakeScanTask(prepared, w, nullptr);
       Status st = ctx->jen_worker(w)->ScanBlocks(
-          task,
-          [&](RecordBatch&& batch) { return prober.ProbeBatch(batch); });
+          task, [&](RecordBatch&& batch) {
+            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
+                                   trace::span::kCatJoin);
+            return prober.ProbeBatch(batch);
+          });
       if (st.ok()) st = prober.Flush();
       errors.Record(st);
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_scan_probe_done");
       }
+      trace::Span agg_span(&ctx->tracer(), trace::span::kJenAggregate,
+                           trace::span::kCatJoin);
       errors.Record(driver::JenAggregateAndReturn(ctx, w, &agg, tags));
     });
   }
@@ -190,6 +206,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       const NodeId self = NodeId::Db(i);
+      trace::ThreadScope thread_scope(self, "db_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
+                              trace::span::kCatDriver);
       Status st;
 
       // Step 1-2: local Bloom filters, combined and multicast to JEN.
@@ -340,6 +359,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       const NodeId self = NodeId::Hdfs(w);
+      trace::ThreadScope thread_scope(self, "jen_worker");
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
+                              trace::span::kCatDriver);
       Status st;
 
       // Blocking wait for BF_DB before the scan starts (paper §4.4).
@@ -381,6 +403,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       std::vector<RecordBatch> l_buffer;
       Status receive_status;
       std::thread receiver([&] {
+        trace::ThreadScope receive_scope(self, "jen_receive");
+        trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
+                               trace::span::kCatJoin);
         if (use_grace) {
           StreamReceiver shuffle_stream(&net, self, tags.shuffle, n);
           while (auto msg = shuffle_stream.Next()) {
@@ -419,6 +444,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           prepared.hdfs_out_schema, n, prepared.hdfs_key_idx, agreed_hash,
           ctx->config().jen.shuffle_batch_rows,
           [&](uint32_t p, RecordBatch&& batch) {
+            trace::Span shuffle_span(&ctx->tracer(),
+                                     trace::span::kJenShuffle,
+                                     trace::span::kCatExchange);
             shuffle_sender.Send(NodeId::Hdfs(p), batch);
             return Status::OK();
           });
@@ -474,6 +502,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           auto batch = RecordBatch::Deserialize(*msg->payload,
                                                 prepared.db_proj_schema);
           if (batch.ok()) {
+            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
+                                   trace::span::kCatJoin);
             Status p = grace.AddProbe(batch.value());
             if (!p.ok()) st = p;
           } else {
@@ -531,6 +561,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           auto batch = RecordBatch::Deserialize(*msg->payload,
                                                 prepared.db_proj_schema);
           if (batch.ok()) {
+            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
+                                   trace::span::kCatJoin);
             Status p = prober.ProbeBatch(batch.value());
             if (!p.ok()) st = p;
           } else {
@@ -553,6 +585,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                           &agg, &ctx->metrics());
         for (const RecordBatch& batch : l_buffer) {
           if (!st.ok()) break;
+          trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
+                                 trace::span::kCatJoin);
           Status p = prober.ProbeBatch(batch);
           if (!p.ok()) st = p;
         }
@@ -560,6 +594,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       }
       errors.Record(st);
       if (w == designated) report.Mark("jen_probe_done");
+      trace::Span agg_span(&ctx->tracer(), trace::span::kJenAggregate,
+                           trace::span::kCatJoin);
       errors.Record(driver::JenAggregateAndReturn(ctx, w, &agg, tags));
     });
   }

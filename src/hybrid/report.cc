@@ -58,6 +58,17 @@ std::string ExecutionReport::ToString() const {
       os << "    " << name << " = " << value << "\n";
     }
   }
+  if (!histograms.empty()) {
+    os << "  latencies (count / p50 / p95 / p99 ms):\n";
+    for (const auto& [name, h] : histograms) {
+      os << "    " << name << ": " << h.count << " / "
+         << h.p50_seconds * 1e3 << " / " << h.p95_seconds * 1e3 << " / "
+         << h.p99_seconds * 1e3 << "\n";
+    }
+  }
+  if (!trace_file.empty()) {
+    os << "  trace: " << trace_file << "\n";
+  }
   return os.str();
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -39,10 +40,20 @@ struct ExecutionReport {
   std::map<std::string, int64_t> counters;
   /// Bytes moved per network flow class, as deltas over this execution.
   std::map<std::string, int64_t> network_bytes;
+  /// Latency percentiles per span name (trace::span::k*), built from the
+  /// spans recorded during this execution. Empty when tracing is disabled.
+  std::map<std::string, HistogramSummary> histograms;
+  /// Chrome trace JSON written for this execution ("" when not requested).
+  std::string trace_file;
 
   int64_t Counter(const std::string& name) const {
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second;
+  }
+
+  const HistogramSummary* Histogram(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
   }
 
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "jen/exchange.h"
 
+#include "trace/tracer.h"
+
 namespace hybridjoin {
 
 BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
@@ -14,6 +16,7 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
   threads_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] {
+      trace::ThreadScope thread_scope(self_, "sender");
       while (auto item = queue_.Pop()) {
         network_->Send(self_, item->dest, tag_, std::move(item->payload));
       }

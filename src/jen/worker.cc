@@ -94,6 +94,8 @@ Status FilterByBloom(const RecordBatch& batch, const std::string& column,
 Status JenWorker::ScanBlocks(
     const ScanTask& task,
     const std::function<Status(RecordBatch&&)>& consumer, ScanStats* stats) {
+  trace::Span scan_span(tracer_, trace::span::kJenScan,
+                        trace::span::kCatScan, node());
   ScanStats local_stats;
   ScanStats* st = stats != nullptr ? stats : &local_stats;
 
@@ -136,7 +138,10 @@ Status JenWorker::ScanBlocks(
   std::atomic<int64_t> blocks_remote{0};
 
   auto read_loop = [&](const std::vector<const BlockAssignment*>& blocks) {
+    trace::ThreadScope thread_scope(node(), "jen_read");
     for (const BlockAssignment* a : blocks) {
+      trace::Span read_span(tracer_, trace::span::kJenReadBlock,
+                            trace::span::kCatScan, node());
       DataNode* owner = datanodes_[a->replica.node];
       auto fetched = owner->Fetch(a->info.block_id);
       if (!fetched.ok()) {
@@ -170,6 +175,7 @@ Status JenWorker::ScanBlocks(
         read_bytes = block->ByteSize();
       }
 
+      read_span.set_bytes(static_cast<int64_t>(read_bytes));
       owner->AccountRead(a->info.block_id, read_bytes);
       if (!a->local) {
         network_->Transfer(NodeId::Hdfs(a->replica.node), node(),

@@ -18,6 +18,7 @@
 #include "hdfs/datanode.h"
 #include "jen/coordinator.h"
 #include "net/network.h"
+#include "trace/tracer.h"
 
 namespace hybridjoin {
 
@@ -50,12 +51,14 @@ class JenWorker {
   /// `datanodes` indexes every DataNode in the cluster; the worker's own
   /// node is `datanodes[index]` (JEN runs one worker per DataNode).
   JenWorker(uint32_t index, std::vector<DataNode*> datanodes,
-            Network* network, Metrics* metrics, JenConfig config)
+            Network* network, Metrics* metrics, JenConfig config,
+            trace::Tracer* tracer = nullptr)
       : index_(index),
         datanodes_(std::move(datanodes)),
         network_(network),
         metrics_(metrics),
-        config_(config) {}
+        config_(config),
+        tracer_(tracer) {}
 
   uint32_t index() const { return index_; }
   NodeId node() const { return NodeId::Hdfs(index_); }
@@ -80,6 +83,7 @@ class JenWorker {
   Network* network_;
   Metrics* metrics_;
   JenConfig config_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// Narrows `sel` to rows of `batch` whose `column` value may be in `bloom`.

@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include "trace/tracer.h"
+
 namespace hybridjoin {
 
 const char* FlowClassName(FlowClass fc) {
@@ -69,7 +71,12 @@ void Network::Throttle(NodeId from, NodeId to, uint64_t bytes) {
 void Network::Send(NodeId from, NodeId to, uint64_t tag,
                    std::shared_ptr<const std::vector<uint8_t>> payload) {
   HJ_CHECK(payload != nullptr);
-  Throttle(from, to, payload->size() + config_.per_message_overhead_bytes);
+  const uint64_t bytes =
+      payload->size() + config_.per_message_overhead_bytes;
+  trace::Span span(tracer_, trace::span::kNetSend,
+                   FlowClassName(ClassifyFlow(from, to)), from);
+  span.set_bytes(static_cast<int64_t>(bytes));
+  Throttle(from, to, bytes);
   GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
 }
 
@@ -78,10 +85,13 @@ void Network::SendControl(
     std::shared_ptr<const std::vector<uint8_t>> payload) {
   HJ_CHECK(payload != nullptr);
   const FlowClass fc = ClassifyFlow(from, to);
+  const uint64_t bytes =
+      payload->size() + config_.per_message_overhead_bytes;
+  trace::Span span(tracer_, trace::span::kNetSendControl, FlowClassName(fc),
+                   from);
+  span.set_bytes(static_cast<int64_t>(bytes));
   bytes_by_class_[static_cast<int>(fc)].fetch_add(
-      static_cast<int64_t>(payload->size() +
-                           config_.per_message_overhead_bytes),
-      std::memory_order_relaxed);
+      static_cast<int64_t>(bytes), std::memory_order_relaxed);
   GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
 }
 
@@ -91,13 +101,21 @@ void Network::SendEos(NodeId from, NodeId to, uint64_t tag) {
 }
 
 Message Network::Recv(NodeId to, uint64_t tag) {
+  trace::Span span(tracer_, trace::span::kNetRecv, "net", to);
   auto m = GetChannel(to, tag)->Pop();
   HJ_CHECK(m.has_value()) << "channel closed while receiving on "
                           << to.ToString() << " tag " << tag;
+  if (m->payload != nullptr) {
+    span.set_bytes(static_cast<int64_t>(m->payload->size()));
+  }
   return std::move(*m);
 }
 
 void Network::Transfer(NodeId from, NodeId to, uint64_t bytes) {
+  // Attributed to the reader: Transfer models a pull-style remote read.
+  trace::Span span(tracer_, trace::span::kNetTransfer,
+                   FlowClassName(ClassifyFlow(from, to)), to);
+  span.set_bytes(static_cast<int64_t>(bytes));
   Throttle(from, to, bytes);
   if (metrics_ != nullptr && from.cluster == ClusterId::kHdfs &&
       to.cluster == ClusterId::kHdfs && !(from == to)) {

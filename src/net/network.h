@@ -25,6 +25,10 @@
 
 namespace hybridjoin {
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 /// Which cluster a node belongs to.
 enum class ClusterId : uint8_t { kDb = 0, kHdfs = 1 };
 
@@ -88,6 +92,11 @@ class Network {
   uint32_t num_db_nodes() const { return num_db_nodes_; }
   uint32_t num_hdfs_nodes() const { return num_hdfs_nodes_; }
 
+  /// Installs the tracer that records per-flow-class byte+latency spans
+  /// for Send/SendControl/Recv/Transfer (nullptr disables, the default).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Sends a payload. Blocks while the configured bandwidths admit the
   /// bytes (sender NIC, receiver NIC, and the cross switch if applicable).
   void Send(NodeId from, NodeId to, uint64_t tag,
@@ -141,6 +150,7 @@ class Network {
   const uint32_t num_db_nodes_;
   const uint32_t num_hdfs_nodes_;
   Metrics* metrics_;
+  trace::Tracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<TokenBucket>> db_nics_;
   std::vector<std::unique_ptr<TokenBucket>> hdfs_nics_;

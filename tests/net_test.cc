@@ -6,8 +6,12 @@
 #include <atomic>
 #include <thread>
 
+#include <cstring>
+#include <map>
+
 #include "common/stopwatch.h"
 #include "net/network.h"
+#include "trace/tracer.h"
 
 namespace hybridjoin {
 namespace {
@@ -89,6 +93,57 @@ TEST(NetworkTest, BytesAccountedPerFlowClass) {
   EXPECT_EQ(net.BytesMoved(FlowClass::kIntraHdfs), 250);
   EXPECT_EQ(net.BytesMoved(FlowClass::kCrossCluster), 300);
   EXPECT_EQ(net.BytesMoved(FlowClass::kLoopback), 0);
+}
+
+TEST(NetworkTest, TracedExchangeBytesMatchFlowClassAccounting) {
+  // Every byte BytesMoved() counts must show up on exactly one send or
+  // transfer span whose category is the flow-class name (EOS has no span,
+  // so overhead is zeroed to keep the two accountings comparable).
+  NetworkConfig config;
+  config.per_message_overhead_bytes = 0;
+  Network net(config, 2, 2, nullptr);
+  trace::Tracer tracer(/*enabled=*/true);
+  net.set_tracer(&tracer);
+
+  const uint64_t tag = net.AllocateTagBlock();
+  net.Send(NodeId::Db(0), NodeId::Db(1), tag, Bytes(100));
+  net.Send(NodeId::Db(1), NodeId::Db(0), tag, Bytes(11));
+  net.Send(NodeId::Hdfs(0), NodeId::Hdfs(1), tag, Bytes(200));
+  net.Send(NodeId::Db(0), NodeId::Hdfs(1), tag, Bytes(300));
+  net.SendControl(NodeId::Hdfs(1), NodeId::Db(0), tag, Bytes(40));
+  net.Send(NodeId::Hdfs(0), NodeId::Hdfs(0), tag, Bytes(7));
+  net.Transfer(NodeId::Hdfs(0), NodeId::Hdfs(1), 50);
+  net.Recv(NodeId::Db(1), tag);
+  net.Recv(NodeId::Db(0), tag);
+  net.Recv(NodeId::Hdfs(1), tag);
+  net.Recv(NodeId::Hdfs(1), tag);
+  net.Recv(NodeId::Db(0), tag);
+  net.Recv(NodeId::Hdfs(0), tag);
+
+  std::map<std::string, int64_t> span_bytes;
+  for (const trace::TraceEvent& e : tracer.Snapshot()) {
+    if (std::strcmp(e.name, trace::span::kNetSend) == 0 ||
+        std::strcmp(e.name, trace::span::kNetSendControl) == 0 ||
+        std::strcmp(e.name, trace::span::kNetTransfer) == 0) {
+      span_bytes[e.category] += e.bytes;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto fc = static_cast<FlowClass>(i);
+    EXPECT_EQ(span_bytes[FlowClassName(fc)], net.BytesMoved(fc))
+        << FlowClassName(fc);
+  }
+  // Recv spans see the payloads, not the wire accounting.
+  int64_t recv_bytes = 0;
+  int recv_spans = 0;
+  for (const trace::TraceEvent& e : tracer.Snapshot()) {
+    if (std::strcmp(e.name, trace::span::kNetRecv) == 0) {
+      recv_bytes += e.bytes;
+      ++recv_spans;
+    }
+  }
+  EXPECT_EQ(recv_spans, 6);
+  EXPECT_EQ(recv_bytes, 100 + 11 + 200 + 300 + 40 + 7);
 }
 
 TEST(NetworkTest, LoopbackIsFreeAndUnthrottled) {

@@ -1,0 +1,588 @@
+// Tests for the tracing subsystem: histogram percentile math, span nesting
+// and node attribution, Chrome trace-event JSON well-formedness (verified by
+// parsing it back), and an end-to-end traced join whose report must carry
+// the paper-relevant latency histograms.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "hybrid/warehouse.h"
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser, enough to round-trip the
+// Chrome trace output (objects, arrays, strings with escapes, numbers,
+// booleans, null). Failing to parse means the exporter emitted bad JSON.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    Skip();
+    if (!ParseValue(out)) return false;
+    Skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Skip();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      Skip();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Skip();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Skip();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          const unsigned long code =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          if (code > 0x7f) return false;  // exporter only emits ASCII
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int64_t v = 0; v < 32; ++v) h.RecordMicros(v);
+  EXPECT_EQ(h.Count(), 32);
+  EXPECT_EQ(h.TotalMicros(), 31 * 32 / 2);
+  // Values below the sub-bucket count land in unit buckets; percentiles of
+  // the uniform 0..31 set are exact.
+  EXPECT_EQ(h.PercentileMicros(50), 15);
+  EXPECT_EQ(h.PercentileMicros(100), 31);
+  const HistogramSummary s = h.Summarize();
+  EXPECT_DOUBLE_EQ(s.min_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 31e-6);
+}
+
+TEST(LatencyHistogramTest, UniformDistributionPercentilesWithinErrorBound) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.RecordMicros(v);
+  // The bucket layout bounds relative quantization error by ~6%, and
+  // HighestEquivalent only rounds up.
+  const struct {
+    double percentile;
+    double exact;
+  } cases[] = {{50, 5000}, {95, 9500}, {99, 9900}};
+  for (const auto& c : cases) {
+    const auto got = static_cast<double>(h.PercentileMicros(c.percentile));
+    EXPECT_GE(got, c.exact) << "p" << c.percentile;
+    EXPECT_LE(got, c.exact * 1.07) << "p" << c.percentile;
+  }
+  const HistogramSummary s = h.Summarize();
+  EXPECT_EQ(s.count, 10000);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 10000e-6);
+  EXPECT_LE(s.p50_seconds, s.p95_seconds);
+  EXPECT_LE(s.p95_seconds, s.p99_seconds);
+}
+
+TEST(LatencyHistogramTest, BimodalDistribution) {
+  LatencyHistogram h;
+  for (int i = 0; i < 950; ++i) h.RecordMicros(100);
+  for (int i = 0; i < 50; ++i) h.RecordMicros(100000);
+  // p50 sits in the fast mode, p99 in the slow one.
+  EXPECT_GE(h.PercentileMicros(50), 100);
+  EXPECT_LE(h.PercentileMicros(50), 107);
+  EXPECT_GE(h.PercentileMicros(99), 100000);
+  EXPECT_LE(h.PercentileMicros(99), 107000);
+}
+
+TEST(LatencyHistogramTest, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.RecordMicros(10);
+  for (int i = 0; i < 100; ++i) b.RecordMicros(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200);
+  EXPECT_EQ(a.PercentileMicros(25), 10);
+  EXPECT_GE(a.PercentileMicros(75), 1000);
+  const HistogramSummary s = a.Summarize();
+  EXPECT_DOUBLE_EQ(s.min_seconds, 10e-6);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0);
+  EXPECT_EQ(a.Summarize().count, 0);
+}
+
+TEST(LatencyHistogramTest, HugeValuesClampInsteadOfCrashing) {
+  LatencyHistogram h;
+  h.RecordMicros(INT64_MAX);
+  h.RecordMicros(-5);  // treated as 0
+  EXPECT_EQ(h.Count(), 2);
+  EXPECT_GT(h.PercentileMicros(100), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer / Span / ThreadScope
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  trace::Tracer tracer(/*enabled=*/false);
+  {
+    trace::Span span(&tracer, "x");
+    EXPECT_FALSE(span.active());
+  }
+  {
+    trace::Span span(nullptr, "y");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, SpanNestingDepthAndAttribution) {
+  trace::Tracer tracer(/*enabled=*/true);
+  // Sleeps keep the three start timestamps distinct at µs resolution, so
+  // the snapshot order is deterministic.
+  const auto tick = std::chrono::microseconds(300);
+  {
+    trace::ThreadScope scope(NodeId::Hdfs(3), "jen_worker");
+    trace::Span outer(&tracer, "outer", "driver");
+    std::this_thread::sleep_for(tick);
+    {
+      trace::Span inner(&tracer, "inner", "join");
+    }
+    std::this_thread::sleep_for(tick);
+    // Explicit node wins over the thread scope (still nested in `outer`).
+    trace::Span other(&tracer, "other", "net", NodeId::Db(1));
+    other.End();
+    other.End();  // idempotent
+  }
+  const auto events = tracer.Snapshot();
+  // Sorted by start time, parents before same-microsecond children.
+  ASSERT_EQ(events.size(), 3u);
+
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_TRUE(events[0].has_node);
+  EXPECT_EQ(events[0].node, NodeId::Hdfs(3));
+  EXPECT_STREQ(events[0].role, "jen_worker");
+
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[1].node, NodeId::Hdfs(3));
+  EXPECT_LE(events[1].dur_us, events[0].dur_us);
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+
+  EXPECT_STREQ(events[2].name, "other");
+  EXPECT_EQ(events[2].node, NodeId::Db(1));
+  EXPECT_EQ(events[2].depth, 1);  // opened while `outer` was still active
+
+  // Same thread, same tid on every event.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[0].tid, events[2].tid);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, ThreadScopeRestoresOuterAttribution) {
+  trace::ThreadScope outer(NodeId::Db(0), "outer");
+  {
+    trace::ThreadScope inner(NodeId::Hdfs(1), "inner");
+    NodeId node;
+    const char* role = nullptr;
+    ASSERT_TRUE(trace::ThreadScope::Current(&node, &role));
+    EXPECT_EQ(node, NodeId::Hdfs(1));
+    EXPECT_STREQ(role, "inner");
+  }
+  NodeId node;
+  const char* role = nullptr;
+  ASSERT_TRUE(trace::ThreadScope::Current(&node, &role));
+  EXPECT_EQ(node, NodeId::Db(0));
+  EXPECT_STREQ(role, "outer");
+}
+
+TEST(TracerTest, SpansFeedMetricsHistograms) {
+  Metrics metrics;
+  trace::Tracer tracer(/*enabled=*/true, &metrics);
+  { trace::Span span(&tracer, "jen.probe", "join"); }
+  { trace::Span span(&tracer, "jen.probe", "join"); }
+  const auto histograms = metrics.HistogramSnapshot();
+  auto it = histograms.find("jen.probe");
+  ASSERT_NE(it, histograms.end());
+  EXPECT_EQ(it->second.count, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceTest, PidMapping) {
+  trace::TraceEvent engine;
+  EXPECT_EQ(trace::ChromePid(engine), 0u);
+  trace::TraceEvent db;
+  db.node = NodeId::Db(2);
+  db.has_node = true;
+  EXPECT_EQ(trace::ChromePid(db), 3u);
+  trace::TraceEvent hdfs;
+  hdfs.node = NodeId::Hdfs(0);
+  hdfs.has_node = true;
+  EXPECT_EQ(trace::ChromePid(hdfs), 1001u);
+}
+
+TEST(ChromeTraceTest, JsonParsesBackWithMetadataAndEvents) {
+  trace::Tracer tracer(/*enabled=*/true);
+  {
+    trace::ThreadScope scope(NodeId::Db(0), "db_worker");
+    trace::Span outer(&tracer, "driver.db_worker", "driver");
+    trace::Span inner(&tracer, "net.send", "intra_db");
+    inner.set_bytes(123);
+  }
+  const std::string json = trace::ChromeTraceJson(tracer.Snapshot());
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).Parse(&doc)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc.At("displayTimeUnit").str, "ms");
+  const JsonValue& events = doc.At("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+
+  int x_events = 0;
+  bool saw_process_name = false;
+  bool saw_thread_name = false;
+  bool saw_bytes = false;
+  for (const JsonValue& e : events.array) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    const std::string& ph = e.At("ph").str;
+    if (ph == "M") {
+      if (e.At("name").str == "process_name" &&
+          e.At("args").At("name").str == "db:0") {
+        saw_process_name = true;
+      }
+      if (e.At("name").str == "thread_name") saw_thread_name = true;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++x_events;
+    EXPECT_TRUE(e.Has("name"));
+    EXPECT_TRUE(e.Has("cat"));
+    EXPECT_TRUE(e.Has("ts"));
+    EXPECT_TRUE(e.Has("dur"));
+    EXPECT_TRUE(e.Has("pid"));
+    EXPECT_TRUE(e.Has("tid"));
+    EXPECT_GE(e.At("dur").number, 0.0);
+    EXPECT_EQ(e.At("pid").number, 1.0);  // NodeId::Db(0)
+    if (e.At("name").str == "net.send") {
+      EXPECT_EQ(e.At("args").At("bytes").number, 123.0);
+      EXPECT_EQ(e.At("args").At("depth").number, 1.0);
+      saw_bytes = true;
+    }
+  }
+  EXPECT_EQ(x_events, 2);
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_bytes);
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharactersInStrings) {
+  // \x01 is split off so the 'f' is not swallowed by the hex escape.
+  const char kName[] =
+      "a\"b\\c\nd\te\x01"
+      "f";
+  trace::TraceEvent event;
+  event.name = kName;
+  event.category = "cat";
+  const std::string json = trace::ChromeTraceJson({event});
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).Parse(&doc)) << json;
+  const JsonValue& events = doc.At("traceEvents");
+  ASSERT_FALSE(events.array.empty());
+  bool found = false;
+  for (const JsonValue& e : events.array) {
+    if (e.At("ph").str == "X") {
+      EXPECT_EQ(e.At("name").str, kName);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a traced zigzag join must produce the paper-relevant latency
+// histograms and a Perfetto-loadable trace whose top-level driver spans
+// cover (nearly) the whole execution.
+// ---------------------------------------------------------------------------
+
+TEST(TraceEndToEndTest, TracedZigzagProducesHistogramsAndLoadableTrace) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 256;
+  wc.t_rows = 4000;
+  wc.l_rows = 20000;
+  auto workload = Workload::Generate(wc, {0.3, 0.3, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+
+  const std::string trace_path =
+      ::testing::TempDir() + "trace_test_zigzag.json";
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 2;
+  config.bloom.expected_keys = wc.num_join_keys;
+  config.trace.enabled = true;
+  config.trace.chrome_out = trace_path;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+
+  auto result = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kZigzag);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionReport& report = result->report;
+
+  // The acceptance histograms, with sane percentile ordering.
+  for (const char* name :
+       {trace::span::kNetSend, trace::span::kJenProbe,
+        trace::span::kJenShuffle}) {
+    const HistogramSummary* h = report.Histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0) << name;
+    EXPECT_LE(h->p50_seconds, h->p95_seconds) << name;
+    EXPECT_LE(h->p95_seconds, h->p99_seconds) << name;
+    EXPECT_LE(h->p99_seconds, report.wall_seconds) << name;
+  }
+  EXPECT_EQ(report.trace_file, trace_path);
+  // The report prints the histogram section.
+  EXPECT_NE(report.ToString().find("jen.probe"), std::string::npos);
+
+  // The written file is valid JSON with the Chrome trace shape.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(buffer.str()).Parse(&doc));
+  const JsonValue& events = doc.At("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+
+  // Top-level driver spans must cover >= 90% of the measured wall time.
+  double min_start = 1e18;
+  double max_end = 0.0;
+  int driver_spans = 0;
+  for (const JsonValue& e : events.array) {
+    if (e.At("ph").str != "X") continue;
+    EXPECT_GE(e.At("dur").number, 0.0);
+    if (e.At("cat").str == "driver") {
+      ++driver_spans;
+      min_start = std::min(min_start, e.At("ts").number);
+      max_end = std::max(max_end, e.At("ts").number + e.At("dur").number);
+    }
+  }
+  EXPECT_EQ(driver_spans, 2 + 2);  // one per DB worker + one per JEN worker
+  EXPECT_GE((max_end - min_start) * 1e-6, 0.9 * report.wall_seconds);
+
+  std::remove(trace_path.c_str());
+}
+
+TEST(TraceEndToEndTest, TracingDisabledLeavesReportHistogramsEmpty) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 128;
+  wc.t_rows = 2000;
+  wc.l_rows = 8000;
+  auto workload = Workload::Generate(wc, {0.3, 0.3, 0.5, 0.5});
+  ASSERT_TRUE(workload.ok());
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 2;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload).ok());
+  auto result = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kBroadcast);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.histograms.empty());
+  EXPECT_TRUE(result->report.trace_file.empty());
+}
+
+}  // namespace
+}  // namespace hybridjoin
