@@ -5,6 +5,7 @@
 #ifndef HYBRIDJOIN_COMMON_BLOCKING_QUEUE_H_
 #define HYBRIDJOIN_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -38,6 +39,28 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Like Pop, but gives up after `timeout`. On timeout returns nullopt and
+  /// sets *timed_out = true; a nullopt with *timed_out == false means the
+  /// queue was closed and drained. A non-positive timeout waits forever.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout,
+                          bool* timed_out) {
+    *timed_out = false;
+    if (timeout <= std::chrono::milliseconds::zero()) return Pop();
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_empty_.wait_for(
+        lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (!ready) {
+      *timed_out = true;
+      return std::nullopt;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();

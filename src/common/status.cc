@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kAborted = 8,
   kResourceExhausted = 9,
+  kUnavailable = 10,  ///< transient failure; retrying may succeed
+  kTimedOut = 11,     ///< a bounded wait expired (e.g. Network::Recv)
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -81,6 +83,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -95,6 +103,8 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

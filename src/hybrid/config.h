@@ -12,6 +12,7 @@
 #include "edw/db_cluster.h"
 #include "hdfs/datanode.h"
 #include "jen/coordinator.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 
 namespace hybridjoin {
@@ -44,6 +45,9 @@ struct SimulationConfig {
   JenConfig jen;
   BloomConfig bloom;
   TraceConfig trace;
+  /// Fault injection for the interconnect (see net/fault_injector.h).
+  /// Disabled by default; the differential harness installs named profiles.
+  FaultProfile fault;
 
   /// A scaled-down version of the paper's testbed with real throttling,
   /// used by the benches. `scale` multiplies every bandwidth (1.0 keeps the

@@ -27,6 +27,9 @@ std::vector<DataNode*> Pointers(
 EngineContext::EngineContext(const SimulationConfig& config)
     : config_(config),
       tracer_(config.trace.enabled, &metrics_),
+      fault_injector_(config.fault.enabled()
+                          ? std::make_unique<FaultInjector>(config.fault)
+                          : nullptr),
       network_(config.net, config.db.num_workers, config.jen_workers,
                &metrics_),
       datanodes_(MakeDataNodes(config)),
@@ -35,6 +38,9 @@ EngineContext::EngineContext(const SimulationConfig& config)
       db_(config.db),
       coordinator_(&hcatalog_, &namenode_, config.jen_workers, config.jen) {
   network_.set_tracer(&tracer_);
+  if (fault_injector_ != nullptr) {
+    network_.set_fault_injector(fault_injector_.get());
+  }
   db_.set_tracer(&tracer_);
   jen_workers_.reserve(config.jen_workers);
   for (uint32_t i = 0; i < config.jen_workers; ++i) {

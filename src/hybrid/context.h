@@ -52,10 +52,15 @@ class EngineContext {
   /// Drops every DataNode's page cache (for cold-run benchmarking).
   void DropHdfsCaches();
 
+  /// The fault injector installed from config().fault, or nullptr when the
+  /// profile is disabled.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
  private:
   SimulationConfig config_;
   Metrics metrics_;
   trace::Tracer tracer_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   Network network_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;
   std::vector<DataNode*> datanode_ptrs_;

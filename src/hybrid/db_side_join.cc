@@ -95,11 +95,11 @@ Status BroadcastAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
     sender.SendSerialized(db_nodes, payload,
                           static_cast<int64_t>(batch.num_rows()));
   }
-  sender.Finish(db_nodes);
+  const Status fin = sender.Finish(db_nodes);
   HJ_ASSIGN_OR_RETURN(*received,
                       ReceiveAllBatches(&net, self, tag,
                                         ctx->num_db_workers(), schema));
-  return Status::OK();
+  return fin;
 }
 
 /// Repartitions `batches` by join key among the DB workers over `tag` and
@@ -126,11 +126,11 @@ Status RepartitionAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
     if (!st.ok()) break;
   }
   if (st.ok()) st = appender.FlushAll();
-  sender.Finish(db_nodes);
+  const Status fin = sender.Finish(db_nodes);
   HJ_RETURN_IF_ERROR(st);
   HJ_ASSIGN_OR_RETURN(*received,
                       ReceiveAllBatches(&net, self, tag, m, schema));
-  return Status::OK();
+  return fin;
 }
 
 }  // namespace
@@ -242,9 +242,15 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         uint64_t db_total = 0;
         uint64_t hdfs_total = 0;
         for (uint32_t j = 0; j < m; ++j) {
-          Message msg = net.Recv(self, tags.counts);
-          if (msg.eos || msg.payload == nullptr) continue;
-          BinaryReader r(*msg.payload);
+          auto msg = net.Recv(self, tags.counts);
+          if (!msg.ok()) {
+            // Keep going: the strategy decision below must still reach every
+            // worker or the whole query deadlocks instead of failing.
+            if (st.ok()) st = msg.status();
+            break;
+          }
+          if (msg->eos || msg->payload == nullptr) continue;
+          BinaryReader r(*msg->payload);
           auto a = r.GetU64();
           auto b = r.GetU64();
           if (a.ok() && b.ok()) {
@@ -263,9 +269,11 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         report.Mark(std::string("strategy_") + StrategyName(chosen));
       }
       {
-        Message msg = net.Recv(self, tags.strategy);
-        if (!msg.eos && msg.payload != nullptr) {
-          BinaryReader r(*msg.payload);
+        auto msg = net.Recv(self, tags.strategy);
+        if (!msg.ok()) {
+          if (st.ok()) st = msg.status();
+        } else if (!msg->eos && msg->payload != nullptr) {
+          BinaryReader r(*msg->payload);
           auto s = r.GetU8();
           auto b = r.GetU8();
           if (s.ok() && b.ok()) {
@@ -390,9 +398,13 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         HashAggregator final_agg(query.agg);
         const SchemaPtr partial_schema = query.agg.ResultSchema();
         for (uint32_t j = 0; j < m; ++j) {
-          Message msg = net.Recv(self, tags.agg);
-          if (msg.eos || msg.payload == nullptr) continue;
-          auto batch = RecordBatch::Deserialize(*msg.payload, partial_schema);
+          auto msg = net.Recv(self, tags.agg);
+          if (!msg.ok()) {
+            errors.Record(msg.status());
+            break;
+          }
+          if (msg->eos || msg->payload == nullptr) continue;
+          auto batch = RecordBatch::Deserialize(*msg->payload, partial_schema);
           if (batch.ok()) {
             errors.Record(final_agg.Merge(batch.value()));
           } else {
@@ -414,11 +426,13 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
       Status st;
       ScanRequest request;
       {
-        Message msg = net.Recv(self, tags.control);
-        if (msg.eos || msg.payload == nullptr) {
+        auto msg = net.Recv(self, tags.control);
+        if (!msg.ok()) {
+          st = msg.status();
+        } else if (msg->eos || msg->payload == nullptr) {
           st = Status::Internal("expected scan request, got EOS");
         } else {
-          auto parsed = ScanRequest::Deserialize(*msg.payload);
+          auto parsed = ScanRequest::Deserialize(*msg->payload);
           if (parsed.ok()) {
             request = std::move(parsed).value();
           } else {
@@ -445,7 +459,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
               return Status::OK();
             });
       }
-      sender.Finish({db_owner});  // EOS obligation
+      errors.Record(sender.Finish({db_owner}));  // EOS obligation
       errors.Record(st);
     });
   }

@@ -124,7 +124,7 @@ Status JenAggregateAndReturn(EngineContext* ctx, uint32_t jen_worker,
 
   HashAggregator final_agg(partial->spec());
   for (uint32_t i = 0; i < ctx->num_jen_workers(); ++i) {
-    Message msg = net.Recv(self, tags.agg);
+    HJ_ASSIGN_OR_RETURN(Message msg, net.Recv(self, tags.agg));
     if (msg.eos || msg.payload == nullptr) {
       return Status::Internal("expected partial aggregate, got EOS");
     }
@@ -140,7 +140,8 @@ Status JenAggregateAndReturn(EngineContext* ctx, uint32_t jen_worker,
 
 Result<RecordBatch> DbReceiveResult(EngineContext* ctx, const AggSpec& agg,
                                     const Tags& tags) {
-  Message msg = ctx->network().Recv(NodeId::Db(0), tags.result);
+  HJ_ASSIGN_OR_RETURN(Message msg,
+                      ctx->network().Recv(NodeId::Db(0), tags.result));
   if (msg.eos || msg.payload == nullptr) {
     return Status::Internal("expected final result, got EOS");
   }

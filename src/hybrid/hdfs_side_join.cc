@@ -93,7 +93,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
       } else {
         errors.Record(scanned.status());
       }
-      sender.Finish(jen_nodes);  // EOS obligation even on error
+      errors.Record(sender.Finish(jen_nodes));  // EOS obligation even on error
       if (i == 0) {
         report.Mark("db_broadcast_done");
         auto rows = driver::DbReceiveResult(ctx, query.agg, tags);
@@ -297,18 +297,23 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           }
           ctx->metrics().Add("semijoin.key_bytes_sent",
                              static_cast<int64_t>(keys.size()));
-          net.Send(self, NodeId::Hdfs(p), tags.bloom_h_local,
-                   keys.Release());
+          Status sent = SendWithRetry(&net, self, NodeId::Hdfs(p),
+                                      tags.bloom_h_local, keys.Release());
+          if (!sent.ok() && st.ok()) st = sent;
         }
         // Collect one bitmap per JEN worker (any arrival order).
         std::vector<std::vector<uint8_t>> bitmaps(n);
         for (uint32_t b = 0; b < n; ++b) {
-          Message msg = net.Recv(self, tags.bloom_h_global);
-          if (msg.eos || msg.payload == nullptr) {
+          auto msg = net.Recv(self, tags.bloom_h_global);
+          if (!msg.ok()) {
+            if (st.ok()) st = msg.status();
+            break;
+          }
+          if (msg->eos || msg->payload == nullptr) {
             if (st.ok()) st = Status::Internal("expected semijoin bitmap");
             continue;
           }
-          bitmaps[msg.from.index] = *msg.payload;
+          bitmaps[msg->from.index] = *msg->payload;
         }
         for (uint32_t p = 0; p < n && st.ok(); ++p) {
           std::vector<uint32_t> keep;
@@ -341,8 +346,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
         Status flush = appender.FlushAll();
         if (st.ok()) st = flush;
       }
-      sender.Finish(jen_nodes);  // EOS obligation
+      const Status fin = sender.Finish(jen_nodes);  // EOS obligation
       errors.Record(st);
+      errors.Record(fin);
 
       if (i == 0) {
         auto rows = driver::DbReceiveResult(ctx, query.agg, tags);
@@ -418,6 +424,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             Status a = grace.AddBuild(std::move(batch).value());
             if (!a.ok() && receive_status.ok()) receive_status = a;
           }
+          if (receive_status.ok()) receive_status = shuffle_stream.status();
         } else if (options.build_on_db_data) {
           auto received = ReceiveAllBatches(&net, self, tags.shuffle, n,
                                             prepared.hdfs_out_schema);
@@ -461,7 +468,10 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             });
         if (st.ok()) st = appender.FlushAll();
       }
-      shuffle_sender.Finish(jen_nodes);  // EOS obligation
+      {
+        const Status fin = shuffle_sender.Finish(jen_nodes);  // EOS obligation
+        if (st.ok()) st = fin;
+      }
       if (w == designated) report.Mark("jen_scan_done");
 
       // Zigzag steps 3b/4: combine BF_H at the designated worker and send
@@ -510,6 +520,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             st = batch.status();
           }
         }
+        if (st.ok()) st = db_stream.status();
         if (st.ok()) st = grace.Finish();
       } else if (!options.build_on_db_data) {
         // Paper's plan: hash table over L', probe with arriving database
@@ -522,14 +533,18 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           // lists is a protocol obligation, even after an earlier error
           // (an all-zero bitmap then suffices to unblock the sender).
           for (uint32_t j = 0; j < m; ++j) {
-            Message msg = net.Recv(self, tags.bloom_h_local);
-            if (msg.eos || msg.payload == nullptr) {
+            auto msg = net.Recv(self, tags.bloom_h_local);
+            if (!msg.ok()) {
+              if (st.ok()) st = msg.status();
+              break;
+            }
+            if (msg->eos || msg->payload == nullptr) {
               if (st.ok()) {
                 st = Status::Internal("expected semijoin key list");
               }
               continue;
             }
-            BinaryReader r(*msg.payload);
+            BinaryReader r(*msg->payload);
             std::vector<uint8_t> bitmap;
             auto count = r.GetVarint();
             if (count.ok()) {
@@ -547,8 +562,10 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             } else if (st.ok()) {
               st = count.status();
             }
-            net.Send(self, msg.from, tags.bloom_h_global,
-                     std::move(bitmap));
+            Status sent = SendWithRetry(&net, self, msg->from,
+                                        tags.bloom_h_global,
+                                        std::move(bitmap));
+            if (!sent.ok() && st.ok()) st = sent;
           }
         }
         JoinProber prober(&l_table, prepared.hdfs_out_schema,
@@ -569,6 +586,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             st = batch.status();
           }
         }
+        if (st.ok()) st = db_stream.status();
         if (st.ok()) st = prober.Flush();
       } else {
         // Ablation: build on the database records (which only start to

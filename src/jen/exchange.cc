@@ -1,8 +1,27 @@
 #include "jen/exchange.h"
 
+#include <chrono>
+
 #include "trace/tracer.h"
 
 namespace hybridjoin {
+
+Status SendWithRetry(Network* network, NodeId from, NodeId to, uint64_t tag,
+                     std::shared_ptr<const std::vector<uint8_t>> payload,
+                     uint32_t max_attempts, uint64_t backoff_us) {
+  HJ_CHECK_GT(max_attempts, 0u);
+  const uint64_t seq = network->ReserveSeq(from, to, tag);
+  Status last;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && backoff_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff_us << (attempt - 1)));
+    }
+    last = network->Send(from, to, tag, payload, attempt, seq);
+    if (last.ok() || !last.IsUnavailable()) return last;
+  }
+  return last;
+}
 
 BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
                          uint32_t num_threads, Metrics* metrics,
@@ -18,10 +37,22 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
     threads_.emplace_back([this] {
       trace::ThreadScope thread_scope(self_, "sender");
       while (auto item = queue_.Pop()) {
-        network_->Send(self_, item->dest, tag_, std::move(item->payload));
+        // After a permanent failure further batches are dropped (not sent):
+        // the stream is already broken and the error is sticky, but the
+        // queue must keep draining so producers don't block.
+        if (failed_.load(std::memory_order_acquire)) continue;
+        Status s = SendWithRetry(network_, self_, item->dest, tag_,
+                                 std::move(item->payload));
+        if (!s.ok()) RecordError(s);
       }
     });
   }
+}
+
+void BatchSender::RecordError(const Status& s) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = s;
+  failed_.store(true, std::memory_order_release);
 }
 
 BatchSender::~BatchSender() {
@@ -55,7 +86,7 @@ void BatchSender::SendSerialized(
   }
 }
 
-void BatchSender::Finish(const std::vector<NodeId>& dests) {
+Status BatchSender::Finish(const std::vector<NodeId>& dests) {
   HJ_CHECK(!finished_) << "BatchSender::Finish called twice";
   finished_ = true;
   queue_.Close();
@@ -63,11 +94,17 @@ void BatchSender::Finish(const std::vector<NodeId>& dests) {
   // Drain anything the closed queue still holds (Close lets Pop continue
   // to drain, but the threads may have exited on the closed signal first).
   while (auto item = queue_.TryPop()) {
-    network_->Send(self_, item->dest, tag_, std::move(item->payload));
+    if (failed_.load(std::memory_order_acquire)) continue;
+    Status s = SendWithRetry(network_, self_, item->dest, tag_,
+                             std::move(item->payload));
+    if (!s.ok()) RecordError(s);
   }
+  // EOS is a protocol obligation: it goes out even on a broken stream so
+  // receivers unblock and observe the error through their own channels.
   for (NodeId dest : dests) {
     network_->SendEos(self_, dest, tag_);
   }
+  return status();
 }
 
 Result<std::vector<RecordBatch>> ReceiveAllBatches(Network* network,
@@ -81,6 +118,7 @@ Result<std::vector<RecordBatch>> ReceiveAllBatches(Network* network,
                         RecordBatch::Deserialize(*msg->payload, schema));
     out.push_back(std::move(batch));
   }
+  HJ_RETURN_IF_ERROR(receiver.status());
   return out;
 }
 
@@ -93,7 +131,7 @@ Status ReceiveIntoHashTable(Network* network, NodeId self, uint64_t tag,
                         RecordBatch::Deserialize(*msg->payload, schema));
     HJ_RETURN_IF_ERROR(table->AddBatch(std::move(batch)));
   }
-  return Status::OK();
+  return receiver.status();
 }
 
 void SendBloom(Network* network, NodeId from, NodeId to, uint64_t tag,
@@ -109,7 +147,7 @@ void SendBloom(Network* network, NodeId from, NodeId to, uint64_t tag,
 }
 
 Result<BloomFilter> RecvBloom(Network* network, NodeId self, uint64_t tag) {
-  Message msg = network->Recv(self, tag);
+  HJ_ASSIGN_OR_RETURN(Message msg, network->Recv(self, tag));
   if (msg.eos || msg.payload == nullptr) {
     return Status::Internal("expected Bloom filter, got EOS");
   }

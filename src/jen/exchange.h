@@ -6,7 +6,9 @@
 #ifndef HYBRIDJOIN_JEN_EXCHANGE_H_
 #define HYBRIDJOIN_JEN_EXCHANGE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,25 @@
 #include "net/network.h"
 
 namespace hybridjoin {
+
+/// Sends one logical message with bounded retry: a fresh sequence number is
+/// reserved once so every attempt draws the same fault decisions, transient
+/// kUnavailable failures back off (exponentially from `backoff_us`) and
+/// retry up to `max_attempts` times total. Returns the last attempt's error
+/// when they are all exhausted — hard (injected) message loss surfaces here.
+Status SendWithRetry(Network* network, NodeId from, NodeId to, uint64_t tag,
+                     std::shared_ptr<const std::vector<uint8_t>> payload,
+                     uint32_t max_attempts = 5, uint64_t backoff_us = 100);
+
+inline Status SendWithRetry(Network* network, NodeId from, NodeId to,
+                            uint64_t tag, std::vector<uint8_t> payload,
+                            uint32_t max_attempts = 5,
+                            uint64_t backoff_us = 100) {
+  return SendWithRetry(
+      network, from, to, tag,
+      std::make_shared<const std::vector<uint8_t>>(std::move(payload)),
+      max_attempts, backoff_us);
+}
 
 /// Serializes batches on the caller's thread (the "process thread" filling
 /// send buffers) and ships them from a small pool of send threads, so
@@ -40,17 +61,27 @@ class BatchSender {
                       std::shared_ptr<const std::vector<uint8_t>> payload,
                       int64_t tuple_count);
 
-  /// Drains the queue, then emits EOS to every node in `dests`. The sender
-  /// is unusable afterwards.
-  void Finish(const std::vector<NodeId>& dests);
+  /// Drains the queue, then emits EOS to every node in `dests` (EOS goes
+  /// out even after send failures, so receivers never hang waiting for a
+  /// stream that died). Returns the first permanent send error, if any; the
+  /// sender is unusable afterwards.
+  Status Finish(const std::vector<NodeId>& dests);
 
   int64_t tuples_sent() const { return tuples_sent_; }
+
+  /// First permanent send error across the send threads (OK if none yet).
+  Status status() const {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return first_error_;
+  }
 
  private:
   struct Item {
     NodeId dest;
     std::shared_ptr<const std::vector<uint8_t>> payload;
   };
+
+  void RecordError(const Status& s);
 
   Network* network_;
   NodeId self_;
@@ -61,6 +92,9 @@ class BatchSender {
   std::vector<std::thread> threads_;
   std::atomic<int64_t> tuples_sent_{0};
   bool finished_ = false;
+  mutable std::mutex error_mu_;
+  Status first_error_;
+  std::atomic<bool> failed_{false};
 };
 
 /// Receives every batch from `expected_senders` streams on (self, tag).

@@ -1,0 +1,164 @@
+#include "net/fault_injector.h"
+
+#include "common/hash.h"
+#include "net/network.h"
+
+namespace hybridjoin {
+
+namespace {
+
+/// One deterministic uniform double in [0,1) per (seed, stream, seq, salt).
+double Draw(uint64_t seed, uint64_t stream_hash, uint64_t seq,
+            uint64_t salt) {
+  uint64_t h = Mix64(seed ^ Mix64(stream_hash + salt));
+  h = Mix64(h ^ (seq * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t DrawInt(uint64_t seed, uint64_t stream_hash, uint64_t seq,
+                 uint64_t salt, uint64_t bound) {
+  return static_cast<uint64_t>(Draw(seed, stream_hash, seq, salt) *
+                               static_cast<double>(bound));
+}
+
+enum Salt : uint64_t {
+  kSaltDelay = 1,
+  kSaltDelayAmount = 2,
+  kSaltFail = 3,
+  kSaltTruncate = 4,
+  kSaltTruncateAmount = 5,
+  kSaltDuplicate = 6,
+  kSaltDrop = 7,
+};
+
+}  // namespace
+
+FaultProfile FaultProfile::None() { return FaultProfile{}; }
+
+FaultProfile FaultProfile::Delays(uint64_t seed) {
+  FaultProfile p;
+  p.name = "delays";
+  p.seed = seed;
+  p.delay_prob = 0.25;
+  p.delay_max_us = 2000;
+  p.stall_us = 50 * 1000;
+  p.stall_cluster = ClusterId::kHdfs;
+  p.stall_index = 0;
+  return p;
+}
+
+FaultProfile FaultProfile::Flaky(uint64_t seed) {
+  FaultProfile p;
+  p.name = "flaky";
+  p.seed = seed;
+  p.delay_prob = 0.1;
+  p.delay_max_us = 500;
+  p.fail_first_prob = 0.15;
+  p.truncate_prob = 0.1;
+  p.duplicate_prob = 0.15;
+  return p;
+}
+
+FaultProfile FaultProfile::Stall(uint64_t seed, uint32_t num_jen_workers) {
+  FaultProfile p;
+  p.name = "stall";
+  p.seed = seed;
+  p.stall_us = 100 * 1000;
+  p.stall_cluster = ClusterId::kHdfs;
+  p.stall_index =
+      num_jen_workers == 0
+          ? 0
+          : static_cast<uint32_t>(Mix64(seed) % num_jen_workers);
+  return p;
+}
+
+FaultProfile FaultProfile::Lossy(uint64_t seed) {
+  FaultProfile p;
+  p.name = "lossy";
+  p.seed = seed;
+  p.drop_prob = 0.2;
+  return p;
+}
+
+Result<FaultProfile> FaultProfile::ByName(const std::string& name,
+                                          uint64_t seed,
+                                          uint32_t num_jen_workers) {
+  if (name == "none") return None();
+  if (name == "delays") return Delays(seed);
+  if (name == "flaky") return Flaky(seed);
+  if (name == "stall") return Stall(seed, num_jen_workers);
+  if (name == "lossy") return Lossy(seed);
+  return Status::InvalidArgument("unknown fault profile '" + name +
+                                 "' (known: none, delays, flaky, stall, "
+                                 "lossy)");
+}
+
+FaultDecision FaultInjector::OnSend(uint8_t flow_class_bit,
+                                    uint64_t stream_hash, uint64_t seq,
+                                    uint32_t attempt, uint64_t wire_bytes) {
+  FaultDecision d;
+  if ((profile_.flow_mask & flow_class_bit) == 0) return d;
+
+  if (profile_.delay_prob > 0 && attempt == 0 &&
+      Draw(profile_.seed, stream_hash, seq, kSaltDelay) <
+          profile_.delay_prob) {
+    d.delay_us =
+        1 + DrawInt(profile_.seed, stream_hash, seq, kSaltDelayAmount,
+                    profile_.delay_max_us);
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Hard loss affects every attempt of the chosen message; it wins over the
+  // transient faults below.
+  if (profile_.drop_prob > 0 &&
+      Draw(profile_.seed, stream_hash, seq, kSaltDrop) < profile_.drop_prob) {
+    d.fail = true;
+    if (attempt == 0) drops_.fetch_add(1, std::memory_order_relaxed);
+    return d;
+  }
+
+  // Transient faults fail only the first attempt, so a single retry always
+  // recovers (bounded, deterministic recovery).
+  if (attempt == 0) {
+    if (profile_.fail_first_prob > 0 &&
+        Draw(profile_.seed, stream_hash, seq, kSaltFail) <
+            profile_.fail_first_prob) {
+      d.fail = true;
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+    if (profile_.truncate_prob > 0 &&
+        Draw(profile_.seed, stream_hash, seq, kSaltTruncate) <
+            profile_.truncate_prob) {
+      d.fail = true;
+      // Burn 1..wire_bytes-1 bytes (at least something was on the wire).
+      d.charged_bytes =
+          wire_bytes <= 1
+              ? wire_bytes
+              : 1 + DrawInt(profile_.seed, stream_hash, seq,
+                            kSaltTruncateAmount, wire_bytes - 1);
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+    if (profile_.duplicate_prob > 0 &&
+        Draw(profile_.seed, stream_hash, seq, kSaltDuplicate) <
+            profile_.duplicate_prob) {
+      d.duplicate = true;
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return d;
+}
+
+uint64_t FaultInjector::TakeStall(const NodeId& node) {
+  if (profile_.stall_us == 0 || node.cluster != profile_.stall_cluster ||
+      node.index != profile_.stall_index) {
+    return 0;
+  }
+  bool expected = false;
+  if (!stall_taken_.compare_exchange_strong(expected, true)) return 0;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  return profile_.stall_us;
+}
+
+}  // namespace hybridjoin

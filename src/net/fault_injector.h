@@ -1,0 +1,149 @@
+// Deterministic fault injection for the simulated interconnect.
+//
+// A FaultInjector is consulted by Network::Send/Recv/Transfer and can, per
+// flow class, inject artificial delays, transient send failures (the first
+// attempt fails, a retry succeeds), truncated-then-retried transfers (the
+// failed attempt still burns wire bytes), duplicated deliveries (the
+// receiver must dedup by sequence number), hard message loss (every attempt
+// fails — the engine must fail cleanly), and a one-shot stall of a chosen
+// worker node.
+//
+// Decisions are a pure function of (profile seed, stream identity, message
+// sequence number, attempt number), NOT of thread scheduling: replaying the
+// same seed injects faults at the same points of each message stream no
+// matter how the worker threads interleave. That is what makes
+// `fuzz_joins --seed=N` reproduce a failure.
+
+#ifndef HYBRIDJOIN_NET_FAULT_INJECTOR_H_
+#define HYBRIDJOIN_NET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace hybridjoin {
+
+enum class ClusterId : uint8_t;
+struct NodeId;
+
+/// What a fault profile may do to the interconnect. Probabilities are per
+/// message (per attempt for failures); `flow_mask` selects the flow classes
+/// the profile applies to (bit i = FlowClass i; loopback is never faulted).
+struct FaultProfile {
+  std::string name = "none";
+  uint64_t seed = 0;
+  /// Bitmask over FlowClass values; default: everything but loopback.
+  uint8_t flow_mask = 0b1110;
+
+  /// Artificial latency: with probability `delay_prob`, sleep a
+  /// deterministic duration in [1, delay_max_us].
+  double delay_prob = 0.0;
+  uint32_t delay_max_us = 0;
+
+  /// Transient send failure: the first attempt fails with kUnavailable and
+  /// moves no bytes; any retry succeeds.
+  double fail_first_prob = 0.0;
+
+  /// Truncated transfer: the first attempt fails after burning a
+  /// deterministic fraction of the payload's wire bytes; the retry resends
+  /// everything (total bytes moved > payload bytes).
+  double truncate_prob = 0.0;
+
+  /// Duplicate delivery: the message is delivered twice with the same
+  /// sequence number and its bytes are charged twice; Network::Recv must
+  /// drop the second copy.
+  double duplicate_prob = 0.0;
+
+  /// Hard loss: every attempt of an affected message fails. Retries cannot
+  /// recover; the engine must surface a non-OK Status instead of hanging.
+  double drop_prob = 0.0;
+
+  /// One-shot worker stall: the first data-plane send of the matching node
+  /// sleeps `stall_us` (models a long GC pause / IO hiccup). Disabled when
+  /// stall_us == 0.
+  uint64_t stall_us = 0;
+  ClusterId stall_cluster = static_cast<ClusterId>(1);  // kHdfs
+  uint32_t stall_index = 0;
+
+  /// True when the profile can inject anything at all.
+  bool enabled() const {
+    return delay_prob > 0 || fail_first_prob > 0 || truncate_prob > 0 ||
+           duplicate_prob > 0 || drop_prob > 0 || stall_us > 0;
+  }
+
+  /// True when every injected fault is recoverable by the engine's retry
+  /// and dedup machinery — runs under such a profile must still produce
+  /// byte-identical results.
+  bool recoverable() const { return drop_prob == 0; }
+
+  // --- The named profiles of the differential harness (docs/testing.md). ---
+
+  /// No faults at all.
+  static FaultProfile None();
+  /// Delays only: every class, up to 2 ms per message, plus a 50 ms
+  /// one-shot stall of JEN worker 0.
+  static FaultProfile Delays(uint64_t seed);
+  /// The adversarial-but-recoverable mix: delays + transient failures +
+  /// truncated retries + duplicate deliveries.
+  static FaultProfile Flaky(uint64_t seed);
+  /// A single long stall of one JEN worker (picked by seed), nothing else.
+  static FaultProfile Stall(uint64_t seed, uint32_t num_jen_workers);
+  /// Unrecoverable: a fraction of data-plane messages is lost for good.
+  /// The engine must return a non-OK Status within the recv timeout.
+  static FaultProfile Lossy(uint64_t seed);
+
+  /// Looks up a profile by name ("none", "delays", "flaky", "stall",
+  /// "lossy") and seeds it.
+  static Result<FaultProfile> ByName(const std::string& name, uint64_t seed,
+                                     uint32_t num_jen_workers);
+};
+
+/// The per-message verdict handed to Network::Send.
+struct FaultDecision {
+  uint64_t delay_us = 0;       ///< sleep this long before doing anything
+  bool fail = false;           ///< this attempt fails with kUnavailable
+  uint64_t charged_bytes = 0;  ///< wire bytes burned by the failed attempt
+  bool duplicate = false;      ///< deliver the message twice
+};
+
+/// Thread-safe. One injector serves one Network; the Network calls OnSend
+/// once per send attempt and TakeStall once per data-plane send.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile) : profile_(std::move(profile)) {}
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Decision for attempt `attempt` of the `seq`-th message on the stream
+  /// identified by `stream_hash` (a hash of from/to/tag). `flow_class_bit`
+  /// is 1 << static_cast<int>(FlowClass). Pure function of its arguments
+  /// and the profile; also bumps the observability counters.
+  FaultDecision OnSend(uint8_t flow_class_bit, uint64_t stream_hash,
+                       uint64_t seq, uint32_t attempt, uint64_t wire_bytes);
+
+  /// Returns the stall duration (µs) exactly once for the configured node,
+  /// 0 otherwise.
+  uint64_t TakeStall(const NodeId& node);
+
+  // Counters (for tests and the fault report).
+  int64_t delays_injected() const { return delays_.load(); }
+  int64_t failures_injected() const { return failures_.load(); }
+  int64_t duplicates_injected() const { return duplicates_.load(); }
+  int64_t drops_injected() const { return drops_.load(); }
+  int64_t stalls_injected() const { return stalls_.load(); }
+
+ private:
+  const FaultProfile profile_;
+  std::atomic<bool> stall_taken_{false};
+  std::atomic<int64_t> delays_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> duplicates_{0};
+  std::atomic<int64_t> drops_{0};
+  std::atomic<int64_t> stalls_{0};
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_NET_FAULT_INJECTOR_H_

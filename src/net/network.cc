@@ -1,8 +1,34 @@
 #include "net/network.h"
 
+#include <chrono>
+#include <thread>
+#include <tuple>
+
+#include "common/hash.h"
 #include "trace/tracer.h"
 
 namespace hybridjoin {
+
+namespace {
+
+/// Pseudo-tag identifying the raw Transfer stream between two nodes, so its
+/// fault draws don't collide with any real channel's.
+constexpr uint64_t kTransferTag = ~0ULL;
+
+uint64_t HashNode(NodeId n) {
+  return (static_cast<uint64_t>(n.cluster) << 32) | n.index;
+}
+
+/// Stable identity of one (from, to, tag) stream for fault draws.
+uint64_t StreamHash(NodeId from, NodeId to, uint64_t tag) {
+  return Mix64(HashNode(from) ^ Mix64(HashNode(to) ^ Mix64(tag)));
+}
+
+void SleepUs(uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
 
 const char* FlowClassName(FlowClass fc) {
   switch (fc) {
@@ -42,10 +68,10 @@ Network::Network(const NetworkConfig& config, uint32_t num_db_nodes,
   }
 }
 
-Network::Channel* Network::GetChannel(NodeId to, uint64_t tag) {
+Network::ChannelState* Network::GetChannel(NodeId to, uint64_t tag) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = channels_[{to, tag}];
-  if (!slot) slot = std::make_unique<Channel>();
+  if (!slot) slot = std::make_unique<ChannelState>();
   return slot.get();
 }
 
@@ -58,6 +84,11 @@ TokenBucket* Network::NicBucket(NodeId node) {
   return hdfs_nics_[node.index].get();
 }
 
+uint64_t Network::NextSeq(NodeId from, NodeId to, uint64_t tag) {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  return ++stream_seq_[{from, to, tag}];
+}
+
 void Network::Throttle(NodeId from, NodeId to, uint64_t bytes) {
   const FlowClass fc = ClassifyFlow(from, to);
   bytes_by_class_[static_cast<int>(fc)].fetch_add(
@@ -68,16 +99,45 @@ void Network::Throttle(NodeId from, NodeId to, uint64_t bytes) {
   if (fc == FlowClass::kCrossCluster) cross_switch_.Acquire(bytes);
 }
 
-void Network::Send(NodeId from, NodeId to, uint64_t tag,
-                   std::shared_ptr<const std::vector<uint8_t>> payload) {
+Status Network::Send(NodeId from, NodeId to, uint64_t tag,
+                     std::shared_ptr<const std::vector<uint8_t>> payload,
+                     uint32_t attempt, uint64_t seq) {
   HJ_CHECK(payload != nullptr);
+  const FlowClass fc = ClassifyFlow(from, to);
   const uint64_t bytes =
       payload->size() + config_.per_message_overhead_bytes;
-  trace::Span span(tracer_, trace::span::kNetSend,
-                   FlowClassName(ClassifyFlow(from, to)), from);
+  trace::Span span(tracer_, trace::span::kNetSend, FlowClassName(fc), from);
   span.set_bytes(static_cast<int64_t>(bytes));
+
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    SleepUs(injector_->TakeStall(from));
+    if (seq == 0) seq = NextSeq(from, to, tag);
+    const FaultDecision d = injector_->OnSend(
+        static_cast<uint8_t>(1u << static_cast<int>(fc)),
+        StreamHash(from, to, tag), seq, attempt, bytes);
+    SleepUs(d.delay_us);
+    if (d.fail) {
+      // A truncated attempt still burned wire bytes before failing.
+      if (d.charged_bytes > 0) Throttle(from, to, d.charged_bytes);
+      return Status::Unavailable(
+          "injected send failure " + from.ToString() + " -> " +
+          to.ToString() + " tag " + std::to_string(tag) + " attempt " +
+          std::to_string(attempt));
+    }
+    duplicate = d.duplicate;
+  }
+
   Throttle(from, to, bytes);
-  GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
+  ChannelState* ch = GetChannel(to, tag);
+  ch->queue.Push(Message{from, payload, /*eos=*/false, seq});
+  if (duplicate) {
+    // The duplicate is a real second delivery: it costs wire bytes and
+    // arrives with the same sequence number for the receiver to drop.
+    Throttle(from, to, bytes);
+    ch->queue.Push(Message{from, std::move(payload), /*eos=*/false, seq});
+  }
+  return Status::OK();
 }
 
 void Network::SendControl(
@@ -92,23 +152,45 @@ void Network::SendControl(
   span.set_bytes(static_cast<int64_t>(bytes));
   bytes_by_class_[static_cast<int>(fc)].fetch_add(
       static_cast<int64_t>(bytes), std::memory_order_relaxed);
-  GetChannel(to, tag)->Push(Message{from, std::move(payload), /*eos=*/false});
+  GetChannel(to, tag)->queue.Push(
+      Message{from, std::move(payload), /*eos=*/false, /*seq=*/0});
 }
 
 void Network::SendEos(NodeId from, NodeId to, uint64_t tag) {
   Throttle(from, to, config_.per_message_overhead_bytes);
-  GetChannel(to, tag)->Push(Message{from, nullptr, /*eos=*/true});
+  GetChannel(to, tag)->queue.Push(
+      Message{from, nullptr, /*eos=*/true, /*seq=*/0});
 }
 
-Message Network::Recv(NodeId to, uint64_t tag) {
+Result<Message> Network::Recv(NodeId to, uint64_t tag) {
   trace::Span span(tracer_, trace::span::kNetRecv, "net", to);
-  auto m = GetChannel(to, tag)->Pop();
-  HJ_CHECK(m.has_value()) << "channel closed while receiving on "
-                          << to.ToString() << " tag " << tag;
-  if (m->payload != nullptr) {
-    span.set_bytes(static_cast<int64_t>(m->payload->size()));
+  ChannelState* ch = GetChannel(to, tag);
+  const auto timeout = std::chrono::milliseconds(config_.recv_timeout_ms);
+  while (true) {
+    bool timed_out = false;
+    std::optional<Message> m = ch->queue.PopFor(timeout, &timed_out);
+    if (timed_out) {
+      return Status::TimedOut("recv timed out after " +
+                              std::to_string(config_.recv_timeout_ms) +
+                              " ms on " + to.ToString() + " tag " +
+                              std::to_string(tag));
+    }
+    if (!m.has_value()) {
+      return Status::Unavailable("channel closed while receiving on " +
+                                 to.ToString() + " tag " +
+                                 std::to_string(tag));
+    }
+    if (m->seq != 0 && !m->eos) {
+      // Drop an injected duplicate delivery: the (from, seq) pair has been
+      // handed out before on this channel.
+      std::lock_guard<std::mutex> lock(ch->dedup_mu);
+      if (!ch->delivered[m->from].insert(m->seq).second) continue;
+    }
+    if (m->payload != nullptr) {
+      span.set_bytes(static_cast<int64_t>(m->payload->size()));
+    }
+    return std::move(*m);
   }
-  return std::move(*m);
 }
 
 void Network::Transfer(NodeId from, NodeId to, uint64_t bytes) {
@@ -116,6 +198,18 @@ void Network::Transfer(NodeId from, NodeId to, uint64_t bytes) {
   trace::Span span(tracer_, trace::span::kNetTransfer,
                    FlowClassName(ClassifyFlow(from, to)), to);
   span.set_bytes(static_cast<int64_t>(bytes));
+  if (injector_ != nullptr) {
+    SleepUs(injector_->TakeStall(to));
+    const FlowClass fc = ClassifyFlow(from, to);
+    const FaultDecision d = injector_->OnSend(
+        static_cast<uint8_t>(1u << static_cast<int>(fc)),
+        StreamHash(from, to, kTransferTag),
+        NextSeq(from, to, kTransferTag), /*attempt=*/0, bytes);
+    SleepUs(d.delay_us);
+    // A pull-style read retries transparently inside the reader; a failed
+    // first attempt only costs the bytes it burned before breaking off.
+    if (d.fail && d.charged_bytes > 0) Throttle(from, to, d.charged_bytes);
+  }
   Throttle(from, to, bytes);
   if (metrics_ != nullptr && from.cluster == ClusterId::kHdfs &&
       to.cluster == ClusterId::kHdfs && !(from == to)) {

@@ -1,0 +1,298 @@
+#include "testing/differential.h"
+
+#include <sstream>
+
+#include "hdfs/format.h"
+#include "hybrid/reference.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace testing_support {
+
+namespace {
+
+// SplitMix64: every knob of a case is drawn from this generator seeded with
+// the case seed, so a seed fully determines the case on every platform
+// (std::mt19937's distributions are not portable across libstdc++ versions).
+class SplitMix {
+ public:
+  explicit SplitMix(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi], inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  /// Uniform in [0, 1).
+  double Unit() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double RangeF(double lo, double hi) { return lo + Unit() * (hi - lo); }
+
+ private:
+  uint64_t state_;
+};
+
+std::string CellToString(const ColumnVector& col, size_t row) {
+  switch (col.physical_type()) {
+    case PhysicalType::kInt32:
+      return std::to_string(col.i32()[row]);
+    case PhysicalType::kInt64:
+      return std::to_string(col.i64()[row]);
+    case PhysicalType::kFloat64:
+      return std::to_string(col.f64()[row]);
+    case PhysicalType::kString:
+      return "\"" + col.str()[row] + "\"";
+  }
+  return "?";
+}
+
+bool CellsEqual(const ColumnVector& a, const ColumnVector& b, size_t row) {
+  switch (a.physical_type()) {
+    case PhysicalType::kInt32:
+      return a.i32()[row] == b.i32()[row];
+    case PhysicalType::kInt64:
+      return a.i64()[row] == b.i64()[row];
+    case PhysicalType::kFloat64:
+      return a.f64()[row] == b.f64()[row];
+    case PhysicalType::kString:
+      return a.str()[row] == b.str()[row];
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& DifferentialVariants() {
+  static const std::vector<std::string> kVariants = {
+      "db",     "db_bloom",          "broadcast",      "repartition",
+      "repartition_bloom", "zigzag", "zigzag_semijoin"};
+  return kVariants;
+}
+
+Result<QueryResult> RunVariant(HybridWarehouse* warehouse,
+                               const HybridQuery& query,
+                               const std::string& variant) {
+  if (variant == "db") {
+    return warehouse->Execute(query, JoinAlgorithm::kDbSide);
+  }
+  if (variant == "db_bloom") {
+    return warehouse->Execute(query, JoinAlgorithm::kDbSideBloom);
+  }
+  if (variant == "broadcast") {
+    return warehouse->Execute(query, JoinAlgorithm::kBroadcast);
+  }
+  if (variant == "repartition") {
+    return warehouse->Execute(query, JoinAlgorithm::kRepartition);
+  }
+  if (variant == "repartition_bloom") {
+    return warehouse->Execute(query, JoinAlgorithm::kRepartitionBloom);
+  }
+  if (variant == "zigzag") {
+    return warehouse->Execute(query, JoinAlgorithm::kZigzag);
+  }
+  if (variant == "zigzag_semijoin") {
+    // Not reachable through the JoinAlgorithm enum: the exact-semijoin
+    // second filter is a driver-level ablation, so invoke the driver.
+    EngineContext* ctx = &warehouse->context();
+    HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
+    JoinDriverOptions options;
+    options.second_filter = SecondFilterKind::kExactSemijoin;
+    return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
+                                    /*zigzag=*/true, options);
+  }
+  return Status::InvalidArgument("unknown variant '" + variant + "'");
+}
+
+std::optional<std::string> CompareBatches(const RecordBatch& expected,
+                                          const RecordBatch& actual) {
+  if (actual.num_columns() != expected.num_columns()) {
+    return "column count: expected " + std::to_string(expected.num_columns()) +
+           ", got " + std::to_string(actual.num_columns());
+  }
+  if (actual.num_rows() != expected.num_rows()) {
+    return "row count: expected " + std::to_string(expected.num_rows()) +
+           ", got " + std::to_string(actual.num_rows());
+  }
+  for (size_t c = 0; c < expected.num_columns(); ++c) {
+    if (actual.column(c).physical_type() !=
+        expected.column(c).physical_type()) {
+      return "column " + std::to_string(c) + ": physical type mismatch";
+    }
+    for (size_t r = 0; r < expected.num_rows(); ++r) {
+      if (!CellsEqual(expected.column(c), actual.column(c), r)) {
+        return "row " + std::to_string(r) + " col " + std::to_string(c) +
+               ": expected " + CellToString(expected.column(c), r) + ", got " +
+               CellToString(actual.column(c), r);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+DiffCase MakeRandomCase(uint64_t seed) {
+  SplitMix rng(seed);
+  DiffCase c;
+
+  // Small enough that 200 seeds x 7 variants x several profiles finish in
+  // minutes, large enough that every worker sees multiple batches/blocks.
+  c.workload.num_join_keys = rng.Range(64, 768);
+  c.workload.t_rows = rng.Range(1500, 8000);
+  c.workload.l_rows = rng.Range(6000, 30000);
+  c.workload.num_groups = static_cast<uint32_t>(rng.Range(1, 48));
+  c.workload.batch_rows = static_cast<uint32_t>(rng.Range(1024, 8192));
+  c.workload.seed = rng.Next();
+
+  // Draw selectivity targets until the solver accepts them (most draws are
+  // feasible; the retry keeps the case distribution wide without biasing
+  // toward a fixed fallback).
+  bool solved = false;
+  for (int attempt = 0; attempt < 32 && !solved; ++attempt) {
+    SelectivitySpec spec;
+    spec.sigma_t = rng.RangeF(0.02, 0.6);
+    spec.sigma_l = rng.RangeF(0.02, 0.6);
+    spec.st = rng.RangeF(0.05, 1.0);
+    spec.sl = rng.RangeF(0.05, 1.0);
+    if (SolveSelectivities(spec, c.workload).ok()) {
+      c.spec = spec;
+      solved = true;
+    }
+  }
+  if (!solved) c.spec = SelectivitySpec{0.1, 0.1, 0.5, 0.5};
+
+  c.db_workers = static_cast<uint32_t>(rng.Range(1, 5));
+  c.jen_workers = static_cast<uint32_t>(rng.Range(1, 6));
+  c.format = (rng.Next() & 1) ? HdfsFormat::kText : HdfsFormat::kColumnar;
+  const uint32_t kBlockRows[] = {512, 1024, 2048, 4096};
+  c.rows_per_block = kBlockRows[rng.Range(0, 3)];
+
+  std::ostringstream os;
+  os << "keys=" << c.workload.num_join_keys << " t=" << c.workload.t_rows
+     << " l=" << c.workload.l_rows << " groups=" << c.workload.num_groups
+     << " batch=" << c.workload.batch_rows << " spec={" << c.spec.sigma_t
+     << "," << c.spec.sigma_l << "," << c.spec.st << "," << c.spec.sl << "}"
+     << " m=" << c.db_workers << " n=" << c.jen_workers
+     << " fmt=" << HdfsFormatName(c.format) << " rpb=" << c.rows_per_block;
+  c.summary = os.str();
+  return c;
+}
+
+bool DiffCaseReport::ok() const {
+  if (!setup_error.ok()) return false;
+  if (outcomes.empty()) return false;
+  for (const VariantOutcome& o : outcomes) {
+    if (o.status.ok()) {
+      // A run that claims success must match the oracle under EVERY
+      // profile — a wrong answer is never an acceptable fault outcome.
+      if (!o.matched) return false;
+    } else if (profile_recoverable) {
+      // Recoverable profiles must be absorbed by retry/dedup.
+      return false;
+    }
+    // Unrecoverable profile + non-OK status: clean failure, acceptable.
+  }
+  return true;
+}
+
+std::string DiffCaseReport::Summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " profile=" << profile << " [" << case_summary
+     << "]";
+  if (!setup_error.ok()) {
+    os << "\n  SETUP FAILED: " << setup_error.ToString();
+  }
+  for (const VariantOutcome& o : outcomes) {
+    os << "\n  " << o.variant << ": ";
+    if (!o.status.ok()) {
+      os << (profile_recoverable ? "FAILED (profile is recoverable): "
+                                 : "failed cleanly: ")
+         << o.status.ToString();
+    } else if (!o.matched) {
+      os << "MISMATCH vs reference: " << o.mismatch;
+    } else {
+      os << "ok";
+    }
+  }
+  if (!ok()) {
+    os << "\n  reproduce: fuzz_joins --seed=" << seed
+       << " --profiles=" << profile;
+  }
+  return os.str();
+}
+
+DiffCaseReport RunDifferentialCase(uint64_t seed,
+                                   const std::string& profile_name,
+                                   uint64_t recv_timeout_ms) {
+  DiffCaseReport report;
+  report.seed = seed;
+  report.profile = profile_name;
+
+  const DiffCase c = MakeRandomCase(seed);
+  report.case_summary = c.summary;
+
+  // The profile is seeded with the case seed so the whole run — workload,
+  // cluster shape and fault schedule — reproduces from one number.
+  auto profile = FaultProfile::ByName(profile_name, seed, c.jen_workers);
+  if (!profile.ok()) {
+    report.setup_error = profile.status();
+    return report;
+  }
+  report.profile_recoverable = profile->recoverable();
+
+  auto workload = Workload::Generate(c.workload, c.spec);
+  if (!workload.ok()) {
+    report.setup_error = workload.status();
+    return report;
+  }
+  const HybridQuery query = workload->MakeQuery();
+
+  auto expected =
+      RunReferenceJoin({workload->t_rows()}, workload->l_batches(), query);
+  if (!expected.ok()) {
+    report.setup_error = expected.status();
+    return report;
+  }
+
+  for (const std::string& variant : DifferentialVariants()) {
+    // A fresh warehouse per variant: the one-shot stall re-arms, and every
+    // variant sees the same deterministic fault schedule from seq 0 instead
+    // of one schedule smeared across whichever variants ran earlier.
+    SimulationConfig config;
+    config.db.num_workers = c.db_workers;
+    config.jen_workers = c.jen_workers;
+    config.bloom.expected_keys = c.workload.num_join_keys;
+    config.net.recv_timeout_ms = recv_timeout_ms;
+    config.fault = *profile;
+    HybridWarehouse hw(config);
+
+    LoadOptions load;
+    load.hdfs.format = c.format;
+    load.hdfs.rows_per_block = c.rows_per_block;
+    if (Status s = LoadWorkload(&hw, *workload, load); !s.ok()) {
+      report.setup_error = s;  // loading never touches the faulted network
+      return report;
+    }
+
+    VariantOutcome out;
+    out.variant = variant;
+    auto result = RunVariant(&hw, query, variant);
+    out.status = result.status();
+    if (result.ok()) {
+      auto diff = CompareBatches(*expected, result->rows);
+      out.matched = !diff.has_value();
+      if (diff.has_value()) out.mismatch = *diff;
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace testing_support
+}  // namespace hybridjoin

@@ -1,0 +1,92 @@
+// Randomized differential testing of the five join algorithms (seven
+// variants counting the Bloom ablations and both zigzag second-filter
+// kinds) against the single-node reference executor, optionally under a
+// named fault-injection profile.
+//
+// Everything here is a pure function of the case seed: the workload shape,
+// the selectivity targets, the cluster sizes, the HDFS format and the fault
+// profile seed all derive from it, so any failure is reproduced by
+// `fuzz_joins --seed=N --profiles=<name>` (docs/testing.md).
+
+#ifndef HYBRIDJOIN_TESTING_DIFFERENTIAL_H_
+#define HYBRIDJOIN_TESTING_DIFFERENTIAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdfs/table_writer.h"
+#include "hybrid/warehouse.h"
+#include "net/fault_injector.h"
+#include "workload/generator.h"
+
+namespace hybridjoin {
+namespace testing_support {
+
+/// The seven algorithm variants a differential case exercises.
+/// "zigzag" is the paper's Bloom second filter; "zigzag_semijoin" swaps in
+/// the exact-semijoin second filter of §6's related work.
+const std::vector<std::string>& DifferentialVariants();
+
+/// Runs one variant by name on an already-loaded warehouse.
+Result<QueryResult> RunVariant(HybridWarehouse* warehouse,
+                               const HybridQuery& query,
+                               const std::string& variant);
+
+/// Byte-for-byte comparison (schema, row order, every cell — no sorting):
+/// nullopt when equal, else a description of the first difference.
+std::optional<std::string> CompareBatches(const RecordBatch& expected,
+                                          const RecordBatch& actual);
+
+/// One seed-derived differential case: workload shape, selectivity targets
+/// (re-drawn until the solver accepts them), cluster sizes, HDFS layout.
+struct DiffCase {
+  WorkloadConfig workload;
+  SelectivitySpec spec;
+  uint32_t db_workers = 2;
+  uint32_t jen_workers = 3;
+  HdfsFormat format = HdfsFormat::kColumnar;
+  uint32_t rows_per_block = 4096;
+  std::string summary;  ///< one line for logs
+};
+
+DiffCase MakeRandomCase(uint64_t seed);
+
+/// What happened to one variant of one case.
+struct VariantOutcome {
+  std::string variant;
+  Status status;          ///< the run's Status
+  bool matched = false;   ///< equal to the oracle (meaningful when status ok)
+  std::string mismatch;   ///< first differing cell, when !matched
+};
+
+/// The verdict for one (seed, profile) pair.
+struct DiffCaseReport {
+  uint64_t seed = 0;
+  std::string profile;
+  bool profile_recoverable = true;
+  std::string case_summary;
+  Status setup_error;  ///< generation/load/oracle failure (aborts the case)
+  std::vector<VariantOutcome> outcomes;
+
+  /// Under a recoverable profile every variant must run OK and match the
+  /// oracle; under an unrecoverable one each variant must either match or
+  /// fail with a non-OK Status (silent wrong answers are never acceptable).
+  bool ok() const;
+
+  /// Human-readable verdict, including the reproduction command when not ok.
+  std::string Summary() const;
+};
+
+/// Runs all variants of the seed's case under the named fault profile
+/// ("none", "delays", "flaky", "stall", "lossy"), comparing against
+/// RunReferenceJoin. `recv_timeout_ms` bounds every blocking receive so
+/// injected loss surfaces as Status::TimedOut instead of a hang.
+DiffCaseReport RunDifferentialCase(uint64_t seed,
+                                   const std::string& profile_name,
+                                   uint64_t recv_timeout_ms = 5000);
+
+}  // namespace testing_support
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_TESTING_DIFFERENTIAL_H_

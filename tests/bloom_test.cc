@@ -49,6 +49,32 @@ TEST(BloomFilterTest, MeasuredFprNearExpected) {
   EXPECT_NEAR(fpr, bf.params().ExpectedFpr(n), 0.015);
 }
 
+// The guarantee documented on BloomParams::ExpectedFpr: across filter
+// sizes, the observed false-positive rate stays within 2x of the formula's
+// prediction (and never degenerates to ~0, which would indicate the probe
+// keys alias the inserted ones).
+TEST(BloomFilterTest, ObservedFprWithinTwiceExpectedAcrossSizes) {
+  for (const uint64_t n : {uint64_t{1} << 12, uint64_t{1} << 14,
+                           uint64_t{1} << 16}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    BloomFilter bf(BloomParams::ForKeys(n, 8.0, 2));
+    for (uint64_t k = 0; k < n; ++k) {
+      bf.Add(static_cast<int64_t>(k * 2654435761ULL));  // spread inserts
+    }
+    const double expected = bf.params().ExpectedFpr(n);  // ~4.9%
+    int64_t false_positives = 0;
+    const int64_t probes = 200000;
+    for (int64_t k = 0; k < probes; ++k) {
+      // Disjoint from every inserted key (odd vs even multiples).
+      if (bf.MayContain(k * 2654435761LL + 1)) ++false_positives;
+    }
+    const double observed =
+        static_cast<double>(false_positives) / static_cast<double>(probes);
+    EXPECT_LE(observed, 2.0 * expected);
+    EXPECT_GE(observed, expected / 4.0);
+  }
+}
+
 TEST(BloomFilterTest, UnionEqualsJointConstruction) {
   const auto params = BloomParams::ForKeys(4096);
   BloomFilter a(params), b(params), joint(params);

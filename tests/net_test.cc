@@ -10,6 +10,8 @@
 #include <map>
 
 #include "common/stopwatch.h"
+#include "jen/exchange.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "trace/tracer.h"
 
@@ -34,7 +36,7 @@ TEST(FlowClassTest, Classification) {
 TEST(NetworkTest, SendRecvPreservesPayloadAndSender) {
   Network net(NetworkConfig{}, 2, 2, nullptr);
   net.Send(NodeId::Db(1), NodeId::Hdfs(0), 5, Bytes(10, 42));
-  Message m = net.Recv(NodeId::Hdfs(0), 5);
+  Message m = net.Recv(NodeId::Hdfs(0), 5).value();
   EXPECT_FALSE(m.eos);
   EXPECT_EQ(m.from, NodeId::Db(1));
   ASSERT_EQ(m.payload->size(), 10u);
@@ -45,8 +47,8 @@ TEST(NetworkTest, TagsIsolateChannels) {
   Network net(NetworkConfig{}, 1, 1, nullptr);
   net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, Bytes(1, 1));
   net.Send(NodeId::Db(0), NodeId::Hdfs(0), 2, Bytes(1, 2));
-  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 2).payload)[0], 2);
-  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 1).payload)[0], 1);
+  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 2)->payload)[0], 2);
+  EXPECT_EQ((*net.Recv(NodeId::Hdfs(0), 1)->payload)[0], 1);
 }
 
 TEST(NetworkTest, RecvBlocksUntilSend) {
@@ -190,8 +192,8 @@ TEST(NetworkTest, SharedPayloadBroadcastDoesNotCopy) {
   auto payload = std::make_shared<const std::vector<uint8_t>>(Bytes(8, 3));
   net.Send(NodeId::Db(0), NodeId::Hdfs(0), 1, payload);
   net.Send(NodeId::Db(0), NodeId::Hdfs(1), 1, payload);
-  Message m0 = net.Recv(NodeId::Hdfs(0), 1);
-  Message m1 = net.Recv(NodeId::Hdfs(1), 1);
+  Message m0 = net.Recv(NodeId::Hdfs(0), 1).value();
+  Message m1 = net.Recv(NodeId::Hdfs(1), 1).value();
   EXPECT_EQ(m0.payload.get(), m1.payload.get());  // same buffer
 }
 
@@ -230,6 +232,203 @@ TEST(NetworkStressTest, ManySendersManyTagsDeliverExactly) {
   int64_t expected_sum = 0;
   for (int i = 0; i < kMessagesPerPair; ++i) expected_sum += i % 251;
   EXPECT_EQ(payload_sum.load(), expected_sum * 16);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, DecisionsAreDeterministic) {
+  const FaultProfile profile = FaultProfile::Flaky(/*seed=*/123);
+  FaultInjector a(profile);
+  FaultInjector b(profile);
+  for (uint64_t seq = 1; seq <= 500; ++seq) {
+    const FaultDecision da = a.OnSend(0b1000, /*stream_hash=*/77, seq,
+                                      /*attempt=*/0, /*wire_bytes=*/1000);
+    const FaultDecision db = b.OnSend(0b1000, 77, seq, 0, 1000);
+    EXPECT_EQ(da.delay_us, db.delay_us);
+    EXPECT_EQ(da.fail, db.fail);
+    EXPECT_EQ(da.charged_bytes, db.charged_bytes);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+  }
+  EXPECT_EQ(a.failures_injected(), b.failures_injected());
+  EXPECT_EQ(a.duplicates_injected(), b.duplicates_injected());
+}
+
+TEST(FaultInjectionTest, DifferentSeedsDiffer) {
+  FaultInjector a(FaultProfile::Flaky(1));
+  FaultInjector b(FaultProfile::Flaky(2));
+  int differing = 0;
+  for (uint64_t seq = 1; seq <= 200; ++seq) {
+    const FaultDecision da = a.OnSend(0b1000, 77, seq, 0, 1000);
+    const FaultDecision db = b.OnSend(0b1000, 77, seq, 0, 1000);
+    if (da.fail != db.fail || da.duplicate != db.duplicate) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectionTest, DuplicateDeliveredExactlyOnce) {
+  FaultProfile profile;
+  profile.name = "dup";
+  profile.seed = 7;
+  profile.duplicate_prob = 1.0;
+  FaultInjector injector(profile);
+  NetworkConfig config;
+  config.recv_timeout_ms = 100;
+  config.per_message_overhead_bytes = 0;
+  Network net(config, 1, 1, nullptr);
+  net.set_fault_injector(&injector);
+
+  constexpr int kMessages = 5;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(
+        net.Send(NodeId::Db(0), NodeId::Hdfs(0), 3, Bytes(10, i)).ok());
+  }
+  EXPECT_EQ(injector.duplicates_injected(), kMessages);
+  // Both copies hit the wire...
+  EXPECT_EQ(net.BytesMoved(FlowClass::kCrossCluster), 2 * kMessages * 10);
+  // ...but the receiver sees each message exactly once.
+  for (int i = 0; i < kMessages; ++i) {
+    auto m = net.Recv(NodeId::Hdfs(0), 3);
+    ASSERT_TRUE(m.ok()) << m.status();
+    EXPECT_EQ((*m->payload)[0], i);
+  }
+  auto extra = net.Recv(NodeId::Hdfs(0), 3);
+  ASSERT_FALSE(extra.ok());
+  EXPECT_TRUE(extra.status().IsTimedOut()) << extra.status();
+}
+
+TEST(FaultInjectionTest, TransientFailureRecoversWithRetry) {
+  FaultProfile profile;
+  profile.name = "fail_first";
+  profile.seed = 11;
+  profile.fail_first_prob = 1.0;
+  FaultInjector injector(profile);
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  net.set_fault_injector(&injector);
+
+  // A bare first attempt fails...
+  const uint64_t seq = net.ReserveSeq(NodeId::Db(0), NodeId::Hdfs(0), 4);
+  Status first = net.Send(NodeId::Db(0), NodeId::Hdfs(0), 4, Bytes(8), 0,
+                          seq);
+  EXPECT_TRUE(first.IsUnavailable()) << first;
+  // ...and the second attempt of the same message succeeds.
+  Status second = net.Send(NodeId::Db(0), NodeId::Hdfs(0), 4, Bytes(8), 1,
+                           seq);
+  EXPECT_TRUE(second.ok()) << second;
+  // SendWithRetry wraps exactly that dance.
+  Status with_retry =
+      SendWithRetry(&net, NodeId::Db(0), NodeId::Hdfs(0), 4, Bytes(8));
+  EXPECT_TRUE(with_retry.ok()) << with_retry;
+  EXPECT_EQ(injector.failures_injected(), 2);
+}
+
+TEST(FaultInjectionTest, TruncatedRetryBurnsExtraBytes) {
+  FaultProfile profile;
+  profile.name = "truncate";
+  profile.seed = 5;
+  profile.truncate_prob = 1.0;
+  FaultInjector injector(profile);
+  NetworkConfig config;
+  config.per_message_overhead_bytes = 0;
+  Network net(config, 1, 1, nullptr);
+  net.set_fault_injector(&injector);
+
+  Status sent =
+      SendWithRetry(&net, NodeId::Db(0), NodeId::Hdfs(0), 6, Bytes(1000));
+  EXPECT_TRUE(sent.ok()) << sent;
+  // The failed first attempt burned 1..999 bytes on top of the full resend.
+  const int64_t moved = net.BytesMoved(FlowClass::kCrossCluster);
+  EXPECT_GT(moved, 1000);
+  EXPECT_LT(moved, 2000);
+}
+
+TEST(FaultInjectionTest, HardLossExhaustsRetries) {
+  FaultInjector injector(FaultProfile::Lossy(/*seed=*/1));
+  Network net(NetworkConfig{}, 1, 1, nullptr);
+  net.set_fault_injector(&injector);
+  // drop_prob = 0.2: hunt for a dropped message; its retries must all fail.
+  bool saw_permanent_failure = false;
+  for (int i = 0; i < 100 && !saw_permanent_failure; ++i) {
+    Status s =
+        SendWithRetry(&net, NodeId::Db(0), NodeId::Hdfs(0), 8, Bytes(4),
+                      /*max_attempts=*/4, /*backoff_us=*/1);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsUnavailable()) << s;
+      saw_permanent_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_permanent_failure);
+  EXPECT_GT(injector.drops_injected(), 0);
+}
+
+TEST(FaultInjectionTest, EosAndControlAreExemptFromLoss) {
+  FaultProfile profile;
+  profile.name = "blackhole";
+  profile.seed = 3;
+  profile.drop_prob = 1.0;  // every data message is lost
+  FaultInjector injector(profile);
+  NetworkConfig config;
+  config.recv_timeout_ms = 2000;
+  Network net(config, 1, 1, nullptr);
+  net.set_fault_injector(&injector);
+
+  net.SendControl(NodeId::Db(0), NodeId::Hdfs(0), 2, Bytes(4, 9));
+  net.SendEos(NodeId::Db(0), NodeId::Hdfs(0), 2);
+  auto control = net.Recv(NodeId::Hdfs(0), 2);
+  ASSERT_TRUE(control.ok()) << control.status();
+  EXPECT_EQ((*control->payload)[0], 9);
+  auto eos = net.Recv(NodeId::Hdfs(0), 2);
+  ASSERT_TRUE(eos.ok()) << eos.status();
+  EXPECT_TRUE(eos->eos);
+}
+
+TEST(FaultInjectionTest, RecvTimeoutReturnsTimedOut) {
+  NetworkConfig config;
+  config.recv_timeout_ms = 50;
+  Network net(config, 1, 1, nullptr);
+  Stopwatch sw;
+  auto m = net.Recv(NodeId::Db(0), 1);
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsTimedOut()) << m.status();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.04);
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0);
+}
+
+TEST(FaultInjectionTest, StreamReceiverSurfacesTimeout) {
+  NetworkConfig config;
+  config.recv_timeout_ms = 50;
+  Network net(config, 2, 1, nullptr);
+  // Two senders expected, only one finishes: the drain must end with an
+  // error rather than hang.
+  net.Send(NodeId::Db(0), NodeId::Hdfs(0), 4, Bytes(1));
+  net.SendEos(NodeId::Db(0), NodeId::Hdfs(0), 4);
+  StreamReceiver receiver(&net, NodeId::Hdfs(0), 4, 2);
+  int data = 0;
+  while (receiver.Next()) ++data;
+  EXPECT_EQ(data, 1);
+  EXPECT_TRUE(receiver.status().IsTimedOut()) << receiver.status();
+}
+
+TEST(FaultInjectionTest, StallFiresExactlyOnce) {
+  FaultProfile profile = FaultProfile::Stall(/*seed=*/0, /*num_jen_workers=*/2);
+  profile.stall_us = 1000;  // keep the test fast
+  FaultInjector injector(profile);
+  Network net(NetworkConfig{}, 1, 2, nullptr);
+  net.set_fault_injector(&injector);
+  const NodeId stalled = NodeId::Hdfs(profile.stall_index);
+  ASSERT_TRUE(net.Send(stalled, NodeId::Db(0), 1, Bytes(4)).ok());
+  ASSERT_TRUE(net.Send(stalled, NodeId::Db(0), 1, Bytes(4)).ok());
+  EXPECT_EQ(injector.stalls_injected(), 1);
+}
+
+TEST(FaultInjectionTest, ProfileByName) {
+  EXPECT_TRUE(FaultProfile::ByName("none", 1, 4)->name == "none");
+  EXPECT_TRUE(FaultProfile::ByName("flaky", 1, 4)->recoverable());
+  EXPECT_FALSE(FaultProfile::ByName("lossy", 1, 4)->recoverable());
+  EXPECT_TRUE(FaultProfile::ByName("delays", 1, 4)->enabled());
+  EXPECT_TRUE(FaultProfile::ByName("stall", 9, 4)->enabled());
+  EXPECT_FALSE(FaultProfile::ByName("bogus", 1, 4).ok());
 }
 
 }  // namespace
