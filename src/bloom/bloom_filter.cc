@@ -1,5 +1,6 @@
 #include "bloom/bloom_filter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -10,36 +11,75 @@ namespace hybridjoin {
 namespace {
 constexpr uint64_t kSeed1 = 0xb100f117e51ULL;
 constexpr uint64_t kSeed2 = 0x5eedb100f2ULL;
+
+// How many keys ahead the batched kernels hash + prefetch before touching
+// memory. Deep enough to cover a DRAM miss at ~4 bytes of hash work per
+// cycle, small enough that the hash windows live on the stack.
+constexpr size_t kPrefetchWindow = 32;
+
+inline void PrefetchLineRead(const void* p) { __builtin_prefetch(p, 0, 1); }
+inline void PrefetchLineWrite(const void* p) { __builtin_prefetch(p, 1, 1); }
 }  // namespace
 
 BloomParams BloomParams::ForKeys(uint64_t expected_keys, double bits_per_key,
-                                 uint32_t num_hashes) {
+                                 uint32_t num_hashes, BloomLayout layout) {
   BloomParams p;
   uint64_t bits =
       static_cast<uint64_t>(bits_per_key * static_cast<double>(expected_keys));
-  if (bits < 64) bits = 64;
-  p.num_bits = (bits + 63) / 64 * 64;
+  const uint64_t align = layout == BloomLayout::kBlocked ? 512 : 64;
+  if (bits < align) bits = align;
+  p.num_bits = (bits + align - 1) / align * align;
   p.num_hashes = num_hashes == 0 ? 1 : num_hashes;
+  p.layout = layout;
   return p;
 }
 
 double BloomParams::ExpectedFpr(uint64_t n) const {
   if (num_bits == 0) return 1.0;
-  const double exponent = -static_cast<double>(num_hashes) *
-                          static_cast<double>(n) /
-                          static_cast<double>(num_bits);
-  return std::pow(1.0 - std::exp(exponent), num_hashes);
+  const double k = static_cast<double>(num_hashes);
+  if (layout == BloomLayout::kClassic) {
+    const double exponent =
+        -k * static_cast<double>(n) / static_cast<double>(num_bits);
+    return std::pow(1.0 - std::exp(exponent), k);
+  }
+  // Blocked: a lookup hits one 512-bit block; that block behaves as a classic
+  // filter of 512 bits containing however many keys hashed into it, which is
+  // Poisson-distributed with mean lambda = n * 512 / m. Mix the classic
+  // formula over the block load. The tail is truncated once the pmf decays
+  // past any contribution (lambda + 40 sigma covers every realistic config).
+  const double lambda = static_cast<double>(n) * 512.0 /
+                        static_cast<double>(num_bits);
+  double pmf = std::exp(-lambda);  // P[j = 0]
+  double fpr = 0.0;
+  const uint64_t j_max =
+      static_cast<uint64_t>(lambda + 40.0 * std::sqrt(lambda + 1.0)) + 8;
+  for (uint64_t j = 0; j <= j_max; ++j) {
+    if (j > 0) pmf *= lambda / static_cast<double>(j);
+    const double inner = 1.0 - std::exp(-k * static_cast<double>(j) / 512.0);
+    fpr += pmf * std::pow(inner, k);
+  }
+  return fpr;
 }
 
 BloomFilter::BloomFilter(BloomParams params) : params_(params) {
   HJ_CHECK_GT(params_.num_bits, 0u);
   HJ_CHECK_GT(params_.num_hashes, 0u);
-  params_.num_bits = (params_.num_bits + 63) / 64 * 64;
+  const uint64_t align =
+      params_.layout == BloomLayout::kBlocked ? kBlockBits : 64;
+  params_.num_bits = (params_.num_bits + align - 1) / align * align;
   words_.assign(params_.num_bits / 64, 0);
 }
 
 void BloomFilter::Add(int64_t key) {
   const uint64_t h1 = HashInt64(static_cast<uint64_t>(key), kSeed1);
+  if (params_.layout == BloomLayout::kBlocked) {
+    const uint64_t base = BlockBase(h1);
+    for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+      const uint64_t pos = BlockPos(h1, i);
+      words_[base + (pos >> 6)] |= (1ULL << (pos & 63));
+    }
+    return;
+  }
   const uint64_t h2 = HashInt64(static_cast<uint64_t>(key), kSeed2) | 1;
   for (uint32_t i = 0; i < params_.num_hashes; ++i) {
     const uint64_t pos = Position(h1, h2, i);
@@ -49,12 +89,187 @@ void BloomFilter::Add(int64_t key) {
 
 bool BloomFilter::MayContain(int64_t key) const {
   const uint64_t h1 = HashInt64(static_cast<uint64_t>(key), kSeed1);
+  if (params_.layout == BloomLayout::kBlocked) {
+    const uint64_t base = BlockBase(h1);
+    for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+      const uint64_t pos = BlockPos(h1, i);
+      if ((words_[base + (pos >> 6)] & (1ULL << (pos & 63))) == 0) return false;
+    }
+    return true;
+  }
   const uint64_t h2 = HashInt64(static_cast<uint64_t>(key), kSeed2) | 1;
   for (uint32_t i = 0; i < params_.num_hashes; ++i) {
     const uint64_t pos = Position(h1, h2, i);
     if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
   }
   return true;
+}
+
+// The batched kernels run a two-pass pipeline over a window of keys: pass
+// one hashes every key and issues a prefetch for the cache line(s) its bits
+// live in; pass two re-reads the stashed hashes and does the actual bit
+// sets / tests, by which time the lines are (ideally) in flight or resident.
+// The bit positions computed here must match Add/MayContain exactly —
+// kernel_test.cc holds the two forms to bit-identical results.
+
+template <typename Key>
+void BloomFilter::AddKeysImpl(const Key* keys, size_t n) {
+  uint64_t h1s[kPrefetchWindow];
+  uint64_t h2s[kPrefetchWindow];
+  const bool blocked = params_.layout == BloomLayout::kBlocked;
+  for (size_t start = 0; start < n; start += kPrefetchWindow) {
+    const size_t cnt = std::min(kPrefetchWindow, n - start);
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t key =
+          static_cast<uint64_t>(static_cast<int64_t>(keys[start + j]));
+      const uint64_t h1 = HashInt64(key, kSeed1);
+      h1s[j] = h1;
+      if (blocked) {
+        PrefetchLineWrite(&words_[BlockBase(h1)]);
+      } else {
+        h2s[j] = HashInt64(key, kSeed2) | 1;
+        PrefetchLineWrite(&words_[Position(h1, h2s[j], 0) >> 6]);
+        if (params_.num_hashes > 1) {
+          PrefetchLineWrite(&words_[Position(h1, h2s[j], 1) >> 6]);
+        }
+      }
+    }
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t h1 = h1s[j];
+      if (blocked) {
+        const uint64_t base = BlockBase(h1);
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = BlockPos(h1, i);
+          words_[base + (pos >> 6)] |= (1ULL << (pos & 63));
+        }
+      } else {
+        const uint64_t h2 = h2s[j];
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = Position(h1, h2, i);
+          words_[pos >> 6] |= (1ULL << (pos & 63));
+        }
+      }
+    }
+  }
+}
+
+template <typename Key>
+void BloomFilter::AddKeysSelImpl(const Key* keys, const uint32_t* sel,
+                                 size_t n) {
+  uint64_t h1s[kPrefetchWindow];
+  uint64_t h2s[kPrefetchWindow];
+  const bool blocked = params_.layout == BloomLayout::kBlocked;
+  for (size_t start = 0; start < n; start += kPrefetchWindow) {
+    const size_t cnt = std::min(kPrefetchWindow, n - start);
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t key =
+          static_cast<uint64_t>(static_cast<int64_t>(keys[sel[start + j]]));
+      const uint64_t h1 = HashInt64(key, kSeed1);
+      h1s[j] = h1;
+      if (blocked) {
+        PrefetchLineWrite(&words_[BlockBase(h1)]);
+      } else {
+        h2s[j] = HashInt64(key, kSeed2) | 1;
+        PrefetchLineWrite(&words_[Position(h1, h2s[j], 0) >> 6]);
+        if (params_.num_hashes > 1) {
+          PrefetchLineWrite(&words_[Position(h1, h2s[j], 1) >> 6]);
+        }
+      }
+    }
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t h1 = h1s[j];
+      if (blocked) {
+        const uint64_t base = BlockBase(h1);
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = BlockPos(h1, i);
+          words_[base + (pos >> 6)] |= (1ULL << (pos & 63));
+        }
+      } else {
+        const uint64_t h2 = h2s[j];
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = Position(h1, h2, i);
+          words_[pos >> 6] |= (1ULL << (pos & 63));
+        }
+      }
+    }
+  }
+}
+
+template <typename Key>
+void BloomFilter::MayContainKeysImpl(const Key* keys,
+                                     std::vector<uint32_t>* sel) const {
+  uint64_t h1s[kPrefetchWindow];
+  uint64_t h2s[kPrefetchWindow];
+  const bool blocked = params_.layout == BloomLayout::kBlocked;
+  const size_t n = sel->size();
+  uint32_t* rows = sel->data();
+  size_t out = 0;
+  for (size_t start = 0; start < n; start += kPrefetchWindow) {
+    const size_t cnt = std::min(kPrefetchWindow, n - start);
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t key =
+          static_cast<uint64_t>(static_cast<int64_t>(keys[rows[start + j]]));
+      const uint64_t h1 = HashInt64(key, kSeed1);
+      h1s[j] = h1;
+      if (blocked) {
+        PrefetchLineRead(&words_[BlockBase(h1)]);
+      } else {
+        h2s[j] = HashInt64(key, kSeed2) | 1;
+        PrefetchLineRead(&words_[Position(h1, h2s[j], 0) >> 6]);
+        if (params_.num_hashes > 1) {
+          PrefetchLineRead(&words_[Position(h1, h2s[j], 1) >> 6]);
+        }
+      }
+    }
+    for (size_t j = 0; j < cnt; ++j) {
+      const uint64_t h1 = h1s[j];
+      bool hit = true;
+      if (blocked) {
+        const uint64_t base = BlockBase(h1);
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = BlockPos(h1, i);
+          if ((words_[base + (pos >> 6)] & (1ULL << (pos & 63))) == 0) {
+            hit = false;
+            break;
+          }
+        }
+      } else {
+        const uint64_t h2 = h2s[j];
+        for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+          const uint64_t pos = Position(h1, h2, i);
+          if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) {
+            hit = false;
+            break;
+          }
+        }
+      }
+      if (hit) rows[out++] = rows[start + j];
+    }
+  }
+  sel->resize(out);
+}
+
+void BloomFilter::AddKeys(std::span<const int64_t> keys) {
+  AddKeysImpl(keys.data(), keys.size());
+}
+void BloomFilter::AddKeys(std::span<const int32_t> keys) {
+  AddKeysImpl(keys.data(), keys.size());
+}
+void BloomFilter::AddKeys(std::span<const int64_t> keys,
+                          std::span<const uint32_t> sel) {
+  AddKeysSelImpl(keys.data(), sel.data(), sel.size());
+}
+void BloomFilter::AddKeys(std::span<const int32_t> keys,
+                          std::span<const uint32_t> sel) {
+  AddKeysSelImpl(keys.data(), sel.data(), sel.size());
+}
+void BloomFilter::MayContainKeys(std::span<const int64_t> keys,
+                                 std::vector<uint32_t>* sel) const {
+  MayContainKeysImpl(keys.data(), sel);
+}
+void BloomFilter::MayContainKeys(std::span<const int32_t> keys,
+                                 std::vector<uint32_t>* sel) const {
+  MayContainKeysImpl(keys.data(), sel);
 }
 
 Status BloomFilter::UnionWith(const BloomFilter& other) {
@@ -74,23 +289,33 @@ double BloomFilter::FillRatio() const {
   return static_cast<double>(set) / static_cast<double>(params_.num_bits);
 }
 
+double BloomFilter::EstimatedFpr() const {
+  return std::pow(FillRatio(), static_cast<double>(params_.num_hashes));
+}
+
 void BloomFilter::SerializeTo(BinaryWriter* out) const {
   out->PutU64(params_.num_bits);
   out->PutU32(params_.num_hashes);
+  out->PutU8(static_cast<uint8_t>(params_.layout));
   out->PutRaw(words_.data(), words_.size() * sizeof(uint64_t));
 }
 
 Result<BloomFilter> BloomFilter::Deserialize(BinaryReader* in) {
   HJ_ASSIGN_OR_RETURN(uint64_t num_bits, in->GetU64());
   HJ_ASSIGN_OR_RETURN(uint32_t num_hashes, in->GetU32());
+  HJ_ASSIGN_OR_RETURN(uint8_t layout_byte, in->GetU8());
   if (num_bits == 0 || num_bits % 64 != 0 || num_hashes == 0 ||
-      num_hashes > 64) {
+      num_hashes > 64 || layout_byte > 1) {
     return Status::IOError("bad Bloom filter header");
+  }
+  const auto layout = static_cast<BloomLayout>(layout_byte);
+  if (layout == BloomLayout::kBlocked && num_bits % kBlockBits != 0) {
+    return Status::IOError("blocked Bloom filter bits not block-aligned");
   }
   if (num_bits > (1ULL << 40)) {
     return Status::IOError("Bloom filter implausibly large");
   }
-  BloomFilter bf(BloomParams{num_bits, num_hashes});
+  BloomFilter bf(BloomParams{num_bits, num_hashes, layout});
   HJ_RETURN_IF_ERROR(
       in->GetRaw(bf.words_.data(), bf.words_.size() * sizeof(uint64_t)));
   return bf;

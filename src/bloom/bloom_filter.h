@@ -6,11 +6,23 @@
 // The paper uses m = 128M bits and k = 2 hash functions for 16M distinct
 // keys (8 bits/key, ~5% false positives). We keep the same bits-per-key and
 // k by default, scaled to the workload's key count.
+//
+// Two bit layouts are supported (carried on the wire in BloomParams, since
+// both cluster sides must agree for OR-union to be valid):
+//   - kClassic: the k probe positions are spread over the whole bit array
+//     (k cache lines touched per key).
+//   - kBlocked: one 512-bit (64-byte cache line) block per key, all k bits
+//     inside it (register-blocked / cache-line-blocked filter; at most two
+//     lines touched when the block straddles an allocation boundary). The
+//     blocked layout trades a slightly higher false-positive rate — see
+//     ExpectedFpr — for one memory access per key, and is what the batched
+//     AddKeys/MayContainKeys kernels prefetch against.
 
 #ifndef HYBRIDJOIN_BLOOM_BLOOM_FILTER_H_
 #define HYBRIDJOIN_BLOOM_BLOOM_FILTER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -18,32 +30,45 @@
 
 namespace hybridjoin {
 
+/// Bit placement scheme of a Bloom filter (part of the wire format).
+enum class BloomLayout : uint8_t {
+  kClassic = 0,  ///< k positions over the whole array
+  kBlocked = 1,  ///< all k positions inside one 512-bit block
+};
+
 /// Parameters of a Bloom filter. Both sides of a join must agree on these
 /// for OR-combination to be valid, so they are carried on the wire.
 struct BloomParams {
-  uint64_t num_bits = 0;   ///< m. Rounded up to a multiple of 64 internally.
+  uint64_t num_bits = 0;   ///< m. Rounded up to a multiple of 64 (classic)
+                           ///< or 512 (blocked) internally.
   uint32_t num_hashes = 2; ///< k.
+  BloomLayout layout = BloomLayout::kClassic;
 
   /// Paper-style sizing: bits_per_key * expected_keys bits, k hashes.
   static BloomParams ForKeys(uint64_t expected_keys, double bits_per_key = 8.0,
-                             uint32_t num_hashes = 2);
+                             uint32_t num_hashes = 2,
+                             BloomLayout layout = BloomLayout::kClassic);
 
-  /// Expected false-positive rate after inserting n distinct keys:
-  /// (1 - e^{-kn/m})^k. This is the mean of the classic approximation; the
+  /// Expected false-positive rate after inserting n distinct keys.
+  /// Classic: (1 - e^{-kn/m})^k, the mean of the standard approximation; the
   /// implementation's observed rate is statistically verified to stay
   /// within 2x of this value across filter sizes
   /// (bloom_test.cc: ObservedFprWithinTwiceExpectedAcrossSizes), which is
   /// the bound the advisor's transfer-cost estimates rely on.
+  /// Blocked: a Poisson mixture over the per-block key count — each block is
+  /// a tiny classic filter of 512 bits holding Poisson(n*512/m) keys — which
+  /// is strictly above the classic rate for the same m, n, k.
   double ExpectedFpr(uint64_t n) const;
 
   bool operator==(const BloomParams& other) const {
-    return num_bits == other.num_bits && num_hashes == other.num_hashes;
+    return num_bits == other.num_bits && num_hashes == other.num_hashes &&
+           layout == other.layout;
   }
 };
 
-/// A standard Bloom filter over 64-bit keys. Add/MayContain are not
-/// synchronized; each thread populates its own filter and filters are merged
-/// with UnionWith (the paper's bitwise-OR aggregation).
+/// A Bloom filter over 64-bit keys. Add/MayContain are not synchronized;
+/// each thread populates its own filter and filters are merged with
+/// UnionWith (the paper's bitwise-OR aggregation).
 class BloomFilter {
  public:
   BloomFilter() : BloomFilter(BloomParams{64, 2}) {}
@@ -52,18 +77,44 @@ class BloomFilter {
   const BloomParams& params() const { return params_; }
   uint64_t num_bits() const { return params_.num_bits; }
   uint32_t num_hashes() const { return params_.num_hashes; }
+  BloomLayout layout() const { return params_.layout; }
 
   void Add(int64_t key);
   bool MayContain(int64_t key) const;
 
-  /// Bitwise OR of another filter into this one. Params must match.
+  // Batched kernels over a key column. Semantically identical to calling
+  // the scalar Add/MayContain per key (kernel_test.cc asserts exact
+  // equivalence); the batched forms hash a window of keys up front and
+  // software-prefetch the target cache lines before touching them, which is
+  // where the throughput comes from once the filter exceeds L2.
+
+  /// Adds every key of the span.
+  void AddKeys(std::span<const int64_t> keys);
+  void AddKeys(std::span<const int32_t> keys);
+  /// Adds keys[r] for every row index r in `sel`.
+  void AddKeys(std::span<const int64_t> keys, std::span<const uint32_t> sel);
+  void AddKeys(std::span<const int32_t> keys, std::span<const uint32_t> sel);
+
+  /// Compacts `sel` in place to the row indexes r with MayContain(keys[r]),
+  /// preserving order (the batched form of the scan-side Bloom apply).
+  void MayContainKeys(std::span<const int64_t> keys,
+                      std::vector<uint32_t>* sel) const;
+  void MayContainKeys(std::span<const int32_t> keys,
+                      std::vector<uint32_t>* sel) const;
+
+  /// Bitwise OR of another filter into this one. Params must match
+  /// (including layout — the wire-compat rule for OR-union).
   Status UnionWith(const BloomFilter& other);
 
   /// Fraction of bits set (diagnostic; drives the measured-FPR estimate).
   double FillRatio() const;
 
+  /// Realized false-positive-rate estimate from the observed fill fraction
+  /// f: f^k (for the blocked layout this is the average-block estimate).
+  double EstimatedFpr() const;
+
   /// Wire size in bytes (what crossing the network costs).
-  size_t ByteSize() const { return words_.size() * 8 + 16; }
+  size_t ByteSize() const { return words_.size() * 8 + 13; }
 
   void SerializeTo(BinaryWriter* out) const;
   std::vector<uint8_t> Serialize() const {
@@ -78,10 +129,42 @@ class BloomFilter {
   }
 
  private:
-  /// i-th probe position for a key, double-hashing scheme.
+  /// Bits per block in the blocked layout: one 64-byte cache line.
+  static constexpr uint64_t kBlockBits = 512;
+  static constexpr uint64_t kBlockWords = kBlockBits / 64;
+
+  /// i-th probe position for a key, double-hashing scheme (classic layout).
   uint64_t Position(uint64_t h1, uint64_t h2, uint32_t i) const {
     return (h1 + i * h2) % params_.num_bits;
   }
+
+  /// Word index of the key's block (blocked layout). Multiply-shift range
+  /// reduction (no modulo: a 64-bit divide would serialize the probe loop);
+  /// the reduction consumes the high bits of the hash.
+  uint64_t BlockBase(uint64_t h1) const {
+    const uint64_t num_blocks = params_.num_bits / kBlockBits;
+    return static_cast<uint64_t>(
+               (static_cast<unsigned __int128>(h1) * num_blocks) >> 64) *
+           kBlockWords;
+  }
+
+  /// i-th probe position inside a block. The blocked layout spends only one
+  /// hash per key: the block index comes from the high bits (BlockBase),
+  /// the intra-block probe sequence start and its odd stride from the low
+  /// bits. An odd stride never revisits a position within k <= 512 probes
+  /// of the 512-slot ring, so the k bits are always distinct.
+  uint64_t BlockPos(uint64_t h1, uint32_t i) const {
+    const uint32_t start = static_cast<uint32_t>(h1);
+    const uint32_t stride = (static_cast<uint32_t>(h1 >> 9)) | 1;
+    return (start + i * stride) & (kBlockBits - 1);
+  }
+
+  template <typename Key>
+  void AddKeysImpl(const Key* keys, size_t n);
+  template <typename Key>
+  void AddKeysSelImpl(const Key* keys, const uint32_t* sel, size_t n);
+  template <typename Key>
+  void MayContainKeysImpl(const Key* keys, std::vector<uint32_t>* sel) const;
 
   BloomParams params_;
   std::vector<uint64_t> words_;

@@ -21,6 +21,11 @@ class BinaryWriter {
  public:
   BinaryWriter() = default;
   explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+  /// Writes into a recycled buffer: contents are discarded, the allocation
+  /// (capacity) is kept. Pair with Release() to get the buffer back out.
+  explicit BinaryWriter(std::vector<uint8_t> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }

@@ -43,6 +43,16 @@ class Metrics {
     GetCounter(name)->fetch_add(delta, std::memory_order_relaxed);
   }
 
+  /// Raises the counter to `value` if it is below it (gauge-style maximum,
+  /// e.g. the worst hash-table chain length across workers).
+  void Max(const std::string& name, int64_t value) {
+    Counter* c = GetCounter(name);
+    int64_t cur = c->load(std::memory_order_relaxed);
+    while (cur < value &&
+           !c->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
   int64_t Get(const std::string& name) {
     return GetCounter(name)->load(std::memory_order_relaxed);
   }
@@ -114,6 +124,16 @@ inline constexpr const char kHdfsBytesRead[] = "hdfs.bytes_read";
 inline constexpr const char kHdfsBytesReadRemote[] = "hdfs.bytes_read_remote";
 inline constexpr const char kHdfsBlocksLocal[] = "hdfs.blocks_local";
 inline constexpr const char kHdfsBlocksRemote[] = "hdfs.blocks_remote";
+// Join hash-table build shape (sums across workers; the *_max/_pct ones are
+// gauge-style maxima recorded with Metrics::Max).
+inline constexpr const char kJoinHtRows[] = "join.ht_rows";
+inline constexpr const char kJoinHtMaxChain[] = "join.ht_max_chain";
+inline constexpr const char kJoinHtLoadFactorPct[] = "join.ht_load_factor_pct";
+// Bloom filter health after build/combine: fill fraction and the
+// realized-FPR estimate fill^k, both in parts per the unit noted in the
+// name (maxima across the filters of one execution).
+inline constexpr const char kBloomFillPct[] = "bloom.fill_pct";
+inline constexpr const char kBloomEstFprPpm[] = "bloom.est_fpr_ppm";
 }  // namespace metric
 
 }  // namespace hybridjoin

@@ -238,10 +238,12 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
     }
     HJ_ASSIGN_OR_RETURN(size_t key_idx, batch.schema()->IndexOf(key_column));
     const ColumnVector& key = batch.column(key_idx);
-    for (uint32_t r : sel) {
-      bloom.Add(key.physical_type() == PhysicalType::kInt32
-                    ? key.i32()[r]
-                    : key.i64()[r]);
+    if (key.physical_type() == PhysicalType::kInt32) {
+      bloom.AddKeys(std::span<const int32_t>(key.i32()),
+                    std::span<const uint32_t>(sel));
+    } else {
+      bloom.AddKeys(std::span<const int64_t>(key.i64()),
+                    std::span<const uint32_t>(sel));
     }
   }
   return bloom;

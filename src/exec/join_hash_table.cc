@@ -1,6 +1,14 @@
 #include "exec/join_hash_table.h"
 
+#include <algorithm>
+
 namespace hybridjoin {
+
+namespace {
+// Probe pipeline depth: how many keys are hashed and prefetched before the
+// first chain walk. Matches the Bloom kernels' window.
+constexpr size_t kProbeWindow = 32;
+}  // namespace
 
 Status JoinHashTable::AddBatch(RecordBatch batch) {
   if (finalized_) return Status::Internal("AddBatch after Finalize");
@@ -40,6 +48,7 @@ void JoinHashTable::Finalize() {
   if (entries_.empty()) {
     buckets_.clear();
     bucket_mask_ = 0;
+    max_chain_length_ = 0;
     return;
   }
   size_t num_buckets = 16;
@@ -53,6 +62,59 @@ void JoinHashTable::Finalize() {
     entries_[e].next = head;
     head = e;
   }
+  max_chain_length_ = 0;
+  std::vector<uint32_t> chain_len(num_buckets, 0);
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    const uint64_t h =
+        HashInt64(static_cast<uint64_t>(entries_[e].key), kProbeSeed);
+    const uint32_t len = ++chain_len[h & bucket_mask_];
+    if (len > max_chain_length_) max_chain_length_ = len;
+  }
+}
+
+template <typename Key>
+void JoinHashTable::ProbeBatchImpl(const Key* keys, size_t n,
+                                   std::vector<JoinMatch>* out) const {
+  if (buckets_.empty()) return;
+  uint64_t buckets_idx[kProbeWindow];
+  uint32_t heads[kProbeWindow];
+  for (size_t start = 0; start < n; start += kProbeWindow) {
+    const size_t cnt = std::min(kProbeWindow, n - start);
+    // Pass 1: hash every key in the window, prefetch its bucket-head slot.
+    for (size_t j = 0; j < cnt; ++j) {
+      const auto key = static_cast<int64_t>(keys[start + j]);
+      const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
+      buckets_idx[j] = h & bucket_mask_;
+      __builtin_prefetch(&buckets_[buckets_idx[j]], 0, 1);
+    }
+    // Pass 2: read the heads (now resident), prefetch the first entry of
+    // each non-empty chain.
+    for (size_t j = 0; j < cnt; ++j) {
+      heads[j] = buckets_[buckets_idx[j]];
+      if (heads[j] != kNil) __builtin_prefetch(&entries_[heads[j]], 0, 1);
+    }
+    // Pass 3: walk the chains, emitting matches in scalar order.
+    for (size_t j = 0; j < cnt; ++j) {
+      const auto key = static_cast<int64_t>(keys[start + j]);
+      const uint32_t probe_row = static_cast<uint32_t>(start + j);
+      uint32_t e = heads[j];
+      while (e != kNil) {
+        const Entry& entry = entries_[e];
+        if (entry.key == key) out->push_back({probe_row, entry.batch, entry.row});
+        e = entry.next;
+      }
+    }
+  }
+}
+
+void JoinHashTable::ProbeBatch(std::span<const int64_t> keys,
+                               std::vector<JoinMatch>* out) const {
+  ProbeBatchImpl(keys.data(), keys.size(), out);
+}
+
+void JoinHashTable::ProbeBatch(std::span<const int32_t> keys,
+                               std::vector<JoinMatch>* out) const {
+  ProbeBatchImpl(keys.data(), keys.size(), out);
 }
 
 }  // namespace hybridjoin

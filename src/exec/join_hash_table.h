@@ -6,6 +6,7 @@
 #define HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -13,6 +14,14 @@
 #include "types/record_batch.h"
 
 namespace hybridjoin {
+
+/// One probe hit: probe-side row index within the probed batch plus the
+/// (batch, row) coordinates of the matching build-side row.
+struct JoinMatch {
+  uint32_t probe_row;
+  uint32_t batch;
+  uint32_t row;
+};
 
 /// Hash table over an integer join key. Stores whole record batches and
 /// indexes rows, so probe matches can copy any payload column.
@@ -33,6 +42,17 @@ class JoinHashTable {
   const std::vector<RecordBatch>& batches() const { return batches_; }
   size_t key_column() const { return key_column_; }
 
+  // Build-shape diagnostics, valid after Finalize (surfaced as metrics by
+  // the drivers; a max chain far above the ~2x-slack load factor flags key
+  // skew that chain walks will pay for on every probe).
+  size_t num_buckets() const { return buckets_.size(); }
+  double load_factor() const {
+    return buckets_.empty() ? 0.0
+                            : static_cast<double>(entries_.size()) /
+                                  static_cast<double>(buckets_.size());
+  }
+  size_t max_chain_length() const { return max_chain_length_; }
+
   /// Invokes fn(batch_index, row_index) for every row whose key equals
   /// `key`. Must be finalized.
   template <typename Fn>
@@ -47,12 +67,30 @@ class JoinHashTable {
     }
   }
 
-  /// True if any row has this key (early-out point lookup).
+  /// True if any row has this key (early-out point lookup: stops at the
+  /// first hit instead of walking the rest of the chain).
   bool Contains(int64_t key) const {
-    bool found = false;
-    ForEachMatch(key, [&found](uint32_t, uint32_t) { found = true; });
-    return found;
+    if (buckets_.empty()) return false;
+    const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
+    uint32_t e = buckets_[h & bucket_mask_];
+    while (e != kNil) {
+      const Entry& entry = entries_[e];
+      if (entry.key == key) return true;
+      e = entry.next;
+    }
+    return false;
   }
+
+  /// Batched probe kernel: appends one JoinMatch per hit for every key of
+  /// the span (probe_row = index within the span), in exactly the order
+  /// the scalar ForEachMatch loop would produce — ascending probe row,
+  /// chain order within a row. Hashes the whole window first, prefetches
+  /// bucket heads, then entries, then walks the chains, so the dependent
+  /// loads overlap instead of serializing on cache misses.
+  void ProbeBatch(std::span<const int64_t> keys,
+                  std::vector<JoinMatch>* out) const;
+  void ProbeBatch(std::span<const int32_t> keys,
+                  std::vector<JoinMatch>* out) const;
 
  private:
   static constexpr uint32_t kNil = 0xffffffffu;
@@ -65,11 +103,16 @@ class JoinHashTable {
     uint32_t next;
   };
 
+  template <typename Key>
+  void ProbeBatchImpl(const Key* keys, size_t n,
+                      std::vector<JoinMatch>* out) const;
+
   size_t key_column_;
   std::vector<RecordBatch> batches_;
   std::vector<Entry> entries_;
   std::vector<uint32_t> buckets_;
   uint64_t bucket_mask_ = 0;
+  size_t max_chain_length_ = 0;
   bool finalized_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "exec/join_prober.h"
 
+#include <algorithm>
+
 namespace hybridjoin {
 
 SchemaPtr MakeJoinedSchema(const SchemaPtr& build_schema,
@@ -35,6 +37,85 @@ JoinProber::JoinProber(const JoinHashTable* build, SchemaPtr build_schema,
       build_width_(build_schema->num_fields()),
       pending_(joined_schema_) {
   HJ_CHECK(build_->finalized()) << "probe against non-finalized hash table";
+  // The build side is frozen after Finalize, so the typed data pointers of
+  // every build column/batch can be resolved once here.
+  const auto& batches = build_->batches();
+  build_sources_.resize(build_width_);
+  for (size_t c = 0; c < build_width_; ++c) {
+    GatherColumn& gc = build_sources_[c];
+    gc.type = PhysicalTypeOf(build_schema->field(c).type);
+    gc.per_batch.reserve(batches.size());
+    for (const RecordBatch& b : batches) {
+      const ColumnVector& col = b.column(c);
+      switch (gc.type) {
+        case PhysicalType::kInt32:
+          gc.per_batch.push_back(col.i32().data());
+          break;
+        case PhysicalType::kInt64:
+          gc.per_batch.push_back(col.i64().data());
+          break;
+        case PhysicalType::kFloat64:
+          gc.per_batch.push_back(col.f64().data());
+          break;
+        case PhysicalType::kString:
+          gc.per_batch.push_back(col.str().data());
+          break;
+      }
+    }
+  }
+}
+
+void JoinProber::MaterializeChunk(const RecordBatch& probe_batch, size_t pos,
+                                  size_t take) {
+  const JoinMatch* m = matches_.data() + pos;
+  for (size_t c = 0; c < build_width_; ++c) {
+    const GatherColumn& src = build_sources_[c];
+    ColumnVector& dst = pending_.mutable_column(c);
+    switch (src.type) {
+      case PhysicalType::kInt32: {
+        auto& o = dst.mutable_i32();
+        o.reserve(o.size() + take);
+        for (size_t j = 0; j < take; ++j) {
+          o.push_back(
+              static_cast<const int32_t*>(src.per_batch[m[j].batch])[m[j].row]);
+        }
+        break;
+      }
+      case PhysicalType::kInt64: {
+        auto& o = dst.mutable_i64();
+        o.reserve(o.size() + take);
+        for (size_t j = 0; j < take; ++j) {
+          o.push_back(
+              static_cast<const int64_t*>(src.per_batch[m[j].batch])[m[j].row]);
+        }
+        break;
+      }
+      case PhysicalType::kFloat64: {
+        auto& o = dst.mutable_f64();
+        o.reserve(o.size() + take);
+        for (size_t j = 0; j < take; ++j) {
+          o.push_back(
+              static_cast<const double*>(src.per_batch[m[j].batch])[m[j].row]);
+        }
+        break;
+      }
+      case PhysicalType::kString: {
+        auto& o = dst.mutable_str();
+        o.reserve(o.size() + take);
+        for (size_t j = 0; j < take; ++j) {
+          o.push_back(static_cast<const std::string*>(
+              src.per_batch[m[j].batch])[m[j].row]);
+        }
+        break;
+      }
+    }
+  }
+  probe_rows_.resize(take);
+  for (size_t j = 0; j < take; ++j) probe_rows_[j] = m[j].probe_row;
+  for (size_t c = 0; c < probe_batch.num_columns(); ++c) {
+    pending_.mutable_column(build_width_ + c)
+        .GatherAppendFrom(probe_batch.column(c), probe_rows_.data(), take);
+  }
 }
 
 Status JoinProber::ProbeBatch(const RecordBatch& batch) {
@@ -42,42 +123,33 @@ Status JoinProber::ProbeBatch(const RecordBatch& batch) {
     return Status::InvalidArgument("probe key column out of range");
   }
   const ColumnVector& key_col = batch.column(probe_key_column_);
-  const size_t n = batch.num_rows();
-  const auto& build_batches = build_->batches();
-  Status status;
 
-  auto emit = [&](int64_t key, uint32_t probe_row) {
-    build_->ForEachMatch(key, [&](uint32_t bbatch, uint32_t brow) {
-      ++join_matches_;
-      const RecordBatch& src = build_batches[bbatch];
-      for (size_t c = 0; c < build_width_; ++c) {
-        pending_.mutable_column(c).AppendFrom(src.column(c), brow);
-      }
-      for (size_t c = 0; c < batch.num_columns(); ++c) {
-        pending_.mutable_column(build_width_ + c)
-            .AppendFrom(batch.column(c), probe_row);
-      }
-    });
-    if (pending_.num_rows() >= options_.output_batch_rows && status.ok()) {
-      status = Flush();
-    }
-  };
-
+  matches_.clear();
   switch (key_col.physical_type()) {
-    case PhysicalType::kInt32: {
-      const auto& keys = key_col.i32();
-      for (uint32_t r = 0; r < n && status.ok(); ++r) emit(keys[r], r);
+    case PhysicalType::kInt32:
+      build_->ProbeBatch(std::span<const int32_t>(key_col.i32()), &matches_);
       break;
-    }
-    case PhysicalType::kInt64: {
-      const auto& keys = key_col.i64();
-      for (uint32_t r = 0; r < n && status.ok(); ++r) emit(keys[r], r);
+    case PhysicalType::kInt64:
+      build_->ProbeBatch(std::span<const int64_t>(key_col.i64()), &matches_);
       break;
-    }
     default:
       return Status::InvalidArgument("probe key must be integer-typed");
   }
-  return status;
+  join_matches_ += static_cast<int64_t>(matches_.size());
+
+  // Materialize the match list in chunks that fill pending_ to exactly
+  // output_batch_rows, flushing as each chunk completes.
+  size_t pos = 0;
+  while (pos < matches_.size()) {
+    const size_t room = options_.output_batch_rows - pending_.num_rows();
+    const size_t take = std::min(room, matches_.size() - pos);
+    MaterializeChunk(batch, pos, take);
+    pos += take;
+    if (pending_.num_rows() >= options_.output_batch_rows) {
+      HJ_RETURN_IF_ERROR(Flush());
+    }
+  }
+  return Status::OK();
 }
 
 Status JoinProber::Flush() {

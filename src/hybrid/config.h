@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "bloom/bloom_filter.h"
 #include "edw/db_cluster.h"
 #include "hdfs/datanode.h"
 #include "jen/coordinator.h"
@@ -34,6 +35,10 @@ struct BloomConfig {
   /// Expected distinct join keys (paper: 16M). Workload loaders overwrite
   /// this with the generated key-domain size.
   uint64_t expected_keys = 1 << 16;
+  /// Bit placement (bloom/bloom_filter.h). The engine defaults to the
+  /// cache-line-blocked layout: one memory access per key at a slightly
+  /// higher FPR than kClassic for the same size.
+  BloomLayout layout = BloomLayout::kBlocked;
 };
 
 struct SimulationConfig {

@@ -46,7 +46,8 @@ class EngineContext {
   BloomParams bloom_params() const {
     return BloomParams::ForKeys(config_.bloom.expected_keys,
                                 config_.bloom.bits_per_key,
-                                config_.bloom.num_hashes);
+                                config_.bloom.num_hashes,
+                                config_.bloom.layout);
   }
 
   /// Drops every DataNode's page cache (for cold-run benchmarking).

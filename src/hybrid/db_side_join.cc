@@ -90,10 +90,7 @@ Status BroadcastAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
   BatchSender sender(&net, self, tag, /*num_threads=*/1, &ctx->metrics(),
                      metric::kDbTuplesShuffledInternal);
   for (const RecordBatch& batch : batches) {
-    auto payload =
-        std::make_shared<const std::vector<uint8_t>>(batch.Serialize());
-    sender.SendSerialized(db_nodes, payload,
-                          static_cast<int64_t>(batch.num_rows()));
+    sender.SendToAll(db_nodes, batch);
   }
   const Status fin = sender.Finish(db_nodes);
   HJ_ASSIGN_OR_RETURN(*received,
@@ -177,6 +174,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         auto global = driver::CombineBloomAtDbWorker0(ctx, i, local_bf, tags);
         if (global.ok()) {
           global_bloom = std::move(global).value();
+          if (i == 0) driver::RecordBloomStats(ctx, *global_bloom);
         } else if (st.ok()) {
           st = global.status();
         }
@@ -372,7 +370,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
             break;
           }
         }
-        table.Finalize();
+        driver::FinalizeAndRecordHashTable(ctx, self, &table);
         if (st.ok()) {
           JoinProber prober(&table, build_schema, build_alias, probe_schema,
                             probe_alias, probe_key,

@@ -195,5 +195,29 @@ Result<std::vector<RecordBatch>> FilterBatchesByBloom(
   return out;
 }
 
+void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
+                                JoinHashTable* table) {
+  {
+    trace::Span span(&ctx->tracer(), trace::span::kHtFinalize,
+                     trace::span::kCatJoin, node);
+    span.set_bytes(static_cast<int64_t>(table->num_rows()));
+    table->Finalize();
+  }
+  Metrics& m = ctx->metrics();
+  m.Add(metric::kJoinHtRows, static_cast<int64_t>(table->num_rows()));
+  m.Max(metric::kJoinHtMaxChain,
+        static_cast<int64_t>(table->max_chain_length()));
+  m.Max(metric::kJoinHtLoadFactorPct,
+        static_cast<int64_t>(table->load_factor() * 100.0));
+}
+
+void RecordBloomStats(EngineContext* ctx, const BloomFilter& bloom) {
+  Metrics& m = ctx->metrics();
+  m.Max(metric::kBloomFillPct,
+        static_cast<int64_t>(bloom.FillRatio() * 100.0));
+  m.Max(metric::kBloomEstFprPpm,
+        static_cast<int64_t>(bloom.EstimatedFpr() * 1e6));
+}
+
 }  // namespace driver
 }  // namespace hybridjoin

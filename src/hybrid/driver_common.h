@@ -118,6 +118,16 @@ Result<std::vector<RecordBatch>> FilterBatchesByBloom(
     const std::vector<RecordBatch>& batches, const std::string& column,
     const BloomFilter& bloom);
 
+/// Finalizes a join hash table inside a join.ht_finalize span and records
+/// its build shape (row count, load factor, max chain length) under the
+/// join.ht_* counters.
+void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
+                                JoinHashTable* table);
+
+/// Records a combined/global Bloom filter's fill fraction and realized-FPR
+/// estimate under the bloom.* gauge counters.
+void RecordBloomStats(EngineContext* ctx, const BloomFilter& bloom);
+
 }  // namespace driver
 }  // namespace hybridjoin
 

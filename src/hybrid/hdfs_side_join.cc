@@ -43,9 +43,9 @@ void AddKeysToBloom(const RecordBatch& batch, size_t key_idx,
                     BloomFilter* bloom) {
   const ColumnVector& key = batch.column(key_idx);
   if (key.physical_type() == PhysicalType::kInt32) {
-    for (int32_t k : key.i32()) bloom->Add(k);
+    bloom->AddKeys(std::span<const int32_t>(key.i32()));
   } else {
-    for (int64_t k : key.i64()) bloom->Add(k);
+    bloom->AddKeys(std::span<const int64_t>(key.i64()));
   }
 }
 
@@ -85,10 +85,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
           &ctx->metrics());
       if (scanned.ok()) {
         for (const RecordBatch& batch : *scanned) {
-          auto payload = std::make_shared<const std::vector<uint8_t>>(
-              batch.Serialize());
-          sender.SendSerialized(jen_nodes, payload,
-                                static_cast<int64_t>(batch.num_rows()));
+          sender.SendToAll(jen_nodes, batch);
         }
       } else {
         errors.Record(scanned.status());
@@ -119,7 +116,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
         errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w),
                                            tags.db_data, m,
                                            prepared.db_proj_schema, &table));
-        table.Finalize();
+        driver::FinalizeAndRecordHashTable(ctx, NodeId::Hdfs(w), &table);
       }
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_hash_built");
@@ -222,6 +219,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
         if (!local.ok()) st = local.status();
         auto global = driver::CombineBloomAtDbWorker0(ctx, i, local_bf, tags);
         if (!global.ok() && st.ok()) st = global.status();
+        if (global.ok() && i == 0) {
+          driver::RecordBloomStats(ctx, global.value());
+        }
         // Multicast BF_DB to this worker's JEN group (Figure 5).
         const BloomFilter& to_send =
             global.ok() ? global.value() : local_bf;
@@ -490,6 +490,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
               st = local.status();
             }
           }
+          driver::RecordBloomStats(ctx, bf_h);
           for (uint32_t j = 0; j < m; ++j) {
             SendBloom(&net, self, NodeId::Db(j), tags.bloom_h_global, bf_h,
                       &ctx->metrics());
@@ -525,7 +526,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       } else if (!options.build_on_db_data) {
         // Paper's plan: hash table over L', probe with arriving database
         // records (buffered by the network while we were building).
-        l_table.Finalize();
+        driver::FinalizeAndRecordHashTable(ctx, self, &l_table);
         if (w == designated) report.Mark("jen_hash_built");
         if (semijoin) {
           // Answer each DB worker's key list with an exact membership
@@ -595,7 +596,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
         Status build_status = ReceiveIntoHashTable(
             &net, self, tags.db_data, m, prepared.db_proj_schema, &db_table);
         if (st.ok()) st = build_status;
-        db_table.Finalize();
+        driver::FinalizeAndRecordHashTable(ctx, self, &db_table);
         if (w == designated) report.Mark("jen_hash_built");
         JoinProber prober(&db_table, prepared.db_proj_schema, query.db.alias,
                           prepared.hdfs_out_schema, query.hdfs.alias,

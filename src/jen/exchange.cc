@@ -30,7 +30,8 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
       self_(self),
       tag_(tag),
       metrics_(metrics),
-      tuple_counter_(tuple_counter) {
+      tuple_counter_(tuple_counter),
+      pool_(BufferPool::Create()) {
   HJ_CHECK_GT(num_threads, 0u);
   threads_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
@@ -68,9 +69,17 @@ void BatchSender::Send(NodeId dest, const RecordBatch& batch) {
   if (metrics_ != nullptr && tuple_counter_ != nullptr) {
     metrics_->Add(tuple_counter_, rows);
   }
-  auto payload =
-      std::make_shared<const std::vector<uint8_t>>(batch.Serialize());
-  queue_.Push(Item{dest, std::move(payload)});
+  BinaryWriter w(pool_->Acquire());
+  batch.SerializeTo(&w);
+  queue_.Push(Item{dest, pool_->Share(w.Release())});
+}
+
+void BatchSender::SendToAll(const std::vector<NodeId>& dests,
+                            const RecordBatch& batch) {
+  BinaryWriter w(pool_->Acquire());
+  batch.SerializeTo(&w);
+  SendSerialized(dests, pool_->Share(w.Release()),
+                 static_cast<int64_t>(batch.num_rows()));
 }
 
 void BatchSender::SendSerialized(

@@ -39,6 +39,58 @@ inline Status SendWithRetry(Network* network, NodeId from, NodeId to,
       max_attempts, backoff_us);
 }
 
+/// Recycles serialization buffers so steady-state batch sends stop paying
+/// one heap allocation (and its page faults) per batch. Acquire() hands out
+/// an empty vector with whatever capacity its previous life grew; Share()
+/// wraps a filled buffer as the shared payload the network queues hold, and
+/// its deleter returns the storage here once the last queue drops it. The
+/// deleter keeps the pool alive, so payloads may outlive the BatchSender.
+class BufferPool : public std::enable_shared_from_this<BufferPool> {
+ public:
+  static std::shared_ptr<BufferPool> Create(size_t max_buffers = 64) {
+    return std::shared_ptr<BufferPool>(new BufferPool(max_buffers));
+  }
+
+  /// An empty buffer, reusing a recycled allocation when one is available.
+  std::vector<uint8_t> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  /// Wraps a filled buffer as a shared payload that recycles its storage
+  /// into this pool when released.
+  std::shared_ptr<const std::vector<uint8_t>> Share(std::vector<uint8_t> buf) {
+    auto* heap = new std::vector<uint8_t>(std::move(buf));
+    auto self = shared_from_this();
+    return std::shared_ptr<const std::vector<uint8_t>>(
+        heap, [self](const std::vector<uint8_t>* p) {
+          self->Recycle(std::move(*const_cast<std::vector<uint8_t>*>(p)));
+          delete p;
+        });
+  }
+
+  size_t free_buffers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  explicit BufferPool(size_t max_buffers) : max_buffers_(max_buffers) {}
+
+  void Recycle(std::vector<uint8_t> buf) {
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < max_buffers_) free_.push_back(std::move(buf));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> free_;
+  const size_t max_buffers_;
+};
+
 /// Serializes batches on the caller's thread (the "process thread" filling
 /// send buffers) and ships them from a small pool of send threads, so
 /// network waits overlap with scanning/processing.
@@ -52,8 +104,13 @@ class BatchSender {
   BatchSender(const BatchSender&) = delete;
   BatchSender& operator=(const BatchSender&) = delete;
 
-  /// Serializes and enqueues a batch for `dest`.
+  /// Serializes and enqueues a batch for `dest`. The serialization buffer
+  /// comes from the sender's BufferPool and is recycled after the send.
   void Send(NodeId dest, const RecordBatch& batch);
+
+  /// Serializes once and enqueues for every destination (broadcast; the
+  /// payload is shared, not copied).
+  void SendToAll(const std::vector<NodeId>& dests, const RecordBatch& batch);
 
   /// Enqueues an already-serialized payload for several destinations
   /// (broadcast; the payload is shared, not copied).
@@ -88,6 +145,7 @@ class BatchSender {
   uint64_t tag_;
   Metrics* metrics_;
   const char* tuple_counter_;
+  std::shared_ptr<BufferPool> pool_;
   BlockingQueue<Item> queue_;
   std::vector<std::thread> threads_;
   std::atomic<int64_t> tuples_sent_{0};

@@ -68,26 +68,16 @@ Status FilterByBloom(const RecordBatch& batch, const std::string& column,
                      const BloomFilter& bloom, std::vector<uint32_t>* sel) {
   HJ_ASSIGN_OR_RETURN(size_t idx, batch.schema()->IndexOf(column));
   const ColumnVector& cv = batch.column(idx);
-  size_t out = 0;
   switch (cv.physical_type()) {
-    case PhysicalType::kInt32: {
-      const auto& keys = cv.i32();
-      for (uint32_t r : *sel) {
-        if (bloom.MayContain(keys[r])) (*sel)[out++] = r;
-      }
+    case PhysicalType::kInt32:
+      bloom.MayContainKeys(std::span<const int32_t>(cv.i32()), sel);
       break;
-    }
-    case PhysicalType::kInt64: {
-      const auto& keys = cv.i64();
-      for (uint32_t r : *sel) {
-        if (bloom.MayContain(keys[r])) (*sel)[out++] = r;
-      }
+    case PhysicalType::kInt64:
+      bloom.MayContainKeys(std::span<const int64_t>(cv.i64()), sel);
       break;
-    }
     default:
       return Status::InvalidArgument("Bloom column must be integer-typed");
   }
-  sel->resize(out);
   return Status::OK();
 }
 

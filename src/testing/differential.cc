@@ -268,6 +268,11 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
     config.db.num_workers = c.db_workers;
     config.jen_workers = c.jen_workers;
     config.bloom.expected_keys = c.workload.num_join_keys;
+    // Pin the sweep to the blocked Bloom layout explicitly: the differential
+    // comparison must hold with the batched cache-line-blocked kernels on
+    // the hot path (a false positive the filter lets through is removed by
+    // the join itself, so results are layout-invariant — this asserts it).
+    config.bloom.layout = BloomLayout::kBlocked;
     config.net.recv_timeout_ms = recv_timeout_ms;
     config.fault = *profile;
     HybridWarehouse hw(config);

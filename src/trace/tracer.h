@@ -156,6 +156,7 @@ inline constexpr char kJenReadBlock[] = "jen.read_block";
 inline constexpr char kJenShuffle[] = "jen.shuffle";
 inline constexpr char kJenBuild[] = "jen.build";
 inline constexpr char kJenProbe[] = "jen.probe";
+inline constexpr char kHtFinalize[] = "join.ht_finalize";
 inline constexpr char kJenAggregate[] = "jen.aggregate";
 // EDW side.
 inline constexpr char kDbScan[] = "edw.scan";

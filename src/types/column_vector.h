@@ -128,6 +128,44 @@ class ColumnVector {
     }
   }
 
+  /// Appends rows[0..n) of `src` (same physical type) to this column — the
+  /// column-at-a-time form of AppendFrom: one type dispatch per column
+  /// instead of one per cell.
+  void GatherAppendFrom(const ColumnVector& src, const uint32_t* rows,
+                        size_t n) {
+    HJ_DCHECK(physical_type() == src.physical_type());
+    switch (physical_type()) {
+      case PhysicalType::kInt32: {
+        const auto& in = src.i32();
+        auto& o = mutable_i32();
+        o.reserve(o.size() + n);
+        for (size_t j = 0; j < n; ++j) o.push_back(in[rows[j]]);
+        break;
+      }
+      case PhysicalType::kInt64: {
+        const auto& in = src.i64();
+        auto& o = mutable_i64();
+        o.reserve(o.size() + n);
+        for (size_t j = 0; j < n; ++j) o.push_back(in[rows[j]]);
+        break;
+      }
+      case PhysicalType::kFloat64: {
+        const auto& in = src.f64();
+        auto& o = mutable_f64();
+        o.reserve(o.size() + n);
+        for (size_t j = 0; j < n; ++j) o.push_back(in[rows[j]]);
+        break;
+      }
+      case PhysicalType::kString: {
+        const auto& in = src.str();
+        auto& o = mutable_str();
+        o.reserve(o.size() + n);
+        for (size_t j = 0; j < n; ++j) o.push_back(in[rows[j]]);
+        break;
+      }
+    }
+  }
+
   /// Returns a new column with only the rows whose indexes appear in `sel`.
   ColumnVector Gather(const std::vector<uint32_t>& sel) const {
     ColumnVector out(type_);

@@ -1,0 +1,386 @@
+// Equivalence tests for the batched cache-conscious kernels: the batched
+// Bloom Add/MayContain paths must be bit-identical to the scalar ones in
+// both layouts, ProbeBatch must reproduce the scalar ForEachMatch output in
+// exact order, and the wire format must round-trip the layout and reject
+// inconsistent encodings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "bloom/bloom_filter.h"
+#include "common/random.h"
+#include "exec/join_hash_table.h"
+#include "jen/exchange.h"
+
+namespace hybridjoin {
+namespace {
+
+std::vector<int64_t> RandomKeys(size_t n, uint64_t seed, uint64_t domain) {
+  Rng rng(seed);
+  std::vector<int64_t> keys(n);
+  for (auto& k : keys) k = static_cast<int64_t>(rng.Uniform(domain));
+  return keys;
+}
+
+// Key sets designed to stress the kernels: duplicates (multi-entry chains
+// for one key), negatives (sign-extension of int32 keys), a dense run
+// (adjacent cache lines), and an empty set.
+std::vector<std::vector<int64_t>> AdversarialKeySets() {
+  std::vector<std::vector<int64_t>> sets;
+  sets.push_back({});                                    // empty batch
+  sets.push_back({7, 7, 7, 7, 7, 7, 7, 7});              // all duplicates
+  sets.push_back({-1, -2, 0, 1, 2, -2000000000});        // negatives
+  std::vector<int64_t> dense(1000);
+  for (size_t i = 0; i < dense.size(); ++i) dense[i] = static_cast<int64_t>(i);
+  sets.push_back(std::move(dense));
+  sets.push_back(RandomKeys(5000, 11, 300));             // heavy collisions
+  sets.push_back(RandomKeys(5000, 12, 1u << 30));        // sparse
+  return sets;
+}
+
+// ------------------------- Bloom batched == scalar -------------------------
+
+class BloomLayoutTest : public ::testing::TestWithParam<BloomLayout> {};
+
+TEST_P(BloomLayoutTest, AddKeysMatchesScalarAdd) {
+  for (const auto& keys : AdversarialKeySets()) {
+    const BloomParams params =
+        BloomParams::ForKeys(4096, 8.0, 2, GetParam());
+    BloomFilter scalar(params);
+    BloomFilter batched(params);
+    for (int64_t k : keys) scalar.Add(k);
+    batched.AddKeys(std::span<const int64_t>(keys));
+    EXPECT_EQ(scalar.Serialize(), batched.Serialize())
+        << "layout=" << static_cast<int>(GetParam())
+        << " keys=" << keys.size();
+  }
+}
+
+TEST_P(BloomLayoutTest, AddKeysInt32MatchesScalarAdd) {
+  // int32 keys must sign-extend to the same bits the scalar path sets.
+  std::vector<int32_t> keys = {-1, 0, 1, -2000000000, 2000000000, 42, 42};
+  const BloomParams params = BloomParams::ForKeys(256, 8.0, 2, GetParam());
+  BloomFilter scalar(params);
+  BloomFilter batched(params);
+  for (int32_t k : keys) scalar.Add(k);
+  batched.AddKeys(std::span<const int32_t>(keys));
+  EXPECT_EQ(scalar.Serialize(), batched.Serialize());
+}
+
+TEST_P(BloomLayoutTest, AddKeysWithSelectionMatchesScalar) {
+  const auto keys = RandomKeys(2000, 21, 1u << 20);
+  std::vector<uint32_t> sel;
+  for (uint32_t i = 0; i < keys.size(); i += 3) sel.push_back(i);
+  const BloomParams params = BloomParams::ForKeys(1024, 8.0, 2, GetParam());
+  BloomFilter scalar(params);
+  BloomFilter batched(params);
+  for (uint32_t r : sel) scalar.Add(keys[r]);
+  batched.AddKeys(std::span<const int64_t>(keys),
+                  std::span<const uint32_t>(sel));
+  EXPECT_EQ(scalar.Serialize(), batched.Serialize());
+}
+
+TEST_P(BloomLayoutTest, MayContainKeysMatchesScalarFilter) {
+  const BloomParams params = BloomParams::ForKeys(2048, 8.0, 2, GetParam());
+  BloomFilter bloom(params);
+  const auto inserted = RandomKeys(2000, 31, 1u << 16);
+  bloom.AddKeys(std::span<const int64_t>(inserted));
+
+  for (const auto& probe : AdversarialKeySets()) {
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < probe.size(); ++i) {
+      if (bloom.MayContain(probe[i])) expected.push_back(i);
+    }
+    std::vector<uint32_t> sel(probe.size());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    bloom.MayContainKeys(std::span<const int64_t>(probe), &sel);
+    EXPECT_EQ(sel, expected);
+  }
+}
+
+TEST_P(BloomLayoutTest, MayContainKeysInt32MatchesScalar) {
+  const BloomParams params = BloomParams::ForKeys(512, 8.0, 2, GetParam());
+  BloomFilter bloom(params);
+  std::vector<int32_t> keys = {-5, -1, 0, 3, 1000000, -2000000000};
+  bloom.AddKeys(std::span<const int32_t>(keys));
+
+  std::vector<int32_t> probe = {-5, -4, -1, 0, 1, 3, 1000000, -2000000000, 9};
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i < probe.size(); ++i) {
+    if (bloom.MayContain(probe[i])) expected.push_back(i);
+  }
+  std::vector<uint32_t> sel(probe.size());
+  for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+  bloom.MayContainKeys(std::span<const int32_t>(probe), &sel);
+  EXPECT_EQ(sel, expected);
+}
+
+TEST_P(BloomLayoutTest, NoFalseNegatives) {
+  const auto keys = RandomKeys(10000, 41, 1ull << 40);
+  BloomFilter bloom(BloomParams::ForKeys(keys.size(), 8.0, 2, GetParam()));
+  bloom.AddKeys(std::span<const int64_t>(keys));
+  std::vector<uint32_t> sel(keys.size());
+  for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+  bloom.MayContainKeys(std::span<const int64_t>(keys), &sel);
+  EXPECT_EQ(sel.size(), keys.size());  // every inserted key survives
+}
+
+TEST_P(BloomLayoutTest, SerializationRoundTripPreservesLayout) {
+  BloomFilter bloom(BloomParams::ForKeys(1000, 8.0, 2, GetParam()));
+  const auto keys = RandomKeys(1000, 51, 1u << 20);
+  bloom.AddKeys(std::span<const int64_t>(keys));
+  const auto bytes = bloom.Serialize();
+  EXPECT_EQ(bytes.size(), bloom.ByteSize());
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->layout(), GetParam());
+  EXPECT_TRUE(restored->params() == bloom.params());
+  EXPECT_EQ(restored->Serialize(), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, BloomLayoutTest,
+                         ::testing::Values(BloomLayout::kClassic,
+                                           BloomLayout::kBlocked),
+                         [](const auto& info) {
+                           return info.param == BloomLayout::kClassic
+                                      ? "Classic"
+                                      : "Blocked";
+                         });
+
+// --------------------------- layout wire rules ----------------------------
+
+TEST(BloomLayoutWireTest, UnionRejectsLayoutMismatch) {
+  // Same bit count, different placement scheme: OR-union would be silently
+  // wrong, so it must be rejected.
+  BloomFilter classic(BloomParams{1024, 2, BloomLayout::kClassic});
+  BloomFilter blocked(BloomParams{1024, 2, BloomLayout::kBlocked});
+  EXPECT_FALSE(classic.UnionWith(blocked).ok());
+  EXPECT_FALSE(blocked.UnionWith(classic).ok());
+  BloomFilter blocked2(BloomParams{1024, 2, BloomLayout::kBlocked});
+  EXPECT_TRUE(blocked.UnionWith(blocked2).ok());
+}
+
+TEST(BloomLayoutWireTest, DeserializeRejectsUnknownLayoutByte) {
+  BloomFilter bloom(BloomParams{512, 2, BloomLayout::kBlocked});
+  auto bytes = bloom.Serialize();
+  bytes[12] = 7;  // layout byte follows u64 num_bits + u32 num_hashes
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+}
+
+TEST(BloomLayoutWireTest, DeserializeRejectsUnalignedBlockedBits) {
+  // A blocked filter whose bit count is not a whole number of 512-bit
+  // blocks cannot have been produced by this code; reject it.
+  BinaryWriter w;
+  w.PutU64(576);  // 512 + 64: valid classic size, invalid blocked size
+  w.PutU32(2);
+  w.PutU8(static_cast<uint8_t>(BloomLayout::kBlocked));
+  for (int i = 0; i < 9; ++i) w.PutU64(0);
+  const auto bytes = w.Release();
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+
+  BinaryWriter w2;
+  w2.PutU64(576);
+  w2.PutU32(2);
+  w2.PutU8(static_cast<uint8_t>(BloomLayout::kClassic));
+  for (int i = 0; i < 9; ++i) w2.PutU64(0);
+  EXPECT_TRUE(BloomFilter::Deserialize(w2.Release()).ok());
+}
+
+TEST(BloomLayoutWireTest, BlockedFprHigherButBounded) {
+  // For equal size the blocked layout concentrates bits, so its predicted
+  // FPR is above classic — but within the same order of magnitude at the
+  // paper's 8 bits/key operating point.
+  const BloomParams classic = BloomParams::ForKeys(1 << 16);
+  const BloomParams blocked =
+      BloomParams::ForKeys(1 << 16, 8.0, 2, BloomLayout::kBlocked);
+  const double fc = classic.ExpectedFpr(1 << 16);
+  const double fb = blocked.ExpectedFpr(1 << 16);
+  EXPECT_GT(fb, fc);
+  EXPECT_LT(fb, 4.0 * fc);
+
+  // And the prediction tracks reality: measure on disjoint probe keys.
+  BloomFilter bloom(blocked);
+  const auto keys = RandomKeys(1 << 16, 61, 1ull << 50);
+  bloom.AddKeys(std::span<const int64_t>(keys));
+  Rng rng(62);
+  size_t fp = 0;
+  const size_t trials = 200000;
+  for (size_t i = 0; i < trials; ++i) {
+    // Probe keys outside the insert domain.
+    if (bloom.MayContain(static_cast<int64_t>((1ull << 50) + rng.Uniform(
+                             1ull << 50)))) {
+      ++fp;
+    }
+  }
+  const double observed = static_cast<double>(fp) / trials;
+  EXPECT_LT(observed, 2.0 * fb);
+  EXPECT_GT(observed, 0.25 * fb);
+  // The fill-fraction estimate is in the same ballpark too.
+  EXPECT_LT(bloom.EstimatedFpr(), 4.0 * fb);
+  EXPECT_GT(bloom.EstimatedFpr(), 0.25 * fb);
+}
+
+// ------------------------------ ProbeBatch --------------------------------
+
+RecordBatch KeyBatch(const std::vector<int64_t>& keys) {
+  auto schema = Schema::Make({{"k", DataType::kInt64}});
+  RecordBatch b(schema);
+  for (int64_t k : keys) b.AppendRow({Value(k)});
+  return b;
+}
+
+TEST(ProbeBatchTest, MatchesForEachMatchInExactOrder) {
+  // Build from several batches with heavy duplication (long chains), probe
+  // with adversarial sets; the batched kernel must emit the identical match
+  // list — same triples, same order — as the scalar loop.
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(KeyBatch(RandomKeys(3000, 71, 200))).ok());
+  ASSERT_TRUE(table.AddBatch(KeyBatch(RandomKeys(3000, 72, 200))).ok());
+  ASSERT_TRUE(table.AddBatch(KeyBatch({-1, -1, -1, 0, 7})).ok());
+  table.Finalize();
+
+  for (const auto& probe : AdversarialKeySets()) {
+    std::vector<JoinMatch> expected;
+    for (uint32_t i = 0; i < probe.size(); ++i) {
+      table.ForEachMatch(probe[i], [&](uint32_t b, uint32_t r) {
+        expected.push_back({i, b, r});
+      });
+    }
+    std::vector<JoinMatch> got;
+    table.ProbeBatch(std::span<const int64_t>(probe), &got);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].probe_row, expected[i].probe_row) << "at " << i;
+      EXPECT_EQ(got[i].batch, expected[i].batch) << "at " << i;
+      EXPECT_EQ(got[i].row, expected[i].row) << "at " << i;
+    }
+  }
+}
+
+TEST(ProbeBatchTest, Int32KeysMatchScalar) {
+  auto schema = Schema::Make({{"k", DataType::kInt32}});
+  RecordBatch b(schema);
+  for (int32_t k : {-3, -3, 0, 5, 5, 5, 2000000000}) b.AppendRow({Value(k)});
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(std::move(b)).ok());
+  table.Finalize();
+
+  std::vector<int32_t> probe = {-3, 5, 9, 2000000000, -3, 0};
+  std::vector<JoinMatch> expected;
+  for (uint32_t i = 0; i < probe.size(); ++i) {
+    table.ForEachMatch(probe[i], [&](uint32_t bi, uint32_t r) {
+      expected.push_back({i, bi, r});
+    });
+  }
+  std::vector<JoinMatch> got;
+  table.ProbeBatch(std::span<const int32_t>(probe), &got);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].probe_row, expected[i].probe_row);
+    EXPECT_EQ(got[i].batch, expected[i].batch);
+    EXPECT_EQ(got[i].row, expected[i].row);
+  }
+}
+
+TEST(ProbeBatchTest, AppendsToExistingMatches) {
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(KeyBatch({1, 2})).ok());
+  table.Finalize();
+  std::vector<JoinMatch> out = {{99, 99, 99}};
+  std::vector<int64_t> probe = {1};
+  table.ProbeBatch(std::span<const int64_t>(probe), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].probe_row, 99u);  // pre-existing entry untouched
+  EXPECT_EQ(out[1].probe_row, 0u);
+}
+
+TEST(ProbeBatchTest, EmptyTableAndEmptyBatch) {
+  JoinHashTable empty(0);
+  empty.Finalize();
+  std::vector<JoinMatch> out;
+  std::vector<int64_t> probe = {1, 2, 3};
+  empty.ProbeBatch(std::span<const int64_t>(probe), &out);
+  EXPECT_TRUE(out.empty());
+
+  JoinHashTable table(0);
+  ASSERT_TRUE(table.AddBatch(KeyBatch({1, 2, 3})).ok());
+  table.Finalize();
+  table.ProbeBatch(std::span<const int64_t>(), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ProbeBatchTest, ContainsEarlyExitAgreesWithForEachMatch) {
+  JoinHashTable table(0);
+  const auto keys = RandomKeys(4000, 81, 500);
+  ASSERT_TRUE(table.AddBatch(KeyBatch(keys)).ok());
+  table.Finalize();
+  for (int64_t k = -10; k < 520; ++k) {
+    bool any = false;
+    table.ForEachMatch(k, [&](uint32_t, uint32_t) { any = true; });
+    EXPECT_EQ(table.Contains(k), any) << "key " << k;
+  }
+}
+
+TEST(ProbeBatchTest, BuildShapeStats) {
+  JoinHashTable table(0);
+  std::vector<int64_t> keys(100, 42);  // one key, chain of 100
+  for (int64_t k = 0; k < 28; ++k) keys.push_back(k);
+  ASSERT_TRUE(table.AddBatch(KeyBatch(keys)).ok());
+  table.Finalize();
+  EXPECT_GE(table.num_buckets(), 2 * table.num_rows() / 2);  // pow2 >= 2x
+  EXPECT_GT(table.load_factor(), 0.0);
+  EXPECT_LE(table.load_factor(), 0.5 + 1e-9);
+  EXPECT_GE(table.max_chain_length(), 100u);  // the duplicate chain
+
+  JoinHashTable empty(0);
+  empty.Finalize();
+  EXPECT_EQ(empty.load_factor(), 0.0);
+  EXPECT_EQ(empty.max_chain_length(), 0u);
+}
+
+// ------------------------------ BufferPool --------------------------------
+
+TEST(BufferPoolTest, RecyclesCapacityThroughShare) {
+  auto pool = BufferPool::Create();
+  EXPECT_EQ(pool->free_buffers(), 0u);
+  EXPECT_TRUE(pool->Acquire().empty());  // empty pool hands out fresh buffers
+
+  std::vector<uint8_t> buf(4096, 0xab);
+  const uint8_t* storage = buf.data();
+  {
+    auto shared = pool->Share(std::move(buf));
+    EXPECT_EQ(shared->size(), 4096u);
+    EXPECT_EQ(pool->free_buffers(), 0u);  // still held by the payload
+  }
+  EXPECT_EQ(pool->free_buffers(), 1u);  // released -> recycled
+
+  std::vector<uint8_t> reused = pool->Acquire();
+  EXPECT_TRUE(reused.empty());
+  EXPECT_GE(reused.capacity(), 4096u);  // same allocation, cleared
+  EXPECT_EQ(reused.data(), storage);
+  EXPECT_EQ(pool->free_buffers(), 0u);
+}
+
+TEST(BufferPoolTest, PayloadOutlivesPoolHandle) {
+  std::shared_ptr<const std::vector<uint8_t>> payload;
+  {
+    auto pool = BufferPool::Create();
+    payload = pool->Share(std::vector<uint8_t>{1, 2, 3});
+  }  // pool handle dropped; deleter keeps the pool alive
+  ASSERT_EQ(payload->size(), 3u);
+  EXPECT_EQ((*payload)[2], 3);
+  payload.reset();  // recycles into the (now unreachable) pool, then frees
+}
+
+TEST(BufferPoolTest, BoundedFreeList) {
+  auto pool = BufferPool::Create(/*max_buffers=*/2);
+  for (int i = 0; i < 5; ++i) {
+    pool->Share(std::vector<uint8_t>(16, 1)).reset();
+  }
+  EXPECT_EQ(pool->free_buffers(), 2u);
+}
+
+}  // namespace
+}  // namespace hybridjoin
