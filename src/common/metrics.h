@@ -129,6 +129,14 @@ inline constexpr const char kHdfsBlocksRemote[] = "hdfs.blocks_remote";
 inline constexpr const char kJoinHtRows[] = "join.ht_rows";
 inline constexpr const char kJoinHtMaxChain[] = "join.ht_max_chain";
 inline constexpr const char kJoinHtLoadFactorPct[] = "join.ht_load_factor_pct";
+// Shard-skew visibility for the parallel partitioned build: every shard's
+// row count goes into the Metrics histogram of this name, and the worst
+// shard across the execution is kept as a gauge maximum under the _max
+// counter (a max far above rows/shards flags key skew that serializes the
+// parallel build on one shard).
+inline constexpr const char kJoinBuildShardRows[] = "join.build_shard_rows";
+inline constexpr const char kJoinBuildShardRowsMax[] =
+    "join.build_shard_rows_max";
 // Bloom filter health after build/combine: fill fraction and the
 // realized-FPR estimate fill^k, both in parts per the unit noted in the
 // name (maxima across the filters of one execution).

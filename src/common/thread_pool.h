@@ -5,6 +5,7 @@
 #ifndef HYBRIDJOIN_COMMON_THREAD_POOL_H_
 #define HYBRIDJOIN_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
@@ -14,6 +15,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/check.h"
+#include "common/status.h"
 
 namespace hybridjoin {
 
@@ -58,6 +60,54 @@ class ThreadPool {
   }
 
   size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for every i in [begin, end), split into queue tasks of
+  /// `grain` consecutive indices each, and blocks the caller until all of
+  /// them finish. Returns the first non-OK Status; once any index fails,
+  /// chunks that have not started yet are skipped (indices already running
+  /// complete their current call).
+  ///
+  /// Completion is tracked per call (not through the pool-wide Wait()), so
+  /// several threads may run ParallelFor on one shared pool concurrently.
+  /// Must not be called from inside a task running on this same pool: the
+  /// caller blocks while holding a worker slot's attention, and a pool
+  /// whose every thread waits this way deadlocks.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t)>& fn) {
+    if (begin >= end) return Status::OK();
+    if (grain == 0) grain = 1;
+    struct Latch {
+      std::mutex mu;
+      std::condition_variable done;
+      size_t remaining;
+      Status first;
+      std::atomic<bool> failed{false};
+    } latch;
+    const size_t chunks = (end - begin + grain - 1) / grain;
+    latch.remaining = chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      const size_t hi = std::min(end, lo + grain);
+      Submit([&latch, &fn, lo, hi] {
+        if (!latch.failed.load(std::memory_order_relaxed)) {
+          for (size_t i = lo; i < hi; ++i) {
+            Status st = fn(i);
+            if (!st.ok()) {
+              latch.failed.store(true, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lock(latch.mu);
+              if (latch.first.ok()) latch.first = std::move(st);
+              break;
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(latch.mu);
+        if (--latch.remaining == 0) latch.done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+    return latch.first;
+  }
 
  private:
   void WorkerLoop() {

@@ -66,6 +66,12 @@ class HashAggregator {
   /// Folds a partial-state batch (produced by Partial()) into this one.
   Status Merge(const RecordBatch& partial);
 
+  /// Folds another aggregator's state into this one (thread-local partials
+  /// of a morsel-parallel phase). Goes through the same Partial() wire path
+  /// the cross-node merge uses; every op is commutative and Partial() sorts
+  /// by group key, so merge order never changes the final result.
+  Status Merge(const HashAggregator& other) { return Merge(other.Partial()); }
+
   /// Serializes the current state as a partial-aggregate batch.
   RecordBatch Partial() const;
 

@@ -10,73 +10,197 @@ namespace {
 constexpr size_t kProbeWindow = 32;
 }  // namespace
 
-Status JoinHashTable::AddBatch(RecordBatch batch) {
-  if (finalized_) return Status::Internal("AddBatch after Finalize");
-  if (batch.num_rows() == 0) return Status::OK();
+Status JoinHashTable::ExtractEntries(
+    const RecordBatch& batch, uint32_t batch_index,
+    std::vector<std::vector<Entry>>* out) const {
   if (key_column_ >= batch.num_columns()) {
     return Status::InvalidArgument("join key column out of range");
   }
   const ColumnVector& key = batch.column(key_column_);
-  const uint32_t batch_index = static_cast<uint32_t>(batches_.size());
   const size_t n = batch.num_rows();
-  entries_.reserve(entries_.size() + n);
   switch (key.physical_type()) {
     case PhysicalType::kInt32: {
       const auto& keys = key.i32();
       for (uint32_t r = 0; r < n; ++r) {
-        entries_.push_back({keys[r], batch_index, r, kNil});
+        const int64_t k = keys[r];
+        const uint64_t h = HashInt64(static_cast<uint64_t>(k), kProbeSeed);
+        (*out)[ShardOf(h)].push_back({k, batch_index, r, kNil});
       }
       break;
     }
     case PhysicalType::kInt64: {
       const auto& keys = key.i64();
       for (uint32_t r = 0; r < n; ++r) {
-        entries_.push_back({keys[r], batch_index, r, kNil});
+        const int64_t k = keys[r];
+        const uint64_t h = HashInt64(static_cast<uint64_t>(k), kProbeSeed);
+        (*out)[ShardOf(h)].push_back({k, batch_index, r, kNil});
       }
       break;
     }
     default:
       return Status::InvalidArgument("join key must be integer-typed");
   }
+  return Status::OK();
+}
+
+Status JoinHashTable::AddBatch(RecordBatch batch) {
+  if (finalized_) return Status::Internal("AddBatch after Finalize");
+  if (batch.num_rows() == 0) return Status::OK();
+  const uint32_t batch_index = static_cast<uint32_t>(batches_.size());
+  if (shards_.size() == 1) {
+    // Streaming fast path: append straight into the single shard.
+    if (key_column_ >= batch.num_columns()) {
+      return Status::InvalidArgument("join key column out of range");
+    }
+    const ColumnVector& key = batch.column(key_column_);
+    auto& entries = shards_[0].entries;
+    const size_t n = batch.num_rows();
+    entries.reserve(entries.size() + n);
+    switch (key.physical_type()) {
+      case PhysicalType::kInt32: {
+        const auto& keys = key.i32();
+        for (uint32_t r = 0; r < n; ++r) {
+          entries.push_back({keys[r], batch_index, r, kNil});
+        }
+        break;
+      }
+      case PhysicalType::kInt64: {
+        const auto& keys = key.i64();
+        for (uint32_t r = 0; r < n; ++r) {
+          entries.push_back({keys[r], batch_index, r, kNil});
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument("join key must be integer-typed");
+    }
+    batches_.push_back(std::move(batch));
+    return Status::OK();
+  }
+  std::vector<std::vector<Entry>> per_shard(shards_.size());
+  HJ_RETURN_IF_ERROR(ExtractEntries(batch, batch_index, &per_shard));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto& entries = shards_[s].entries;
+    entries.insert(entries.end(), per_shard[s].begin(), per_shard[s].end());
+  }
   batches_.push_back(std::move(batch));
   return Status::OK();
 }
 
-void JoinHashTable::Finalize() {
-  if (finalized_) return;
-  finalized_ = true;
-  if (entries_.empty()) {
-    buckets_.clear();
-    bucket_mask_ = 0;
-    max_chain_length_ = 0;
+Status JoinHashTable::AddBatchesParallel(std::vector<RecordBatch> batches,
+                                         ThreadPool* pool) {
+  if (finalized_) return Status::Internal("AddBatch after Finalize");
+  const uint32_t base = static_cast<uint32_t>(batches_.size());
+  size_t added = 0;
+  for (RecordBatch& b : batches) {
+    if (b.num_rows() == 0) continue;
+    batches_.push_back(std::move(b));
+    ++added;
+  }
+  if (added == 0) return Status::OK();
+  if (pool == nullptr || pool->num_threads() <= 1 || added == 1) {
+    std::vector<std::vector<Entry>> per_shard(shards_.size());
+    for (uint32_t b = 0; b < added; ++b) {
+      for (auto& v : per_shard) v.clear();
+      HJ_RETURN_IF_ERROR(
+          ExtractEntries(batches_[base + b], base + b, &per_shard));
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        auto& entries = shards_[s].entries;
+        entries.insert(entries.end(), per_shard[s].begin(),
+                       per_shard[s].end());
+      }
+    }
+    return Status::OK();
+  }
+
+  // Phase 1: contiguous batch ranges extract per-shard entry runs in
+  // parallel. Range boundaries — not interleaving — decide which run a row
+  // lands in, so the result is deterministic.
+  const size_t ranges =
+      std::min(added, std::max<size_t>(pool->num_threads() * 2, 1));
+  const size_t per_range = (added + ranges - 1) / ranges;
+  // runs[r][s]: range r's entries for shard s, in batch order.
+  std::vector<std::vector<std::vector<Entry>>> runs(
+      ranges, std::vector<std::vector<Entry>>(shards_.size()));
+  HJ_RETURN_IF_ERROR(pool->ParallelFor(
+      0, ranges, 1, [&](size_t r) -> Status {
+        const size_t lo = r * per_range;
+        const size_t hi = std::min<size_t>(added, lo + per_range);
+        for (size_t b = lo; b < hi; ++b) {
+          HJ_RETURN_IF_ERROR(ExtractEntries(
+              batches_[base + b], static_cast<uint32_t>(base + b), &runs[r]));
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2: splice every shard's runs in range order, one task per shard,
+  // reproducing the serial AddBatch entry order exactly.
+  return pool->ParallelFor(0, shards_.size(), 1, [&](size_t s) -> Status {
+    size_t total = shards_[s].entries.size();
+    for (size_t r = 0; r < ranges; ++r) total += runs[r][s].size();
+    shards_[s].entries.reserve(total);
+    for (size_t r = 0; r < ranges; ++r) {
+      auto& entries = shards_[s].entries;
+      entries.insert(entries.end(), runs[r][s].begin(), runs[r][s].end());
+    }
+    return Status::OK();
+  });
+}
+
+void JoinHashTable::FinalizeShard(uint32_t shard) {
+  Shard& s = shards_[shard];
+  if (s.entries.empty()) {
+    s.buckets.clear();
+    s.bucket_mask = 0;
+    s.max_chain_length = 0;
     return;
   }
   size_t num_buckets = 16;
-  while (num_buckets < entries_.size() * 2) num_buckets <<= 1;
-  buckets_.assign(num_buckets, kNil);
-  bucket_mask_ = num_buckets - 1;
-  for (uint32_t e = 0; e < entries_.size(); ++e) {
+  while (num_buckets < s.entries.size() * 2) num_buckets <<= 1;
+  s.buckets.assign(num_buckets, kNil);
+  s.bucket_mask = num_buckets - 1;
+  for (uint32_t e = 0; e < s.entries.size(); ++e) {
     const uint64_t h =
-        HashInt64(static_cast<uint64_t>(entries_[e].key), kProbeSeed);
-    uint32_t& head = buckets_[h & bucket_mask_];
-    entries_[e].next = head;
+        HashInt64(static_cast<uint64_t>(s.entries[e].key), kProbeSeed);
+    uint32_t& head = s.buckets[h & s.bucket_mask];
+    s.entries[e].next = head;
     head = e;
   }
-  max_chain_length_ = 0;
+  s.max_chain_length = 0;
   std::vector<uint32_t> chain_len(num_buckets, 0);
-  for (uint32_t e = 0; e < entries_.size(); ++e) {
+  for (uint32_t e = 0; e < s.entries.size(); ++e) {
     const uint64_t h =
-        HashInt64(static_cast<uint64_t>(entries_[e].key), kProbeSeed);
-    const uint32_t len = ++chain_len[h & bucket_mask_];
-    if (len > max_chain_length_) max_chain_length_ = len;
+        HashInt64(static_cast<uint64_t>(s.entries[e].key), kProbeSeed);
+    const uint32_t len = ++chain_len[h & s.bucket_mask];
+    if (len > s.max_chain_length) s.max_chain_length = len;
   }
+}
+
+void JoinHashTable::Finalize() {
+  if (finalized_) return;
+  for (uint32_t s = 0; s < shards_.size(); ++s) FinalizeShard(s);
+  MarkFinalized();
+}
+
+Status JoinHashTable::FinalizeParallel(ThreadPool* pool) {
+  if (finalized_) return Status::OK();
+  if (pool == nullptr || pool->num_threads() <= 1 || shards_.size() <= 1) {
+    Finalize();
+    return Status::OK();
+  }
+  HJ_RETURN_IF_ERROR(pool->ParallelFor(0, shards_.size(), 1, [&](size_t s) {
+    FinalizeShard(static_cast<uint32_t>(s));
+    return Status::OK();
+  }));
+  MarkFinalized();
+  return Status::OK();
 }
 
 template <typename Key>
 void JoinHashTable::ProbeBatchImpl(const Key* keys, size_t n,
                                    std::vector<JoinMatch>* out) const {
-  if (buckets_.empty()) return;
-  uint64_t buckets_idx[kProbeWindow];
+  const Shard* shard[kProbeWindow];
+  uint64_t bucket_idx[kProbeWindow];
   uint32_t heads[kProbeWindow];
   for (size_t start = 0; start < n; start += kProbeWindow) {
     const size_t cnt = std::min(kProbeWindow, n - start);
@@ -84,14 +208,24 @@ void JoinHashTable::ProbeBatchImpl(const Key* keys, size_t n,
     for (size_t j = 0; j < cnt; ++j) {
       const auto key = static_cast<int64_t>(keys[start + j]);
       const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
-      buckets_idx[j] = h & bucket_mask_;
-      __builtin_prefetch(&buckets_[buckets_idx[j]], 0, 1);
+      const Shard& s = shards_[ShardOf(h)];
+      shard[j] = &s;
+      if (s.buckets.empty()) {
+        heads[j] = kNil;
+        continue;
+      }
+      bucket_idx[j] = h & s.bucket_mask;
+      __builtin_prefetch(&s.buckets[bucket_idx[j]], 0, 1);
+      heads[j] = 0;  // resolved in pass 2
     }
     // Pass 2: read the heads (now resident), prefetch the first entry of
     // each non-empty chain.
     for (size_t j = 0; j < cnt; ++j) {
-      heads[j] = buckets_[buckets_idx[j]];
-      if (heads[j] != kNil) __builtin_prefetch(&entries_[heads[j]], 0, 1);
+      if (heads[j] == kNil) continue;
+      heads[j] = shard[j]->buckets[bucket_idx[j]];
+      if (heads[j] != kNil) {
+        __builtin_prefetch(&shard[j]->entries[heads[j]], 0, 1);
+      }
     }
     // Pass 3: walk the chains, emitting matches in scalar order.
     for (size_t j = 0; j < cnt; ++j) {
@@ -99,7 +233,7 @@ void JoinHashTable::ProbeBatchImpl(const Key* keys, size_t n,
       const uint32_t probe_row = static_cast<uint32_t>(start + j);
       uint32_t e = heads[j];
       while (e != kNil) {
-        const Entry& entry = entries_[e];
+        const Entry& entry = shard[j]->entries[e];
         if (entry.key == key) out->push_back({probe_row, entry.batch, entry.row});
         e = entry.next;
       }

@@ -1,16 +1,27 @@
 // JoinHashTable: the chained hash table every join variant builds on one
 // side and probes with the other. Single-writer build, then frozen and
-// probed concurrently.
+// probed concurrently. The table can be key-space partitioned into shards
+// (high hash bits pick the shard, low bits the bucket) so the build and the
+// bucket-directory finalize parallelize across threads; a one-shard table
+// is bit-compatible with the historical unsharded layout.
+//
+// Probe determinism under sharding: equal keys hash equally, so they land
+// in one shard, and within a shard entries keep global insertion order.
+// ForEachMatch/ProbeBatch therefore emit matches for any key in exactly the
+// order the unsharded table would — the join output is byte-identical for
+// every shard count.
 
 #ifndef HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_
 #define HYBRIDJOIN_EXEC_JOIN_HASH_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -28,40 +39,83 @@ struct JoinMatch {
 class JoinHashTable {
  public:
   /// `key_column` is the index of the join key (int32/int64 physical) in
-  /// every added batch.
-  explicit JoinHashTable(size_t key_column) : key_column_(key_column) {}
+  /// every added batch. `num_shards` key-space partitions the entry and
+  /// bucket storage (1 = the classic single-partition table); shard choice
+  /// never changes probe results, only which internal arrays hold them.
+  explicit JoinHashTable(size_t key_column, uint32_t num_shards = 1)
+      : key_column_(key_column),
+        shards_(num_shards == 0 ? 1 : num_shards) {}
 
   /// Adds a batch (takes ownership). Must not be called after Finalize.
   Status AddBatch(RecordBatch batch);
 
-  /// Builds the bucket directory. Idempotent.
+  /// Adds a whole batch list, extracting entries on `pool` (nullptr runs
+  /// serially). Contiguous batch ranges go to the workers and their
+  /// per-shard entry runs are spliced back in range order, so the entry
+  /// order — and with it every probe's match order — is identical to
+  /// calling AddBatch in sequence. Must not be called after Finalize or
+  /// concurrently with other mutations.
+  Status AddBatchesParallel(std::vector<RecordBatch> batches,
+                            ThreadPool* pool);
+
+  /// Builds every shard's bucket directory serially. Idempotent.
   void Finalize();
 
+  /// Parallel Finalize: one task per shard on `pool` (nullptr falls back to
+  /// the serial path). Idempotent.
+  Status FinalizeParallel(ThreadPool* pool);
+
+  /// Parallel-finalize building blocks, for callers that want their own
+  /// per-shard attribution (tracing spans) around each shard's build:
+  /// FinalizeShard is thread-safe across distinct shards; call it for every
+  /// shard exactly once, then MarkFinalized.
+  void FinalizeShard(uint32_t shard);
+  void MarkFinalized() { finalized_ = true; }
+
   bool finalized() const { return finalized_; }
-  size_t num_rows() const { return entries_.size(); }
+  size_t num_rows() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) n += s.entries.size();
+    return n;
+  }
   const std::vector<RecordBatch>& batches() const { return batches_; }
   size_t key_column() const { return key_column_; }
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  size_t shard_rows(uint32_t shard) const {
+    return shards_[shard].entries.size();
+  }
 
   // Build-shape diagnostics, valid after Finalize (surfaced as metrics by
   // the drivers; a max chain far above the ~2x-slack load factor flags key
   // skew that chain walks will pay for on every probe).
-  size_t num_buckets() const { return buckets_.size(); }
-  double load_factor() const {
-    return buckets_.empty() ? 0.0
-                            : static_cast<double>(entries_.size()) /
-                                  static_cast<double>(buckets_.size());
+  size_t num_buckets() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) n += s.buckets.size();
+    return n;
   }
-  size_t max_chain_length() const { return max_chain_length_; }
+  double load_factor() const {
+    const size_t buckets = num_buckets();
+    return buckets == 0 ? 0.0
+                        : static_cast<double>(num_rows()) /
+                              static_cast<double>(buckets);
+  }
+  size_t max_chain_length() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) n = std::max(n, s.max_chain_length);
+    return n;
+  }
 
   /// Invokes fn(batch_index, row_index) for every row whose key equals
   /// `key`. Must be finalized.
   template <typename Fn>
   void ForEachMatch(int64_t key, Fn&& fn) const {
-    if (buckets_.empty()) return;
     const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
-    uint32_t e = buckets_[h & bucket_mask_];
+    const Shard& s = shards_[ShardOf(h)];
+    if (s.buckets.empty()) return;
+    uint32_t e = s.buckets[h & s.bucket_mask];
     while (e != kNil) {
-      const Entry& entry = entries_[e];
+      const Entry& entry = s.entries[e];
       if (entry.key == key) fn(entry.batch, entry.row);
       e = entry.next;
     }
@@ -70,11 +124,12 @@ class JoinHashTable {
   /// True if any row has this key (early-out point lookup: stops at the
   /// first hit instead of walking the rest of the chain).
   bool Contains(int64_t key) const {
-    if (buckets_.empty()) return false;
     const uint64_t h = HashInt64(static_cast<uint64_t>(key), kProbeSeed);
-    uint32_t e = buckets_[h & bucket_mask_];
+    const Shard& s = shards_[ShardOf(h)];
+    if (s.buckets.empty()) return false;
+    uint32_t e = s.buckets[h & s.bucket_mask];
     while (e != kNil) {
-      const Entry& entry = entries_[e];
+      const Entry& entry = s.entries[e];
       if (entry.key == key) return true;
       e = entry.next;
     }
@@ -103,16 +158,34 @@ class JoinHashTable {
     uint32_t next;
   };
 
+  /// One key-space partition: its entries (global insertion order
+  /// restricted to the shard) and its bucket directory.
+  struct Shard {
+    std::vector<Entry> entries;
+    std::vector<uint32_t> buckets;
+    uint64_t bucket_mask = 0;
+    size_t max_chain_length = 0;
+  };
+
+  /// Shard selection from the hash's high 32 bits (the bucket index uses
+  /// the low bits, so the two choices stay independent); the multiply-shift
+  /// maps [0, 2^32) uniformly onto [0, num_shards) without a division.
+  uint32_t ShardOf(uint64_t h) const {
+    return static_cast<uint32_t>(((h >> 32) * shards_.size()) >> 32);
+  }
+
+  /// Appends one batch's entries to the per-shard vectors of `out` (sized
+  /// num_shards); `batch_index` is the batch's index in batches_.
+  Status ExtractEntries(const RecordBatch& batch, uint32_t batch_index,
+                        std::vector<std::vector<Entry>>* out) const;
+
   template <typename Key>
   void ProbeBatchImpl(const Key* keys, size_t n,
                       std::vector<JoinMatch>* out) const;
 
   size_t key_column_;
   std::vector<RecordBatch> batches_;
-  std::vector<Entry> entries_;
-  std::vector<uint32_t> buckets_;
-  uint64_t bucket_mask_ = 0;
-  size_t max_chain_length_ = 0;
+  std::vector<Shard> shards_;
   bool finalized_ = false;
 };
 

@@ -1,0 +1,115 @@
+// BatchMorselPipe: fans a stream of record batches out to a fixed set of
+// per-thread consumers through a bounded queue — the morsel-driven probe /
+// partial-aggregation stage of the intra-node parallelism model
+// (docs/architecture.md). The feeding thread stays the producer (typically
+// a network receive loop), so pipelining with the upstream stage is kept;
+// with one thread the pipe degenerates to an inline call on the feeder,
+// reproducing single-threaded execution exactly.
+
+#ifndef HYBRIDJOIN_EXEC_MORSEL_H_
+#define HYBRIDJOIN_EXEC_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "trace/tracer.h"
+#include "types/record_batch.h"
+
+namespace hybridjoin {
+
+class BatchMorselPipe {
+ public:
+  /// `consume(t, batch)` runs for every fed batch with a stable thread
+  /// index t in [0, threads) — always on the same worker thread for a given
+  /// t, so consumers may keep unsynchronized per-thread state (a JoinProber,
+  /// a partial HashAggregator). With threads == 1 no worker is spawned and
+  /// consume(0, ...) runs inline on the feeding thread. `trace_node` +
+  /// `role_base` name the worker threads' trace lanes ("<role_base>/<t>").
+  BatchMorselPipe(uint32_t threads,
+                  std::function<Status(uint32_t, RecordBatch&&)> consume,
+                  std::optional<NodeId> trace_node = std::nullopt,
+                  const char* role_base = "morsel",
+                  size_t queue_capacity = 0)
+      : consume_(std::move(consume)),
+        queue_(queue_capacity == 0 ? std::max<size_t>(2 * threads, 2)
+                                   : queue_capacity) {
+    if (threads <= 1) return;
+    workers_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers_.emplace_back([this, t, trace_node, role_base] {
+        std::optional<trace::ThreadScope> scope;
+        if (trace_node.has_value()) {
+          scope.emplace(*trace_node, trace::InternedRole(role_base, t));
+        }
+        while (auto batch = queue_.Pop()) {
+          // After a failure, keep draining so the feeder never blocks on a
+          // full queue, but stop doing work.
+          if (failed_.load(std::memory_order_relaxed)) continue;
+          Status st = consume_(t, std::move(*batch));
+          if (!st.ok()) Fail(st);
+        }
+      });
+    }
+  }
+
+  ~BatchMorselPipe() { Finish(); }
+
+  BatchMorselPipe(const BatchMorselPipe&) = delete;
+  BatchMorselPipe& operator=(const BatchMorselPipe&) = delete;
+
+  /// Hands one batch to the pipe. Inline mode returns the consumer's
+  /// Status; threaded mode returns OK and surfaces consumer errors at
+  /// Finish (the feeder may keep feeding — batches are then discarded).
+  Status Feed(RecordBatch&& batch) {
+    if (workers_.empty()) {
+      if (failed_.load(std::memory_order_relaxed)) return First();
+      Status st = consume_(0, std::move(batch));
+      if (!st.ok()) Fail(st);
+      return st;
+    }
+    queue_.Push(std::move(batch));
+    return Status::OK();
+  }
+
+  /// Drains the queue, joins the workers and returns the first consumer
+  /// error. Idempotent; also run by the destructor.
+  Status Finish() {
+    queue_.Close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    return First();
+  }
+
+ private:
+  void Fail(const Status& st) {
+    failed_.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) first_error_ = st;
+  }
+  Status First() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+  std::function<Status(uint32_t, RecordBatch&&)> consume_;
+  BlockingQueue<RecordBatch> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> failed_{false};
+  mutable std::mutex mu_;
+  Status first_error_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_EXEC_MORSEL_H_

@@ -1,6 +1,16 @@
 #include "hybrid/config.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace hybridjoin {
+
+uint32_t ResolveExecThreads(uint32_t configured) {
+  if (configured != 0) return configured;
+  const uint32_t hc = std::thread::hardware_concurrency();
+  if (hc == 0) return 1;
+  return std::clamp(hc / 2, 1u, 8u);
+}
 
 SimulationConfig SimulationConfig::PaperTestbed(uint32_t db_workers,
                                                 uint32_t jen_workers,

@@ -53,6 +53,14 @@ struct SimulationConfig {
   /// Fault injection for the interconnect (see net/fault_injector.h).
   /// Disabled by default; the differential harness installs named profiles.
   FaultProfile fault;
+  /// Intra-node execution threads per simulated worker: the morsel
+  /// parallelism of every per-node phase (scan process threads, partitioned
+  /// hash-table build, probe + partial aggregation). 0 derives a default
+  /// from std::thread::hardware_concurrency() (see ResolveExecThreads); 1
+  /// reproduces the historical single-threaded per-worker execution
+  /// byte-for-byte. JenConfig::process_threads, when 0, inherits the
+  /// resolved value.
+  uint32_t exec_threads = 0;
 
   /// A scaled-down version of the paper's testbed with real throttling,
   /// used by the benches. `scale` multiplies every bandwidth (1.0 keeps the
@@ -61,6 +69,13 @@ struct SimulationConfig {
                                        uint32_t jen_workers,
                                        double scale = 1.0);
 };
+
+/// Resolves the exec_threads knob: a non-zero value passes through; 0 maps
+/// to half the hardware concurrency clamped to [1, 8] (the simulation
+/// already runs one driver thread per simulated worker, so per-worker
+/// morsel threads multiply — half keeps the thread count near the core
+/// count on typical hosts).
+uint32_t ResolveExecThreads(uint32_t configured);
 
 }  // namespace hybridjoin
 

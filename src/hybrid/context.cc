@@ -22,10 +22,21 @@ std::vector<DataNode*> Pointers(
   return out;
 }
 
+// Resolves the thread knobs once, before any component snapshots them:
+// exec_threads via ResolveExecThreads, and jen.process_threads inheriting
+// the resolved value when left at 0.
+SimulationConfig ResolveConfig(SimulationConfig config) {
+  config.exec_threads = ResolveExecThreads(config.exec_threads);
+  if (config.jen.process_threads == 0) {
+    config.jen.process_threads = config.exec_threads;
+  }
+  return config;
+}
+
 }  // namespace
 
 EngineContext::EngineContext(const SimulationConfig& config)
-    : config_(config),
+    : config_(ResolveConfig(config)),
       tracer_(config.trace.enabled, &metrics_),
       fault_injector_(config.fault.enabled()
                           ? std::make_unique<FaultInjector>(config.fault)
@@ -36,7 +47,7 @@ EngineContext::EngineContext(const SimulationConfig& config)
       datanode_ptrs_(Pointers(datanodes_)),
       namenode_(datanode_ptrs_, config.hdfs_replication),
       db_(config.db),
-      coordinator_(&hcatalog_, &namenode_, config.jen_workers, config.jen) {
+      coordinator_(&hcatalog_, &namenode_, config.jen_workers, config_.jen) {
   network_.set_tracer(&tracer_);
   if (fault_injector_ != nullptr) {
     network_.set_fault_injector(fault_injector_.get());
@@ -45,7 +56,11 @@ EngineContext::EngineContext(const SimulationConfig& config)
   jen_workers_.reserve(config.jen_workers);
   for (uint32_t i = 0; i < config.jen_workers; ++i) {
     jen_workers_.push_back(std::make_unique<JenWorker>(
-        i, datanode_ptrs_, &network_, &metrics_, config.jen, &tracer_));
+        i, datanode_ptrs_, &network_, &metrics_, config_.jen, &tracer_));
+  }
+  exec_threads_ = config_.exec_threads;
+  if (exec_threads_ > 1) {
+    exec_pool_ = std::make_unique<ThreadPool>(exec_threads_);
   }
 }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "edw/db_cluster.h"
 #include "hdfs/hcatalog.h"
 #include "hdfs/namenode.h"
@@ -42,6 +43,17 @@ class EngineContext {
   uint32_t num_db_workers() const { return config_.db.num_workers; }
   uint32_t num_jen_workers() const { return config_.jen_workers; }
 
+  /// Resolved intra-node morsel parallelism (>= 1; see
+  /// SimulationConfig::exec_threads). config().jen.process_threads is
+  /// resolved against this before workers are constructed.
+  uint32_t exec_threads() const { return exec_threads_; }
+
+  /// Shared pool for CPU-only morsel work (partitioned hash-table build,
+  /// parallel finalize). nullptr when exec_threads() == 1 — callers fall
+  /// back to their serial paths. Tasks must never block on queues or the
+  /// network; several driver threads ParallelFor on it concurrently.
+  ThreadPool* exec_pool() { return exec_pool_.get(); }
+
   /// Bloom parameters per the configured sizing policy.
   BloomParams bloom_params() const {
     return BloomParams::ForKeys(config_.bloom.expected_keys,
@@ -70,6 +82,8 @@ class EngineContext {
   DbCluster db_;
   JenCoordinator coordinator_;
   std::vector<std::unique_ptr<JenWorker>> jen_workers_;
+  uint32_t exec_threads_ = 1;
+  std::unique_ptr<ThreadPool> exec_pool_;
 };
 
 }  // namespace hybridjoin

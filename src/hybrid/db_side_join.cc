@@ -357,33 +357,33 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         }
       }
 
-      // Local hash join + aggregation.
+      // Local hash join + aggregation, morsel-parallel on both phases: the
+      // build side goes through the partitioned parallel build (key-space
+      // shards on the shared exec pool), the probe side through per-thread
+      // probers with thread-local partial aggregates.
       HashAggregator agg(query.agg);
       if (st.ok()) {
         trace::Span join_span(&ctx->tracer(), trace::span::kDbJoin,
                               trace::span::kCatJoin);
-        JoinHashTable table(build_key);
-        for (RecordBatch& batch : build_batches) {
-          Status a = table.AddBatch(std::move(batch));
-          if (!a.ok()) {
-            st = a;
-            break;
-          }
-        }
-        driver::FinalizeAndRecordHashTable(ctx, self, &table);
+        JoinHashTable table(build_key, driver::HashTableShards(ctx));
+        st = table.AddBatchesParallel(std::move(build_batches),
+                                      ctx->exec_pool());
+        driver::FinalizeAndRecordHashTable(ctx, self, &table,
+                                           ctx->exec_pool());
         if (st.ok()) {
-          JoinProber prober(&table, build_schema, build_alias, probe_schema,
-                            probe_alias, probe_key,
-                            query.post_join_predicate, &agg,
-                            &ctx->metrics());
-          for (const RecordBatch& batch : probe_batches) {
-            Status p = prober.ProbeBatch(batch);
+          driver::ParallelProbe probe(ctx, self, &table, build_schema,
+                                      build_alias, probe_schema, probe_alias,
+                                      probe_key, query.post_join_predicate,
+                                      &agg);
+          for (RecordBatch& batch : probe_batches) {
+            Status p = probe.Feed(std::move(batch));
             if (!p.ok()) {
               st = p;
               break;
             }
           }
-          if (st.ok()) st = prober.Flush();
+          const Status fin = probe.Finish();  // joins probe threads
+          if (st.ok()) st = fin;
         }
       }
       if (i == 0) report.Mark("db_join_done");
@@ -451,10 +451,14 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         task.projection = request.projection;
         task.bloom = request.bloom.has_value() ? &*request.bloom : nullptr;
         task.bloom_column = request.bloom_column;
-        st = ctx->jen_worker(w)->ScanBlocks(
-            task, [&](RecordBatch&& batch) {
-              sender.Send(db_owner, batch);
-              return Status::OK();
+        // BatchSender::Send is thread-safe (serializes on the caller), so
+        // every scan process thread shares one consumer.
+        st = ctx->jen_worker(w)->ScanBlocksParallel(
+            task, [&](uint32_t) -> ScanConsumer {
+              return [&](RecordBatch&& batch) {
+                sender.Send(db_owner, batch);
+                return Status::OK();
+              };
             });
       }
       errors.Record(sender.Finish({db_owner}));  // EOS obligation

@@ -195,13 +195,35 @@ Result<std::vector<RecordBatch>> FilterBatchesByBloom(
   return out;
 }
 
+uint32_t HashTableShards(EngineContext* ctx) {
+  const uint32_t threads = ctx->exec_threads();
+  return threads == 1 ? 1 : 2 * threads;
+}
+
 void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
-                                JoinHashTable* table) {
+                                JoinHashTable* table, ThreadPool* pool) {
   {
     trace::Span span(&ctx->tracer(), trace::span::kHtFinalize,
                      trace::span::kCatJoin, node);
     span.set_bytes(static_cast<int64_t>(table->num_rows()));
-    table->Finalize();
+    if (pool != nullptr && table->num_shards() > 1) {
+      trace::Tracer* tracer = &ctx->tracer();
+      Status st = pool->ParallelFor(
+          0, table->num_shards(), 1, [&](size_t s) {
+            trace::ThreadScope scope(node, trace::InternedRole("build", s));
+            trace::Span shard_span(tracer, trace::span::kHtFinalizeShard,
+                                   trace::span::kCatJoin, node);
+            const auto shard = static_cast<uint32_t>(s);
+            shard_span.set_bytes(
+                static_cast<int64_t>(table->shard_rows(shard)));
+            table->FinalizeShard(shard);
+            return Status::OK();
+          });
+      (void)st;  // FinalizeShard cannot fail
+      table->MarkFinalized();
+    } else {
+      table->Finalize();
+    }
   }
   Metrics& m = ctx->metrics();
   m.Add(metric::kJoinHtRows, static_cast<int64_t>(table->num_rows()));
@@ -209,6 +231,61 @@ void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
         static_cast<int64_t>(table->max_chain_length()));
   m.Max(metric::kJoinHtLoadFactorPct,
         static_cast<int64_t>(table->load_factor() * 100.0));
+  if (table->num_shards() > 1) {
+    // Shard-skew visibility: histogram values are row counts, not micros.
+    LatencyHistogram* shard_hist =
+        m.GetHistogram(metric::kJoinBuildShardRows);
+    for (uint32_t s = 0; s < table->num_shards(); ++s) {
+      const auto rows = static_cast<int64_t>(table->shard_rows(s));
+      shard_hist->RecordMicros(rows);
+      m.Max(metric::kJoinBuildShardRowsMax, rows);
+    }
+  }
+}
+
+ParallelProbe::ParallelProbe(EngineContext* ctx, NodeId node,
+                             const JoinHashTable* build,
+                             SchemaPtr build_schema, std::string build_alias,
+                             SchemaPtr probe_schema, std::string probe_alias,
+                             size_t probe_key_column,
+                             PredicatePtr post_join_predicate,
+                             HashAggregator* agg, const char* probe_span)
+    : ctx_(ctx), agg_(agg) {
+  const uint32_t threads = ctx->exec_threads();
+  probers_.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    // Single-threaded: the one prober aggregates straight into the target.
+    HashAggregator* sink = agg;
+    if (threads > 1) {
+      partials_.push_back(std::make_unique<HashAggregator>(agg->spec()));
+      sink = partials_.back().get();
+    }
+    probers_.push_back(std::make_unique<JoinProber>(
+        build, build_schema, build_alias, probe_schema, probe_alias,
+        probe_key_column, post_join_predicate, sink, &ctx->metrics()));
+  }
+  trace::Tracer* tracer = &ctx->tracer();
+  pipe_ = std::make_unique<BatchMorselPipe>(
+      threads,
+      [this, tracer, probe_span, node](uint32_t t, RecordBatch&& batch) {
+        if (probe_span == nullptr) return probers_[t]->ProbeBatch(batch);
+        trace::Span span(tracer, probe_span, trace::span::kCatJoin, node);
+        span.set_bytes(static_cast<int64_t>(batch.num_rows()));
+        return probers_[t]->ProbeBatch(batch);
+      },
+      node, "probe");
+}
+
+Status ParallelProbe::Finish() {
+  HJ_RETURN_IF_ERROR(pipe_->Finish());
+  // Workers are joined: the probers and partials are exclusively ours now.
+  for (auto& prober : probers_) {
+    HJ_RETURN_IF_ERROR(prober->Flush());
+  }
+  for (auto& partial : partials_) {
+    HJ_RETURN_IF_ERROR(agg_->Merge(*partial));
+  }
+  return Status::OK();
 }
 
 void RecordBloomStats(EngineContext* ctx, const BloomFilter& bloom) {

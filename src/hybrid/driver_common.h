@@ -6,10 +6,15 @@
 #define HYBRIDJOIN_HYBRID_DRIVER_COMMON_H_
 
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "exec/aggregator.h"
+#include "exec/join_prober.h"
+#include "exec/morsel.h"
 #include "hybrid/context.h"
 #include "hybrid/query.h"
 #include "hybrid/report.h"
@@ -118,11 +123,56 @@ Result<std::vector<RecordBatch>> FilterBatchesByBloom(
     const std::vector<RecordBatch>& batches, const std::string& column,
     const BloomFilter& bloom);
 
+/// Shard count for a morsel-parallel hash-table build: 1 when the context
+/// runs single-threaded (the historical layout), else 2x the exec threads so
+/// the shard ParallelFor load-balances around key skew. Probe results are
+/// byte-identical for any shard count (see exec/join_hash_table.h).
+uint32_t HashTableShards(EngineContext* ctx);
+
 /// Finalizes a join hash table inside a join.ht_finalize span and records
 /// its build shape (row count, load factor, max chain length) under the
-/// join.ht_* counters.
+/// join.ht_* counters, plus per-shard row counts under join.build_shard_rows
+/// when the table is sharded. With a pool and a multi-shard table the shards
+/// finalize concurrently (ParallelFor; lanes traced "build/<s>" with one
+/// join.ht_finalize_shard span each); otherwise serially.
 void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
-                                JoinHashTable* table);
+                                JoinHashTable* table,
+                                ThreadPool* pool = nullptr);
+
+/// Morsel-parallel probe + partial aggregation. ctx->exec_threads() probe
+/// threads (traced "probe/<t>") each own a JoinProber feeding a thread-local
+/// HashAggregator; Feed() routes probe batches to them through a bounded
+/// queue. Finish() flushes every prober and merges the thread-local partials
+/// into the target aggregator — every aggregate op is commutative and
+/// partials are sorted by group key, so the result is independent of which
+/// thread probed which batch. With exec_threads() == 1 there are no extra
+/// threads: Feed() probes inline into the target aggregator, reproducing
+/// the historical single-threaded pipeline exactly.
+class ParallelProbe {
+ public:
+  /// Mirrors JoinProber's ctor; `agg` receives the merged partials. When
+  /// `probe_span` is non-null every ProbeBatch call is wrapped in a span of
+  /// that name (e.g. trace::span::kJenProbe) under the kCatJoin category.
+  ParallelProbe(EngineContext* ctx, NodeId node, const JoinHashTable* build,
+                SchemaPtr build_schema, std::string build_alias,
+                SchemaPtr probe_schema, std::string probe_alias,
+                size_t probe_key_column, PredicatePtr post_join_predicate,
+                HashAggregator* agg, const char* probe_span = nullptr);
+
+  /// Routes one probe batch to a probe thread (inline when exec_threads==1).
+  Status Feed(RecordBatch&& batch) { return pipe_->Feed(std::move(batch)); }
+
+  /// Joins the probe threads, flushes every prober, merges thread-local
+  /// partials into the target aggregator. Call exactly once.
+  Status Finish();
+
+ private:
+  EngineContext* ctx_;
+  HashAggregator* agg_;
+  std::vector<std::unique_ptr<HashAggregator>> partials_;
+  std::vector<std::unique_ptr<JoinProber>> probers_;
+  std::unique_ptr<BatchMorselPipe> pipe_;
+};
 
 /// Records a combined/global Bloom filter's fill fraction and realized-FPR
 /// estimate under the bloom.* gauge counters.

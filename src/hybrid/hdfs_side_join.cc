@@ -3,7 +3,9 @@
 // zigzag join (§3.4, Figure 4). Every DB worker and every JEN worker runs
 // on its own thread; data moves through the simulated interconnect.
 
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "exec/grace_join.h"
 #include "exec/join_prober.h"
@@ -109,14 +111,15 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
       trace::ThreadScope thread_scope(NodeId::Hdfs(w), "jen_worker");
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
                               trace::span::kCatDriver);
-      JoinHashTable table(prepared.db_key_idx);
+      JoinHashTable table(prepared.db_key_idx, driver::HashTableShards(ctx));
       {
         trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
                                trace::span::kCatJoin);
         errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w),
                                            tags.db_data, m,
                                            prepared.db_proj_schema, &table));
-        driver::FinalizeAndRecordHashTable(ctx, NodeId::Hdfs(w), &table);
+        driver::FinalizeAndRecordHashTable(ctx, NodeId::Hdfs(w), &table,
+                                           ctx->exec_pool());
       }
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_hash_built");
@@ -124,19 +127,41 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
 
       HashAggregator agg(query.agg);
       // Build side is the (small) database table; probe with L during the
-      // scan so network wait, scan and join overlap.
-      JoinProber prober(&table, prepared.db_proj_schema, query.db.alias,
-                        prepared.hdfs_out_schema, query.hdfs.alias,
-                        prepared.hdfs_key_idx, query.post_join_predicate,
-                        &agg, &ctx->metrics());
+      // scan so network wait, scan and join overlap. Each scan process
+      // thread owns a JoinProber and (when parallel) a thread-local partial
+      // aggregate, merged after the scan — commutative ops + key-sorted
+      // partials keep the result independent of the morsel split.
+      const uint32_t exec_threads = ctx->exec_threads();
+      std::vector<std::unique_ptr<HashAggregator>> partials;
+      std::vector<std::unique_ptr<JoinProber>> probers;
+      for (uint32_t t = 0; t < exec_threads; ++t) {
+        HashAggregator* sink = &agg;
+        if (exec_threads > 1) {
+          partials.push_back(std::make_unique<HashAggregator>(query.agg));
+          sink = partials.back().get();
+        }
+        probers.push_back(std::make_unique<JoinProber>(
+            &table, prepared.db_proj_schema, query.db.alias,
+            prepared.hdfs_out_schema, query.hdfs.alias,
+            prepared.hdfs_key_idx, query.post_join_predicate, sink,
+            &ctx->metrics()));
+      }
       const ScanTask task = MakeScanTask(prepared, w, nullptr);
-      Status st = ctx->jen_worker(w)->ScanBlocks(
-          task, [&](RecordBatch&& batch) {
-            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
-                                   trace::span::kCatJoin);
-            return prober.ProbeBatch(batch);
+      Status st = ctx->jen_worker(w)->ScanBlocksParallel(
+          task, [&](uint32_t t) -> ScanConsumer {
+            JoinProber* prober = probers[t].get();
+            return [&, prober](RecordBatch&& batch) {
+              trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
+                                     trace::span::kCatJoin);
+              return prober->ProbeBatch(batch);
+            };
           });
-      if (st.ok()) st = prober.Flush();
+      for (auto& prober : probers) {
+        if (st.ok()) st = prober->Flush();
+      }
+      for (auto& partial : partials) {
+        if (st.ok()) st = agg.Merge(*partial);
+      }
       errors.Record(st);
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_scan_probe_done");
@@ -405,7 +430,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                           query.db.alias, prepared.db_key_idx,
                           query.post_join_predicate, &agg, &ctx->metrics(),
                           &spill, grace_options);
-      JoinHashTable l_table(prepared.hdfs_key_idx);
+      JoinHashTable l_table(prepared.hdfs_key_idx,
+                            driver::HashTableShards(ctx));
       std::vector<RecordBatch> l_buffer;
       Status receive_status;
       std::thread receiver([&] {
@@ -447,26 +473,52 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                                  ctx->config().jen.send_threads,
                                  &ctx->metrics(),
                                  metric::kHdfsTuplesShuffled);
-      PartitionedAppender appender(
-          prepared.hdfs_out_schema, n, prepared.hdfs_key_idx, agreed_hash,
-          ctx->config().jen.shuffle_batch_rows,
-          [&](uint32_t p, RecordBatch&& batch) {
-            trace::Span shuffle_span(&ctx->tracer(),
-                                     trace::span::kJenShuffle,
-                                     trace::span::kCatExchange);
-            shuffle_sender.Send(NodeId::Hdfs(p), batch);
-            return Status::OK();
-          });
+      // Per-process-thread shuffle state: PartitionedAppender keeps
+      // unsynchronized per-partition buffers and the zigzag Bloom filter
+      // has no atomic bit-set, so every scan process thread gets its own
+      // of both (the shared BatchSender is thread-safe). The per-thread
+      // filters are OR-ed into bf_h_local after the scan — union is
+      // commutative, so the combined filter does not depend on which
+      // thread saw which block.
+      const uint32_t exec_threads = ctx->exec_threads();
+      std::vector<std::unique_ptr<BloomFilter>> thread_blooms;
+      std::vector<std::unique_ptr<PartitionedAppender>> appenders;
+      for (uint32_t t = 0; t < exec_threads; ++t) {
+        thread_blooms.push_back(
+            std::make_unique<BloomFilter>(prepared.bloom_params));
+        appenders.push_back(std::make_unique<PartitionedAppender>(
+            prepared.hdfs_out_schema, n, prepared.hdfs_key_idx, agreed_hash,
+            ctx->config().jen.shuffle_batch_rows,
+            [&](uint32_t p, RecordBatch&& batch) {
+              trace::Span shuffle_span(&ctx->tracer(),
+                                       trace::span::kJenShuffle,
+                                       trace::span::kCatExchange);
+              shuffle_sender.Send(NodeId::Hdfs(p), batch);
+              return Status::OK();
+            }));
+      }
       if (st.ok()) {
         const ScanTask task = MakeScanTask(prepared, w, bf_db);
-        st = ctx->jen_worker(w)->ScanBlocks(
-            task, [&](RecordBatch&& batch) {
-              if (zigzag && !semijoin) {
-                AddKeysToBloom(batch, prepared.hdfs_key_idx, &bf_h_local);
-              }
-              return appender.Append(batch, AllRows(batch.num_rows()));
+        st = ctx->jen_worker(w)->ScanBlocksParallel(
+            task, [&](uint32_t t) -> ScanConsumer {
+              PartitionedAppender* appender = appenders[t].get();
+              BloomFilter* bloom = thread_blooms[t].get();
+              return [&, appender, bloom](RecordBatch&& batch) {
+                if (zigzag && !semijoin) {
+                  AddKeysToBloom(batch, prepared.hdfs_key_idx, bloom);
+                }
+                return appender->Append(batch, AllRows(batch.num_rows()));
+              };
             });
-        if (st.ok()) st = appender.FlushAll();
+        for (auto& appender : appenders) {
+          if (st.ok()) st = appender->FlushAll();
+        }
+        if (zigzag && !semijoin) {
+          for (auto& bloom : thread_blooms) {
+            Status u = bf_h_local.UnionWith(*bloom);
+            if (!u.ok() && st.ok()) st = u;
+          }
+        }
       }
       {
         const Status fin = shuffle_sender.Finish(jen_nodes);  // EOS obligation
@@ -526,7 +578,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       } else if (!options.build_on_db_data) {
         // Paper's plan: hash table over L', probe with arriving database
         // records (buffered by the network while we were building).
-        driver::FinalizeAndRecordHashTable(ctx, self, &l_table);
+        driver::FinalizeAndRecordHashTable(ctx, self, &l_table,
+                                           ctx->exec_pool());
         if (w == designated) report.Mark("jen_hash_built");
         if (semijoin) {
           // Answer each DB worker's key list with an exact membership
@@ -569,47 +622,52 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
             if (!sent.ok() && st.ok()) st = sent;
           }
         }
-        JoinProber prober(&l_table, prepared.hdfs_out_schema,
-                          query.hdfs.alias, prepared.db_proj_schema,
-                          query.db.alias, prepared.db_key_idx,
-                          query.post_join_predicate, &agg, &ctx->metrics());
+        driver::ParallelProbe probe(
+            ctx, self, &l_table, prepared.hdfs_out_schema, query.hdfs.alias,
+            prepared.db_proj_schema, query.db.alias, prepared.db_key_idx,
+            query.post_join_predicate, &agg, trace::span::kJenProbe);
         StreamReceiver db_stream(&net, self, tags.db_data, m);
         while (auto msg = db_stream.Next()) {
           if (!st.ok()) continue;  // keep draining to honor the protocol
           auto batch = RecordBatch::Deserialize(*msg->payload,
                                                 prepared.db_proj_schema);
           if (batch.ok()) {
-            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
-                                   trace::span::kCatJoin);
-            Status p = prober.ProbeBatch(batch.value());
+            Status p = probe.Feed(std::move(batch).value());
             if (!p.ok()) st = p;
           } else {
             st = batch.status();
           }
         }
         if (st.ok()) st = db_stream.status();
-        if (st.ok()) st = prober.Flush();
+        {
+          const Status fin = probe.Finish();  // joins probe threads
+          if (st.ok()) st = fin;
+        }
       } else {
         // Ablation: build on the database records (which only start to
         // arrive after BF_H — all of L' sits buffered meanwhile).
-        JoinHashTable db_table(prepared.db_key_idx);
+        JoinHashTable db_table(prepared.db_key_idx,
+                               driver::HashTableShards(ctx));
         Status build_status = ReceiveIntoHashTable(
             &net, self, tags.db_data, m, prepared.db_proj_schema, &db_table);
         if (st.ok()) st = build_status;
-        driver::FinalizeAndRecordHashTable(ctx, self, &db_table);
+        driver::FinalizeAndRecordHashTable(ctx, self, &db_table,
+                                           ctx->exec_pool());
         if (w == designated) report.Mark("jen_hash_built");
-        JoinProber prober(&db_table, prepared.db_proj_schema, query.db.alias,
-                          prepared.hdfs_out_schema, query.hdfs.alias,
-                          prepared.hdfs_key_idx, query.post_join_predicate,
-                          &agg, &ctx->metrics());
-        for (const RecordBatch& batch : l_buffer) {
+        driver::ParallelProbe probe(
+            ctx, self, &db_table, prepared.db_proj_schema, query.db.alias,
+            prepared.hdfs_out_schema, query.hdfs.alias,
+            prepared.hdfs_key_idx, query.post_join_predicate, &agg,
+            trace::span::kJenProbe);
+        for (RecordBatch& batch : l_buffer) {
           if (!st.ok()) break;
-          trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
-                                 trace::span::kCatJoin);
-          Status p = prober.ProbeBatch(batch);
+          Status p = probe.Feed(std::move(batch));
           if (!p.ok()) st = p;
         }
-        if (st.ok()) st = prober.Flush();
+        {
+          const Status fin = probe.Finish();  // joins probe threads
+          if (st.ok()) st = fin;
+        }
       }
       errors.Record(st);
       if (w == designated) report.Mark("jen_probe_done");

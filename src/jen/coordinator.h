@@ -18,6 +18,12 @@ namespace hybridjoin {
 /// Engine-level tuning knobs for JEN.
 struct JenConfig {
   uint32_t send_threads = 2;        ///< per-worker shuffle send pool
+  /// Process threads per worker for the Figure-7 scan pipeline (decode,
+  /// predicate, Bloom, project, serialize run morsel-parallel off the read
+  /// queue). 0 inherits SimulationConfig::exec_threads; 1 reproduces the
+  /// historical single-process-thread pipeline exactly. EngineContext
+  /// resolves this to >= 1 before constructing workers.
+  uint32_t process_threads = 0;
   uint32_t shuffle_batch_rows = 4096;
   size_t read_queue_capacity = 8;   ///< blocks buffered between read/process
   bool locality_aware = true;       ///< block assignment respects replicas

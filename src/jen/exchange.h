@@ -94,6 +94,12 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
 /// Serializes batches on the caller's thread (the "process thread" filling
 /// send buffers) and ships them from a small pool of send threads, so
 /// network waits overlap with scanning/processing.
+///
+/// Send/SendToAll/SendSerialized are safe to call from several process
+/// threads concurrently (the morsel-parallel scan shares one sender): the
+/// buffer pool and the send queue are internally synchronized and the
+/// counters are atomic. Finish must be called once, after every producer
+/// has stopped.
 class BatchSender {
  public:
   BatchSender(Network* network, NodeId self, uint64_t tag,

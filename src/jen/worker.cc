@@ -1,7 +1,10 @@
 #include "jen/worker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <numeric>
+#include <optional>
 #include <thread>
 
 #include "common/blocking_queue.h"
@@ -81,9 +84,23 @@ Status FilterByBloom(const RecordBatch& batch, const std::string& column,
   return Status::OK();
 }
 
-Status JenWorker::ScanBlocks(
-    const ScanTask& task,
-    const std::function<Status(RecordBatch&&)>& consumer, ScanStats* stats) {
+Status JenWorker::ScanBlocks(const ScanTask& task,
+                             const ScanConsumer& consumer, ScanStats* stats) {
+  return ScanImpl(
+      task, [&consumer](uint32_t) { return consumer; }, stats,
+      /*process_threads=*/1);
+}
+
+Status JenWorker::ScanBlocksParallel(const ScanTask& task,
+                                     const ScanConsumerFactory& factory,
+                                     ScanStats* stats) {
+  return ScanImpl(task, factory, stats,
+                  std::max(1u, config_.process_threads));
+}
+
+Status JenWorker::ScanImpl(const ScanTask& task,
+                           const ScanConsumerFactory& factory,
+                           ScanStats* stats, uint32_t process_threads) {
   trace::Span scan_span(tracer_, trace::span::kJenScan,
                         trace::span::kCatScan, node());
   ScanStats local_stats;
@@ -197,8 +214,9 @@ Status JenWorker::ScanBlocks(
     queue.Close();
   });
 
-  // Process loop (this thread): parse/decode -> predicate -> Bloom ->
-  // projection -> consumer.
+  // Process side: parse/decode -> predicate -> Bloom -> projection ->
+  // per-thread consumer. The queue is the only work dispenser; the abort
+  // flag and the error slot are the only other shared state.
   Status process_status;
   // Indexes of projection columns within the materialized subset.
   SchemaPtr materialized_schema = task.meta.schema->Project(materialize);
@@ -212,48 +230,101 @@ Status JenWorker::ScanBlocks(
     out_indexes.push_back(idx.value());
   }
 
-  while (process_status.ok()) {
-    auto item = queue.Pop();
-    if (!item.has_value()) break;
-    const StoredBlock& block = *item->block;
-    Result<RecordBatch> decoded =
-        block.format == HdfsFormat::kText
-            ? DecodeText(block.text->data(), block.text->size(),
-                         task.meta.schema, materialize)
-            : DecodeColumnarBlock(*block.columnar, task.meta.schema,
-                                  materialize);
-    if (!decoded.ok()) {
-      process_status = decoded.status();
-      break;
+  std::atomic<bool> aborted{false};
+  std::mutex process_mu;
+  std::vector<ScanStats> thread_stats(process_threads);
+  std::vector<ScanConsumer> consumers;
+  consumers.reserve(process_threads);
+  if (process_status.ok()) {
+    for (uint32_t t = 0; t < process_threads; ++t) {
+      consumers.push_back(factory(t));
     }
-    RecordBatch batch = std::move(decoded).value();
-    st->rows_scanned += static_cast<int64_t>(batch.num_rows());
+  }
 
-    std::vector<uint32_t> sel(batch.num_rows());
-    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
-    if (task.predicate != nullptr) {
-      process_status = task.predicate->Filter(batch, &sel);
-      if (!process_status.ok()) break;
-    }
-    const size_t after_pred = sel.size();
-    if (task.bloom != nullptr) {
-      process_status =
-          FilterByBloom(batch, task.bloom_column, *task.bloom, &sel);
-      if (!process_status.ok()) break;
-    }
-    st->rows_dropped_by_bloom +=
-        static_cast<int64_t>(after_pred - sel.size());
-    st->rows_after_filter += static_cast<int64_t>(sel.size());
-    if (sel.empty()) continue;
+  // One process thread's loop. `sel` is hoisted scratch: the identity
+  // selection is rebuilt per block but its allocation is reused.
+  auto process_loop = [&](const ScanConsumer& consume,
+                          ScanStats* pst) -> Status {
+    std::vector<uint32_t> sel;
+    for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) return Status::OK();
+      std::optional<ReadItem> item;
+      {
+        trace::Span wait_span(tracer_, trace::span::kJenQueueWait,
+                              trace::span::kCatScan, node());
+        item = queue.Pop();
+      }
+      if (!item.has_value()) return Status::OK();
+      const StoredBlock& block = *item->block;
+      HJ_ASSIGN_OR_RETURN(
+          RecordBatch batch,
+          block.format == HdfsFormat::kText
+              ? DecodeText(block.text->data(), block.text->size(),
+                           task.meta.schema, materialize)
+              : DecodeColumnarBlock(*block.columnar, task.meta.schema,
+                                    materialize));
+      pst->rows_scanned += static_cast<int64_t>(batch.num_rows());
 
-    RecordBatch out = batch.Gather(sel).Project(out_indexes);
-    process_status = consumer(std::move(out));
+      sel.resize(batch.num_rows());
+      std::iota(sel.begin(), sel.end(), 0u);
+      if (task.predicate != nullptr) {
+        HJ_RETURN_IF_ERROR(task.predicate->Filter(batch, &sel));
+      }
+      const size_t after_pred = sel.size();
+      if (task.bloom != nullptr) {
+        HJ_RETURN_IF_ERROR(
+            FilterByBloom(batch, task.bloom_column, *task.bloom, &sel));
+      }
+      pst->rows_dropped_by_bloom +=
+          static_cast<int64_t>(after_pred - sel.size());
+      pst->rows_after_filter += static_cast<int64_t>(sel.size());
+      if (sel.empty()) continue;
+
+      RecordBatch out = batch.Gather(sel).Project(out_indexes);
+      HJ_RETURN_IF_ERROR(consume(std::move(out)));
+    }
+  };
+
+  auto run_process = [&](uint32_t t) {
+    Status s = process_loop(consumers[t], &thread_stats[t]);
+    if (!s.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(process_mu);
+        if (process_status.ok()) process_status = std::move(s);
+      }
+      aborted.store(true, std::memory_order_relaxed);
+      queue.Close();  // unblocks readers and sibling process threads
+    }
+  };
+
+  if (process_status.ok()) {
+    if (process_threads == 1) {
+      // Single process thread runs inline on the calling thread — the
+      // historical Figure-7 pipeline, byte-for-byte.
+      run_process(0);
+    } else {
+      std::vector<std::thread> procs;
+      procs.reserve(process_threads);
+      for (uint32_t t = 0; t < process_threads; ++t) {
+        procs.emplace_back([&, t] {
+          trace::ThreadScope scope(node(),
+                                   trace::InternedRole("jen_proc", t));
+          run_process(t);
+        });
+      }
+      for (auto& th : procs) th.join();
+    }
   }
 
   // Tear down readers regardless of processing outcome.
   queue.Close();
   closer.join();
 
+  for (const ScanStats& ts : thread_stats) {
+    st->rows_scanned += ts.rows_scanned;
+    st->rows_after_filter += ts.rows_after_filter;
+    st->rows_dropped_by_bloom += ts.rows_dropped_by_bloom;
+  }
   st->blocks_read += blocks_read.load();
   st->blocks_skipped += blocks_skipped.load();
   st->bytes_read += bytes_read.load();

@@ -1,9 +1,11 @@
 // JenWorker: one JEN worker process (paper §4.1/§4.4). Implements the
 // multi-threaded scan pipeline of Figure 7: one read thread per disk feeds
-// raw blocks through a bounded queue to the process thread, which parses /
-// decodes, applies local predicates, the database Bloom filter and the
-// projection, and hands filtered batches to a consumer (shuffle sender,
-// probe pipeline, or DB upload) — all overlapped.
+// raw blocks through a bounded queue to N process threads, which parse /
+// decode, apply local predicates, the database Bloom filter and the
+// projection, and hand filtered batches to per-thread consumers (shuffle
+// sender, probe pipeline, or DB upload) — all overlapped. The queue is the
+// morsel dispenser: process threads pull whole decoded blocks, so the work
+// split adapts to per-block selectivity without any static assignment.
 
 #ifndef HYBRIDJOIN_JEN_WORKER_H_
 #define HYBRIDJOIN_JEN_WORKER_H_
@@ -46,6 +48,17 @@ struct ScanStats {
   int64_t rows_dropped_by_bloom = 0;
 };
 
+/// Receives filtered, projected batches from the scan. May block (e.g. on
+/// network throttles) — that is the intended backpressure.
+using ScanConsumer = std::function<Status(RecordBatch&&)>;
+
+/// Builds the consumer for process thread `t` (0 <= t < process_threads).
+/// Called serially on the scanning thread before any process thread starts,
+/// so the factory itself needs no synchronization. Each returned consumer is
+/// invoked only from its own thread; consumers must be mutually thread-safe
+/// only where they share state (e.g. a common BatchSender).
+using ScanConsumerFactory = std::function<ScanConsumer(uint32_t)>;
+
 class JenWorker {
  public:
   /// `datanodes` indexes every DataNode in the cluster; the worker's own
@@ -69,15 +82,29 @@ class JenWorker {
   /// The schema of the batches the consumer receives (task projection).
   static Result<SchemaPtr> OutputSchema(const ScanTask& task);
 
-  /// Runs the Figure-7 scan pipeline on the calling thread (which acts as
-  /// the process thread). `consumer` receives filtered, projected batches
-  /// and may block (e.g. on network throttles) — that is the intended
-  /// backpressure. Returns after all assigned blocks are processed.
-  Status ScanBlocks(const ScanTask& task,
-                    const std::function<Status(RecordBatch&&)>& consumer,
+  /// Runs the Figure-7 scan pipeline with a single process thread (the
+  /// calling thread), regardless of config().process_threads. Kept for
+  /// callers whose consumer is not thread-safe; equivalent to
+  /// ScanBlocksParallel with process_threads == 1.
+  Status ScanBlocks(const ScanTask& task, const ScanConsumer& consumer,
                     ScanStats* stats = nullptr);
 
+  /// Runs the Figure-7 scan pipeline with config().process_threads process
+  /// threads pulling decoded blocks off the shared read queue
+  /// (morsel-driven). With one process thread the loop runs inline on the
+  /// calling thread — identical behavior and trace attribution to
+  /// ScanBlocks; with more, worker threads are traced as "jen_proc/<t>".
+  /// Returns after all assigned blocks are processed; the first failing
+  /// process thread aborts the scan (process errors take priority over
+  /// reader errors in the returned Status).
+  Status ScanBlocksParallel(const ScanTask& task,
+                            const ScanConsumerFactory& factory,
+                            ScanStats* stats = nullptr);
+
  private:
+  Status ScanImpl(const ScanTask& task, const ScanConsumerFactory& factory,
+                  ScanStats* stats, uint32_t process_threads);
+
   uint32_t index_;
   std::vector<DataNode*> datanodes_;
   Network* network_;

@@ -223,16 +223,19 @@ std::string DiffCaseReport::Summary() const {
   if (!ok()) {
     os << "\n  reproduce: fuzz_joins --seed=" << seed
        << " --profiles=" << profile;
+    if (exec_threads != 1) os << " --exec_threads=" << exec_threads;
   }
   return os.str();
 }
 
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
-                                   uint64_t recv_timeout_ms) {
+                                   uint64_t recv_timeout_ms,
+                                   uint32_t exec_threads) {
   DiffCaseReport report;
   report.seed = seed;
   report.profile = profile_name;
+  report.exec_threads = exec_threads;
 
   const DiffCase c = MakeRandomCase(seed);
   report.case_summary = c.summary;
@@ -273,6 +276,9 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
     // the hot path (a false positive the filter lets through is removed by
     // the join itself, so results are layout-invariant — this asserts it).
     config.bloom.layout = BloomLayout::kBlocked;
+    // Pinned (not auto-derived) so a sweep means the same thing on every
+    // host; the default of 1 keeps the historical single-threaded engine.
+    config.exec_threads = exec_threads;
     config.net.recv_timeout_ms = recv_timeout_ms;
     config.fault = *profile;
     HybridWarehouse hw(config);

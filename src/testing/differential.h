@@ -64,6 +64,7 @@ struct VariantOutcome {
 struct DiffCaseReport {
   uint64_t seed = 0;
   std::string profile;
+  uint32_t exec_threads = 1;
   bool profile_recoverable = true;
   std::string case_summary;
   Status setup_error;  ///< generation/load/oracle failure (aborts the case)
@@ -82,9 +83,14 @@ struct DiffCaseReport {
 /// ("none", "delays", "flaky", "stall", "lossy"), comparing against
 /// RunReferenceJoin. `recv_timeout_ms` bounds every blocking receive so
 /// injected loss surfaces as Status::TimedOut instead of a hang.
+/// `exec_threads` sets SimulationConfig::exec_threads for every variant:
+/// 1 (the default) pins the historical single-threaded per-worker
+/// execution; > 1 asserts that morsel-parallel scan/build/probe/aggregate
+/// still match the reference byte-for-byte.
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
-                                   uint64_t recv_timeout_ms = 5000);
+                                   uint64_t recv_timeout_ms = 5000,
+                                   uint32_t exec_threads = 1);
 
 }  // namespace testing_support
 }  // namespace hybridjoin

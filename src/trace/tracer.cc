@@ -1,6 +1,8 @@
 #include "trace/tracer.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 namespace hybridjoin {
 namespace trace {
@@ -21,6 +23,16 @@ std::atomic<uint32_t> next_thread_id{1};
 thread_local uint32_t tls_thread_id = 0;
 
 }  // namespace
+
+const char* InternedRole(const char* base, size_t index) {
+  static std::mutex mu;
+  // Leaked on purpose: role pointers live inside TraceEvents that may be
+  // snapshotted after static destruction begins.
+  static auto* interned = new std::unordered_set<std::string>();
+  std::string role = std::string(base) + "/" + std::to_string(index);
+  std::lock_guard<std::mutex> lock(mu);
+  return interned->insert(std::move(role)).first->c_str();
+}
 
 uint32_t Tracer::CurrentThreadId() {
   if (tls_thread_id == 0) {

@@ -90,6 +90,13 @@ class Tracer {
   Shard shards_[kShards];
 };
 
+/// Returns a stable "<base>/<index>" C string with process lifetime, for
+/// ThreadScope roles of dynamically numbered worker threads ("jen_proc/2",
+/// "build/0"): TraceEvent stores raw pointers, so role strings must outlive
+/// every tracer, which a stack-built std::string cannot. Repeated calls
+/// with the same arguments return the same pointer.
+const char* InternedRole(const char* base, size_t index);
+
 /// Declares that the calling thread acts for `node` (e.g. "this thread is
 /// DB worker 3") until the scope dies; nested scopes restore the previous
 /// attribution. `role` becomes the thread's track name in the Chrome trace.
@@ -153,10 +160,15 @@ inline constexpr char kNetTransfer[] = "net.transfer";
 // JEN side.
 inline constexpr char kJenScan[] = "jen.scan";
 inline constexpr char kJenReadBlock[] = "jen.read_block";
+/// Time a process thread spends blocked on the read queue waiting for the
+/// next decoded block (Figure 7 backpressure visibility; one span per Pop).
+inline constexpr char kJenQueueWait[] = "jen.queue_wait";
 inline constexpr char kJenShuffle[] = "jen.shuffle";
 inline constexpr char kJenBuild[] = "jen.build";
 inline constexpr char kJenProbe[] = "jen.probe";
 inline constexpr char kHtFinalize[] = "join.ht_finalize";
+/// One shard's bucket-directory build within a parallel finalize.
+inline constexpr char kHtFinalizeShard[] = "join.ht_finalize_shard";
 inline constexpr char kJenAggregate[] = "jen.aggregate";
 // EDW side.
 inline constexpr char kDbScan[] = "edw.scan";

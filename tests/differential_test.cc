@@ -60,6 +60,35 @@ TEST(DifferentialSuite, LossyFailsCleanlyOrMatches) {
   }
 }
 
+TEST(DifferentialSuite, MorselParallelExecutionMatchesReference) {
+  // exec_threads=3: sharded build, parallel scan/probe and partial-aggregate
+  // merge on every variant — still byte-for-byte against the single-node
+  // oracle, fault-free and under the recoverable flaky profile.
+  for (uint64_t seed = 5; seed <= 7; ++seed) {
+    const DiffCaseReport report =
+        RunDifferentialCase(seed, "none", /*recv_timeout_ms=*/5000,
+                            /*exec_threads=*/3);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+  }
+  const DiffCaseReport flaky =
+      RunDifferentialCase(13, "flaky", /*recv_timeout_ms=*/5000,
+                          /*exec_threads=*/3);
+  EXPECT_TRUE(flaky.ok()) << flaky.Summary();
+}
+
+TEST(DifferentialSuite, FailingReportPrintsExecThreads) {
+  DiffCaseReport report;
+  report.seed = 9;
+  report.profile = "none";
+  report.exec_threads = 4;
+  report.profile_recoverable = true;
+  report.outcomes.push_back(
+      {"db", Status::Internal("synthetic"), false, ""});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("--exec_threads=4"), std::string::npos)
+      << report.Summary();
+}
+
 TEST(DifferentialSuite, SeedReproducesIdenticalOutcome) {
   // The reproduction workflow (fuzz_joins --seed=N): the same seed must
   // yield the same case and, under loss, the same per-variant verdicts.

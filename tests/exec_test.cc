@@ -95,6 +95,133 @@ TEST(JoinHashTableTest, ScalesPastResize) {
   EXPECT_EQ(count, 50);
 }
 
+// ------------------------- Sharded JoinHashTable --------------------------
+
+std::vector<RecordBatch> ShardTestBatches() {
+  // Heavy duplication across batches so match order (reverse insertion) is
+  // actually exercised, plus negative keys and a batch-boundary split.
+  std::vector<RecordBatch> batches;
+  RecordBatch a(BuildSchema()), b(BuildSchema()), c(BuildSchema());
+  for (int32_t i = 0; i < 700; ++i) {
+    a.AppendRow({Value(i % 90), Value("a" + std::to_string(i))});
+  }
+  for (int32_t i = 0; i < 450; ++i) {
+    b.AppendRow({Value((i % 90) - 45), Value("b" + std::to_string(i))});
+  }
+  for (int32_t i = 0; i < 300; ++i) {
+    c.AppendRow({Value(i % 7), Value("c" + std::to_string(i))});
+  }
+  batches.push_back(std::move(a));
+  batches.push_back(std::move(b));
+  batches.push_back(std::move(c));
+  return batches;
+}
+
+std::vector<int32_t> ShardTestProbeKeys() {
+  std::vector<int32_t> keys;
+  for (int32_t i = -60; i < 120; ++i) keys.push_back(i);
+  keys.push_back(424242);  // no match
+  return keys;
+}
+
+void ExpectSameMatches(const JoinHashTable& expected,
+                       const JoinHashTable& actual) {
+  const std::vector<int32_t> keys = ShardTestProbeKeys();
+  std::vector<JoinMatch> want, got;
+  expected.ProbeBatch(std::span<const int32_t>(keys), &want);
+  actual.ProbeBatch(std::span<const int32_t>(keys), &got);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].probe_row, got[i].probe_row) << "match " << i;
+    ASSERT_EQ(want[i].batch, got[i].batch) << "match " << i;
+    ASSERT_EQ(want[i].row, got[i].row) << "match " << i;
+  }
+}
+
+TEST(JoinHashTableTest, ShardedProbeOrderMatchesUnsharded) {
+  // The determinism contract the parallel build rests on: for any shard
+  // count, every probe emits matches in exactly the unsharded order.
+  JoinHashTable reference(0);
+  for (RecordBatch& b : ShardTestBatches()) {
+    ASSERT_TRUE(reference.AddBatch(std::move(b)).ok());
+  }
+  reference.Finalize();
+
+  for (uint32_t shards : {2u, 3u, 7u, 16u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    JoinHashTable sharded(0, shards);
+    for (RecordBatch& b : ShardTestBatches()) {
+      ASSERT_TRUE(sharded.AddBatch(std::move(b)).ok());
+    }
+    sharded.Finalize();
+    EXPECT_EQ(sharded.num_shards(), shards);
+    EXPECT_EQ(sharded.num_rows(), reference.num_rows());
+    size_t shard_sum = 0;
+    for (uint32_t s = 0; s < shards; ++s) shard_sum += sharded.shard_rows(s);
+    EXPECT_EQ(shard_sum, sharded.num_rows());
+    ExpectSameMatches(reference, sharded);
+  }
+}
+
+TEST(JoinHashTableTest, AddBatchesParallelMatchesSerialAdd) {
+  JoinHashTable serial(0, 4);
+  for (RecordBatch& b : ShardTestBatches()) {
+    ASSERT_TRUE(serial.AddBatch(std::move(b)).ok());
+  }
+  serial.Finalize();
+
+  // nullptr pool: the serial fallback inside AddBatchesParallel.
+  JoinHashTable fallback(0, 4);
+  ASSERT_TRUE(fallback.AddBatchesParallel(ShardTestBatches(), nullptr).ok());
+  fallback.Finalize();
+  ExpectSameMatches(serial, fallback);
+
+  // Real pool: range extraction in parallel, spliced in range order.
+  ThreadPool pool(3);
+  JoinHashTable parallel(0, 4);
+  ASSERT_TRUE(parallel.AddBatchesParallel(ShardTestBatches(), &pool).ok());
+  ASSERT_TRUE(parallel.FinalizeParallel(&pool).ok());
+  EXPECT_TRUE(parallel.finalized());
+  ExpectSameMatches(serial, parallel);
+}
+
+TEST(JoinHashTableTest, FinalizeShardPerShardThenMark) {
+  // The driver's traced finalize path: FinalizeShard per shard (here from a
+  // ParallelFor) followed by MarkFinalized equals the one-call Finalize.
+  JoinHashTable reference(0, 3);
+  JoinHashTable staged(0, 3);
+  for (RecordBatch& b : ShardTestBatches()) {
+    ASSERT_TRUE(reference.AddBatch(std::move(b)).ok());
+  }
+  for (RecordBatch& b : ShardTestBatches()) {
+    ASSERT_TRUE(staged.AddBatch(std::move(b)).ok());
+  }
+  reference.Finalize();
+  ThreadPool pool(3);
+  ASSERT_TRUE(pool.ParallelFor(0, staged.num_shards(), 1, [&](size_t s) {
+                    staged.FinalizeShard(static_cast<uint32_t>(s));
+                    return Status::OK();
+                  })
+                  .ok());
+  staged.MarkFinalized();
+  EXPECT_TRUE(staged.finalized());
+  ExpectSameMatches(reference, staged);
+}
+
+TEST(JoinHashTableTest, ShardedEmptyAndSingleRow) {
+  JoinHashTable empty(0, 8);
+  empty.Finalize();
+  EXPECT_FALSE(empty.Contains(1));
+  EXPECT_EQ(empty.num_rows(), 0u);
+
+  JoinHashTable one(0, 8);
+  ASSERT_TRUE(one.AddBatch(BuildBatch({{5, "only"}})).ok());
+  one.Finalize();
+  EXPECT_TRUE(one.Contains(5));
+  EXPECT_FALSE(one.Contains(6));
+  EXPECT_EQ(one.num_rows(), 1u);
+}
+
 // ----------------------------- HashAggregator -----------------------------
 
 TEST(HashAggregatorTest, CountStarGroupsCorrectly) {

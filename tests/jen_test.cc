@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <thread>
 
 #include "hdfs/table_writer.h"
@@ -350,6 +353,113 @@ TEST_F(JenFixture, RemoteBlocksReadThroughNetwork) {
   EXPECT_EQ(rows, 1000u);
   EXPECT_GT(network_->BytesMoved(FlowClass::kIntraHdfs), 0);
   EXPECT_GT(metrics_.Get(metric::kHdfsBlocksRemote), 0);
+}
+
+TEST_F(JenFixture, ParallelScanMatchesSingleThreaded) {
+  // ScanBlocksParallel with N process threads must observe exactly the rows
+  // (and scan stats) of the single-threaded ScanBlocks — block order across
+  // consumers is free, the row multiset and the counters are not.
+  WriteTable("t", 3000, HdfsFormat::kColumnar, 100);
+  auto plan = MakeCoordinator().PlanScan("t");
+  ASSERT_TRUE(plan.ok());
+
+  auto make_task = [&](uint32_t w) {
+    ScanTask task;
+    task.meta = plan->meta;
+    task.blocks = plan->per_worker[w];
+    task.predicate = Cmp("v", CmpOp::kLt, 7);  // keep v%10 in 0..6
+    task.projection = {"k"};
+    return task;
+  };
+
+  std::multiset<int32_t> serial_keys;
+  ScanStats serial_stats;
+  for (uint32_t w = 0; w < kNodes; ++w) {
+    JenWorker worker = MakeWorker(w);
+    ScanStats stats;
+    ASSERT_TRUE(worker
+                    .ScanBlocks(make_task(w),
+                                [&](RecordBatch&& b) {
+                                  for (size_t r = 0; r < b.num_rows(); ++r) {
+                                    serial_keys.insert(b.column(0).i32()[r]);
+                                  }
+                                  return Status::OK();
+                                },
+                                &stats)
+                    .ok());
+    serial_stats.rows_scanned += stats.rows_scanned;
+    serial_stats.rows_after_filter += stats.rows_after_filter;
+    serial_stats.blocks_read += stats.blocks_read;
+  }
+
+  JenConfig parallel_config;
+  parallel_config.process_threads = 3;
+  std::multiset<int32_t> parallel_keys;
+  std::mutex merge_mu;
+  ScanStats parallel_stats;
+  for (uint32_t w = 0; w < kNodes; ++w) {
+    JenWorker worker = MakeWorker(w, parallel_config);
+    ScanStats stats;
+    // One consumer per process thread, each with private storage, merged
+    // under a lock — the contract the drivers' per-thread sinks rely on.
+    std::vector<std::multiset<int32_t>> per_thread(3);
+    ASSERT_TRUE(worker
+                    .ScanBlocksParallel(
+                        make_task(w),
+                        [&](uint32_t t) -> ScanConsumer {
+                          std::multiset<int32_t>* mine = &per_thread[t];
+                          return [mine](RecordBatch&& b) {
+                            for (size_t r = 0; r < b.num_rows(); ++r) {
+                              mine->insert(b.column(0).i32()[r]);
+                            }
+                            return Status::OK();
+                          };
+                        },
+                        &stats)
+                    .ok());
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (auto& keys : per_thread) {
+      parallel_keys.insert(keys.begin(), keys.end());
+    }
+    parallel_stats.rows_scanned += stats.rows_scanned;
+    parallel_stats.rows_after_filter += stats.rows_after_filter;
+    parallel_stats.blocks_read += stats.blocks_read;
+  }
+
+  EXPECT_EQ(parallel_keys.size(), 3000u * 7 / 10);
+  EXPECT_EQ(parallel_keys, serial_keys);
+  EXPECT_EQ(parallel_stats.rows_scanned, serial_stats.rows_scanned);
+  EXPECT_EQ(parallel_stats.rows_after_filter, serial_stats.rows_after_filter);
+  EXPECT_EQ(parallel_stats.blocks_read, serial_stats.blocks_read);
+}
+
+TEST_F(JenFixture, ParallelScanConsumerErrorAborts) {
+  WriteTable("t", 2000, HdfsFormat::kColumnar, 100);
+  auto plan = MakeCoordinator().PlanScan("t");
+  ASSERT_TRUE(plan.ok());
+  std::vector<BlockAssignment> all;
+  for (auto& per : plan->per_worker) {
+    for (auto& a : per) all.push_back(a);
+  }
+  JenConfig config;
+  config.process_threads = 4;
+  JenWorker worker = MakeWorker(0, config);
+  ScanTask task;
+  task.meta = plan->meta;
+  task.blocks = all;
+  task.projection = {"k"};
+  std::atomic<int> batches_seen{0};
+  Status st = worker.ScanBlocksParallel(
+      task, [&](uint32_t) -> ScanConsumer {
+        return [&batches_seen](RecordBatch&&) {
+          batches_seen.fetch_add(1, std::memory_order_relaxed);
+          return Status::Aborted("consumer says stop");
+        };
+      });
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  // The abort flag stops the other process threads early: nowhere near all
+  // 20 blocks should have reached a consumer.
+  EXPECT_GE(batches_seen.load(), 1);
 }
 
 TEST_F(JenFixture, ConsumerErrorAbortsScan) {

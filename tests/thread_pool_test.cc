@@ -1,0 +1,186 @@
+// Unit tests for ThreadPool: Submit/Wait/Shutdown lifecycle and races, and
+// the ParallelFor morsel helper the intra-node parallel phases are built on
+// (docs/architecture.md, "Intra-node parallelism").
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hybridjoin {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasksAndIsIdempotent) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(count.load(), 200);  // Close drains, never drops
+    pool.Shutdown();               // idempotent
+  }  // destructor calls Shutdown a third time
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersRace) {
+  // Several producer threads hammer Submit while workers drain; every task
+  // must run exactly once. (TSan is the real assertion here.)
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 500; ++i) {
+        pool.Submit(
+            [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2000);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 3u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    Status st = pool.ParallelFor(0, hits.size(), grain, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffset) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<size_t> seen;
+  Status st = pool.ParallelFor(10, 25, 4, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(seen.size(), 15u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 24u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  EXPECT_TRUE(pool.ParallelFor(5, 5, 1, [&](size_t) {
+                    ++calls;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(pool.ParallelFor(9, 3, 1, [&](size_t) {
+                    ++calls;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroGrainTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 12, 0, [&](size_t) {
+                    calls.fetch_add(1, std::memory_order_relaxed);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(calls.load(), 12);
+}
+
+TEST(ThreadPoolTest, ParallelForReturnsFirstErrorAndStopsNewChunks) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  // Grain 1 over many indices: once index 3 fails, chunks that have not
+  // started are skipped, so far fewer than 10000 calls run.
+  Status st = pool.ParallelFor(0, 10000, 1, [&](size_t i) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (i == 3) return Status::Internal("boom at 3");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("boom at 3"), std::string::npos);
+  EXPECT_LT(calls.load(), 10000);
+}
+
+TEST(ThreadPoolTest, ParallelForConcurrentCallersOnSharedPool) {
+  // The exec pool is shared by every simulated worker's driver thread: many
+  // concurrent ParallelFor calls with per-call latches must not interfere.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kRange = 200;
+  std::vector<std::array<std::atomic<int>, kRange>> hits(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    for (auto& h : hits[c]) h.store(0);
+    callers.emplace_back([&pool, &hits, c] {
+      Status st = pool.ParallelFor(0, kRange, 8, [&hits, c](size_t i) {
+        hits[c][i].fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      });
+      EXPECT_TRUE(st.ok());
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 50, 16, [&](size_t) {
+                    calls.fetch_add(1, std::memory_order_relaxed);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(calls.load(), 50);
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -17,6 +17,9 @@
 //   --seed=N             run exactly one seed (overrides --seeds/--start_seed)
 //   --profiles=a,b,c     fault profiles (default none,delays,flaky,lossy)
 //   --recv_timeout_ms=T  per-receive timeout inside the engine (default 5000)
+//   --exec_threads=N     intra-node morsel threads per simulated worker
+//                        (default 1 = the historical single-threaded engine;
+//                        > 1 sweeps the morsel-parallel scan/build/probe)
 //   --case_timeout_ms=T  watchdog limit per (seed, profile) case (default 60000)
 //   --out=PATH           write failing "seed profile" pairs here (default
 //                        fuzz_failures.txt, only written on failure)
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
   uint64_t start_seed = 1;
   bool single_seed = false;
   uint64_t recv_timeout_ms = 5000;
+  uint32_t exec_threads = 1;
   int64_t case_timeout_ms = 60000;
   std::string profiles_csv = "none,delays,flaky,lossy";
   std::string out_path = "fuzz_failures.txt";
@@ -116,6 +120,13 @@ int main(int argc, char** argv) {
       profiles_csv = v;
     } else if (ParseFlag(argv[i], "recv_timeout_ms", &v)) {
       recv_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "exec_threads", &v)) {
+      exec_threads =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (exec_threads == 0) {
+        std::fprintf(stderr, "--exec_threads must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "case_timeout_ms", &v)) {
       case_timeout_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "out", &v)) {
@@ -154,7 +165,7 @@ int main(int argc, char** argv) {
       g_deadline_ms.store(NowMs() + case_timeout_ms,
                           std::memory_order_release);
       const DiffCaseReport report =
-          RunDifferentialCase(seed, profile, recv_timeout_ms);
+          RunDifferentialCase(seed, profile, recv_timeout_ms, exec_threads);
       g_deadline_ms.store(INT64_MAX, std::memory_order_release);
       ++cases_run;
       if (!report.ok()) {
