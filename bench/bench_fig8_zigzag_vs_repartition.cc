@@ -9,6 +9,8 @@
 // Besides the printed table this bench writes BENCH_fig8.json: every cell's
 // wall times plus the trace-derived per-phase latency summaries
 // (ExecutionReport::histograms), a perf-trajectory baseline for future PRs.
+// It also writes PROFILE_fig8.json — the distributed query profile of the
+// last zigzag run — so CI can gate both files with tools/perfcheck.
 
 #include <sstream>
 #include <vector>
@@ -54,7 +56,8 @@ std::string AlgorithmJson(JoinAlgorithm algorithm, double wall,
 
 void RunSubfigure(const BenchConfig& config, const char* label,
                   double sigma_t, double sl,
-                  std::vector<std::string>* json_cells) {
+                  std::vector<std::string>* json_cells,
+                  obs::QueryProfile* last_zigzag_profile) {
   std::printf("\n--- Figure 8(%s): sigma_T=%.2f, S_L'=%.2f ---\n", label,
               sigma_t, sl);
   std::printf("%8s %6s %15s %18s %10s\n", "sigma_L", "S_T'", "repartition(s)",
@@ -91,6 +94,7 @@ void RunSubfigure(const BenchConfig& config, const char* label,
                 << "," << AlgorithmJson(JoinAlgorithm::kZigzag, zigzag, r_zigzag)
                 << "]}";
       json_cells->push_back(cell_json.str());
+      *last_zigzag_profile = r_zigzag.profile;
       sum_repart += repart;
       sum_repart_bf += repart_bf;
       sum_zigzag += zigzag;
@@ -115,8 +119,9 @@ int main() {
   PrintPreamble("Figure 8", "zigzag vs repartition joins, execution time",
                 config);
   std::vector<std::string> cells;
-  RunSubfigure(config, "a", 0.1, 0.1, &cells);
-  RunSubfigure(config, "b", 0.2, 0.2, &cells);
+  obs::QueryProfile last_zigzag_profile;
+  RunSubfigure(config, "a", 0.1, 0.1, &cells, &last_zigzag_profile);
+  RunSubfigure(config, "b", 0.2, 0.2, &cells, &last_zigzag_profile);
 
   const char* out_path = "BENCH_fig8.json";
   std::FILE* out = std::fopen(out_path, "w");
@@ -140,5 +145,13 @@ int main() {
   std::fclose(out);
   std::printf("wrote per-phase latency baseline to %s (%zu cells)\n", out_path,
               cells.size());
+
+  const char* profile_path = "PROFILE_fig8.json";
+  if (Status st = last_zigzag_profile.WriteJson(profile_path); !st.ok()) {
+    std::fprintf(stderr, "could not write %s: %s\n", profile_path,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote distributed query profile to %s\n", profile_path);
   return 0;
 }

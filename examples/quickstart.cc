@@ -4,9 +4,12 @@
 //
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --trace_out=query.json   # Chrome/Perfetto trace
+//   $ ./examples/quickstart --profile                # EXPLAIN-ANALYZE tree
+//   $ ./examples/quickstart --profile_out=p.json     # profile JSON export
 //
 // Open the trace file in chrome://tracing or https://ui.perfetto.dev to see
-// the per-node, per-thread phase breakdown.
+// the per-node, per-thread phase breakdown. The profile JSON is the input
+// format of tools/perfcheck (the perf-regression gate).
 
 #include <cstdio>
 #include <cstring>
@@ -19,12 +22,23 @@ using namespace hybridjoin;
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string profile_out;
+  bool print_profile = false;
   for (int i = 1; i < argc; ++i) {
     constexpr char kTraceFlag[] = "--trace_out=";
+    constexpr char kProfileOutFlag[] = "--profile_out=";
     if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
       trace_out = argv[i] + sizeof(kTraceFlag) - 1;
+    } else if (std::strncmp(argv[i], kProfileOutFlag,
+                            sizeof(kProfileOutFlag) - 1) == 0) {
+      profile_out = argv[i] + sizeof(kProfileOutFlag) - 1;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      print_profile = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace_out=FILE.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace_out=FILE.json] [--profile] "
+                   "[--profile_out=FILE.json]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -90,5 +104,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(rows.column(1).i64()[r]));
   }
   std::printf("\n%s\n", result->report.ToString().c_str());
+  if (print_profile) {
+    std::printf("\n%s", result->report.profile.ToText().c_str());
+  }
+  if (!profile_out.empty()) {
+    if (Status st = result->report.profile.WriteJson(profile_out); !st.ok()) {
+      std::fprintf(stderr, "profile_out: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile written to %s\n", profile_out.c_str());
+  }
   return 0;
 }

@@ -12,7 +12,11 @@
 //     AND T.joinKey = L.joinKey
 //     AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1
 //   GROUP BY extract_group(L.groupByExtractCol)
+//
+// Prefix a statement with EXPLAIN ANALYZE to print the distributed
+// per-node query profile (phase -> metric -> node) after the rows.
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -24,7 +28,22 @@ using namespace hybridjoin;
 
 namespace {
 
-void RunStatement(HybridWarehouse& hw, const std::string& statement) {
+bool StripExplainAnalyze(std::string* statement) {
+  static constexpr const char kPrefix[] = "EXPLAIN ANALYZE ";
+  constexpr size_t n = sizeof(kPrefix) - 1;
+  if (statement->size() < n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>((*statement)[i])) !=
+        kPrefix[i]) {
+      return false;
+    }
+  }
+  statement->erase(0, n);
+  return true;
+}
+
+void RunStatement(HybridWarehouse& hw, std::string statement) {
+  const bool explain_analyze = StripExplainAnalyze(&statement);
   Advice advice;
   auto result = hw.ExecuteSqlAuto(statement, &advice);
   if (!result.ok()) {
@@ -53,6 +72,9 @@ void RunStatement(HybridWarehouse& hw, const std::string& statement) {
   std::printf("(%zu rows, %.1f ms, %s)\n\n", rows.num_rows(),
               result->report.wall_seconds * 1e3,
               JoinAlgorithmName(result->report.algorithm));
+  if (explain_analyze) {
+    std::printf("%s\n", result->report.profile.ToText().c_str());
+  }
 }
 
 }  // namespace

@@ -4,6 +4,16 @@
 // counters from here. Histograms are fed by the tracing subsystem
 // (src/trace/): every finished span's duration is recorded under the
 // span's name.
+//
+// Besides the global namespace, every write is mirrored into a *scoped*
+// per-node store when the calling thread carries node attribution
+// (Metrics::NodeScope, installed automatically by trace::ThreadScope) —
+// optionally refined with a query phase (Metrics::PhaseScope). Workers
+// snapshot their node's scoped slice at end-of-query (ScopedSnapshot) and
+// ship it to the coordinator, which assembles the per-node profile tree in
+// ExecutionReport::profile (see src/obs/). ClearScoped() starts a new
+// query; the global counters are never reset between queries (reports take
+// deltas).
 
 #ifndef HYBRIDJOIN_COMMON_METRICS_H_
 #define HYBRIDJOIN_COMMON_METRICS_H_
@@ -14,21 +24,85 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/histogram.h"
 
 namespace hybridjoin {
 
+/// One scoped counter value: gauges (recorded with Metrics::Max) aggregate
+/// across nodes by maximum, everything else by sum.
+struct ScopedCounter {
+  int64_t value = 0;
+  bool gauge = false;
+};
+
+/// One node's slice of the scoped store: (phase, name) -> value. Phase is
+/// "" when the write carried no PhaseScope; the profile assembler maps
+/// those names onto canonical phases (obs::PhaseForMetric).
+struct ScopedMetricsSnapshot {
+  std::map<std::pair<std::string, std::string>, ScopedCounter> counters;
+  std::map<std::pair<std::string, std::string>, HistogramSummary> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+};
+
 /// A registry of monotonically increasing counters. Counter handles are
 /// stable for the lifetime of the registry; Add() on a handle is a single
-/// relaxed atomic increment.
+/// relaxed atomic increment. Writes through the named convenience calls
+/// (Add/Max/Record) are additionally attributed to the calling thread's
+/// {node, phase} scope; writes through raw handles are global-only.
 class Metrics {
  public:
   using Counter = std::atomic<int64_t>;
 
+  /// Node key meaning "no attribution" (see NodeScope / net MetricNodeKey).
+  static constexpr int32_t kNoNode = -1;
+
   Metrics() = default;
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
+
+  /// RAII: attributes every named Metrics write on the calling thread to
+  /// the node encoded by `node_key` (MetricNodeKey in net/network.h) until
+  /// destruction. Nests; the destructor restores the previous attribution.
+  /// trace::ThreadScope installs one automatically, so worker threads get
+  /// per-node attribution for free.
+  class NodeScope {
+   public:
+    explicit NodeScope(int32_t node_key) : saved_(tls_node_key_) {
+      tls_node_key_ = node_key;
+    }
+    ~NodeScope() { tls_node_key_ = saved_; }
+    NodeScope(const NodeScope&) = delete;
+    NodeScope& operator=(const NodeScope&) = delete;
+
+   private:
+    int32_t saved_;
+  };
+
+  /// RAII: tags every named Metrics write on the calling thread with a
+  /// query phase ("scan", "build", ...). `phase` must outlive the scope
+  /// (string literals in practice — same contract as span names).
+  class PhaseScope {
+   public:
+    explicit PhaseScope(const char* phase) : saved_(tls_phase_) {
+      tls_phase_ = phase;
+    }
+    ~PhaseScope() { tls_phase_ = saved_; }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    const char* saved_;
+  };
+
+  /// The calling thread's current attribution (kNoNode / "" outside any
+  /// scope).
+  static int32_t CurrentNodeKey() { return tls_node_key_; }
+  static const char* CurrentPhase() {
+    return tls_phase_ == nullptr ? "" : tls_phase_;
+  }
 
   /// Returns (creating if needed) the counter with this name.
   Counter* GetCounter(const std::string& name) {
@@ -38,19 +112,23 @@ class Metrics {
     return slot.get();
   }
 
-  /// Convenience: one-shot add by name (takes the registry lock).
+  /// Convenience: one-shot add by name (takes the registry lock), mirrored
+  /// into the calling thread's node scope.
   void Add(const std::string& name, int64_t delta) {
     GetCounter(name)->fetch_add(delta, std::memory_order_relaxed);
+    ScopedWrite(name, delta, /*gauge=*/false);
   }
 
   /// Raises the counter to `value` if it is below it (gauge-style maximum,
-  /// e.g. the worst hash-table chain length across workers).
+  /// e.g. the worst hash-table chain length across workers). Scoped slices
+  /// keep the per-node maximum.
   void Max(const std::string& name, int64_t value) {
     Counter* c = GetCounter(name);
     int64_t cur = c->load(std::memory_order_relaxed);
     while (cur < value &&
            !c->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
     }
+    ScopedWrite(name, value, /*gauge=*/true);
   }
 
   int64_t Get(const std::string& name) {
@@ -69,12 +147,33 @@ class Metrics {
 
   /// Returns (creating if needed) the latency histogram with this name.
   /// Handles are stable for the registry's lifetime; RecordMicros on a
-  /// handle is lock-free.
+  /// handle is lock-free (and global-only — see Record for the scoped
+  /// path).
   LatencyHistogram* GetHistogram(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<LatencyHistogram>();
     return slot.get();
+  }
+
+  /// Records one observation into the named histogram, globally and into
+  /// the calling thread's node scope. Values are microseconds for latency
+  /// series and plain magnitudes otherwise (e.g. join.build_shard_rows).
+  void Record(const std::string& name, int64_t value) {
+    RecordForNode(name, value, tls_node_key_);
+  }
+
+  /// Record with an explicit node key: the tracer attributes a span's
+  /// duration to the span's node, not the recording thread.
+  void RecordForNode(const std::string& name, int64_t value,
+                     int32_t node_key) {
+    GetHistogram(name)->RecordMicros(value);
+    if (node_key == kNoNode) return;
+    const std::pair<std::string, std::string> key(CurrentPhase(), name);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = scoped_[node_key].histograms[key];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    slot->RecordMicros(value);
   }
 
   /// Point-in-time percentile summaries of every non-empty histogram.
@@ -88,6 +187,27 @@ class Metrics {
     return out;
   }
 
+  /// One node's scoped counters/histograms since the last ClearScoped().
+  ScopedMetricsSnapshot ScopedSnapshot(int32_t node_key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ScopedMetricsSnapshot out;
+    auto it = scoped_.find(node_key);
+    if (it == scoped_.end()) return out;
+    out.counters = it->second.counters;
+    for (const auto& [key, histogram] : it->second.histograms) {
+      HistogramSummary s = histogram->Summarize();
+      if (s.count > 0) out.histograms[key] = s;
+    }
+    return out;
+  }
+
+  /// Drops all per-node scoped data (start of a new query execution). The
+  /// global counters are left untouched.
+  void ClearScoped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    scoped_.clear();
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_) {
@@ -96,12 +216,38 @@ class Metrics {
     for (auto& [name, histogram] : histograms_) {
       histogram->Reset();
     }
+    scoped_.clear();
   }
 
  private:
+  struct ScopedSlot {
+    std::map<std::pair<std::string, std::string>, ScopedCounter> counters;
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<LatencyHistogram>>
+        histograms;
+  };
+
+  void ScopedWrite(const std::string& name, int64_t value, bool gauge) {
+    const int32_t node = tls_node_key_;
+    if (node == kNoNode) return;
+    const std::pair<std::string, std::string> key(CurrentPhase(), name);
+    std::lock_guard<std::mutex> lock(mu_);
+    ScopedCounter& c = scoped_[node].counters[key];
+    if (gauge) {
+      c.gauge = true;
+      if (value > c.value) c.value = value;
+    } else {
+      c.value += value;
+    }
+  }
+
+  static inline thread_local int32_t tls_node_key_ = kNoNode;
+  static inline thread_local const char* tls_phase_ = nullptr;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<int32_t, ScopedSlot> scoped_;
 };
 
 // Canonical counter names used by the engine. Kept as constants so benches,
@@ -142,6 +288,10 @@ inline constexpr const char kJoinBuildShardRowsMax[] =
 // name (maxima across the filters of one execution).
 inline constexpr const char kBloomFillPct[] = "bloom.fill_pct";
 inline constexpr const char kBloomEstFprPpm[] = "bloom.est_fpr_ppm";
+// Per-worker straggler visibility: each JEN worker thread records its
+// end-of-query wall time (µs) here, so the histogram's max/p50 ratio reads
+// directly as the straggler factor of the slowest worker.
+inline constexpr const char kJenWorkerWallUs[] = "jen.worker_wall_us";
 }  // namespace metric
 
 }  // namespace hybridjoin

@@ -5,6 +5,7 @@
 #ifndef HYBRIDJOIN_HYBRID_CONTEXT_H_
 #define HYBRIDJOIN_HYBRID_CONTEXT_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,10 @@ class EngineContext {
   /// profile is disabled.
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  /// Monotonic per-context query id, stamped into each QueryProfile so
+  /// profile JSONs from one warehouse are distinguishable.
+  uint64_t NextQueryId() { return query_seq_.fetch_add(1) + 1; }
+
  private:
   SimulationConfig config_;
   Metrics metrics_;
@@ -84,6 +89,7 @@ class EngineContext {
   std::vector<std::unique_ptr<JenWorker>> jen_workers_;
   uint32_t exec_threads_ = 1;
   std::unique_ptr<ThreadPool> exec_pool_;
+  std::atomic<uint64_t> query_seq_{0};
 };
 
 }  // namespace hybridjoin

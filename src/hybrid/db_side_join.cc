@@ -157,6 +157,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
     threads.emplace_back([&, i] {
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
                               trace::span::kCatDriver);
       Status st;
@@ -419,6 +420,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
     threads.emplace_back([&, w] {
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
                               trace::span::kCatDriver);
       Status st;
@@ -467,6 +469,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   }
 
   for (auto& t : threads) t.join();
+  report.CollectProfiles(tags, m + n);
   HJ_RETURN_IF_ERROR(errors.First());
 
   QueryResult result;

@@ -26,11 +26,28 @@ Tags Tags::Allocate(Network* network) {
   t.strategy = base + 12;
   t.db_shuffle_t = base + 13;
   t.db_shuffle_l = base + 14;
+  t.profile = base + 15;
   return t;
 }
 
+NodeProfileScope::~NodeProfileScope() {
+  const int64_t wall_us = stopwatch_.ElapsedMicros();
+  Metrics& m = ctx_->metrics();
+  if (node_.cluster == ClusterId::kHdfs) {
+    // Feeds the jen.worker_wall_us histogram even with tracing disabled.
+    m.Record(metric::kJenWorkerWallUs, wall_us);
+  }
+  const obs::NodeProfileSnapshot snap =
+      obs::SnapshotNodeProfile(&m, node_, wall_us);
+  ctx_->network().SendControl(node_, NodeId::Db(0), tag_,
+                              obs::SerializeNodeProfile(snap));
+}
+
 ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm)
-    : ctx_(ctx), algorithm_(algorithm) {
+    : ctx_(ctx), algorithm_(algorithm), query_id_(ctx->NextQueryId()) {
+  // One query at a time per context: the scoped per-node slices belong to
+  // this execution from here on.
+  ctx_->metrics().ClearScoped();
   counters_before_ = ctx_->metrics().Snapshot();
   for (int i = 0; i < 4; ++i) {
     net_before_[i] =
@@ -48,6 +65,18 @@ void ReportBuilder::Mark(const std::string& name) {
     if (existing == name) return;  // first caller wins
   }
   marks_.emplace_back(name, t);
+}
+
+void ReportBuilder::CollectProfiles(const Tags& tags, uint32_t expected) {
+  Network& net = ctx_->network();
+  for (uint32_t i = 0; i < expected; ++i) {
+    Result<Message> msg = net.Recv(NodeId::Db(0), tags.profile);
+    if (!msg.ok() || msg.value().payload == nullptr) continue;
+    Result<obs::NodeProfileSnapshot> snap =
+        obs::DeserializeNodeProfile(*msg.value().payload);
+    if (!snap.ok()) continue;
+    node_profiles_.push_back(std::move(snap).value());
+  }
 }
 
 ExecutionReport ReportBuilder::Finish() {
@@ -85,6 +114,13 @@ ExecutionReport ReportBuilder::Finish() {
       if (written.ok()) report.trace_file = out;
     }
   }
+  report.profile =
+      obs::AssembleProfile(query_id_, JoinAlgorithmName(algorithm_),
+                           report.wall_seconds, node_profiles_,
+                           report.trace_file);
+  report.profile.global_counters = report.counters;
+  report.profile.network_bytes = report.network_bytes;
+  report.profile.span_histograms = report.histograms;
   return report;
 }
 
@@ -233,11 +269,11 @@ void FinalizeAndRecordHashTable(EngineContext* ctx, NodeId node,
         static_cast<int64_t>(table->load_factor() * 100.0));
   if (table->num_shards() > 1) {
     // Shard-skew visibility: histogram values are row counts, not micros.
-    LatencyHistogram* shard_hist =
-        m.GetHistogram(metric::kJoinBuildShardRows);
+    // Record() (vs GetHistogram()->RecordMicros()) also lands the values in
+    // the calling node's scoped slice for the query profile.
     for (uint32_t s = 0; s < table->num_shards(); ++s) {
       const auto rows = static_cast<int64_t>(table->shard_rows(s));
-      shard_hist->RecordMicros(rows);
+      m.Record(metric::kJoinBuildShardRows, rows);
       m.Max(metric::kJoinBuildShardRowsMax, rows);
     }
   }

@@ -19,6 +19,7 @@
 #include "hybrid/query.h"
 #include "hybrid/report.h"
 #include "jen/exchange.h"
+#include "obs/metric_scope.h"
 
 namespace hybridjoin {
 namespace driver {
@@ -41,6 +42,7 @@ struct Tags {
   uint64_t strategy;       ///< DB worker 0 -> DB workers (plan decision)
   uint64_t db_shuffle_t;   ///< intra-DB exchange of T'
   uint64_t db_shuffle_l;   ///< intra-DB exchange of L''
+  uint64_t profile;        ///< worker metric snapshots -> DB worker 0
 
   static Tags Allocate(Network* network);
 };
@@ -63,9 +65,31 @@ class StatusCollector {
   Status first_;
 };
 
+/// RAII: construct right after the worker lambda's trace::ThreadScope; the
+/// destructor — the lambda's last action — measures the worker's wall time,
+/// snapshots the node's scoped metric slice and SendControl()s it to DB
+/// worker 0 on tags.profile, where ReportBuilder::CollectProfiles drains it.
+/// JEN workers additionally record metric::kJenWorkerWallUs.
+class NodeProfileScope {
+ public:
+  NodeProfileScope(EngineContext* ctx, NodeId node, const Tags& tags)
+      : ctx_(ctx), node_(node), tag_(tags.profile) {}
+  ~NodeProfileScope();
+
+  NodeProfileScope(const NodeProfileScope&) = delete;
+  NodeProfileScope& operator=(const NodeProfileScope&) = delete;
+
+ private:
+  EngineContext* ctx_;
+  NodeId node_;
+  uint64_t tag_;
+  Stopwatch stopwatch_;
+};
+
 /// Builds the ExecutionReport: snapshots metrics and per-class network
-/// bytes at construction, takes deltas at Finish. Mark() records named
-/// timestamps from any thread (first caller wins per name).
+/// bytes at construction (and clears the previous query's scoped per-node
+/// slices), takes deltas at Finish. Mark() records named timestamps from
+/// any thread (first caller wins per name).
 class ReportBuilder {
  public:
   ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm);
@@ -73,14 +97,22 @@ class ReportBuilder {
   /// Thread-safe named timestamp (seconds since start).
   void Mark(const std::string& name);
 
+  /// Drains `expected` NodeProfileScope snapshots from tags.profile on DB
+  /// worker 0. Call from the driver thread after joining the worker
+  /// threads — every snapshot is already queued then, so this never
+  /// blocks. Collection is best-effort: undecodable payloads are skipped.
+  void CollectProfiles(const Tags& tags, uint32_t expected);
+
   ExecutionReport Finish();
 
  private:
   EngineContext* ctx_;
   JoinAlgorithm algorithm_;
+  uint64_t query_id_;
   Stopwatch stopwatch_;
   std::map<std::string, int64_t> counters_before_;
   int64_t net_before_[4];
+  std::vector<obs::NodeProfileSnapshot> node_profiles_;
   std::mutex mu_;
   std::vector<std::pair<std::string, double>> marks_;
 };

@@ -77,6 +77,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       trace::ThreadScope thread_scope(NodeId::Db(i), "db_worker");
+      driver::NodeProfileScope profile_scope(ctx, NodeId::Db(i), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
                               trace::span::kCatDriver);
       BatchSender sender(&net, NodeId::Db(i), tags.db_data,
@@ -109,6 +110,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       trace::ThreadScope thread_scope(NodeId::Hdfs(w), "jen_worker");
+      driver::NodeProfileScope profile_scope(ctx, NodeId::Hdfs(w), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
                               trace::span::kCatDriver);
       JoinHashTable table(prepared.db_key_idx, driver::HashTableShards(ctx));
@@ -173,6 +175,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   }
 
   for (auto& t : threads) t.join();
+  report.CollectProfiles(tags, m + n);
   HJ_RETURN_IF_ERROR(errors.First());
 
   QueryResult result;
@@ -229,6 +232,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
     threads.emplace_back([&, i] {
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
                               trace::span::kCatDriver);
       Status st;
@@ -391,6 +395,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
     threads.emplace_back([&, w] {
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
                               trace::span::kCatDriver);
       Status st;
@@ -678,6 +683,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   }
 
   for (auto& t : threads) t.join();
+  report.CollectProfiles(tags, m + n);
   HJ_RETURN_IF_ERROR(errors.First());
 
   QueryResult result;

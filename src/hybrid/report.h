@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "obs/profile.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -45,6 +46,10 @@ struct ExecutionReport {
   std::map<std::string, HistogramSummary> histograms;
   /// Chrome trace JSON written for this execution ("" when not requested).
   std::string trace_file;
+  /// The distributed per-node profile tree assembled from the workers'
+  /// end-of-query metric snapshots (obs/profile.h). profile.ToText() is the
+  /// EXPLAIN-ANALYZE rendering; profile.WriteJson() the stable export.
+  obs::QueryProfile profile;
 
   int64_t Counter(const std::string& name) const {
     auto it = counters.find(name);

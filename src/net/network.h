@@ -62,6 +62,20 @@ struct NodeId {
   }
 };
 
+/// Stable small-integer key for per-node metric attribution
+/// (Metrics::NodeScope): DB worker i -> i, HDFS worker i -> (1 << 20) + i.
+/// MetricNodeKeyName inverts it back to the NodeId::ToString() form.
+inline int32_t MetricNodeKey(NodeId node) {
+  return static_cast<int32_t>(node.index) +
+         (node.cluster == ClusterId::kHdfs ? (1 << 20) : 0);
+}
+
+inline std::string MetricNodeKeyName(int32_t key) {
+  if (key < 0) return "unattributed";
+  if (key >= (1 << 20)) return "hdfs:" + std::to_string(key - (1 << 20));
+  return "db:" + std::to_string(key);
+}
+
 /// Traffic classes, for accounting and for picking which buckets to charge.
 enum class FlowClass : uint8_t {
   kLoopback = 0,     ///< same node; free

@@ -1,0 +1,133 @@
+// Minimal self-contained JSON document model for the observability
+// subsystem: the profile exporter (obs/profile.h) emits it and the
+// perfcheck regression gate (obs/perfcheck.h) parses it — including the
+// BENCH_*.json baselines — without any external dependency.
+//
+// Full JSON grammar; numbers keep an integer fast path so counter values
+// round-trip exactly, objects preserve insertion order on Dump().
+
+#ifndef HYBRIDJOIN_OBS_JSON_H_
+#define HYBRIDJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hybridjoin {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.num_ = d;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.num_ = static_cast<double>(i);
+    v.int_ = i;
+    v.is_int_ = true;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const {
+    return is_int_ ? int_ : static_cast<int64_t>(num_);
+  }
+  const std::string& AsString() const { return str_; }
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Appends to an array; returns a reference to the stored element.
+  JsonValue& Append(JsonValue v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+
+  /// Adds (or replaces) an object member; returns the stored value.
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience lookups with defaults, for tolerant readers.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Serializes. indent == 0 is compact; > 0 pretty-prints with that many
+  /// spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// JSON string escaping of `s` (without the surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_OBS_JSON_H_

@@ -1,0 +1,102 @@
+#include "obs/metric_scope.h"
+
+#include "common/binary_io.h"
+
+namespace hybridjoin {
+namespace obs {
+
+namespace {
+
+constexpr uint8_t kWireVersion = 1;
+
+void PutSummary(BinaryWriter* w, const HistogramSummary& s) {
+  w->PutI64(s.count);
+  w->PutF64(s.total_seconds);
+  w->PutF64(s.min_seconds);
+  w->PutF64(s.max_seconds);
+  w->PutF64(s.p50_seconds);
+  w->PutF64(s.p95_seconds);
+  w->PutF64(s.p99_seconds);
+}
+
+Result<HistogramSummary> GetSummary(BinaryReader* r) {
+  HistogramSummary s;
+  HJ_ASSIGN_OR_RETURN(s.count, r->GetI64());
+  HJ_ASSIGN_OR_RETURN(s.total_seconds, r->GetF64());
+  HJ_ASSIGN_OR_RETURN(s.min_seconds, r->GetF64());
+  HJ_ASSIGN_OR_RETURN(s.max_seconds, r->GetF64());
+  HJ_ASSIGN_OR_RETURN(s.p50_seconds, r->GetF64());
+  HJ_ASSIGN_OR_RETURN(s.p95_seconds, r->GetF64());
+  HJ_ASSIGN_OR_RETURN(s.p99_seconds, r->GetF64());
+  return s;
+}
+
+}  // namespace
+
+NodeProfileSnapshot SnapshotNodeProfile(Metrics* metrics, NodeId node,
+                                        int64_t wall_us) {
+  NodeProfileSnapshot snap;
+  snap.node = node.ToString();
+  snap.wall_us = wall_us;
+  snap.metrics = metrics->ScopedSnapshot(MetricNodeKey(node));
+  return snap;
+}
+
+std::vector<uint8_t> SerializeNodeProfile(
+    const NodeProfileSnapshot& snapshot) {
+  BinaryWriter w;
+  w.PutU8(kWireVersion);
+  w.PutString(snapshot.node);
+  w.PutI64(snapshot.wall_us);
+  w.PutVarint(snapshot.metrics.counters.size());
+  for (const auto& [key, counter] : snapshot.metrics.counters) {
+    w.PutString(key.first);
+    w.PutString(key.second);
+    w.PutI64(counter.value);
+    w.PutU8(counter.gauge ? 1 : 0);
+  }
+  w.PutVarint(snapshot.metrics.histograms.size());
+  for (const auto& [key, summary] : snapshot.metrics.histograms) {
+    w.PutString(key.first);
+    w.PutString(key.second);
+    PutSummary(&w, summary);
+  }
+  return w.Release();
+}
+
+Result<NodeProfileSnapshot> DeserializeNodeProfile(
+    const std::vector<uint8_t>& bytes) {
+  BinaryReader r(bytes);
+  HJ_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("node profile: unknown wire version " +
+                                   std::to_string(version));
+  }
+  NodeProfileSnapshot snap;
+  HJ_ASSIGN_OR_RETURN(snap.node, r.GetString());
+  HJ_ASSIGN_OR_RETURN(snap.wall_us, r.GetI64());
+  HJ_ASSIGN_OR_RETURN(uint64_t num_counters, r.GetVarint());
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    HJ_ASSIGN_OR_RETURN(std::string phase, r.GetString());
+    HJ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    ScopedCounter c;
+    HJ_ASSIGN_OR_RETURN(c.value, r.GetI64());
+    HJ_ASSIGN_OR_RETURN(uint8_t gauge, r.GetU8());
+    c.gauge = gauge != 0;
+    snap.metrics.counters[{std::move(phase), std::move(name)}] = c;
+  }
+  HJ_ASSIGN_OR_RETURN(uint64_t num_histograms, r.GetVarint());
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    HJ_ASSIGN_OR_RETURN(std::string phase, r.GetString());
+    HJ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    HJ_ASSIGN_OR_RETURN(HistogramSummary summary, GetSummary(&r));
+    snap.metrics.histograms[{std::move(phase), std::move(name)}] = summary;
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("node profile: trailing bytes");
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace hybridjoin

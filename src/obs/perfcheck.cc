@@ -1,0 +1,145 @@
+#include "obs/perfcheck.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hybridjoin {
+namespace obs {
+
+namespace {
+
+/// Array elements that are objects get a stable key from one of these
+/// members when present, so reordering an array does not shift every path.
+const char* const kArrayKeyMembers[] = {"name", "algorithm", "subfigure"};
+
+std::string ElementKey(const JsonValue& element, size_t index) {
+  if (element.is_object()) {
+    for (const char* member : kArrayKeyMembers) {
+      const JsonValue* v = element.Find(member);
+      if (v != nullptr && v->is_string()) return v->AsString();
+      if (v != nullptr && v->is_number()) {
+        return std::string(member) + std::to_string(v->AsInt());
+      }
+    }
+  }
+  return std::to_string(index);
+}
+
+void FlattenInto(const JsonValue& v, const std::string& prefix,
+                 std::map<std::string, double>* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNumber:
+      (*out)[prefix] = v.AsDouble();
+      return;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : v.members()) {
+        FlattenInto(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      return;
+    case JsonValue::Kind::kArray: {
+      const auto& items = v.items();
+      for (size_t i = 0; i < items.size(); ++i) {
+        const std::string key = ElementKey(items[i], i);
+        FlattenInto(items[i], prefix.empty() ? key : prefix + "." + key, out);
+      }
+      return;
+    }
+    default:
+      return;  // strings / bools / nulls are not gated
+  }
+}
+
+std::string LastSegment(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::map<std::string, double> FlattenNumericLeaves(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  FlattenInto(doc, "", &out);
+  return out;
+}
+
+PerfcheckResult ComparePerf(const JsonValue& baseline, const JsonValue& current,
+                            const PerfcheckOptions& options) {
+  const std::map<std::string, double> base = FlattenNumericLeaves(baseline);
+  const std::map<std::string, double> cur = FlattenNumericLeaves(current);
+
+  PerfcheckResult result;
+  for (const auto& [path, base_value] : base) {
+    const auto it = cur.find(path);
+    if (it == cur.end()) continue;
+    const double cur_value = it->second;
+    const std::string leaf = LastSegment(path);
+
+    // Family classification by leaf-name convention. Skew wins over the
+    // timing suffixes; counts and percentiles-of-counts are not gated.
+    if (Contains(leaf, "skew")) {
+      ++result.leaves_compared;
+      const double increase = cur_value - base_value;
+      if (increase > options.max_skew_increase) {
+        PerfcheckFinding f;
+        f.path = path;
+        f.family = "skew";
+        f.baseline = base_value;
+        f.current = cur_value;
+        f.message = "skew " + path + ": " + FormatValue(base_value) + " -> " +
+                    FormatValue(cur_value) + " (+" + FormatValue(increase) +
+                    " > " + FormatValue(options.max_skew_increase) + ")";
+        result.regressions.push_back(std::move(f));
+      }
+      continue;
+    }
+
+    const bool is_bytes = Contains(leaf, "bytes");
+    const bool is_wall = !is_bytes && (Contains(leaf, "wall") ||
+                                       EndsWith(leaf, "_seconds") ||
+                                       EndsWith(leaf, "_us"));
+    if (!is_bytes && !is_wall) continue;
+    ++result.leaves_compared;
+    if (base_value <= 0.0) continue;  // nothing meaningful to gate against
+
+    if (is_wall) {
+      // Noise floor: tiny timings regress by large percentages for free.
+      const double base_seconds =
+          EndsWith(leaf, "_us") ? base_value * 1e-6 : base_value;
+      if (base_seconds < options.min_wall_seconds) continue;
+    }
+
+    const double limit_pct =
+        is_bytes ? options.max_bytes_pct : options.max_wall_pct;
+    const double pct = (cur_value - base_value) / base_value * 100.0;
+    if (pct > limit_pct) {
+      PerfcheckFinding f;
+      f.path = path;
+      f.family = is_bytes ? "bytes" : "wall";
+      f.baseline = base_value;
+      f.current = cur_value;
+      f.message = f.family + " " + path + ": " + FormatValue(base_value) +
+                  " -> " + FormatValue(cur_value) + " (+" + FormatValue(pct) +
+                  "% > " + FormatValue(limit_pct) + "%)";
+      result.regressions.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+}  // namespace obs
+}  // namespace hybridjoin

@@ -1,0 +1,61 @@
+// Perf-regression gate: diffs two JSON reports (profile JSONs from
+// --profile_out, or the BENCH_*.json files the bench binaries write) and
+// flags regressions on the wall-time / bytes-moved / skew metric families.
+//
+// The comparison is schema-agnostic: both documents are flattened to
+// dotted-path -> number maps (arrays of objects are keyed by their "name" /
+// "algorithm" / "subfigure" member when present, by position otherwise), so
+// one tool gates every report shape the repo emits. tools/perfcheck.cc is
+// the CLI; CI runs it non-blocking against the committed baselines.
+
+#ifndef HYBRIDJOIN_OBS_PERFCHECK_H_
+#define HYBRIDJOIN_OBS_PERFCHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hybridjoin {
+namespace obs {
+
+struct PerfcheckOptions {
+  /// Max allowed wall-time increase, percent of baseline ("wall" /
+  /// "*_seconds" / "*_us" leaves).
+  double max_wall_pct = 20.0;
+  /// Max allowed increase on byte-counter leaves ("*bytes*"), percent.
+  double max_bytes_pct = 25.0;
+  /// Max allowed absolute increase on skew leaves ("*skew*").
+  double max_skew_increase = 0.5;
+  /// Wall leaves whose baseline is below this (seconds) are noise and are
+  /// never flagged.
+  double min_wall_seconds = 0.005;
+};
+
+struct PerfcheckFinding {
+  std::string path;      ///< dotted path into the document
+  std::string family;    ///< "wall", "bytes" or "skew"
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string message;   ///< one-line human rendering
+};
+
+struct PerfcheckResult {
+  std::vector<PerfcheckFinding> regressions;
+  size_t leaves_compared = 0;  ///< gated leaves present in both documents
+};
+
+/// Flattens every numeric leaf of `doc` into a dotted-path -> value map.
+std::map<std::string, double> FlattenNumericLeaves(const JsonValue& doc);
+
+/// Compares `current` against `baseline`; only leaves present in both
+/// documents and belonging to a gated family (wall / bytes / skew) are
+/// checked. Leaves only on one side are ignored (schemas may grow).
+PerfcheckResult ComparePerf(const JsonValue& baseline, const JsonValue& current,
+                            const PerfcheckOptions& options);
+
+}  // namespace obs
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_OBS_PERFCHECK_H_

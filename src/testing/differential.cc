@@ -231,7 +231,8 @@ std::string DiffCaseReport::Summary() const {
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms,
-                                   uint32_t exec_threads) {
+                                   uint32_t exec_threads,
+                                   const std::string& profile_out_prefix) {
   DiffCaseReport report;
   report.seed = seed;
   report.profile = profile_name;
@@ -299,6 +300,11 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
       auto diff = CompareBatches(*expected, result->rows);
       out.matched = !diff.has_value();
       if (diff.has_value()) out.mismatch = *diff;
+      if (!profile_out_prefix.empty()) {
+        // Best-effort export: a failure to write is not a case failure.
+        (void)result->report.profile.WriteJson(profile_out_prefix + "." +
+                                               variant + ".json");
+      }
     }
     report.outcomes.push_back(std::move(out));
   }

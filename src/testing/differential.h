@@ -86,11 +86,14 @@ struct DiffCaseReport {
 /// `exec_threads` sets SimulationConfig::exec_threads for every variant:
 /// 1 (the default) pins the historical single-threaded per-worker
 /// execution; > 1 asserts that morsel-parallel scan/build/probe/aggregate
-/// still match the reference byte-for-byte.
+/// still match the reference byte-for-byte. A non-empty
+/// `profile_out_prefix` writes each successful variant's query-profile
+/// JSON to `<prefix>.<variant>.json` (best-effort; CI uploads these).
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms = 5000,
-                                   uint32_t exec_threads = 1);
+                                   uint32_t exec_threads = 1,
+                                   const std::string& profile_out_prefix = "");
 
 }  // namespace testing_support
 }  // namespace hybridjoin

@@ -54,7 +54,12 @@ void Tracer::Record(const TraceEvent& event) {
     shards_[shard].events.push_back(event);
   }
   if (metrics_ != nullptr) {
-    metrics_->GetHistogram(event.name)->RecordMicros(event.dur_us);
+    // Attribute the span's duration to the span's node (a network span is
+    // the sender's work no matter which thread performed it), falling back
+    // to no attribution for engine-level spans.
+    metrics_->RecordForNode(
+        event.name, event.dur_us,
+        event.has_node ? MetricNodeKey(event.node) : Metrics::kNoNode);
   }
 }
 
@@ -82,7 +87,8 @@ void Tracer::Clear() {
 }
 
 ThreadScope::ThreadScope(NodeId node, const char* role)
-    : saved_node_(tls_state.node),
+    : metrics_scope_(MetricNodeKey(node)),
+      saved_node_(tls_state.node),
       saved_role_(tls_state.role),
       saved_has_(tls_state.has_node) {
   tls_state.node = node;

@@ -100,6 +100,8 @@ const char* InternedRole(const char* base, size_t index);
 /// Declares that the calling thread acts for `node` (e.g. "this thread is
 /// DB worker 3") until the scope dies; nested scopes restore the previous
 /// attribution. `role` becomes the thread's track name in the Chrome trace.
+/// Also installs the matching Metrics::NodeScope, so every named metric
+/// write on the thread lands in the node's scoped slice (src/obs/).
 class ThreadScope {
  public:
   ThreadScope(NodeId node, const char* role);
@@ -112,6 +114,7 @@ class ThreadScope {
   static bool Current(NodeId* node, const char** role);
 
  private:
+  Metrics::NodeScope metrics_scope_;
   NodeId saved_node_;
   const char* saved_role_;
   bool saved_has_;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -371,6 +372,87 @@ TEST(MetricsTest, HandleIsFastPath) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(m.Get("hot"), 40000);
+}
+
+TEST(MetricsTest, MaxUnderConcurrentWritersKeepsTheMaximum) {
+  Metrics m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&m, t] {
+      Metrics::NodeScope node(t);
+      for (int i = 0; i < 5000; ++i) {
+        // Interleave from every thread; the winner must be the global max
+        // regardless of CAS races, and each node slice keeps its own max.
+        m.Max("gauge", t * 10000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.Get("gauge"), 7 * 10000 + 4999);
+  for (int t = 0; t < 8; ++t) {
+    const auto snap = m.ScopedSnapshot(t);
+    const auto& c = snap.counters.at({"", "gauge"});
+    EXPECT_TRUE(c.gauge);
+    EXPECT_EQ(c.value, t * 10000 + 4999);
+  }
+}
+
+TEST(MetricsTest, HistogramSnapshotUnderConcurrentWriters) {
+  Metrics m;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  // Reader thread races Summarize against the recording threads; the final
+  // snapshot below must still see every observation.
+  threads.emplace_back([&m, &stop] {
+    while (!stop.load()) {
+      (void)m.HistogramSnapshot();
+    }
+  });
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 1; i <= 2500; ++i) m.Record("lat", i);
+    });
+  }
+  for (size_t t = 1; t < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[0].join();
+  const auto snap = m.HistogramSnapshot();
+  ASSERT_EQ(snap.count("lat"), 1u);
+  EXPECT_EQ(snap.at("lat").count, 4 * 2500);
+  EXPECT_DOUBLE_EQ(snap.at("lat").min_seconds, 1e-6);
+}
+
+TEST(MetricsTest, ScopedAttributionFollowsNodeAndPhaseScopes) {
+  Metrics m;
+  m.Add("unattributed", 5);  // no scope: global only
+  {
+    Metrics::NodeScope node(3);
+    m.Add("x", 10);
+    {
+      Metrics::PhaseScope phase("scan");
+      m.Add("x", 7);
+      Metrics::NodeScope inner(4);  // nested node scope wins
+      m.Add("x", 1);
+    }
+    m.Add("x", 2);  // phase scope popped
+    m.Record("lat", 100);
+  }
+  EXPECT_EQ(m.Get("x"), 20);
+  EXPECT_EQ(m.Get("unattributed"), 5);
+  EXPECT_EQ(Metrics::CurrentNodeKey(), Metrics::kNoNode);
+  EXPECT_STREQ(Metrics::CurrentPhase(), "");
+
+  const auto node3 = m.ScopedSnapshot(3);
+  EXPECT_EQ(node3.counters.at({"", "x"}).value, 12);
+  EXPECT_EQ(node3.counters.at({"scan", "x"}).value, 7);
+  EXPECT_EQ(node3.counters.count({"", "unattributed"}), 0u);
+  EXPECT_EQ(node3.histograms.at({"", "lat"}).count, 1);
+  const auto node4 = m.ScopedSnapshot(4);
+  EXPECT_EQ(node4.counters.at({"scan", "x"}).value, 1);
+
+  m.ClearScoped();
+  EXPECT_TRUE(m.ScopedSnapshot(3).empty());
+  EXPECT_EQ(m.Get("x"), 20);  // globals survive ClearScoped
 }
 
 }  // namespace

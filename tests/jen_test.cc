@@ -12,8 +12,10 @@
 #include <thread>
 
 #include "hdfs/table_writer.h"
+#include "hybrid/warehouse.h"
 #include "jen/exchange.h"
 #include "jen/worker.h"
+#include "workload/loader.h"
 
 namespace hybridjoin {
 namespace {
@@ -556,6 +558,42 @@ TEST_F(JenFixture, ScanRequestSerde) {
   EXPECT_FALSE(decoded2->bloom.has_value());
 
   EXPECT_FALSE(ScanRequest::Deserialize({0x02, 0xff}).ok());
+}
+
+TEST(JenWorkerWall, EveryWorkerFeedsWallHistogramAtEndOfQuery) {
+  WorkloadConfig wc;
+  wc.num_join_keys = 128;
+  wc.t_rows = 2000;
+  wc.l_rows = 8000;
+  wc.num_groups = 5;
+  wc.batch_rows = 2048;
+  auto workload = Workload::Generate(wc, SelectivitySpec{});
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  SimulationConfig config;
+  config.db.num_workers = 2;
+  config.jen_workers = 4;
+  config.bloom.expected_keys = wc.num_join_keys;
+  HybridWarehouse hw(config);
+  ASSERT_TRUE(LoadWorkload(&hw, *workload, {}).ok());
+
+  auto result = hw.Execute(workload->MakeQuery(), JoinAlgorithm::kRepartition);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Each of the 4 JEN worker threads records its end-of-query wall time —
+  // with tracing disabled too, since NodeProfileScope records it directly.
+  const auto hists = hw.context().metrics().HistogramSnapshot();
+  ASSERT_EQ(hists.count(metric::kJenWorkerWallUs), 1u);
+  const HistogramSummary& wall = hists.at(metric::kJenWorkerWallUs);
+  EXPECT_EQ(wall.count, 4);
+  EXPECT_GT(wall.max_seconds, 0.0);
+
+  // And the assembled profile carries the same per-worker wall times.
+  int jen_nodes = 0;
+  for (const auto& [node, us] : result->report.profile.worker_wall_us) {
+    if (node.rfind("hdfs:", 0) == 0) ++jen_nodes;
+  }
+  EXPECT_EQ(jen_nodes, 4);
 }
 
 }  // namespace

@@ -1,0 +1,450 @@
+// Observability subsystem: JSON model, node-profile wire format, profile
+// assembly, the per-node == global invariant over every join algorithm,
+// and the perfcheck regression gate.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hybrid/warehouse.h"
+#include "obs/json.h"
+#include "obs/metric_scope.h"
+#include "obs/perfcheck.h"
+#include "obs/profile.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace obs {
+namespace {
+
+// ---------------------------------- JSON -----------------------------------
+
+TEST(JsonTest, RoundTripKeepsIntegersExact) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("big", JsonValue::Int(9007199254740993LL));  // not double-exact
+  doc.Set("neg", JsonValue::Int(-42));
+  doc.Set("pi", JsonValue::Number(3.25));
+  doc.Set("s", JsonValue::Str("a \"quoted\"\nline"));
+  doc.Set("flag", JsonValue::Bool(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Null());
+  doc.Set("arr", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    auto parsed = JsonValue::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->GetInt("big"), 9007199254740993LL);
+    EXPECT_EQ(parsed->GetInt("neg"), -42);
+    EXPECT_DOUBLE_EQ(parsed->GetDouble("pi"), 3.25);
+    EXPECT_EQ(parsed->GetString("s"), "a \"quoted\"\nline");
+    EXPECT_TRUE(parsed->GetBool("flag"));
+    const JsonValue* a = parsed->Find("arr");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 2u);
+    EXPECT_TRUE(a->items()[1].is_null());
+  }
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrderAndSetReplaces) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("z", JsonValue::Int(1));
+  doc.Set("a", JsonValue::Int(2));
+  doc.Set("z", JsonValue::Int(3));  // replace, not append
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[0].second.AsInt(), 3);
+  EXPECT_EQ(doc.Dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, ParseHandlesEscapesAndUnicode) {
+  auto parsed = JsonValue::Parse(R"(["A\t\"\\", "é"])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->items()[0].AsString(), "A\t\"\\");
+  EXPECT_EQ(parsed->items()[1].AsString(), "\xC3\xA9");
+}
+
+// ----------------------- node-profile wire format --------------------------
+
+NodeProfileSnapshot MakeSnapshot() {
+  NodeProfileSnapshot snap;
+  snap.node = "hdfs:3";
+  snap.wall_us = 123456;
+  snap.metrics.counters[{"scan", "jen.tuples_scanned"}] = {5000, false};
+  snap.metrics.counters[{"", "join.ht_max_chain"}] = {7, true};
+  HistogramSummary s;
+  s.count = 4;
+  s.total_seconds = 0.004;
+  s.min_seconds = 0.0005;
+  s.max_seconds = 0.002;
+  s.p50_seconds = 0.001;
+  s.p95_seconds = 0.002;
+  s.p99_seconds = 0.002;
+  snap.metrics.histograms[{"scan", "jen.scan"}] = s;
+  return snap;
+}
+
+TEST(NodeProfileWireTest, RoundTrip) {
+  const NodeProfileSnapshot snap = MakeSnapshot();
+  auto decoded = DeserializeNodeProfile(SerializeNodeProfile(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->node, "hdfs:3");
+  EXPECT_EQ(decoded->wall_us, 123456);
+  ASSERT_EQ(decoded->metrics.counters.size(), 2u);
+  const auto& scanned =
+      decoded->metrics.counters.at({"scan", "jen.tuples_scanned"});
+  EXPECT_EQ(scanned.value, 5000);
+  EXPECT_FALSE(scanned.gauge);
+  const auto& chain = decoded->metrics.counters.at({"", "join.ht_max_chain"});
+  EXPECT_EQ(chain.value, 7);
+  EXPECT_TRUE(chain.gauge);
+  const auto& hist = decoded->metrics.histograms.at({"scan", "jen.scan"});
+  EXPECT_EQ(hist.count, 4);
+  EXPECT_DOUBLE_EQ(hist.p95_seconds, 0.002);
+}
+
+TEST(NodeProfileWireTest, RejectsBadVersionAndTruncation) {
+  std::vector<uint8_t> bytes = SerializeNodeProfile(MakeSnapshot());
+  std::vector<uint8_t> bad_version = bytes;
+  bad_version[0] = 99;
+  EXPECT_FALSE(DeserializeNodeProfile(bad_version).ok());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeNodeProfile(bytes).ok());
+  bytes = SerializeNodeProfile(MakeSnapshot());
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(DeserializeNodeProfile(bytes).ok());
+}
+
+// ------------------------------ phase mapping ------------------------------
+
+TEST(PhaseMappingTest, KnownNamesAreStable) {
+  EXPECT_STREQ(PhaseForMetric("jen.tuples_scanned"), "scan");
+  EXPECT_STREQ(PhaseForMetric("hdfs.bytes_read"), "scan");
+  EXPECT_STREQ(PhaseForMetric("edw.tuples_after_filter"), "scan");
+  EXPECT_STREQ(PhaseForMetric("jen.tuples_shuffled"), "shuffle");
+  EXPECT_STREQ(PhaseForMetric("edw.tuples_sent_to_hdfs"), "transfer");
+  EXPECT_STREQ(PhaseForMetric("jen.tuples_sent_to_db"), "transfer");
+  EXPECT_STREQ(PhaseForMetric("net.transfer"), "transfer");
+  EXPECT_STREQ(PhaseForMetric("bloom.fill_pct"), "bloom");
+  EXPECT_STREQ(PhaseForMetric("semijoin.keys"), "bloom");
+  EXPECT_STREQ(PhaseForMetric("join.ht_rows"), "build");
+  EXPECT_STREQ(PhaseForMetric("join.build_shard_rows"), "build");
+  EXPECT_STREQ(PhaseForMetric("join.output_tuples"), "probe");
+  EXPECT_STREQ(PhaseForMetric("jen.aggregate"), "aggregate");
+  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_written"), "spill");
+  EXPECT_STREQ(PhaseForMetric("jen.worker_wall_us"), "driver");
+  EXPECT_STREQ(PhaseForMetric("driver.db_worker"), "driver");
+  EXPECT_STREQ(PhaseForMetric("something.else"), "other");
+}
+
+// ----------------------------- profile assembly ----------------------------
+
+TEST(AssembleProfileTest, SumsCountersMaxesGaugesComputesSkew) {
+  std::vector<NodeProfileSnapshot> nodes(2);
+  nodes[0].node = "hdfs:0";
+  nodes[0].wall_us = 1000;
+  nodes[0].metrics.counters[{"", "jen.tuples_scanned"}] = {100, false};
+  nodes[0].metrics.counters[{"", "join.ht_max_chain"}] = {3, true};
+  nodes[1].node = "hdfs:1";
+  nodes[1].wall_us = 3000;
+  nodes[1].metrics.counters[{"", "jen.tuples_scanned"}] = {300, false};
+  nodes[1].metrics.counters[{"", "join.ht_max_chain"}] = {5, true};
+
+  const QueryProfile p =
+      AssembleProfile(7, "zigzag", 1.5, nodes, "trace.json");
+  EXPECT_EQ(p.query_id, 7u);
+  EXPECT_EQ(p.algorithm, "zigzag");
+  EXPECT_FALSE(p.empty());
+
+  const ProfileCounterRow* scanned =
+      p.FindCounter("scan", "jen.tuples_scanned");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_EQ(scanned->total, 400);
+  EXPECT_EQ(scanned->min, 100);
+  EXPECT_EQ(scanned->max, 300);
+  EXPECT_DOUBLE_EQ(scanned->mean, 200.0);
+  EXPECT_DOUBLE_EQ(scanned->median, 200.0);
+  EXPECT_DOUBLE_EQ(scanned->skew, 1.5);
+  EXPECT_EQ(scanned->per_node.at("hdfs:0"), 100);
+
+  const ProfileCounterRow* chain = p.FindCounter("build", "join.ht_max_chain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(chain->gauge);
+  EXPECT_EQ(chain->total, 5);  // max, not sum
+
+  EXPECT_EQ(p.worker_wall_us.at("hdfs:1"), 3000);
+  EXPECT_DOUBLE_EQ(p.worker_wall_skew, 1.5);
+  EXPECT_EQ(p.FindCounter("scan", "missing"), nullptr);
+  EXPECT_EQ(p.FindCounter("nophase", "jen.tuples_scanned"), nullptr);
+
+  const std::string text = p.ToText();
+  EXPECT_NE(text.find("phase scan"), std::string::npos);
+  EXPECT_NE(text.find("jen.tuples_scanned"), std::string::npos);
+  EXPECT_NE(text.find("trace.json"), std::string::npos);
+}
+
+TEST(AssembleProfileTest, ExplicitAndMappedPhaseWritesMerge) {
+  std::vector<NodeProfileSnapshot> nodes(1);
+  nodes[0].node = "db:0";
+  nodes[0].wall_us = 10;
+  nodes[0].metrics.counters[{"", "edw.tuples_scanned"}] = {40, false};
+  nodes[0].metrics.counters[{"scan", "edw.tuples_scanned"}] = {60, false};
+  const QueryProfile p = AssembleProfile(1, "db", 0.1, nodes, "");
+  const ProfileCounterRow* row = p.FindCounter("scan", "edw.tuples_scanned");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->total, 100);
+  ASSERT_EQ(p.phases.size(), 1u);  // both keys landed in "scan"
+}
+
+TEST(QueryProfileTest, JsonRoundTrip) {
+  std::vector<NodeProfileSnapshot> nodes = {MakeSnapshot()};
+  nodes.push_back(MakeSnapshot());
+  nodes[1].node = "hdfs:4";
+  nodes[1].wall_us = 99;
+  QueryProfile p = AssembleProfile(42, "broadcast", 2.25, nodes, "t.json");
+  p.global_counters["jen.tuples_scanned"] = 10000;
+  p.network_bytes["shuffle"] = 4096;
+  HistogramSummary s;
+  s.count = 2;
+  s.p95_seconds = 0.5;
+  p.span_histograms["jen.probe"] = s;
+
+  auto parsed = QueryProfile::FromJson(p.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query_id, 42u);
+  EXPECT_EQ(parsed->algorithm, "broadcast");
+  EXPECT_DOUBLE_EQ(parsed->wall_seconds, 2.25);
+  EXPECT_EQ(parsed->trace_file, "t.json");
+  EXPECT_EQ(parsed->worker_wall_us, p.worker_wall_us);
+  EXPECT_DOUBLE_EQ(parsed->worker_wall_skew, p.worker_wall_skew);
+  ASSERT_EQ(parsed->phases.size(), p.phases.size());
+  for (size_t i = 0; i < p.phases.size(); ++i) {
+    EXPECT_EQ(parsed->phases[i].name, p.phases[i].name);
+    ASSERT_EQ(parsed->phases[i].counters.size(), p.phases[i].counters.size());
+    for (size_t c = 0; c < p.phases[i].counters.size(); ++c) {
+      const auto& a = parsed->phases[i].counters[c];
+      const auto& b = p.phases[i].counters[c];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.gauge, b.gauge);
+      EXPECT_EQ(a.total, b.total);
+      EXPECT_EQ(a.per_node, b.per_node);
+      EXPECT_DOUBLE_EQ(a.skew, b.skew);
+    }
+    ASSERT_EQ(parsed->phases[i].histograms.size(),
+              p.phases[i].histograms.size());
+  }
+  EXPECT_EQ(parsed->global_counters, p.global_counters);
+  EXPECT_EQ(parsed->network_bytes, p.network_bytes);
+  ASSERT_EQ(parsed->span_histograms.count("jen.probe"), 1u);
+  EXPECT_DOUBLE_EQ(parsed->span_histograms["jen.probe"].p95_seconds, 0.5);
+}
+
+TEST(QueryProfileTest, FromJsonRejectsWrongSchema) {
+  EXPECT_FALSE(QueryProfile::FromJson("not json").ok());
+  EXPECT_FALSE(QueryProfile::FromJson("[]").ok());
+  EXPECT_FALSE(QueryProfile::FromJson("{\"schema_version\": 2}").ok());
+}
+
+TEST(QueryProfileTest, WriteJsonRoundTripsThroughDisk) {
+  const QueryProfile p =
+      AssembleProfile(3, "repartition", 0.5, {MakeSnapshot()}, "");
+  const std::string path =
+      testing::TempDir() + "/obs_profile_roundtrip.json";
+  ASSERT_TRUE(p.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = QueryProfile::FromJson(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->algorithm, "repartition");
+  std::remove(path.c_str());
+}
+
+// -------------------- end-to-end: per-node == global -----------------------
+
+class ProfileEndToEnd : public testing::Test {
+ protected:
+  static WorkloadConfig SmallWorkload() {
+    WorkloadConfig wc;
+    wc.num_join_keys = 256;
+    wc.t_rows = 4000;
+    wc.l_rows = 16000;
+    wc.num_groups = 7;
+    wc.batch_rows = 2048;
+    return wc;
+  }
+};
+
+TEST_F(ProfileEndToEnd, PerNodeCountersMatchGlobalReportForEveryAlgorithm) {
+  const WorkloadConfig wc = SmallWorkload();
+  SelectivitySpec spec;
+  auto workload = Workload::Generate(wc, spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const HybridQuery query = workload->MakeQuery();
+
+  for (JoinAlgorithm algorithm :
+       {JoinAlgorithm::kDbSide, JoinAlgorithm::kDbSideBloom,
+        JoinAlgorithm::kBroadcast, JoinAlgorithm::kRepartition,
+        JoinAlgorithm::kRepartitionBloom, JoinAlgorithm::kZigzag}) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    // Fresh warehouse per algorithm: global counters start at zero, so the
+    // report deltas equal the absolute values the gauges carry per node.
+    SimulationConfig config;
+    config.db.num_workers = 2;
+    config.jen_workers = 3;
+    config.bloom.expected_keys = wc.num_join_keys;
+    HybridWarehouse hw(config);
+    ASSERT_TRUE(LoadWorkload(&hw, *workload, {}).ok());
+
+    auto result = hw.Execute(query, algorithm);
+    ASSERT_TRUE(result.ok()) << result.status();
+    const ExecutionReport& report = result->report;
+    const QueryProfile& profile = report.profile;
+
+    EXPECT_FALSE(profile.empty());
+    EXPECT_EQ(profile.algorithm, JoinAlgorithmName(algorithm));
+    EXPECT_EQ(profile.worker_wall_us.size(), 5u);  // 2 DB + 3 JEN workers
+    EXPECT_GE(profile.worker_wall_skew, 1.0);
+    EXPECT_EQ(profile.global_counters, report.counters);
+
+    // Accumulate each metric across phases: sum for counters, max for
+    // gauges, then compare against the cluster-global report delta.
+    std::map<std::string, int64_t> per_node_total;
+    std::map<std::string, bool> is_gauge;
+    for (const ProfilePhase& phase : profile.phases) {
+      EXPECT_FALSE(phase.counters.empty() && phase.histograms.empty());
+      for (const ProfileCounterRow& row : phase.counters) {
+        EXPECT_FALSE(row.per_node.empty());
+        int64_t agg = 0;
+        for (const auto& [node, v] : row.per_node) {
+          agg = row.gauge ? std::max(agg, v) : agg + v;
+        }
+        EXPECT_EQ(agg, row.total) << row.name;
+        int64_t& total = per_node_total[row.name];
+        is_gauge[row.name] = row.gauge;
+        total = row.gauge ? std::max(total, row.total) : total + row.total;
+      }
+    }
+    for (const auto& [name, global] : report.counters) {
+      ASSERT_EQ(per_node_total.count(name), 1u)
+          << name << " missing from the profile";
+      EXPECT_EQ(per_node_total[name], global)
+          << (is_gauge[name] ? "gauge " : "counter ") << name;
+    }
+
+    // JEN straggler satellite: every JEN worker feeds jen.worker_wall_us.
+    const HistogramSummary* wall =
+        report.Histogram(metric::kJenWorkerWallUs);
+    if (wall == nullptr) {
+      // Tracing off: the report has no span histograms, but the metric
+      // registry itself must have the series.
+      const auto hists = hw.context().metrics().HistogramSnapshot();
+      ASSERT_EQ(hists.count(metric::kJenWorkerWallUs), 1u);
+      EXPECT_EQ(hists.at(metric::kJenWorkerWallUs).count, 3);
+    } else {
+      EXPECT_EQ(wall->count, 3);
+    }
+
+    // The JSON export of this profile round-trips.
+    auto parsed = QueryProfile::FromJson(profile.ToJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->global_counters, report.counters);
+    EXPECT_FALSE(profile.ToText().empty());
+  }
+}
+
+// -------------------------------- perfcheck --------------------------------
+
+JsonValue MustParse(const std::string& text) {
+  auto parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return std::move(parsed).value();
+}
+
+TEST(PerfcheckTest, FlattenKeysArraysByNameMember) {
+  const JsonValue doc = MustParse(
+      R"({"wall_seconds": 1.5,
+          "phases": [{"name": "scan", "total_seconds": 0.5},
+                     {"name": "probe", "total_seconds": 0.25}],
+          "plain": [10, 20]})");
+  const auto flat = FlattenNumericLeaves(doc);
+  EXPECT_DOUBLE_EQ(flat.at("wall_seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(flat.at("phases.scan.total_seconds"), 0.5);
+  EXPECT_DOUBLE_EQ(flat.at("phases.probe.total_seconds"), 0.25);
+  EXPECT_DOUBLE_EQ(flat.at("plain.0"), 10.0);
+  EXPECT_DOUBLE_EQ(flat.at("plain.1"), 20.0);
+}
+
+TEST(PerfcheckTest, FlagsWallRegressionPastThreshold) {
+  const JsonValue base = MustParse(R"({"wall_seconds": 1.0})");
+  const JsonValue ok = MustParse(R"({"wall_seconds": 1.15})");
+  const JsonValue bad = MustParse(R"({"wall_seconds": 1.25})");
+  PerfcheckOptions options;  // 20% wall threshold
+  EXPECT_TRUE(ComparePerf(base, ok, options).regressions.empty());
+  const PerfcheckResult r = ComparePerf(base, bad, options);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].family, "wall");
+  EXPECT_EQ(r.regressions[0].path, "wall_seconds");
+}
+
+TEST(PerfcheckTest, TinyBaselinesAreNoiseNotRegressions) {
+  // 1 ms -> 10 ms is +900%, but below the 5 ms noise floor.
+  const JsonValue base = MustParse(R"({"wall_seconds": 0.001})");
+  const JsonValue cur = MustParse(R"({"wall_seconds": 0.010})");
+  EXPECT_TRUE(ComparePerf(base, cur, {}).regressions.empty());
+  PerfcheckOptions strict;
+  strict.min_wall_seconds = 0.0;
+  EXPECT_EQ(ComparePerf(base, cur, strict).regressions.size(), 1u);
+}
+
+TEST(PerfcheckTest, GatesBytesAndSkewFamilies) {
+  const JsonValue base = MustParse(
+      R"({"network_bytes": {"shuffle_bytes": 1000},
+          "workers": {"skew": 1.2},
+          "join": {"output_tuples": 50}})");
+  const JsonValue cur = MustParse(
+      R"({"network_bytes": {"shuffle_bytes": 2000},
+          "workers": {"skew": 2.5},
+          "join": {"output_tuples": 500000}})");
+  const PerfcheckResult r = ComparePerf(base, cur, {});
+  ASSERT_EQ(r.regressions.size(), 2u);  // tuple counts are not gated
+  EXPECT_EQ(r.regressions[0].family, "bytes");   // paths iterate sorted
+  EXPECT_EQ(r.regressions[1].family, "skew");
+}
+
+TEST(PerfcheckTest, LeavesOnOneSideOnlyAreIgnored) {
+  const JsonValue base = MustParse(R"({"old_wall_seconds": 1.0})");
+  const JsonValue cur = MustParse(R"({"new_wall_seconds": 9.0})");
+  const PerfcheckResult r = ComparePerf(base, cur, {});
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_EQ(r.leaves_compared, 0u);
+}
+
+TEST(PerfcheckTest, EndToEndProfileJsonRegressionIsCaught) {
+  QueryProfile p = AssembleProfile(1, "zigzag", 1.0, {MakeSnapshot()}, "");
+  const std::string baseline = p.ToJson();
+  p.wall_seconds = 1.5;  // > 20% wall regression
+  const std::string current = p.ToJson();
+  const PerfcheckResult r =
+      ComparePerf(MustParse(baseline), MustParse(current), {});
+  ASSERT_FALSE(r.regressions.empty());
+  EXPECT_EQ(r.regressions[0].path, "wall_seconds");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hybridjoin

@@ -21,6 +21,8 @@
 //                        (default 1 = the historical single-threaded engine;
 //                        > 1 sweeps the morsel-parallel scan/build/probe)
 //   --case_timeout_ms=T  watchdog limit per (seed, profile) case (default 60000)
+//   --profile_out=PREFIX write the first case's per-variant query-profile
+//                        JSONs to PREFIX.<variant>.json (CI artifact)
 //   --out=PATH           write failing "seed profile" pairs here (default
 //                        fuzz_failures.txt, only written on failure)
 //
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   int64_t case_timeout_ms = 60000;
   std::string profiles_csv = "none,delays,flaky,lossy";
   std::string out_path = "fuzz_failures.txt";
+  std::string profile_out_prefix;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -129,6 +132,8 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "case_timeout_ms", &v)) {
       case_timeout_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "profile_out", &v)) {
+      profile_out_prefix = v;
     } else if (ParseFlag(argv[i], "out", &v)) {
       out_path = v;
     } else {
@@ -164,8 +169,12 @@ int main(int argc, char** argv) {
       }
       g_deadline_ms.store(NowMs() + case_timeout_ms,
                           std::memory_order_release);
-      const DiffCaseReport report =
-          RunDifferentialCase(seed, profile, recv_timeout_ms, exec_threads);
+      // Query-profile JSONs are only exported for the first case: one
+      // representative set per sweep is what CI archives.
+      const std::string case_profile_out =
+          (i == 0 && profile == profiles.front()) ? profile_out_prefix : "";
+      const DiffCaseReport report = RunDifferentialCase(
+          seed, profile, recv_timeout_ms, exec_threads, case_profile_out);
       g_deadline_ms.store(INT64_MAX, std::memory_order_release);
       ++cases_run;
       if (!report.ok()) {
