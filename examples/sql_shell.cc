@@ -42,13 +42,15 @@ bool StripExplainAnalyze(std::string* statement) {
   return true;
 }
 
-void RunStatement(HybridWarehouse& hw, std::string statement) {
+// Returns the statement's Status so one-shot mode can exit nonzero on a
+// failed statement instead of swallowing the error.
+Status RunStatement(HybridWarehouse& hw, std::string statement) {
   const bool explain_analyze = StripExplainAnalyze(&statement);
   Advice advice;
   auto result = hw.ExecuteSqlAuto(statement, &advice);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
-    return;
+    return result.status();
   }
   std::printf("-- %s\n", advice.ToString().c_str());
   const RecordBatch& rows = result->rows;
@@ -75,6 +77,7 @@ void RunStatement(HybridWarehouse& hw, std::string statement) {
   if (explain_analyze) {
     std::printf("%s\n", result->report.profile.ToText().c_str());
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -98,15 +101,14 @@ int main(int argc, char** argv) {
               Workload::LSchema()->ToString().c_str());
 
   if (argc > 1) {
-    RunStatement(hw, argv[1]);
-    return 0;
+    return RunStatement(hw, argv[1]).ok() ? 0 : 1;
   }
 
   std::printf("enter a statement on one line (empty line to quit):\n");
   std::string line;
   while (std::printf("sql> "), std::getline(std::cin, line)) {
     if (line.empty()) break;
-    RunStatement(hw, line);
+    (void)RunStatement(hw, line);  // interactive: report and keep going
   }
   return 0;
 }

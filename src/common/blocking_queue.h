@@ -35,6 +35,31 @@ class BlockingQueue {
     return true;
   }
 
+  /// Like Push, but gives up after `timeout` when the queue stays full. On
+  /// timeout returns false and sets *timed_out = true; a false return with
+  /// *timed_out == false means the queue was closed. A non-positive timeout
+  /// degenerates to the unbounded Push.
+  bool PushWithDeadline(T item, std::chrono::milliseconds timeout,
+                        bool* timed_out) {
+    *timed_out = false;
+    if (timeout <= std::chrono::milliseconds::zero()) {
+      return Push(std::move(item));
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_full_.wait_for(lock, timeout, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (!ready) {
+      *timed_out = true;
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);

@@ -11,15 +11,21 @@
 // optionally refined with a query phase (Metrics::PhaseScope). Workers
 // snapshot their node's scoped slice at end-of-query (ScopedSnapshot) and
 // ship it to the coordinator, which assembles the per-node profile tree in
-// ExecutionReport::profile (see src/obs/). ClearScoped() starts a new
-// query; the global counters are never reset between queries (reports take
-// deltas).
+// ExecutionReport::profile (see src/obs/). The global counters are never
+// reset between queries (reports take deltas).
+//
+// The scoped store is additionally keyed by the calling thread's QueryScope
+// id, so N concurrent queries write into disjoint slices and their profiles
+// never cross-contaminate. Query id 0 ("no query") is the legacy slice used
+// by single-query callers; ClearScoped(query_id) drops one query's slices at
+// end-of-query, ClearScoped() drops everything.
 
 #ifndef HYBRIDJOIN_COMMON_METRICS_H_
 #define HYBRIDJOIN_COMMON_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,6 +33,7 @@
 #include <utility>
 
 #include "common/histogram.h"
+#include "common/query_scope.h"
 
 namespace hybridjoin {
 
@@ -171,7 +178,8 @@ class Metrics {
     if (node_key == kNoNode) return;
     const std::pair<std::string, std::string> key(CurrentPhase(), name);
     std::lock_guard<std::mutex> lock(mu_);
-    auto& slot = scoped_[node_key].histograms[key];
+    auto& slot =
+        scoped_[{QueryScope::Current(), node_key}].histograms[key];
     if (!slot) slot = std::make_unique<LatencyHistogram>();
     slot->RecordMicros(value);
   }
@@ -187,11 +195,18 @@ class Metrics {
     return out;
   }
 
-  /// One node's scoped counters/histograms since the last ClearScoped().
+  /// One node's scoped counters/histograms for the calling thread's current
+  /// query (id 0 outside any QueryScope).
   ScopedMetricsSnapshot ScopedSnapshot(int32_t node_key) const {
+    return ScopedSnapshot(QueryScope::Current(), node_key);
+  }
+
+  /// One node's scoped slice for an explicit query id.
+  ScopedMetricsSnapshot ScopedSnapshot(uint64_t query_id,
+                                       int32_t node_key) const {
     std::lock_guard<std::mutex> lock(mu_);
     ScopedMetricsSnapshot out;
-    auto it = scoped_.find(node_key);
+    auto it = scoped_.find({query_id, node_key});
     if (it == scoped_.end()) return out;
     out.counters = it->second.counters;
     for (const auto& [key, histogram] : it->second.histograms) {
@@ -201,11 +216,22 @@ class Metrics {
     return out;
   }
 
-  /// Drops all per-node scoped data (start of a new query execution). The
-  /// global counters are left untouched.
+  /// Drops all per-node scoped data, every query's (legacy single-query
+  /// callers; start of a new execution). Globals are left untouched.
   void ClearScoped() {
     std::lock_guard<std::mutex> lock(mu_);
     scoped_.clear();
+  }
+
+  /// Drops one query's scoped slices (end-of-query under concurrency);
+  /// other in-flight queries' slices and the globals are left untouched.
+  void ClearScoped(uint64_t query_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it =
+        scoped_.lower_bound({query_id, std::numeric_limits<int32_t>::min()});
+    while (it != scoped_.end() && it->first.first == query_id) {
+      it = scoped_.erase(it);
+    }
   }
 
   void Reset() {
@@ -232,7 +258,7 @@ class Metrics {
     if (node == kNoNode) return;
     const std::pair<std::string, std::string> key(CurrentPhase(), name);
     std::lock_guard<std::mutex> lock(mu_);
-    ScopedCounter& c = scoped_[node].counters[key];
+    ScopedCounter& c = scoped_[{QueryScope::Current(), node}].counters[key];
     if (gauge) {
       c.gauge = true;
       if (value > c.value) c.value = value;
@@ -247,7 +273,9 @@ class Metrics {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<int32_t, ScopedSlot> scoped_;
+  /// Keyed by (query id, node key): concurrent queries write disjoint
+  /// slices; id 0 is the legacy "no query" slice.
+  std::map<std::pair<uint64_t, int32_t>, ScopedSlot> scoped_;
 };
 
 // Canonical counter names used by the engine. Kept as constants so benches,

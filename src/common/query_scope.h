@@ -1,0 +1,43 @@
+// QueryScope: thread-local query-id attribution, the concurrency analogue of
+// Metrics::NodeScope. Every thread doing work on behalf of a query installs
+// one (the join drivers do it in their worker lambdas; ThreadPool::Submit and
+// the other thread-spawn sites capture the submitter's id and re-install it
+// in the spawned thread), so scoped metric writes land in that query's slice
+// of the store and concurrent EXPLAIN ANALYZE profiles never cross-contaminate.
+//
+// Query id 0 means "no query" — the legacy single-query slice. All scoped
+// reads/writes without an installed QueryScope keep going there, which keeps
+// the one-query-at-a-time callers (tests, benches, the SQL shell) working
+// unchanged.
+
+#ifndef HYBRIDJOIN_COMMON_QUERY_SCOPE_H_
+#define HYBRIDJOIN_COMMON_QUERY_SCOPE_H_
+
+#include <cstdint>
+
+namespace hybridjoin {
+
+/// RAII: attributes every scoped Metrics write on the calling thread to
+/// `query_id` until destruction. Nests; the destructor restores the previous
+/// attribution. Id 0 is reserved for "no query".
+class QueryScope {
+ public:
+  explicit QueryScope(uint64_t query_id) : saved_(tls_id_) {
+    tls_id_ = query_id;
+  }
+  ~QueryScope() { tls_id_ = saved_; }
+
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+  /// The calling thread's current query id (0 outside any scope).
+  static uint64_t Current() { return tls_id_; }
+
+ private:
+  static inline thread_local uint64_t tls_id_ = 0;
+  uint64_t saved_;
+};
+
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_COMMON_QUERY_SCOPE_H_

@@ -1,6 +1,14 @@
 // ThreadPool: fixed-size worker pool with a Wait() barrier, used to run
 // per-worker phases of the distributed join drivers and JEN's internal
 // thread pools (send/receive/read threads).
+//
+// Tasks are queued into per-query *lanes* keyed by the submitter's
+// QueryScope id, and workers round-robin across non-empty lanes, so when N
+// concurrent queries share one exec pool each gets a fair share of the
+// workers instead of FIFO ordering letting one query's large fan-out starve
+// the others. Workers re-install the submitter's QueryScope before running
+// a task, so scoped metric writes inside pool tasks stay attributed to the
+// right query.
 
 #ifndef HYBRIDJOIN_COMMON_THREAD_POOL_H_
 #define HYBRIDJOIN_COMMON_THREAD_POOL_H_
@@ -8,18 +16,21 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
-#include "common/blocking_queue.h"
 #include "common/check.h"
+#include "common/query_scope.h"
 #include "common/status.h"
 
 namespace hybridjoin {
 
-/// A fixed pool of threads consuming a task queue.
+/// A fixed pool of threads consuming per-query task lanes.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads) {
@@ -35,11 +46,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Shutdown().
+  /// Enqueues a task into the calling thread's query lane. Must not be
+  /// called after Shutdown().
   void Submit(std::function<void()> task) {
     pending_.fetch_add(1, std::memory_order_relaxed);
-    const bool ok = tasks_.Push(std::move(task));
-    HJ_CHECK(ok) << "Submit after Shutdown";
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      HJ_CHECK(!closed_) << "Submit after Shutdown";
+      lanes_[QueryScope::Current()].push_back(std::move(task));
+      ++queued_;
+    }
+    queue_cv_.notify_one();
   }
 
   /// Blocks until every submitted task has finished.
@@ -52,7 +69,11 @@ class ThreadPool {
 
   /// Drains remaining tasks and joins all threads. Idempotent.
   void Shutdown() {
-    tasks_.Close();
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      closed_ = true;
+    }
+    queue_cv_.notify_all();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -111,8 +132,30 @@ class ThreadPool {
 
  private:
   void WorkerLoop() {
-    while (auto task = tasks_.Pop()) {
-      (*task)();
+    while (true) {
+      uint64_t lane_id = 0;
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [&] { return closed_ || queued_ > 0; });
+        if (queued_ == 0) return;  // closed and drained
+        // Fair share: resume scanning strictly after the lane served last,
+        // wrapping, so every query's lane is visited before any lane is
+        // served twice. Empty lanes are erased on pop, so whatever we land
+        // on is non-empty.
+        auto it = lanes_.upper_bound(last_lane_);
+        if (it == lanes_.end()) it = lanes_.begin();
+        lane_id = it->first;
+        task = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) lanes_.erase(it);
+        --queued_;
+        last_lane_ = lane_id;
+      }
+      {
+        QueryScope scope(lane_id);
+        task();
+      }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mu_);
         idle_.notify_all();
@@ -120,20 +163,33 @@ class ThreadPool {
     }
   }
 
-  BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  /// query id -> FIFO of that query's tasks; never holds an empty deque.
+  std::map<uint64_t, std::deque<std::function<void()>>> lanes_;
+  size_t queued_ = 0;
+  uint64_t last_lane_ = 0;
+  bool closed_ = false;
+
   std::atomic<int64_t> pending_{0};
   std::mutex mu_;
   std::condition_variable idle_;
 };
 
-/// Runs `fn(i)` for i in [0, n) on n dedicated threads and joins them all.
-/// The workhorse for "each DB worker does X in parallel" phases.
+/// Runs `fn(i)` for i in [0, n) on n dedicated threads and joins them all,
+/// carrying the caller's QueryScope into each thread. The workhorse for
+/// "each DB worker does X in parallel" phases.
 inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  const uint64_t query_id = QueryScope::Current();
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads.emplace_back([&fn, i] { fn(i); });
+    threads.emplace_back([&fn, i, query_id] {
+      QueryScope scope(query_id);
+      fn(i);
+    });
   }
   for (auto& t : threads) t.join();
 }

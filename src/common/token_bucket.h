@@ -43,6 +43,25 @@ class TokenBucket {
     }
   }
 
+  /// Like Acquire, but gives up once `timeout` has elapsed without the full
+  /// request being granted. Returns true iff all `bytes` were consumed;
+  /// tokens consumed by chunks granted before the deadline stay consumed
+  /// (the caller sheds the request either way, so the partial spend only
+  /// delays its own next attempt). A non-positive timeout means "only what
+  /// is available right now" (no sleeping). Used by per-session admission
+  /// rate limits, where a queued query would rather be shed than wait
+  /// forever on a starved bucket.
+  bool TryAcquireFor(uint64_t bytes, std::chrono::milliseconds timeout) {
+    if (rate_ == 0 || bytes == 0) return true;
+    const auto deadline = Clock::now() + timeout;
+    while (bytes > 0) {
+      const uint64_t chunk = std::min<uint64_t>(bytes, burst_);
+      if (!AcquireChunkUntil(chunk, deadline)) return false;
+      bytes -= chunk;
+    }
+    return true;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -62,6 +81,30 @@ class TokenBucket {
       }
       std::this_thread::sleep_for(
           std::max(wait, std::chrono::nanoseconds(1000)));
+    }
+  }
+
+  bool AcquireChunkUntil(uint64_t bytes, Clock::time_point deadline) {
+    while (true) {
+      std::chrono::nanoseconds wait{0};
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Refill();
+        if (tokens_ >= static_cast<double>(bytes)) {
+          tokens_ -= static_cast<double>(bytes);
+          return true;
+        }
+        const double deficit = static_cast<double>(bytes) - tokens_;
+        wait = std::chrono::nanoseconds(
+            static_cast<int64_t>(deficit / static_cast<double>(rate_) * 1e9));
+      }
+      const auto now = Clock::now();
+      if (now >= deadline) return false;
+      const auto until_deadline =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+      std::this_thread::sleep_for(std::min(
+          until_deadline,
+          std::max(wait, std::chrono::nanoseconds(1000))));
     }
   }
 

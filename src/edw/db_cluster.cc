@@ -1,5 +1,7 @@
 #include "edw/db_cluster.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <numeric>
 
 #include "common/hash.h"
@@ -33,7 +35,7 @@ Status DbCluster::CreateTable(DbTableMeta meta) {
     return Status::InvalidArgument(
         "distribution column missing from schema");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = tables_.try_emplace(meta.name);
   if (!inserted) {
     return Status::AlreadyExists("db table '" + meta.name +
@@ -47,15 +49,14 @@ Status DbCluster::CreateTable(DbTableMeta meta) {
 
 Status DbCluster::LoadTable(const std::string& name,
                             const RecordBatch& rows) {
-  TableData* table = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tables_.find(name);
-    if (it == tables_.end()) {
-      return Status::NotFound("db table '" + name + "' does not exist");
-    }
-    table = &it->second;
+  // Exclusive for the whole load: concurrent readers of this table must
+  // never observe a partition vector mid-append.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("db table '" + name + "' does not exist");
   }
+  TableData* table = &it->second;
   if (!(*rows.schema() == *table->meta.schema)) {
     return Status::InvalidArgument("batch schema does not match table");
   }
@@ -98,15 +99,12 @@ Status DbCluster::LoadTable(const std::string& name,
 
 Status DbCluster::CreateIndex(const std::string& table,
                               const std::vector<std::string>& columns) {
-  TableData* data = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tables_.find(table);
-    if (it == tables_.end()) {
-      return Status::NotFound("db table '" + table + "' does not exist");
-    }
-    data = &it->second;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("db table '" + table + "' does not exist");
   }
+  TableData* data = &it->second;
   if (columns.empty()) {
     return Status::InvalidArgument("index needs at least one column");
   }
@@ -132,7 +130,7 @@ Status DbCluster::CreateIndex(const std::string& table,
 }
 
 Result<DbTableMeta> DbCluster::LookupTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("db table '" + name + "' does not exist");
@@ -141,7 +139,8 @@ Result<DbTableMeta> DbCluster::LookupTable(const std::string& name) const {
 }
 
 Result<uint64_t> DbCluster::TableRows(const std::string& name) const {
-  const TableData* table = FindTable(name);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const TableData* table = FindTableLocked(name);
   if (table == nullptr) {
     return Status::NotFound("db table '" + name + "' does not exist");
   }
@@ -152,20 +151,32 @@ Result<uint64_t> DbCluster::TableRows(const std::string& name) const {
   return total;
 }
 
-const DbCluster::TableData* DbCluster::FindTable(
+const DbCluster::TableData* DbCluster::FindTableLocked(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second;
 }
 
 Result<const std::vector<RecordBatch>*> DbWorker::Partition(
     const std::string& table) const {
-  const DbCluster::TableData* data = cluster_->FindTable(table);
+  std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
+  const DbCluster::TableData* data = cluster_->FindTableLocked(table);
   if (data == nullptr) {
     return Status::NotFound("db table '" + table + "' does not exist");
   }
   return &data->partitions[index_];
+}
+
+Result<RecordBatch> DbWorker::SampleFirstBatch(
+    const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
+  const DbCluster::TableData* data = cluster_->FindTableLocked(table);
+  if (data == nullptr) {
+    return Status::NotFound("db table '" + table + "' does not exist");
+  }
+  const std::vector<RecordBatch>& partition = data->partitions[index_];
+  if (partition.empty()) return RecordBatch(data->meta.schema);
+  return partition[0];
 }
 
 Result<std::vector<RecordBatch>> DbWorker::ScanFilterProject(
@@ -173,8 +184,12 @@ Result<std::vector<RecordBatch>> DbWorker::ScanFilterProject(
     const std::vector<std::string>& projection, Metrics* metrics) const {
   trace::Span span(cluster_->tracer(), trace::span::kDbScan,
                    trace::span::kCatScan, node());
-  HJ_ASSIGN_OR_RETURN(const std::vector<RecordBatch>* partition,
-                      Partition(table));
+  std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
+  const DbCluster::TableData* data = cluster_->FindTableLocked(table);
+  if (data == nullptr) {
+    return Status::NotFound("db table '" + table + "' does not exist");
+  }
+  const std::vector<RecordBatch>* partition = &data->partitions[index_];
   std::vector<RecordBatch> out;
   int64_t scanned = 0;
   int64_t kept = 0;
@@ -211,7 +226,8 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
                                               bool* used_index) const {
   trace::Span span(cluster_->tracer(), trace::span::kDbBloomBuild,
                    trace::span::kCatScan, node());
-  const DbCluster::TableData* data = cluster_->FindTable(table);
+  std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
+  const DbCluster::TableData* data = cluster_->FindTableLocked(table);
   if (data == nullptr) {
     return Status::NotFound("db table '" + table + "' does not exist");
   }

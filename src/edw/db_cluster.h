@@ -9,7 +9,7 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,9 +48,19 @@ class DbWorker {
   uint32_t index() const { return index_; }
   NodeId node() const { return NodeId::Db(index_); }
 
-  /// This worker's slice of a table.
+  /// This worker's slice of a table. The pointer stays valid for the
+  /// table's lifetime (map nodes are stable), but the batches behind it are
+  /// only guaranteed stable while no concurrent LoadTable/CreateIndex runs
+  /// on the *same* table — concurrency-safe readers go through
+  /// ScanFilterProject/BuildLocalBloom/SampleFirstBatch, which hold the
+  /// catalog read lock for their full duration.
   Result<const std::vector<RecordBatch>*> Partition(
       const std::string& table) const;
+
+  /// A copy of this worker's first stored batch (empty batch with the
+  /// table schema when the partition holds no rows), taken under the
+  /// catalog read lock — the DDL-safe way to sample a table.
+  Result<RecordBatch> SampleFirstBatch(const std::string& table) const;
 
   /// Scan + filter + project this worker's partition. Emits one output
   /// batch per stored batch (skipping empty ones).
@@ -112,12 +122,16 @@ class DbCluster {
     std::vector<std::map<std::string, DbPartitionIndex>> indexes;
   };
 
-  const TableData* FindTable(const std::string& name) const;
+  /// Requires mu_ held (shared or exclusive).
+  const TableData* FindTableLocked(const std::string& name) const;
 
   DbConfig config_;
   trace::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<DbWorker>> workers_;
-  mutable std::mutex mu_;
+  /// Catalog reader-writer lock: DDL (CreateTable/LoadTable/CreateIndex)
+  /// takes it exclusively for the whole mutation; query-path readers take
+  /// it shared for their whole read, so DDL and queries interleave safely.
+  mutable std::shared_mutex mu_;
   std::map<std::string, TableData> tables_;
 };
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/query_scope.h"
 #include "common/status.h"
 #include "net/network.h"
 #include "trace/tracer.h"
@@ -43,9 +44,11 @@ class BatchMorselPipe {
         queue_(queue_capacity == 0 ? std::max<size_t>(2 * threads, 2)
                                    : queue_capacity) {
     if (threads <= 1) return;
+    const uint64_t query_id = QueryScope::Current();
     workers_.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t) {
-      workers_.emplace_back([this, t, trace_node, role_base] {
+      workers_.emplace_back([this, t, trace_node, role_base, query_id] {
+        QueryScope query_scope(query_id);
         std::optional<trace::ThreadScope> scope;
         if (trace_node.has_value()) {
           scope.emplace(*trace_node, trace::InternedRole(role_base, t));

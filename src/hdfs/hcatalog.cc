@@ -1,5 +1,8 @@
 #include "hdfs/hcatalog.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 namespace hybridjoin {
 
 Status HCatalog::RegisterTable(HdfsTableMeta meta) {
@@ -9,7 +12,7 @@ Status HCatalog::RegisterTable(HdfsTableMeta meta) {
   if (meta.schema == nullptr || meta.schema->num_fields() == 0) {
     return Status::InvalidArgument("table schema must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = tables_.try_emplace(meta.name, std::move(meta));
   (void)it;
   if (!inserted) {
@@ -19,7 +22,7 @@ Status HCatalog::RegisterTable(HdfsTableMeta meta) {
 }
 
 Result<HdfsTableMeta> HCatalog::Lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("HDFS table '" + name + "' not in HCatalog");
@@ -28,7 +31,7 @@ Result<HdfsTableMeta> HCatalog::Lookup(const std::string& name) const {
 }
 
 Status HCatalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("HDFS table '" + name + "' not in HCatalog");
   }
@@ -36,7 +39,7 @@ Status HCatalog::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> HCatalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, meta] : tables_) names.push_back(name);

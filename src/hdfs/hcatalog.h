@@ -6,7 +6,7 @@
 #define HYBRIDJOIN_HDFS_HCATALOG_H_
 
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -33,7 +33,10 @@ class HCatalog {
   std::vector<std::string> ListTables() const;
 
  private:
-  mutable std::mutex mu_;
+  /// Reader-writer lock: Register/Drop (DDL) take it exclusively, Lookup /
+  /// ListTables (the query path) take it shared, so catalog DDL and running
+  /// queries interleave safely.
+  mutable std::shared_mutex mu_;
   std::map<std::string, HdfsTableMeta> tables_;
 };
 

@@ -84,14 +84,15 @@ Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
   HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
   QueryEstimates est;
 
-  // --- Database side: sample worker 0's first stored batch. ---
-  HJ_ASSIGN_OR_RETURN(const std::vector<RecordBatch>* partition,
-                      ctx->db().worker(0)->Partition(query.db.table));
+  // --- Database side: sample worker 0's first stored batch (copied under
+  // the catalog read lock, so a concurrent LoadTable cannot move it out
+  // from under the estimator). ---
+  HJ_ASSIGN_OR_RETURN(RecordBatch sample,
+                      ctx->db().worker(0)->SampleFirstBatch(query.db.table));
   HJ_ASSIGN_OR_RETURN(uint64_t db_rows, ctx->db().TableRows(query.db.table));
   double db_sel = 1.0;
   double db_row_bytes = 32.0;
-  if (!partition->empty() && (*partition)[0].num_rows() > 0) {
-    const RecordBatch& sample = (*partition)[0];
+  if (sample.num_rows() > 0) {
     std::vector<uint32_t> sel(sample.num_rows());
     for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
     if (query.db.predicate != nullptr) {

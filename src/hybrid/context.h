@@ -21,8 +21,13 @@
 
 namespace hybridjoin {
 
-/// Owns every component. One query runs at a time (drivers snapshot the
-/// shared metrics around the run).
+/// Owns every component. N queries may run concurrently over one context
+/// (src/server/ pushes them through admission control): scoped metric
+/// slices are isolated per query id, catalogs take reader-writer locks, and
+/// the exec pool fair-shares across query lanes. Whole-context facilities
+/// that cannot be attributed per query (global counter deltas, the tracer
+/// buffer, per-flow-class network byte counters) are only meaningful when a
+/// query runs alone — ReportBuilder detects that via Begin/EndExecution.
 class EngineContext {
  public:
   explicit EngineContext(const SimulationConfig& config);
@@ -74,6 +79,14 @@ class EngineContext {
   /// profile JSONs from one warehouse are distinguishable.
   uint64_t NextQueryId() { return query_seq_.fetch_add(1) + 1; }
 
+  /// In-flight execution accounting (ReportBuilder brackets every driver
+  /// run with these). BeginExecution returns the in-flight count *after*
+  /// entering — 1 means this query runs alone and may use the
+  /// whole-context facilities (tracer clear, global counter deltas).
+  uint32_t BeginExecution() { return in_flight_.fetch_add(1) + 1; }
+  void EndExecution() { in_flight_.fetch_sub(1); }
+  uint32_t InFlightExecutions() const { return in_flight_.load(); }
+
  private:
   SimulationConfig config_;
   Metrics metrics_;
@@ -90,6 +103,7 @@ class EngineContext {
   uint32_t exec_threads_ = 1;
   std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<uint64_t> query_seq_{0};
+  std::atomic<uint32_t> in_flight_{0};
 };
 
 }  // namespace hybridjoin

@@ -155,6 +155,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   // --- DB workers. ---
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
+      QueryScope query_scope(report.query_id());
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -418,6 +419,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   // --- JEN workers: answer the scan request (read_hdfs server side). ---
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
+      QueryScope query_scope(report.query_id());
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);

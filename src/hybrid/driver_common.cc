@@ -44,18 +44,29 @@ NodeProfileScope::~NodeProfileScope() {
 }
 
 ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm)
-    : ctx_(ctx), algorithm_(algorithm), query_id_(ctx->NextQueryId()) {
-  // One query at a time per context: the scoped per-node slices belong to
-  // this execution from here on.
-  ctx_->metrics().ClearScoped();
+    : ctx_(ctx),
+      algorithm_(algorithm),
+      query_id_(ctx->NextQueryId()),
+      scope_(query_id_),
+      exclusive_(ctx->BeginExecution() == 1) {
+  if (exclusive_) {
+    // Running alone: drop whatever scoped slices and spans a previous
+    // execution left behind, exactly as the single-query path always did.
+    ctx_->metrics().ClearScoped();
+    if (ctx_->tracer().enabled()) ctx_->tracer().Clear();
+  }
   counters_before_ = ctx_->metrics().Snapshot();
   for (int i = 0; i < 4; ++i) {
     net_before_[i] =
         ctx_->network().BytesMoved(static_cast<FlowClass>(i));
   }
-  // One query runs at a time per context, so the span buffer is ours: drop
-  // anything a previous execution left behind.
-  if (ctx_->tracer().enabled()) ctx_->tracer().Clear();
+}
+
+ReportBuilder::~ReportBuilder() {
+  // This query's scoped slices were consumed by the NodeProfileScope
+  // snapshots; drop them without touching other in-flight queries' slices.
+  ctx_->metrics().ClearScoped(query_id_);
+  ctx_->EndExecution();
 }
 
 void ReportBuilder::Mark(const std::string& name) {
@@ -97,7 +108,9 @@ ExecutionReport ReportBuilder::Finish() {
     const int64_t delta = ctx_->network().BytesMoved(fc) - net_before_[i];
     if (delta != 0) report.network_bytes[FlowClassName(fc)] = delta;
   }
-  if (ctx_->tracer().enabled()) {
+  // Span histograms and trace files aggregate the whole tracer buffer, so
+  // they are only attributable when this query ran alone.
+  if (exclusive_ && ctx_->tracer().enabled()) {
     const std::vector<trace::TraceEvent> events = ctx_->tracer().Snapshot();
     std::map<std::string, std::unique_ptr<LatencyHistogram>> per_name;
     for (const trace::TraceEvent& e : events) {

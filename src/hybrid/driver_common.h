@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_scope.h"
 #include "common/stopwatch.h"
 #include "exec/aggregator.h"
 #include "exec/join_prober.h"
@@ -87,12 +88,33 @@ class NodeProfileScope {
 };
 
 /// Builds the ExecutionReport: snapshots metrics and per-class network
-/// bytes at construction (and clears the previous query's scoped per-node
-/// slices), takes deltas at Finish. Mark() records named timestamps from
-/// any thread (first caller wins per name).
+/// bytes at construction, takes deltas at Finish. Mark() records named
+/// timestamps from any thread (first caller wins per name).
+///
+/// Construction allocates this execution's query id, installs a QueryScope
+/// for it on the driver thread (worker threads re-install it from
+/// query_id()), and registers the execution with the context. When the
+/// query runs *alone* it additionally clears the tracer buffer and stale
+/// scoped slices, exactly as the historical single-query path did; under
+/// concurrency those whole-context facilities are left to their owners and
+/// only this query's scoped slices are used (and dropped again at
+/// destruction), so concurrent profiles never cross-contaminate. Global
+/// counter / network-byte deltas still aggregate whole-context activity —
+/// per-query truth under concurrency lives in ExecutionReport::profile.
 class ReportBuilder {
  public:
   ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm);
+  ~ReportBuilder();
+
+  ReportBuilder(const ReportBuilder&) = delete;
+  ReportBuilder& operator=(const ReportBuilder&) = delete;
+
+  /// This execution's query id; worker threads install QueryScope(query_id())
+  /// so their scoped metric writes land in this query's slices.
+  uint64_t query_id() const { return query_id_; }
+
+  /// True when this execution had the context to itself at construction.
+  bool exclusive() const { return exclusive_; }
 
   /// Thread-safe named timestamp (seconds since start).
   void Mark(const std::string& name);
@@ -109,6 +131,8 @@ class ReportBuilder {
   EngineContext* ctx_;
   JoinAlgorithm algorithm_;
   uint64_t query_id_;
+  QueryScope scope_;  ///< driver-thread attribution for query_id_
+  bool exclusive_;
   Stopwatch stopwatch_;
   std::map<std::string, int64_t> counters_before_;
   int64_t net_before_[4];

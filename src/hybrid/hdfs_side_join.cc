@@ -76,6 +76,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   // --- DB workers: filter/project T', broadcast it to every JEN node. ---
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
+      QueryScope query_scope(report.query_id());
       trace::ThreadScope thread_scope(NodeId::Db(i), "db_worker");
       driver::NodeProfileScope profile_scope(ctx, NodeId::Db(i), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
@@ -109,6 +110,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   // --- JEN workers: hash T', scan L probing in the pipeline, aggregate. ---
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
+      QueryScope query_scope(report.query_id());
       trace::ThreadScope thread_scope(NodeId::Hdfs(w), "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, NodeId::Hdfs(w), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
@@ -230,6 +232,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   // --- DB workers (Figures 3/4, left column). ---
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
+      QueryScope query_scope(report.query_id());
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -393,6 +396,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   // --- JEN workers (Figures 3/4, right column; pipeline of Figure 7). ---
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
+      QueryScope query_scope(report.query_id());
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -439,7 +443,9 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                             driver::HashTableShards(ctx));
       std::vector<RecordBatch> l_buffer;
       Status receive_status;
-      std::thread receiver([&] {
+      const uint64_t query_id = QueryScope::Current();
+      std::thread receiver([&, query_id] {
+        QueryScope receiver_query_scope(query_id);
         trace::ThreadScope receive_scope(self, "jen_receive");
         trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
                                trace::span::kCatJoin);

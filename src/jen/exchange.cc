@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/query_scope.h"
 #include "trace/tracer.h"
 
 namespace hybridjoin {
@@ -34,8 +35,10 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
       pool_(BufferPool::Create()) {
   HJ_CHECK_GT(num_threads, 0u);
   threads_.reserve(num_threads);
+  const uint64_t query_id = QueryScope::Current();
   for (uint32_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, query_id] {
+      QueryScope query_scope(query_id);
       trace::ThreadScope thread_scope(self_, "sender");
       while (auto item = queue_.Pop()) {
         // After a permanent failure further batches are dropped (not sent):

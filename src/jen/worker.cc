@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/query_scope.h"
 
 namespace hybridjoin {
 
@@ -202,12 +203,19 @@ Status JenWorker::ScanImpl(const ScanTask& task,
 
   // Launch the read threads (Figure 7: one per disk, plus one draining the
   // remote blocks).
+  const uint64_t query_id = QueryScope::Current();
+  auto scoped_read_loop = [&read_loop, query_id](
+                              const std::vector<const BlockAssignment*>&
+                                  blocks) {
+    QueryScope query_scope(query_id);
+    read_loop(blocks);
+  };
   std::vector<std::thread> readers;
   for (auto& [disk, blocks] : by_disk) {
-    readers.emplace_back(read_loop, std::cref(blocks));
+    readers.emplace_back(scoped_read_loop, std::cref(blocks));
   }
   if (!remote.empty()) {
-    readers.emplace_back(read_loop, std::cref(remote));
+    readers.emplace_back(scoped_read_loop, std::cref(remote));
   }
   std::thread closer([&readers, &queue] {
     for (auto& t : readers) t.join();
@@ -306,7 +314,8 @@ Status JenWorker::ScanImpl(const ScanTask& task,
       std::vector<std::thread> procs;
       procs.reserve(process_threads);
       for (uint32_t t = 0; t < process_threads; ++t) {
-        procs.emplace_back([&, t] {
+        procs.emplace_back([&, t, query_id] {
+          QueryScope query_scope(query_id);
           trace::ThreadScope scope(node(),
                                    trace::InternedRole("jen_proc", t));
           run_process(t);

@@ -1,0 +1,157 @@
+#include "server/admission_controller.h"
+
+#include <algorithm>
+
+namespace hybridjoin {
+namespace server {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), waiters_(std::max<size_t>(config.max_queued, 1)) {}
+
+AdmissionController::~AdmissionController() { Close(); }
+
+void AdmissionController::Slot::Release() {
+  if (controller_ == nullptr) return;
+  AdmissionController* c = controller_;
+  controller_ = nullptr;
+  c->Release();
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit() {
+  const auto start = Clock::now();
+  const auto deadline = start + config_.queue_timeout;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      ++rejected_closed_;
+      return Status::Unavailable("warehouse server is shutting down");
+    }
+    // Fast path only when nobody is queued: FIFO, no barging.
+    if (running_ < config_.max_concurrent_queries && waiters_.size() == 0) {
+      ++running_;
+      ++admitted_;
+      return Slot(this, /*queued=*/false, /*wait_us=*/0);
+    }
+  }
+
+  // Slow path: enter the bounded wait queue (itself deadline-bounded — a
+  // full queue that stays full past the deadline sheds the query), then
+  // wait for a grant.
+  auto waiter = std::make_shared<Waiter>();
+  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (remaining <= std::chrono::milliseconds::zero()) {
+    remaining = std::chrono::milliseconds(1);
+  }
+  bool timed_out = false;
+  if (!waiters_.PushWithDeadline(waiter, remaining, &timed_out)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (timed_out) {
+      ++shed_;
+      return Status::ResourceExhausted(
+          "admission queue full past deadline; query shed");
+    }
+    ++rejected_closed_;
+    return Status::Unavailable("warehouse server is shutting down");
+  }
+
+  // A slot may already be free (released between our fast-path check and
+  // the push); pump so the queue never deadlocks on a quiet server.
+  Pump();
+
+  bool granted = false;
+  bool closed = false;
+  {
+    std::unique_lock<std::mutex> wlock(waiter->mu);
+    waiter->cv.wait_until(wlock, deadline, [&] {
+      return waiter->granted || waiter->closed;
+    });
+    granted = waiter->granted;
+    closed = waiter->closed;
+    if (!granted && !closed) waiter->abandoned = true;
+  }
+  // waiter->mu is released before mu_ is taken: Pump() locks mu_ then
+  // waiter->mu, so holding them in the opposite order here would deadlock.
+  if (granted) {
+    const int64_t wait_us = ElapsedUs(start);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++admitted_;
+    ++admitted_queued_;
+    return Slot(this, /*queued=*/true, wait_us);
+  }
+  if (closed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_closed_;
+    return Status::Unavailable("warehouse server is shutting down");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++shed_;
+  }
+  return Status::ResourceExhausted(
+      "admission deadline exceeded with " +
+      std::to_string(config_.max_concurrent_queries) +
+      " queries running; query shed");
+}
+
+void AdmissionController::Pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!closed_ && running_ < config_.max_concurrent_queries) {
+    std::optional<std::shared_ptr<Waiter>> w = waiters_.TryPop();
+    if (!w.has_value()) break;
+    std::lock_guard<std::mutex> wlock((*w)->mu);
+    if ((*w)->abandoned) continue;  // gave up; its slot goes to the next
+    (*w)->granted = true;
+    ++running_;
+    (*w)->cv.notify_all();
+  }
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  Pump();
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  waiters_.Close();
+  // Drain queued waiters and wake them with "closed".
+  while (std::optional<std::shared_ptr<Waiter>> w = waiters_.TryPop()) {
+    std::lock_guard<std::mutex> wlock((*w)->mu);
+    (*w)->closed = true;
+    (*w)->cv.notify_all();
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.admitted_queued = admitted_queued_;
+  s.shed = shed_;
+  s.rejected_closed = rejected_closed_;
+  s.running = running_;
+  s.queued_now = waiters_.size();
+  return s;
+}
+
+}  // namespace server
+}  // namespace hybridjoin

@@ -1,0 +1,125 @@
+// AdmissionController: bounds how many queries execute concurrently on one
+// warehouse substrate. Up to `max_concurrent_queries` run at once; excess
+// arrivals wait in a bounded BlockingQueue of waiters with a deadline and
+// are shed with kResourceExhausted when either the queue is full past the
+// deadline or their turn does not come in time. Admission is FIFO — an
+// arrival never barges past queued waiters even when a slot is free.
+
+#ifndef HYBRIDJOIN_SERVER_ADMISSION_CONTROLLER_H_
+#define HYBRIDJOIN_SERVER_ADMISSION_CONTROLLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/blocking_queue.h"
+#include "common/result.h"
+
+namespace hybridjoin {
+namespace server {
+
+struct AdmissionConfig {
+  /// Queries executing at once; arrivals beyond this wait.
+  uint32_t max_concurrent_queries = 4;
+  /// Bounded wait queue: arrivals beyond running + queued block for the
+  /// remaining deadline trying to enter the queue, then are shed.
+  size_t max_queued = 16;
+  /// Total time an arrival may spend waiting for admission (entering the
+  /// queue + waiting for its turn) before it is shed.
+  std::chrono::milliseconds queue_timeout{2000};
+};
+
+/// Counters for observability and the concurrency bench.
+struct AdmissionStats {
+  int64_t admitted = 0;        ///< total queries granted a slot
+  int64_t admitted_queued = 0; ///< of those, how many had to queue first
+  int64_t shed = 0;            ///< timed out waiting (kResourceExhausted)
+  int64_t rejected_closed = 0; ///< arrived after Close() (kUnavailable)
+  uint32_t running = 0;        ///< slots held right now
+  size_t queued_now = 0;       ///< waiters in the queue right now
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII execution slot: releasing it (destruction) hands the slot to the
+  /// longest-waiting queued query. Move-only.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept { *this = std::move(other); }
+    Slot& operator=(Slot&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      queued_ = other.queued_;
+      queue_wait_us_ = other.queue_wait_us_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Slot() { Release(); }
+
+    bool held() const { return controller_ != nullptr; }
+    bool queued() const { return queued_; }
+    int64_t queue_wait_us() const { return queue_wait_us_; }
+
+    /// Early release (idempotent; destruction does the same).
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Slot(AdmissionController* controller, bool queued, int64_t wait_us)
+        : controller_(controller), queued_(queued), queue_wait_us_(wait_us) {}
+
+    AdmissionController* controller_ = nullptr;
+    bool queued_ = false;
+    int64_t queue_wait_us_ = 0;
+  };
+
+  /// Blocks until a slot is granted or the configured deadline passes.
+  /// Errors: kResourceExhausted (shed on deadline — queue full or turn
+  /// never came), kUnavailable (controller closed).
+  Result<Slot> Admit();
+
+  /// Sheds every waiter with kUnavailable and rejects future Admit calls.
+  /// Slots already granted stay valid until released. Idempotent.
+  void Close();
+
+  AdmissionStats stats() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool granted = false;
+    bool closed = false;
+    bool abandoned = false;  ///< waiter gave up; grantor must skip it
+  };
+
+  /// Grants free slots to queued waiters (FIFO), skipping abandoned ones.
+  void Pump();
+  void Release();
+
+  const AdmissionConfig config_;
+  BlockingQueue<std::shared_ptr<Waiter>> waiters_;
+
+  mutable std::mutex mu_;
+  uint32_t running_ = 0;
+  bool closed_ = false;
+  int64_t admitted_ = 0;
+  int64_t admitted_queued_ = 0;
+  int64_t shed_ = 0;
+  int64_t rejected_closed_ = 0;
+};
+
+}  // namespace server
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_SERVER_ADMISSION_CONTROLLER_H_

@@ -1,0 +1,62 @@
+// QueryContext / QueryTicket: per-query identity and resource contract for
+// the multi-query warehouse server. Admission control hands every admitted
+// query a context carrying its ids and quotas; the ticket is the caller's
+// receipt — what ran, under which session, how long it waited in the
+// admission queue, and which plan the advisor picked.
+
+#ifndef HYBRIDJOIN_SERVER_QUERY_CONTEXT_H_
+#define HYBRIDJOIN_SERVER_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hybrid/report.h"
+
+namespace hybridjoin {
+namespace server {
+
+/// Per-query resource quotas, the contract admission control enforces
+/// (motivated by the dynamic-hybrid-hash-join literature: a query promises
+/// a bounded build-side footprint and the server holds it to that).
+struct QueryQuotas {
+  /// Upper bound on the estimated build-side (T') working set; queries
+  /// whose estimate exceeds it are rejected with kResourceExhausted before
+  /// execution. 0 = unlimited.
+  uint64_t memory_bytes = 0;
+  /// Advisory exec-pool share (threads) for this query's morsel work. The
+  /// shared pool fair-shares across query lanes regardless; 0 = inherit an
+  /// equal share.
+  uint32_t exec_threads = 0;
+};
+
+/// Everything one execution carries through the server: identity (session,
+/// ticket, substrate query id) plus its quotas. The substrate query id is
+/// allocated by the engine when the join driver starts and copied back here
+/// so profile JSONs and tickets can be joined on it.
+struct QueryContext {
+  uint64_t session_id = 0;
+  uint64_t ticket_id = 0;   ///< server-wide monotone, assigned at submit
+  uint64_t query_id = 0;    ///< engine id; 0 until the driver has run
+  QueryQuotas quotas;
+};
+
+/// The caller's receipt for one Execute() call.
+struct QueryTicket {
+  uint64_t session_id = 0;
+  uint64_t ticket_id = 0;
+  uint64_t query_id = 0;          ///< engine id stamped into the profile
+  bool queued = false;            ///< waited in the admission queue
+  int64_t queue_wait_us = 0;      ///< time spent waiting for admission
+  JoinAlgorithm algorithm = JoinAlgorithm::kZigzag;  ///< advisor's pick
+};
+
+/// One Execute() result: the receipt plus the query's rows and report.
+struct ServerResult {
+  QueryTicket ticket;
+  QueryResult result;
+};
+
+}  // namespace server
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_SERVER_QUERY_CONTEXT_H_

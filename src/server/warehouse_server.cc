@@ -1,0 +1,137 @@
+#include "server/warehouse_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hybrid/advisor.h"
+
+namespace hybridjoin {
+namespace server {
+
+WarehouseServer::WarehouseServer(HybridWarehouse* warehouse,
+                                 const ServerConfig& config)
+    : warehouse_(warehouse), config_(config), admission_(config.admission) {}
+
+WarehouseServer::~WarehouseServer() { Shutdown(); }
+
+uint64_t WarehouseServer::OpenSession() {
+  auto session = std::make_shared<Session>();
+  session->id = session_seq_.fetch_add(1) + 1;
+  if (config_.session_queries_per_second > 0) {
+    // TokenBucket counts "bytes"; here one token is one query, so the burst
+    // must be set explicitly (the byte-oriented default of 64 KiB would
+    // disable the limit for any realistic stream).
+    session->rate = std::make_unique<TokenBucket>(
+        config_.session_queries_per_second,
+        std::max<uint32_t>(config_.session_burst_queries, 1));
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_[session->id] = session;
+  return session->id;
+}
+
+Status WarehouseServer::CloseSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(session_id) == 0) {
+    return Status::NotFound("session " + std::to_string(session_id) +
+                            " does not exist");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<WarehouseServer::Session> WarehouseServer::FindSession(
+    uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<ServerResult> WarehouseServer::Execute(uint64_t session_id,
+                                              const std::string& sql) {
+  return Execute(session_id, sql, config_.default_quotas);
+}
+
+Result<ServerResult> WarehouseServer::Execute(uint64_t session_id,
+                                              const std::string& sql,
+                                              const QueryQuotas& quotas) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("warehouse server is shutting down");
+  }
+  std::shared_ptr<Session> session = FindSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("session " + std::to_string(session_id) +
+                            " does not exist");
+  }
+
+  QueryContext qctx;
+  qctx.session_id = session_id;
+  qctx.ticket_id = ticket_seq_.fetch_add(1) + 1;
+  qctx.quotas = quotas;
+
+  // 1. Session rate limit: one token per query, shed when starved past the
+  //    configured wait.
+  if (session->rate != nullptr &&
+      !session->rate->TryAcquireFor(1, config_.rate_limit_wait)) {
+    rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "session " + std::to_string(session_id) + " over its query rate");
+  }
+
+  // 2. Parse + quota check before taking an execution slot: a query that is
+  //    over its memory contract should not occupy the admission gate.
+  HJ_ASSIGN_OR_RETURN(HybridQuery query, warehouse_->ParseSql(sql));
+  if (qctx.quotas.memory_bytes > 0) {
+    HJ_ASSIGN_OR_RETURN(
+        QueryEstimates est,
+        EstimateQuery(&warehouse_->context(), query));
+    if (est.db_filtered_bytes > qctx.quotas.memory_bytes) {
+      quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "estimated build side (" + std::to_string(est.db_filtered_bytes) +
+          " bytes) exceeds the query memory quota (" +
+          std::to_string(qctx.quotas.memory_bytes) + " bytes)");
+    }
+  }
+
+  // 3. Admission: bounded concurrency, queue-then-shed.
+  HJ_ASSIGN_OR_RETURN(AdmissionController::Slot slot, admission_.Admit());
+
+  // 4. Execute while holding the slot. The engine allocates the substrate
+  //    query id inside the driver; copy it into the ticket from the
+  //    assembled profile.
+  Advice advice;
+  Result<QueryResult> result = warehouse_->ExecuteAuto(query, &advice);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  HJ_RETURN_IF_ERROR(result.status());
+
+  ServerResult out;
+  out.ticket.session_id = qctx.session_id;
+  out.ticket.ticket_id = qctx.ticket_id;
+  out.ticket.query_id = result.value().report.profile.query_id;
+  out.ticket.queued = slot.queued();
+  out.ticket.queue_wait_us = slot.queue_wait_us();
+  out.ticket.algorithm = advice.algorithm;
+  out.result = std::move(result).value();
+  return out;
+}
+
+void WarehouseServer::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  admission_.Close();
+}
+
+ServerStats WarehouseServer::stats() const {
+  ServerStats s;
+  s.admission = admission_.stats();
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  s.quota_rejected = quota_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.open_sessions = sessions_.size();
+  }
+  return s;
+}
+
+}  // namespace server
+}  // namespace hybridjoin

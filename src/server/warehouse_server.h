@@ -1,0 +1,123 @@
+// WarehouseServer: a long-lived multi-query front end over one
+// HybridWarehouse. Clients open sessions, submit SQL, and get back a
+// QueryTicket + QueryResult; between them and the substrate sit a
+// per-session TokenBucket rate limit and the AdmissionController's
+// concurrency gate, so N clients can hammer one warehouse without
+// oversubscribing it — excess queries queue, then shed, never crash.
+//
+// Concurrency contract with the substrate: the join drivers isolate scoped
+// metrics per query id (QueryScope), the catalogs take reader-writer locks
+// (DDL through the HybridWarehouse facade interleaves safely with queries),
+// the exec pool fair-shares across query lanes, and network tags are
+// allocated per execution — so Execute() is safe to call from any number of
+// client threads concurrently.
+
+#ifndef HYBRIDJOIN_SERVER_WAREHOUSE_SERVER_H_
+#define HYBRIDJOIN_SERVER_WAREHOUSE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/token_bucket.h"
+#include "hybrid/warehouse.h"
+#include "server/admission_controller.h"
+#include "server/query_context.h"
+
+namespace hybridjoin {
+namespace server {
+
+struct ServerConfig {
+  AdmissionConfig admission;
+  /// Per-session sustained query rate (queries/second); 0 = unlimited.
+  uint32_t session_queries_per_second = 0;
+  /// Instantaneous burst (queries) per session; 0 = one query.
+  uint32_t session_burst_queries = 0;
+  /// How long Execute() may wait on the session rate limiter before the
+  /// query is shed with kResourceExhausted.
+  std::chrono::milliseconds rate_limit_wait{0};
+  /// Default quotas stamped into every query's QueryContext; a session can
+  /// tighten them per call via Execute()'s quotas argument.
+  QueryQuotas default_quotas;
+};
+
+/// Server-wide counters (admission stats come from the controller).
+struct ServerStats {
+  AdmissionStats admission;
+  int64_t executed = 0;        ///< queries that ran to a result (ok or not)
+  int64_t rate_limited = 0;    ///< shed by the session rate limit
+  int64_t quota_rejected = 0;  ///< rejected by the memory quota
+  size_t open_sessions = 0;
+};
+
+class WarehouseServer {
+ public:
+  /// The warehouse must outlive the server. The server does not own it:
+  /// loading data and DDL keep going through the HybridWarehouse facade
+  /// (concurrently with queries — the catalogs take RW locks).
+  WarehouseServer(HybridWarehouse* warehouse, const ServerConfig& config);
+  ~WarehouseServer();
+
+  WarehouseServer(const WarehouseServer&) = delete;
+  WarehouseServer& operator=(const WarehouseServer&) = delete;
+
+  /// Opens a session and returns its id. Each session carries its own
+  /// TokenBucket when a per-session rate is configured.
+  uint64_t OpenSession();
+
+  /// Closes a session; subsequent Execute() calls on it fail kNotFound.
+  Status CloseSession(uint64_t session_id);
+
+  /// Parses and runs one SQL statement on behalf of `session_id`, letting
+  /// the advisor pick the algorithm. Blocks through rate limiting and
+  /// admission; thread-safe, any number of concurrent callers.
+  /// Errors: kNotFound (unknown session), kResourceExhausted (rate-limited,
+  /// shed by admission, or over memory quota), kUnavailable (shut down),
+  /// plus anything the engine itself returns.
+  Result<ServerResult> Execute(uint64_t session_id, const std::string& sql);
+
+  /// Execute with per-call quotas overriding the server defaults.
+  Result<ServerResult> Execute(uint64_t session_id, const std::string& sql,
+                               const QueryQuotas& quotas);
+
+  /// Sheds all waiting queries and rejects new ones. Running queries
+  /// finish. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    std::unique_ptr<TokenBucket> rate;  ///< null when unlimited
+  };
+
+  /// nullptr when the session does not exist. The returned pointer stays
+  /// valid until CloseSession (map nodes are stable; sessions are only
+  /// erased, never mutated after creation).
+  std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+
+  HybridWarehouse* warehouse_;
+  const ServerConfig config_;
+  AdmissionController admission_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> session_seq_{0};
+  std::atomic<uint64_t> ticket_seq_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<int64_t> rate_limited_{0};
+  std::atomic<int64_t> quota_rejected_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace server
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_SERVER_WAREHOUSE_SERVER_H_

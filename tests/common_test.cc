@@ -11,6 +11,7 @@
 #include "common/blocking_queue.h"
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/query_scope.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -253,6 +254,78 @@ TEST(BlockingQueueTest, BoundedBlocksProducerUntilConsumed) {
   EXPECT_TRUE(third_pushed.load());
 }
 
+TEST(BlockingQueueTest, PushWithDeadlineTimesOutOnFullQueue) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  bool timed_out = false;
+  Stopwatch sw;
+  EXPECT_FALSE(q.PushWithDeadline(2, std::chrono::milliseconds(30),
+                                  &timed_out));
+  EXPECT_TRUE(timed_out);
+  EXPECT_GT(sw.ElapsedSeconds(), 0.02);
+  // Space frees up: the next deadline push succeeds immediately.
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_TRUE(q.PushWithDeadline(3, std::chrono::milliseconds(30),
+                                 &timed_out));
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, PushWithDeadlineDistinguishesClosedFromTimeout) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  q.Close();
+  bool timed_out = true;
+  EXPECT_FALSE(q.PushWithDeadline(2, std::chrono::milliseconds(30),
+                                  &timed_out));
+  EXPECT_FALSE(timed_out);  // closed, not timed out
+}
+
+TEST(BlockingQueueTest, PushWithDeadlineNonPositiveTimeoutBlocksLikePush) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  bool timed_out = true;
+  std::thread producer([&] {
+    EXPECT_TRUE(q.PushWithDeadline(2, std::chrono::milliseconds(0),
+                                   &timed_out));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedDeadlinePushers) {
+  // The admission-path race: waiters blocked on a full queue while another
+  // thread closes it. Every pusher must wake promptly with closed (not
+  // timed out), and no pusher may deadlock.
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  constexpr int kPushers = 4;
+  bool timed_out[kPushers] = {true, true, true, true};
+  bool pushed[kPushers] = {true, true, true, true};
+  std::vector<std::thread> pushers;
+  for (int i = 0; i < kPushers; ++i) {
+    pushers.emplace_back([&, i] {
+      pushed[i] = q.PushWithDeadline(100 + i, std::chrono::milliseconds(60000),
+                                     &timed_out[i]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Stopwatch sw;
+  q.Close();
+  for (auto& t : pushers) t.join();
+  EXPECT_LT(sw.ElapsedSeconds(), 10.0);  // woken by Close, not the deadline
+  for (int i = 0; i < kPushers; ++i) {
+    EXPECT_FALSE(pushed[i]) << i;
+    EXPECT_FALSE(timed_out[i]) << i;
+  }
+}
+
 TEST(BlockingQueueTest, ManyProducersManyConsumers) {
   BlockingQueue<int> q(8);
   constexpr int kPerProducer = 1000;
@@ -342,6 +415,28 @@ TEST(TokenBucketTest, ConcurrentAcquirersShareTheRate) {
   for (auto& t : threads) t.join();
   // 4 MB at 20 MB/s shared => ~0.2 s total regardless of thread count.
   EXPECT_GT(sw.ElapsedSeconds(), 0.1);
+}
+
+TEST(TokenBucketTest, TryAcquireForSucceedsWithinBudget) {
+  TokenBucket tb(1024 * 1024, /*burst_bytes=*/64 * 1024);
+  // The burst is available immediately, even with a zero timeout.
+  EXPECT_TRUE(tb.TryAcquireFor(64 * 1024, std::chrono::milliseconds(0)));
+  // ~64 KiB more at 1 MiB/s refills in ~62 ms: a generous deadline wins.
+  EXPECT_TRUE(tb.TryAcquireFor(64 * 1024, std::chrono::milliseconds(2000)));
+}
+
+TEST(TokenBucketTest, TryAcquireForTimesOutWhenStarved) {
+  TokenBucket tb(1024, /*burst_bytes=*/16);  // 1 KiB/s: glacial refill
+  EXPECT_TRUE(tb.TryAcquireFor(16, std::chrono::milliseconds(0)));
+  Stopwatch sw;
+  // 1024 tokens need a full second; a 30 ms deadline must fail fast.
+  EXPECT_FALSE(tb.TryAcquireFor(1024, std::chrono::milliseconds(30)));
+  EXPECT_LT(sw.ElapsedSeconds(), 0.5);
+}
+
+TEST(TokenBucketTest, TryAcquireForUnlimitedAlwaysSucceeds) {
+  TokenBucket tb(0);
+  EXPECT_TRUE(tb.TryAcquireFor(1ULL << 40, std::chrono::milliseconds(0)));
 }
 
 // -------------------------------- Metrics ---------------------------------
@@ -453,6 +548,80 @@ TEST(MetricsTest, ScopedAttributionFollowsNodeAndPhaseScopes) {
   m.ClearScoped();
   EXPECT_TRUE(m.ScopedSnapshot(3).empty());
   EXPECT_EQ(m.Get("x"), 20);  // globals survive ClearScoped
+}
+
+TEST(MetricsTest, ScopedSlicesAreIsolatedPerQuery) {
+  // Two concurrent queries writing to the same node key must land in
+  // separate slices, and clearing one query's slices must not touch the
+  // other's — the invariant behind concurrent EXPLAIN ANALYZE.
+  Metrics m;
+  {
+    QueryScope q1(101);
+    Metrics::NodeScope node(3);
+    m.Add("x", 10);
+  }
+  {
+    QueryScope q2(202);
+    Metrics::NodeScope node(3);
+    m.Add("x", 7);
+  }
+  Metrics::NodeScope node(3);
+  m.Add("x", 1);  // query id 0: the legacy "no query" slice
+
+  EXPECT_EQ(m.Get("x"), 18);  // globals are still query-blind
+  EXPECT_EQ(m.ScopedSnapshot(101, 3).counters.at({"", "x"}).value, 10);
+  EXPECT_EQ(m.ScopedSnapshot(202, 3).counters.at({"", "x"}).value, 7);
+  EXPECT_EQ(m.ScopedSnapshot(0, 3).counters.at({"", "x"}).value, 1);
+  // The legacy single-arg snapshot reads the calling thread's query slice.
+  EXPECT_EQ(m.ScopedSnapshot(3).counters.at({"", "x"}).value, 1);
+  {
+    QueryScope q1(101);
+    EXPECT_EQ(m.ScopedSnapshot(3).counters.at({"", "x"}).value, 10);
+  }
+
+  m.ClearScoped(101);
+  EXPECT_TRUE(m.ScopedSnapshot(101, 3).empty());
+  EXPECT_EQ(m.ScopedSnapshot(202, 3).counters.at({"", "x"}).value, 7);
+  EXPECT_EQ(m.Get("x"), 18);
+}
+
+TEST(ThreadPoolTest, TasksInheritTheSubmittersQueryScope) {
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  {
+    QueryScope q(7);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&wrong] {
+        if (QueryScope::Current() != 7) wrong.fetch_add(1);
+      });
+    }
+  }
+  pool.Wait();
+  EXPECT_EQ(wrong.load(), 0);
+  // Outside any scope, submissions run under the legacy id 0.
+  std::atomic<int> zero_ok{0};
+  pool.Submit([&zero_ok] {
+    if (QueryScope::Current() == 0) zero_ok.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(zero_ok.load(), 1);
+}
+
+TEST(ThreadPoolTest, LanesFromManyQueriesAllDrain) {
+  ThreadPool pool(3);
+  constexpr int kQueries = 5;
+  constexpr int kTasksEach = 40;
+  std::atomic<int> per_query[kQueries] = {};
+  for (int q = 0; q < kQueries; ++q) {
+    QueryScope scope(1000 + q);
+    for (int i = 0; i < kTasksEach; ++i) {
+      pool.Submit([&per_query, q] { per_query[q].fetch_add(1); });
+    }
+  }
+  pool.Wait();
+  for (int q = 0; q < kQueries; ++q) {
+    EXPECT_EQ(per_query[q].load(), kTasksEach) << "query " << q;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,410 @@
+// WarehouseServer tests: session lifecycle, the admission gate
+// (queue-then-shed, FIFO grant), per-session rate limiting, memory quotas,
+// and — the load-bearing part — N concurrent queries through one warehouse
+// all matching the single-node reference oracle with per-query isolated
+// profiles (concurrent EXPLAIN ANALYZE must not cross-contaminate).
+// The whole suite runs under the TSan CI job, so the catalog RW locks and
+// the query-scoped metric store are exercised under a race detector.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hybrid/reference.h"
+#include "server/warehouse_server.h"
+#include "testing/differential.h"
+#include "workload/loader.h"
+
+namespace hybridjoin {
+namespace {
+
+using server::AdmissionController;
+using server::QueryQuotas;
+using server::ServerConfig;
+using server::ServerResult;
+using server::ServerStats;
+using server::WarehouseServer;
+
+const char kQuery[] =
+    "SELECT extract_group(L.groupByExtractCol), COUNT(*) "
+    "FROM T, L "
+    "WHERE T.corPred < 200000 AND L.corPred < 400000 "
+    "  AND T.joinKey = L.joinKey "
+    "  AND T.predAfterJoin - L.predAfterJoin BETWEEN 0 AND 1 "
+    "GROUP BY extract_group(L.groupByExtractCol)";
+
+/// Small but non-trivial warehouse shared by the concurrency tests.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadConfig wc;
+    wc.num_join_keys = 512;
+    wc.t_rows = 8 * 1024;
+    wc.l_rows = 32 * 1024;
+    auto workload = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    workload_ = std::make_unique<Workload>(std::move(workload).value());
+
+    SimulationConfig config;
+    config.db.num_workers = 2;
+    config.jen_workers = 2;
+    config.bloom.expected_keys = wc.num_join_keys;
+    hw_ = std::make_unique<HybridWarehouse>(config);
+    ASSERT_TRUE(LoadWorkload(hw_.get(), *workload_).ok());
+
+    // The oracle must run the same query the server will parse from
+    // kQuery (its literals differ from the workload's solved ones).
+    auto query = hw_->ParseSql(kQuery);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    auto oracle = RunReferenceJoin({workload_->t_rows()},
+                                   workload_->l_batches(), *query);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    oracle_ = std::make_unique<RecordBatch>(std::move(oracle).value());
+  }
+
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<HybridWarehouse> hw_;
+  std::unique_ptr<RecordBatch> oracle_;
+};
+
+TEST_F(ServerTest, SessionLifecycle) {
+  WarehouseServer server(hw_.get(), ServerConfig{});
+  const uint64_t s1 = server.OpenSession();
+  const uint64_t s2 = server.OpenSession();
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(server.stats().open_sessions, 2u);
+
+  // Unknown / closed sessions fail kNotFound.
+  EXPECT_EQ(server.Execute(999999, kQuery).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(server.CloseSession(s2).ok());
+  EXPECT_EQ(server.Execute(s2, kQuery).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.CloseSession(s2).code(), StatusCode::kNotFound);
+
+  // A live session executes and gets a populated ticket.
+  auto result = server.Execute(s1, kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ticket.ticket_id, 0u);
+  EXPECT_GT(result->ticket.query_id, 0u);
+  EXPECT_EQ(result->ticket.session_id, s1);
+  EXPECT_FALSE(result->ticket.queued);
+
+  // After Shutdown everything is kUnavailable; the destructor is idempotent.
+  server.Shutdown();
+  EXPECT_EQ(server.Execute(s1, kQuery).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// The acceptance bullet: N concurrent queries through one warehouse, every
+// result equal to the reference oracle, every ticket carrying a distinct
+// query id, and every profile isolated — its data counters identical to a
+// solo run's, unaffected by the neighbors executing at the same time.
+TEST_F(ServerTest, ConcurrentQueriesMatchReferenceWithIsolatedProfiles) {
+  ServerConfig sc;
+  sc.admission.max_concurrent_queries = 4;
+  sc.admission.max_queued = 32;
+  sc.admission.queue_timeout = std::chrono::milliseconds(60000);
+  WarehouseServer server(hw_.get(), sc);
+
+  // Solo run: the baseline for the per-query data counters. These are pure
+  // functions of (data, query, algorithm) — unlike wall-time counters —
+  // so a concurrent run whose scoped slices got polluted by a neighbor
+  // would show inflated totals.
+  const uint64_t baseline_session = server.OpenSession();
+  auto solo = server.Execute(baseline_session, kQuery);
+  ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+  const obs::QueryProfile& solo_profile = solo->result.report.profile;
+  ASSERT_FALSE(solo_profile.empty());
+  const std::vector<std::pair<std::string, std::string>> kDataCounters = {
+      {"scan", "jen.tuples_scanned"},
+      {"scan", "edw.tuples_scanned"},
+      {"build", "join.ht_rows"},
+  };
+  std::vector<std::pair<std::pair<std::string, std::string>, int64_t>>
+      baseline;
+  for (const auto& [phase, name] : kDataCounters) {
+    if (const auto* row = solo_profile.FindCounter(phase, name)) {
+      baseline.emplace_back(std::make_pair(phase, name), row->total);
+    }
+  }
+  ASSERT_FALSE(baseline.empty());
+
+  constexpr int kClients = 8;
+  std::vector<Result<ServerResult>> results(
+      kClients, Result<ServerResult>(Status::Internal("not run")));
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const uint64_t session = server.OpenSession();
+      results[c] = server.Execute(session, kQuery);
+      (void)server.CloseSession(session);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<uint64_t> query_ids{solo->ticket.query_id};
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(results[c].ok())
+        << "client " << c << ": " << results[c].status().ToString();
+    const ServerResult& r = results[c].value();
+
+    // Correctness: byte-for-byte equal to the single-node oracle.
+    auto diff = testing_support::CompareBatches(*oracle_, r.result.rows);
+    EXPECT_FALSE(diff.has_value()) << "client " << c << ": " << *diff;
+
+    // Distinct query ids, ticket consistent with the assembled profile.
+    EXPECT_GT(r.ticket.query_id, 0u);
+    EXPECT_TRUE(query_ids.insert(r.ticket.query_id).second)
+        << "duplicate query id " << r.ticket.query_id;
+    EXPECT_EQ(r.result.report.profile.query_id, r.ticket.query_id);
+
+    // Profile isolation: each concurrent profile reports exactly the solo
+    // totals for the deterministic data counters.
+    for (const auto& [key, solo_total] : baseline) {
+      const auto* row =
+          r.result.report.profile.FindCounter(key.first, key.second);
+      ASSERT_NE(row, nullptr)
+          << "client " << c << " lost " << key.first << "/" << key.second;
+      EXPECT_EQ(row->total, solo_total)
+          << "client " << c << " profile contaminated at " << key.first
+          << "/" << key.second;
+    }
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.executed, kClients + 1);
+  EXPECT_EQ(stats.admission.shed, 0);
+  EXPECT_EQ(stats.admission.running, 0u);
+}
+
+// DDL through the HybridWarehouse facade (EDW catalog writers + HCatalog
+// registration) interleaved with live queries: the catalog RW locks must
+// let both proceed without a data race (TSan job) or a wrong answer.
+TEST_F(ServerTest, ConcurrentDdlAndQueries) {
+  ServerConfig sc;
+  sc.admission.max_concurrent_queries = 4;
+  sc.admission.queue_timeout = std::chrono::milliseconds(60000);
+  WarehouseServer server(hw_.get(), sc);
+
+  std::atomic<bool> ddl_ok{true};
+  std::thread ddl([&] {
+    SchemaPtr schema =
+        Schema::Make({{"k", DataType::kInt32}, {"v", DataType::kInt64}});
+    RecordBatch rows(schema);
+    for (int32_t i = 0; i < 256; ++i) {
+      rows.AppendRow({Value(i), Value(int64_t{i} * 7)});
+    }
+    for (int i = 0; i < 6; ++i) {
+      const std::string name = "ddl_side_" + std::to_string(i);
+      if (!hw_->CreateDbTable({name, schema, "k"}).ok() ||
+          !hw_->LoadDbTable(name, rows).ok() ||
+          !hw_->CreateDbIndex(name, {"k", "v"}).ok() ||
+          !hw_->WriteHdfsTable("ddl_hdfs_" + std::to_string(i), schema,
+                               HdfsWriteOptions{}, {rows})
+               .ok()) {
+        ddl_ok.store(false);
+      }
+    }
+  });
+
+  constexpr int kClients = 3;
+  constexpr int kQueriesEach = 2;
+  std::atomic<int> query_failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      const uint64_t session = server.OpenSession();
+      for (int q = 0; q < kQueriesEach; ++q) {
+        auto result = server.Execute(session, kQuery);
+        if (!result.ok() ||
+            testing_support::CompareBatches(*oracle_, result->result.rows)
+                .has_value()) {
+          query_failures.fetch_add(1);
+        }
+      }
+      (void)server.CloseSession(session);
+    });
+  }
+  ddl.join();
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(ddl_ok.load());
+  EXPECT_EQ(query_failures.load(), 0);
+  // The DDL really landed while queries were flowing.
+  EXPECT_TRUE(hw_->context().db().LookupTable("ddl_side_5").ok());
+  EXPECT_TRUE(hw_->context().hcatalog().Lookup("ddl_hdfs_5").ok());
+}
+
+// Queries past the admission limit queue; past the deadline they shed with
+// kResourceExhausted — deterministically, by pinning the only slot from the
+// test instead of racing against query runtimes.
+TEST_F(ServerTest, AdmissionQueuesThenSheds) {
+  ServerConfig sc;
+  sc.admission.max_concurrent_queries = 1;
+  sc.admission.max_queued = 2;
+  sc.admission.queue_timeout = std::chrono::milliseconds(50);
+  WarehouseServer server(hw_.get(), sc);
+  const uint64_t session = server.OpenSession();
+
+  {
+    // Pin the only execution slot.
+    auto pinned = server.admission().Admit();
+    ASSERT_TRUE(pinned.ok());
+
+    constexpr int kBlocked = 3;
+    std::vector<StatusCode> codes(kBlocked, StatusCode::kOk);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kBlocked; ++i) {
+      threads.emplace_back([&, i] {
+        codes[i] = server.Execute(session, kQuery).status().code();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int i = 0; i < kBlocked; ++i) {
+      EXPECT_EQ(codes[i], StatusCode::kResourceExhausted) << "waiter " << i;
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.admission.shed, kBlocked);
+    EXPECT_EQ(stats.executed, 0);
+  }  // pinned slot released
+
+  // With the slot free again, the same session executes normally.
+  auto result = server.Execute(session, kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(server.stats().admission.shed, 3);
+}
+
+// A queued query whose turn comes before the deadline is admitted (not
+// shed) and its ticket records the queue wait.
+TEST_F(ServerTest, QueuedQueryIsGrantedWhenSlotFrees) {
+  ServerConfig sc;
+  sc.admission.max_concurrent_queries = 1;
+  sc.admission.max_queued = 4;
+  sc.admission.queue_timeout = std::chrono::milliseconds(60000);
+  WarehouseServer server(hw_.get(), sc);
+  const uint64_t session = server.OpenSession();
+
+  auto pinned = server.admission().Admit();
+  ASSERT_TRUE(pinned.ok());
+
+  std::thread waiter_thread([&] {
+    auto result = server.Execute(session, kQuery);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->ticket.queued);
+    EXPECT_GT(result->ticket.queue_wait_us, 0);
+  });
+
+  // Give the waiter time to enter the queue, then free the slot.
+  while (server.stats().admission.queued_now == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pinned.value().Release();
+  waiter_thread.join();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.admitted_queued, 1);
+  EXPECT_EQ(stats.admission.shed, 0);
+}
+
+TEST_F(ServerTest, SessionRateLimitSheds) {
+  ServerConfig sc;
+  sc.session_queries_per_second = 1;  // refill far slower than the test
+  sc.session_burst_queries = 1;
+  sc.rate_limit_wait = std::chrono::milliseconds(0);
+  WarehouseServer server(hw_.get(), sc);
+  const uint64_t session = server.OpenSession();
+
+  // First query spends the burst token; the immediate second one sheds.
+  ASSERT_TRUE(server.Execute(session, kQuery).ok());
+  auto second = server.Execute(session, kQuery);
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().rate_limited, 1);
+
+  // The limit is per session: a fresh session has its own bucket.
+  const uint64_t other = server.OpenSession();
+  EXPECT_TRUE(server.Execute(other, kQuery).ok());
+}
+
+TEST_F(ServerTest, MemoryQuotaRejectsBeforeAdmission) {
+  WarehouseServer server(hw_.get(), ServerConfig{});
+  const uint64_t session = server.OpenSession();
+
+  QueryQuotas tight;
+  tight.memory_bytes = 1;  // no build side fits in one byte
+  auto rejected = server.Execute(session, kQuery, tight);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.quota_rejected, 1);
+  EXPECT_EQ(stats.admission.admitted, 0);  // never reached the gate
+
+  QueryQuotas roomy;
+  roomy.memory_bytes = 1ull << 40;
+  EXPECT_TRUE(server.Execute(session, kQuery, roomy).ok());
+}
+
+TEST(AdmissionControllerTest, FifoGrantAndCloseShedsWaiters) {
+  server::AdmissionConfig config;
+  config.max_concurrent_queries = 1;
+  config.max_queued = 8;
+  config.queue_timeout = std::chrono::milliseconds(60000);
+  AdmissionController controller(config);
+
+  auto first = controller.Admit();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->queued());
+
+  // Granted slots are parked (not released) so the grant chain cannot
+  // cascade through all waiters before Close gets its turn.
+  std::mutex slots_mu;
+  std::vector<AdmissionController::Slot> held_slots;
+  std::atomic<int> granted{0};
+  std::atomic<int> closed{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      auto slot = controller.Admit();
+      if (slot.ok()) {
+        EXPECT_TRUE(slot->queued());
+        granted.fetch_add(1);
+        std::lock_guard<std::mutex> lock(slots_mu);
+        held_slots.push_back(std::move(slot).value());
+      } else if (slot.status().code() == StatusCode::kUnavailable) {
+        closed.fetch_add(1);
+      }
+    });
+  }
+  while (controller.stats().queued_now < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Release once: exactly one waiter gets the slot (and keeps it); the
+  // other three wait until Close sheds them with kUnavailable.
+  first->Release();
+  while (granted.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  controller.Close();
+  for (auto& t : waiters) t.join();
+
+  EXPECT_EQ(granted.load(), 1);
+  EXPECT_EQ(closed.load(), 3);
+  const server::AdmissionStats stats = controller.stats();
+  EXPECT_EQ(stats.admitted, 2);  // the pinned slot + the granted waiter
+  EXPECT_EQ(stats.admitted_queued, 1);
+  EXPECT_EQ(stats.rejected_closed + stats.shed, 3);
+  // Closed controller rejects new arrivals immediately; slots granted
+  // before Close stay valid until released.
+  EXPECT_EQ(controller.Admit().status().code(), StatusCode::kUnavailable);
+  held_slots.clear();
+  EXPECT_EQ(controller.stats().running, 0u);
+}
+
+}  // namespace
+}  // namespace hybridjoin
