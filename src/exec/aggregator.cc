@@ -69,6 +69,7 @@ Status HashAggregator::Update(const RecordBatch& batch,
     }
     HJ_RETURN_IF_ERROR(FoldRow(group, agg_cols, r));
   }
+  ChargeNewGroups();
   return Status::OK();
 }
 
@@ -158,6 +159,7 @@ Status HashAggregator::Merge(const RecordBatch& partial) {
       }
     }
   }
+  ChargeNewGroups();
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/memory_governor.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -84,11 +85,27 @@ class HashAggregator {
     bool initialized = false;
   };
 
+  /// Approximate heap bytes per group (hash-map node + accumulator vector);
+  /// charged against the MemoryGovernor in whole-group steps as the state
+  /// grows. Aggregation state has no spillable representation, so the
+  /// charge goes through the never-failing Reserve path.
+  static constexpr uint64_t kApproxGroupBytes = 64;
+
+  void ChargeNewGroups() {
+    if (groups_.size() > groups_charged_) {
+      reservation_.Grow((groups_.size() - groups_charged_) *
+                        kApproxGroupBytes);
+      groups_charged_ = groups_.size();
+    }
+  }
+
   Status FoldRow(int64_t group, const std::vector<const ColumnVector*>& cols,
                  uint32_t row);
 
   AggSpec spec_;
   std::unordered_map<int64_t, State> groups_;
+  size_t groups_charged_ = 0;
+  MemoryReservation reservation_;
 };
 
 }  // namespace hybridjoin

@@ -7,18 +7,31 @@ namespace hybridjoin {
 namespace {
 constexpr uint64_t kGraceSeed = 0x9eaceULL;
 constexpr size_t kPendingFlushRows = 4096;
+/// Recursive-repartition bounds: past kMaxRepartitionDepth an oversized
+/// partition is joined by block-nested loop instead (all-duplicate keys
+/// cannot be split by any re-salting).
+constexpr uint32_t kMaxRepartitionDepth = 3;
+constexpr uint32_t kRepartitionFanout = 4;
+
+/// Depth-salted partition hash seed: depth 0 is the classic grace seed;
+/// every recursion level re-salts so a split that failed at depth d gets an
+/// independent chance at depth d+1.
+uint64_t SaltedSeed(uint32_t depth) {
+  return kGraceSeed + static_cast<uint64_t>(depth) * 0x9e3779b97f4a7c15ULL;
+}
 
 /// Splits a batch's rows into per-partition selections.
 std::vector<std::vector<uint32_t>> RouteRows(const RecordBatch& batch,
                                              size_t key_column,
-                                             uint32_t num_partitions) {
+                                             uint32_t num_partitions,
+                                             uint64_t seed) {
   std::vector<std::vector<uint32_t>> routed(num_partitions);
   const ColumnVector& key = batch.column(key_column);
   const bool is32 = key.physical_type() == PhysicalType::kInt32;
   for (uint32_t r = 0; r < batch.num_rows(); ++r) {
     const int64_t k = is32 ? key.i32()[r] : key.i64()[r];
     const uint32_t p = static_cast<uint32_t>(
-        HashInt64(static_cast<uint64_t>(k), kGraceSeed) % num_partitions);
+        HashInt64(static_cast<uint64_t>(k), seed) % num_partitions);
     routed[p].push_back(r);
   }
   return routed;
@@ -42,13 +55,35 @@ GraceHashJoin::GraceHashJoin(SchemaPtr build_schema, std::string build_alias,
       aggregator_(aggregator),
       metrics_(metrics),
       spill_(spill),
-      options_(options) {
+      options_(options),
+      governor_(MemoryGovernor::Current()),
+      effective_budget_(options.memory_budget_bytes != 0
+                            ? options.memory_budget_bytes
+                            : (governor_ != nullptr ? governor_->budget()
+                                                    : 0)) {
   HJ_CHECK_GT(options_.num_partitions, 0u);
   HJ_CHECK(spill_ != nullptr);
   partitions_.resize(options_.num_partitions);
   for (auto& p : partitions_) {
     p.build_pending = RecordBatch(build_schema_);
     p.probe_pending = RecordBatch(probe_schema_);
+  }
+  if (governor_ != nullptr && governor_->budget() != 0) {
+    spiller_token_ = governor_->RegisterSpiller(
+        [this]() -> uint64_t {
+          std::lock_guard<std::mutex> lock(mu_);
+          return build_finished_ ? 0 : resident_bytes_;
+        },
+        [this](uint64_t want) { return SpillForGovernor(want); });
+  }
+}
+
+GraceHashJoin::~GraceHashJoin() {
+  if (governor_ != nullptr && spiller_token_ != 0) {
+    governor_->UnregisterSpiller(spiller_token_);
+  }
+  if (governor_ != nullptr && resident_bytes_ > 0) {
+    governor_->Release(resident_bytes_);
   }
 }
 
@@ -67,7 +102,8 @@ Status GraceHashJoin::FlushPending(Partition* p, bool build_side) {
   return Status::OK();
 }
 
-Status GraceHashJoin::SpillLargestResident() {
+uint64_t GraceHashJoin::SpillLargestResidentLocked(Status* status) {
+  *status = Status::OK();
   Partition* victim = nullptr;
   for (auto& p : partitions_) {
     if (p.spilled) continue;
@@ -78,31 +114,81 @@ Status GraceHashJoin::SpillLargestResident() {
   if (victim == nullptr || victim->resident_bytes == 0) {
     // Nothing left to evict; the budget is simply too small — carry on
     // resident rather than thrash.
-    return Status::OK();
+    return 0;
   }
   victim->spilled = true;
   victim->build_file = spill_->Create();
   victim->probe_file = spill_->Create();
   ++spilled_count_;
-  if (metrics_ != nullptr) metrics_->Add(metric::kSpilledPartitions, 1);
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric::kSpilledPartitions, 1);
+    metrics_->Add(metric::kSpilledPartitionsLegacy, 1);
+  }
   for (const RecordBatch& batch : victim->build_batches) {
-    HJ_RETURN_IF_ERROR(spill_->Append(victim->build_file, batch));
+    Status st = spill_->Append(victim->build_file, batch);
+    if (!st.ok()) {
+      *status = st;
+      return 0;
+    }
   }
   victim->build_batches.clear();
-  resident_bytes_ -= victim->resident_bytes;
+  const uint64_t freed = victim->resident_bytes;
+  resident_bytes_ -= freed;
   victim->resident_bytes = 0;
-  return Status::OK();
+  if (governor_ != nullptr) governor_->Release(freed);
+  return freed;
+}
+
+uint64_t GraceHashJoin::SpillForGovernor(uint64_t want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (build_finished_) return 0;
+  uint64_t freed = 0;
+  while (freed < want) {
+    Status st;
+    const uint64_t f = SpillLargestResidentLocked(&st);
+    if (!st.ok()) {
+      if (callback_status_.ok()) callback_status_ = st;
+      break;
+    }
+    if (f == 0) break;
+    freed += f;
+  }
+  return freed;
 }
 
 Status GraceHashJoin::AddBuild(RecordBatch&& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (build_finished_) return Status::Internal("AddBuild after FinishBuild");
   build_rows_ += static_cast<int64_t>(batch.num_rows());
-  auto routed = RouteRows(batch, build_key_, options_.num_partitions);
+  auto routed =
+      RouteRows(batch, build_key_, options_.num_partitions, kGraceSeed);
   for (uint32_t pi = 0; pi < options_.num_partitions; ++pi) {
     if (routed[pi].empty()) continue;
     Partition& p = partitions_[pi];
     RecordBatch rows = batch.Gather(routed[pi]);
+    const uint64_t bytes = rows.ByteSize();
+    build_bytes_ += bytes;
+    // Reserve before admitting the piece as resident. On refusal, evict the
+    // largest resident partition (possibly this one) and retry; when
+    // nothing is left to evict, force the charge — correctness never
+    // depends on the reservation.
+    bool charged = false;
+    if (!p.spilled && governor_ != nullptr) {
+      while (!governor_->TryReserve(bytes)) {
+        Status st;
+        const uint64_t freed = SpillLargestResidentLocked(&st);
+        HJ_RETURN_IF_ERROR(st);
+        if (freed == 0) {
+          governor_->ForceReserve(bytes);
+          break;
+        }
+      }
+      charged = true;
+    }
     if (p.spilled) {
+      // The eviction loop above may have just spilled this partition; the
+      // piece belongs on its spill file, not in the (released) residency.
+      if (charged) governor_->Release(bytes);
       for (size_t r = 0; r < rows.num_rows(); ++r) {
         p.build_pending.AppendRowFrom(rows, r);
       }
@@ -111,23 +197,36 @@ Status GraceHashJoin::AddBuild(RecordBatch&& batch) {
       }
       continue;
     }
-    const uint64_t bytes = rows.ByteSize();
     p.build_batches.push_back(std::move(rows));
     p.resident_bytes += bytes;
     resident_bytes_ += bytes;
-    while (options_.memory_budget_bytes != 0 &&
-           resident_bytes_ > options_.memory_budget_bytes) {
-      const uint64_t before = resident_bytes_;
-      HJ_RETURN_IF_ERROR(SpillLargestResident());
-      if (resident_bytes_ == before) break;  // nothing evictable
+    while (effective_budget_ != 0 && resident_bytes_ > effective_budget_) {
+      Status st;
+      const uint64_t freed = SpillLargestResidentLocked(&st);
+      HJ_RETURN_IF_ERROR(st);
+      if (freed == 0) break;  // nothing evictable
     }
   }
   return Status::OK();
 }
 
 Status GraceHashJoin::FinishBuild() {
-  if (build_finished_) return Status::OK();
-  build_finished_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (build_finished_) return Status::OK();
+    build_finished_ = true;
+  }
+  // Unregister outside mu_: a concurrent Reserve holds the governor's
+  // spiller lock while waiting on mu_ in our callback, so taking them in
+  // the other order here would deadlock.
+  if (governor_ != nullptr && spiller_token_ != 0) {
+    governor_->UnregisterSpiller(spiller_token_);
+    spiller_token_ = 0;
+  }
+  HJ_RETURN_IF_ERROR(callback_status_);
+  // The resident bytes below are already charged to the governor at the
+  // grace level; keep the internal tables from double-charging them.
+  MemoryGovernor::Scope null_scope(nullptr);
   for (auto& p : partitions_) {
     if (p.spilled) {
       HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/true));
@@ -151,7 +250,8 @@ Status GraceHashJoin::AddProbe(const RecordBatch& batch) {
   if (!build_finished_) {
     return Status::Internal("AddProbe before FinishBuild");
   }
-  auto routed = RouteRows(batch, probe_key_, options_.num_partitions);
+  auto routed =
+      RouteRows(batch, probe_key_, options_.num_partitions, kGraceSeed);
   for (uint32_t pi = 0; pi < options_.num_partitions; ++pi) {
     if (routed[pi].empty()) continue;
     Partition& p = partitions_[pi];
@@ -170,10 +270,176 @@ Status GraceHashJoin::AddProbe(const RecordBatch& batch) {
   return Status::OK();
 }
 
-Status GraceHashJoin::JoinSpilledPartition(Partition* p) {
+// ------------------------------ ProbeThread -------------------------------
+
+GraceHashJoin::ProbeThread::ProbeThread(GraceHashJoin* parent,
+                                        HashAggregator* partial)
+    : parent_(parent) {
+  probers_.resize(parent_->partitions_.size());
+  spill_pending_.reserve(parent_->partitions_.size());
+  for (size_t i = 0; i < parent_->partitions_.size(); ++i) {
+    Partition& p = parent_->partitions_[i];
+    if (!p.spilled && p.table != nullptr) {
+      probers_[i] = std::make_unique<JoinProber>(
+          p.table.get(), parent_->build_schema_, parent_->build_alias_,
+          parent_->probe_schema_, parent_->probe_alias_, parent_->probe_key_,
+          parent_->post_join_predicate_, partial, parent_->metrics_);
+    }
+    spill_pending_.push_back(RecordBatch(parent_->probe_schema_));
+  }
+}
+
+Status GraceHashJoin::ProbeThread::Probe(const RecordBatch& batch) {
+  auto routed = RouteRows(batch, parent_->probe_key_,
+                          parent_->options_.num_partitions, kGraceSeed);
+  for (uint32_t pi = 0; pi < parent_->options_.num_partitions; ++pi) {
+    if (routed[pi].empty()) continue;
+    Partition& p = parent_->partitions_[pi];
+    RecordBatch rows = batch.Gather(routed[pi]);
+    if (!p.spilled) {
+      HJ_RETURN_IF_ERROR(probers_[pi]->ProbeBatch(rows));
+      continue;
+    }
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      spill_pending_[pi].AppendRowFrom(rows, r);
+    }
+    if (spill_pending_[pi].num_rows() >= kPendingFlushRows) {
+      HJ_RETURN_IF_ERROR(
+          parent_->spill_->Append(p.probe_file, spill_pending_[pi]));
+      spill_pending_[pi] = RecordBatch(parent_->probe_schema_);
+    }
+  }
+  return Status::OK();
+}
+
+Status GraceHashJoin::ProbeThread::Flush() {
+  for (uint32_t pi = 0; pi < parent_->options_.num_partitions; ++pi) {
+    if (spill_pending_[pi].num_rows() == 0) continue;
+    HJ_RETURN_IF_ERROR(parent_->spill_->Append(
+        parent_->partitions_[pi].probe_file, spill_pending_[pi]));
+    spill_pending_[pi] = RecordBatch(parent_->probe_schema_);
+  }
+  for (auto& prober : probers_) {
+    if (prober != nullptr) HJ_RETURN_IF_ERROR(prober->Flush());
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<GraceHashJoin::ProbeThread> GraceHashJoin::MakeProbeThread(
+    HashAggregator* partial) {
+  HJ_CHECK(build_finished_);
+  return std::unique_ptr<ProbeThread>(new ProbeThread(this, partial));
+}
+
+// --------------------------- Spilled-pair joins ---------------------------
+
+Status GraceHashJoin::Repartition(SpillArea::FileId src,
+                                  const SchemaPtr& schema, size_t key_column,
+                                  uint32_t depth,
+                                  const std::vector<SpillArea::FileId>& dst) {
+  const uint64_t seed = SaltedSeed(depth);
+  std::vector<RecordBatch> pending(dst.size(), RecordBatch(schema));
+  HJ_RETURN_IF_ERROR(spill_->ForEach(
+      src, schema, [&](RecordBatch&& batch) -> Status {
+        auto routed = RouteRows(batch, key_column,
+                                static_cast<uint32_t>(dst.size()), seed);
+        for (size_t i = 0; i < dst.size(); ++i) {
+          if (routed[i].empty()) continue;
+          RecordBatch rows = batch.Gather(routed[i]);
+          for (size_t r = 0; r < rows.num_rows(); ++r) {
+            pending[i].AppendRowFrom(rows, r);
+          }
+          if (pending[i].num_rows() >= kPendingFlushRows) {
+            HJ_RETURN_IF_ERROR(spill_->Append(dst[i], pending[i]));
+            pending[i] = RecordBatch(schema);
+          }
+        }
+        return Status::OK();
+      }));
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (pending[i].num_rows() == 0) continue;
+    HJ_RETURN_IF_ERROR(spill_->Append(dst[i], pending[i]));
+  }
+  spill_->Drop(src);
+  return Status::OK();
+}
+
+Status GraceHashJoin::BlockNestedJoin(SpillArea::FileId build_file,
+                                      SpillArea::FileId probe_file) {
+  // Budget-sized chunks of the build file, one full probe pass per chunk.
+  // Sort-free and distribution-free: this terminates (and stays within
+  // roughly one chunk of the budget) even when every build row carries the
+  // same join key. Aggregation commutes, so chunk order does not matter.
+  size_t start = 0;
+  while (true) {
+    JoinHashTable table(build_key_);
+    uint64_t chunk_bytes = 0;
+    size_t idx = 0;
+    size_t next_start = start;
+    bool overflow = false;
+    HJ_RETURN_IF_ERROR(spill_->ForEach(
+        build_file, build_schema_, [&](RecordBatch&& batch) -> Status {
+          const size_t i = idx++;
+          if (i < start || overflow) return Status::OK();
+          const uint64_t bytes = batch.ByteSize();
+          if (i > start && effective_budget_ != 0 &&
+              chunk_bytes + bytes > effective_budget_) {
+            overflow = true;  // chunk full; another pass picks this one up
+            return Status::OK();
+          }
+          chunk_bytes += bytes;
+          next_start = i + 1;
+          return table.AddBatch(std::move(batch));
+        }));
+    if (next_start == start) break;  // build file exhausted
+    table.Finalize();
+    JoinProber prober(&table, build_schema_, build_alias_, probe_schema_,
+                      probe_alias_, probe_key_, post_join_predicate_,
+                      aggregator_, metrics_);
+    HJ_RETURN_IF_ERROR(spill_->ForEach(
+        probe_file, probe_schema_,
+        [&](RecordBatch&& batch) { return prober.ProbeBatch(batch); }));
+    HJ_RETURN_IF_ERROR(prober.Flush());
+    start = next_start;
+    if (!overflow) break;  // consumed through the end of the file
+  }
+  spill_->Drop(build_file);
+  spill_->Drop(probe_file);
+  return Status::OK();
+}
+
+Status GraceHashJoin::JoinSpilledPair(SpillArea::FileId build_file,
+                                      SpillArea::FileId probe_file,
+                                      uint32_t depth) {
+  const uint64_t build_file_bytes =
+      static_cast<uint64_t>(spill_->FileBytes(build_file));
+  if (effective_budget_ != 0 && build_file_bytes > effective_budget_) {
+    if (depth >= kMaxRepartitionDepth) {
+      return BlockNestedJoin(build_file, probe_file);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Max(metric::kJoinRepartitionDepth,
+                    static_cast<int64_t>(depth) + 1);
+    }
+    std::vector<SpillArea::FileId> sub_build(kRepartitionFanout);
+    std::vector<SpillArea::FileId> sub_probe(kRepartitionFanout);
+    for (auto& f : sub_build) f = spill_->Create();
+    for (auto& f : sub_probe) f = spill_->Create();
+    HJ_RETURN_IF_ERROR(
+        Repartition(build_file, build_schema_, build_key_, depth + 1,
+                    sub_build));
+    HJ_RETURN_IF_ERROR(
+        Repartition(probe_file, probe_schema_, probe_key_, depth + 1,
+                    sub_probe));
+    for (uint32_t i = 0; i < kRepartitionFanout; ++i) {
+      HJ_RETURN_IF_ERROR(
+          JoinSpilledPair(sub_build[i], sub_probe[i], depth + 1));
+    }
+    return Status::OK();
+  }
   JoinHashTable table(build_key_);
   HJ_RETURN_IF_ERROR(spill_->ForEach(
-      p->build_file, build_schema_, [&](RecordBatch&& batch) {
+      build_file, build_schema_, [&](RecordBatch&& batch) {
         return table.AddBatch(std::move(batch));
       }));
   table.Finalize();
@@ -181,11 +447,11 @@ Status GraceHashJoin::JoinSpilledPartition(Partition* p) {
                     probe_alias_, probe_key_, post_join_predicate_,
                     aggregator_, metrics_);
   HJ_RETURN_IF_ERROR(spill_->ForEach(
-      p->probe_file, probe_schema_,
+      probe_file, probe_schema_,
       [&](RecordBatch&& batch) { return prober.ProbeBatch(batch); }));
   HJ_RETURN_IF_ERROR(prober.Flush());
-  spill_->Drop(p->build_file);
-  spill_->Drop(p->probe_file);
+  spill_->Drop(build_file);
+  spill_->Drop(probe_file);
   return Status::OK();
 }
 
@@ -203,7 +469,7 @@ Status GraceHashJoin::Finish() {
       continue;
     }
     HJ_RETURN_IF_ERROR(FlushPending(&p, /*build_side=*/false));
-    HJ_RETURN_IF_ERROR(JoinSpilledPartition(&p));
+    HJ_RETURN_IF_ERROR(JoinSpilledPair(p.build_file, p.probe_file, 0));
   }
   return Status::OK();
 }

@@ -2,52 +2,101 @@
 // paper's future-work extension to JEN's in-memory join (§4.4).
 //
 // Build rows are hash-partitioned; while the budget allows, partitions stay
-// in memory. When it is exceeded, the largest resident partition spills.
-// Probe rows against resident partitions join immediately (pipelined, like
-// the in-memory path); probe rows of spilled partitions spill too, and the
+// in memory. When it is exceeded — either the join's own budget or a failed
+// MemoryGovernor reservation — the largest resident partition spills. Probe
+// rows against resident partitions join immediately (pipelined, like the
+// in-memory path); probe rows of spilled partitions spill too, and the
 // spilled pairs are joined partition-by-partition in Finish().
 //
+// Finish() is robust to skew: a spilled partition whose build side still
+// exceeds the budget is recursively repartitioned with a re-salted hash
+// (bounded depth), and if re-salting cannot split it (all-duplicate join
+// keys), the pair falls back to a sort-free block-nested-loop join — the
+// build file is consumed in budget-sized chunks, the probe file streamed
+// once per chunk — so correctness never depends on the data distribution.
+//
+// When a MemoryGovernor scope is installed (or one is passed explicitly),
+// the join charges every resident build byte against it and registers a
+// spill callback so *other* consumers' reservations can evict this join's
+// partitions during the build phase (the callback goes inert at
+// FinishBuild, when resident partitions freeze into probe-ready tables).
+//
 // Equivalent output to JoinHashTable + JoinProber; every surviving joined
-// row feeds the same HashAggregator.
+// row feeds the same HashAggregator. For morsel-parallel probing use
+// MakeProbeThread: each probe thread gets its own prober set over the
+// shared frozen tables and its own thread-local aggregator partial, while
+// rows of spilled partitions divert to the (thread-safe) spill writer.
 
 #ifndef HYBRIDJOIN_EXEC_GRACE_JOIN_H_
 #define HYBRIDJOIN_EXEC_GRACE_JOIN_H_
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "exec/join_prober.h"
+#include "exec/memory_governor.h"
 #include "exec/spill.h"
 
 namespace hybridjoin {
 
 struct GraceJoinOptions {
-  /// Resident-build budget in bytes; 0 = unlimited (never spills).
+  /// Resident-build budget in bytes; 0 falls back to the installed
+  /// MemoryGovernor's budget, and to unlimited (never spills) without one.
   uint64_t memory_budget_bytes = 0;
   uint32_t num_partitions = 16;
 };
 
 class GraceHashJoin {
  public:
-  /// Same collaborators as JoinProber, plus the spill area.
+  /// Same collaborators as JoinProber, plus the spill area. Captures
+  /// MemoryGovernor::Current() (may be null) at construction.
   GraceHashJoin(SchemaPtr build_schema, std::string build_alias,
                 size_t build_key, SchemaPtr probe_schema,
                 std::string probe_alias, size_t probe_key,
                 PredicatePtr post_join_predicate, HashAggregator* aggregator,
                 Metrics* metrics, SpillArea* spill,
                 GraceJoinOptions options);
+  ~GraceHashJoin();
 
   // Phase 1: add every build batch, then freeze.
   Status AddBuild(RecordBatch&& batch);
   Status FinishBuild();
 
-  // Phase 2: stream probe batches.
+  // Phase 2: stream probe batches (single-threaded convenience path; the
+  // surviving joined rows feed the constructor's aggregator).
   Status AddProbe(const RecordBatch& batch);
+
+  /// One probe thread's view of the frozen join: resident partitions probe
+  /// through private JoinProbers into `partial` (a thread-local aggregator
+  /// the caller merges later); spilled partitions buffer locally and flush
+  /// through the thread-safe spill writer. Not itself thread-safe — one
+  /// instance per thread. Flush() must run before GraceHashJoin::Finish().
+  class ProbeThread {
+   public:
+    Status Probe(const RecordBatch& batch);
+    Status Flush();
+
+   private:
+    friend class GraceHashJoin;
+    ProbeThread(GraceHashJoin* parent, HashAggregator* partial);
+
+    GraceHashJoin* parent_;
+    std::vector<std::unique_ptr<JoinProber>> probers_;  // per partition
+    std::vector<RecordBatch> spill_pending_;            // per partition
+  };
+
+  /// Valid only after FinishBuild().
+  std::unique_ptr<ProbeThread> MakeProbeThread(HashAggregator* partial);
 
   // Phase 3: join the spilled partition pairs and flush.
   Status Finish();
 
   uint32_t spilled_partitions() const { return spilled_count_; }
   int64_t build_rows() const { return build_rows_; }
+  /// Total routed build bytes (resident + spilled), the byte measure the
+  /// budget is compared against.
+  uint64_t build_bytes() const { return build_bytes_; }
 
  private:
   struct Partition {
@@ -66,9 +115,26 @@ class GraceHashJoin {
   };
 
   uint32_t PartitionOf(int64_t key) const;
-  Status SpillLargestResident();
+  /// Requires mu_ held. Returns the bytes freed (0 = nothing evictable).
+  uint64_t SpillLargestResidentLocked(Status* status);
+  /// The governor spill callback: evicts resident partitions (largest
+  /// first) until `want` bytes are freed or nothing evictable remains.
+  /// Inert once the build phase is frozen.
+  uint64_t SpillForGovernor(uint64_t want);
   Status FlushPending(Partition* p, bool build_side);
-  Status JoinSpilledPartition(Partition* p);
+  /// Joins one spilled (build, probe) file pair, recursively repartitioning
+  /// oversized build sides up to kMaxRepartitionDepth, then falling back to
+  /// the block-nested loop. Drops both files.
+  Status JoinSpilledPair(SpillArea::FileId build_file,
+                         SpillArea::FileId probe_file, uint32_t depth);
+  /// Splits `src` into `dst.size()` files by the depth-salted hash; drops
+  /// `src`.
+  Status Repartition(SpillArea::FileId src, const SchemaPtr& schema,
+                     size_t key_column, uint32_t depth,
+                     const std::vector<SpillArea::FileId>& dst);
+  /// Budget-sized build chunks, one probe-file pass each. Drops both files.
+  Status BlockNestedJoin(SpillArea::FileId build_file,
+                         SpillArea::FileId probe_file);
 
   SchemaPtr build_schema_;
   std::string build_alias_;
@@ -81,11 +147,22 @@ class GraceHashJoin {
   Metrics* metrics_;
   SpillArea* spill_;
   GraceJoinOptions options_;
+  MemoryGovernor* governor_;
+  uint64_t effective_budget_;
+  uint64_t spiller_token_ = 0;
 
+  /// Guards partition state during the build phase: AddBuild and the
+  /// governor spill callback (another thread's failed reservation) both
+  /// mutate it. Probe-phase state is frozen, read lock-free.
+  std::mutex mu_;
   std::vector<Partition> partitions_;
+  /// First error hit inside the governor spill callback (which cannot
+  /// return a Status); re-raised by FinishBuild.
+  Status callback_status_ = Status::OK();
   uint64_t resident_bytes_ = 0;
   uint32_t spilled_count_ = 0;
   int64_t build_rows_ = 0;
+  uint64_t build_bytes_ = 0;
   bool build_finished_ = false;
   bool finished_ = false;
 };

@@ -46,6 +46,7 @@ Status JoinHashTable::ExtractEntries(
 Status JoinHashTable::AddBatch(RecordBatch batch) {
   if (finalized_) return Status::Internal("AddBatch after Finalize");
   if (batch.num_rows() == 0) return Status::OK();
+  reservation_.Grow(batch.ByteSize() + batch.num_rows() * sizeof(Entry));
   const uint32_t batch_index = static_cast<uint32_t>(batches_.size());
   if (shards_.size() == 1) {
     // Streaming fast path: append straight into the single shard.
@@ -94,6 +95,7 @@ Status JoinHashTable::AddBatchesParallel(std::vector<RecordBatch> batches,
   size_t added = 0;
   for (RecordBatch& b : batches) {
     if (b.num_rows() == 0) continue;
+    reservation_.Grow(b.ByteSize() + b.num_rows() * sizeof(Entry));
     batches_.push_back(std::move(b));
     ++added;
   }
@@ -174,6 +176,15 @@ void JoinHashTable::FinalizeShard(uint32_t shard) {
     const uint32_t len = ++chain_len[h & s.bucket_mask];
     if (len > s.max_chain_length) s.max_chain_length = len;
   }
+}
+
+void JoinHashTable::MarkFinalized() {
+  if (!finalized_) {
+    // Bucket directories exist now; charge them from the (single) finalizing
+    // thread — FinalizeShard itself runs shard-parallel.
+    reservation_.Grow(num_buckets() * sizeof(uint32_t));
+  }
+  finalized_ = true;
 }
 
 void JoinHashTable::Finalize() {

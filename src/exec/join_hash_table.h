@@ -22,6 +22,7 @@
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "exec/memory_governor.h"
 #include "types/record_batch.h"
 
 namespace hybridjoin {
@@ -70,7 +71,7 @@ class JoinHashTable {
   /// FinalizeShard is thread-safe across distinct shards; call it for every
   /// shard exactly once, then MarkFinalized.
   void FinalizeShard(uint32_t shard);
-  void MarkFinalized() { finalized_ = true; }
+  void MarkFinalized();
 
   bool finalized() const { return finalized_; }
   size_t num_rows() const {
@@ -187,6 +188,11 @@ class JoinHashTable {
   std::vector<RecordBatch> batches_;
   std::vector<Shard> shards_;
   bool finalized_ = false;
+  /// Charges retained batches + entries (and, at finalize, the bucket
+  /// directories) against the thread-local MemoryGovernor captured at
+  /// construction; released wholesale on destruction. Grown only from the
+  /// single-writer build path, never from shard-parallel workers.
+  MemoryReservation reservation_;
 };
 
 }  // namespace hybridjoin

@@ -1,0 +1,65 @@
+#include "exec/memory_governor.h"
+
+#include <algorithm>
+
+namespace hybridjoin {
+
+uint64_t MemoryGovernor::Reserve(uint64_t bytes) {
+  if (bytes == 0) return 0;
+  if (TryReserve(bytes)) return 0;
+
+  // Over budget: run spillers, largest resident first, until the shortfall
+  // is covered or nobody has anything left to evict. The lock both guards
+  // the registry and serializes concurrent spill runs, so two threads under
+  // pressure do not both evict (and double-free the budget headroom).
+  uint64_t freed_total = 0;
+  bool reserved = false;
+  {
+    std::lock_guard<std::mutex> lock(spillers_mu_);
+    while (!(reserved = TryReserve(bytes))) {
+      const uint64_t used_now = used_.load(std::memory_order_relaxed);
+      const uint64_t want =
+          used_now + bytes > budget_ ? used_now + bytes - budget_ : 0;
+      // Snapshot (resident, index) and try the largest first.
+      std::vector<std::pair<uint64_t, size_t>> order;
+      order.reserve(spillers_.size());
+      for (size_t i = 0; i < spillers_.size(); ++i) {
+        const uint64_t resident = spillers_[i].resident_bytes();
+        if (resident > 0) order.emplace_back(resident, i);
+      }
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      uint64_t freed_this_round = 0;
+      for (const auto& [resident, i] : order) {
+        freed_this_round += spillers_[i].spill(want);
+        if (freed_this_round >= want) break;
+      }
+      freed_total += freed_this_round;
+      if (freed_this_round == 0) break;  // nothing evictable remains
+    }
+  }
+
+  // Charge unconditionally; whatever still does not fit is overcommit.
+  if (!reserved) ForceReserve(bytes);
+  return freed_total;
+}
+
+uint64_t MemoryGovernor::RegisterSpiller(
+    std::function<uint64_t()> resident_bytes, SpillFn spill) {
+  std::lock_guard<std::mutex> lock(spillers_mu_);
+  const uint64_t token = next_token_++;
+  spillers_.push_back({token, std::move(resident_bytes), std::move(spill)});
+  return token;
+}
+
+void MemoryGovernor::UnregisterSpiller(uint64_t token) {
+  std::lock_guard<std::mutex> lock(spillers_mu_);
+  for (auto it = spillers_.begin(); it != spillers_.end(); ++it) {
+    if (it->token == token) {
+      spillers_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace hybridjoin

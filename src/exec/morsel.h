@@ -21,6 +21,7 @@
 #include "common/blocking_queue.h"
 #include "common/query_scope.h"
 #include "common/status.h"
+#include "exec/memory_governor.h"
 #include "net/network.h"
 #include "trace/tracer.h"
 #include "types/record_batch.h"
@@ -41,6 +42,7 @@ class BatchMorselPipe {
                   const char* role_base = "morsel",
                   size_t queue_capacity = 0)
       : consume_(std::move(consume)),
+        governor_(MemoryGovernor::Current()),
         queue_(queue_capacity == 0 ? std::max<size_t>(2 * threads, 2)
                                    : queue_capacity) {
     if (threads <= 1) return;
@@ -49,11 +51,16 @@ class BatchMorselPipe {
     for (uint32_t t = 0; t < threads; ++t) {
       workers_.emplace_back([this, t, trace_node, role_base, query_id] {
         QueryScope query_scope(query_id);
+        // Re-install the feeder's governor so per-thread consumer state
+        // (probers, partial aggregators) created inside consume_ charges
+        // the right query.
+        MemoryGovernor::Scope governor_scope(governor_);
         std::optional<trace::ThreadScope> scope;
         if (trace_node.has_value()) {
           scope.emplace(*trace_node, trace::InternedRole(role_base, t));
         }
         while (auto batch = queue_.Pop()) {
+          if (governor_ != nullptr) governor_->Release(batch->ByteSize());
           // After a failure, keep draining so the feeder never blocks on a
           // full queue, but stop doing work.
           if (failed_.load(std::memory_order_relaxed)) continue;
@@ -79,6 +86,10 @@ class BatchMorselPipe {
       if (!st.ok()) Fail(st);
       return st;
     }
+    // Queued batches are in-flight memory: charged here, released by the
+    // worker that pops them (never refused — the queue bound is the real
+    // backpressure).
+    if (governor_ != nullptr) governor_->Reserve(batch.ByteSize());
     queue_.Push(std::move(batch));
     return Status::OK();
   }
@@ -106,6 +117,7 @@ class BatchMorselPipe {
   }
 
   std::function<Status(uint32_t, RecordBatch&&)> consume_;
+  MemoryGovernor* governor_;
   BlockingQueue<RecordBatch> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> failed_{false};

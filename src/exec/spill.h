@@ -20,9 +20,25 @@
 namespace hybridjoin {
 
 namespace metric {
-inline constexpr const char kSpillBytesWritten[] = "jen.spill_bytes_written";
-inline constexpr const char kSpillBytesRead[] = "jen.spill_bytes_read";
-inline constexpr const char kSpilledPartitions[] = "jen.spilled_partitions";
+// Canonical spill counters live under the join.* namespace like the rest of
+// the join metrics (they used to drift as jen.spill_* while the profile tree
+// expected join.*). The legacy jen.* names are dual-emitted for one release
+// so external dashboards keyed on them keep working; they will be dropped
+// next release.
+inline constexpr const char kSpillBytesWritten[] = "join.spill_bytes";
+inline constexpr const char kSpillBytesRead[] = "join.spill_bytes_read";
+inline constexpr const char kSpilledPartitions[] = "join.spill_partitions";
+/// Deepest recursive-repartition level reached by any spilled partition
+/// (gauge maximum; 0 = no recursion was needed).
+inline constexpr const char kJoinRepartitionDepth[] = "join.repartition_depth";
+/// Query-wide MemoryGovernor peak reservation (gauge maximum, bytes).
+inline constexpr const char kJoinMemPeakBytes[] = "join.mem_peak_bytes";
+// One-release legacy aliases (see above).
+inline constexpr const char kSpillBytesWrittenLegacy[] =
+    "jen.spill_bytes_written";
+inline constexpr const char kSpillBytesReadLegacy[] = "jen.spill_bytes_read";
+inline constexpr const char kSpilledPartitionsLegacy[] =
+    "jen.spilled_partitions";
 }  // namespace metric
 
 /// One worker's spill storage. Thread-compatible: each file is written by
@@ -48,6 +64,8 @@ class SpillArea {
     write_bucket_.Acquire(bytes.size());
     if (metrics_ != nullptr) {
       metrics_->Add(metric::kSpillBytesWritten,
+                    static_cast<int64_t>(bytes.size()));
+      metrics_->Add(metric::kSpillBytesWrittenLegacy,
                     static_cast<int64_t>(bytes.size()));
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -79,6 +97,8 @@ class SpillArea {
       if (metrics_ != nullptr) {
         metrics_->Add(metric::kSpillBytesRead,
                       static_cast<int64_t>(bytes->size()));
+        metrics_->Add(metric::kSpillBytesReadLegacy,
+                      static_cast<int64_t>(bytes->size()));
       }
       HJ_ASSIGN_OR_RETURN(RecordBatch batch,
                           RecordBatch::Deserialize(*bytes, schema));
@@ -91,6 +111,18 @@ class SpillArea {
   void Drop(FileId id) {
     std::lock_guard<std::mutex> lock(mu_);
     if (id < files_.size()) files_[id].chunks.clear();
+  }
+
+  /// Serialized bytes currently held by one file (the grace join's
+  /// recursive-repartition decisions key off this).
+  int64_t FileBytes(FileId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= files_.size()) return 0;
+    int64_t total = 0;
+    for (const auto& c : files_[id].chunks) {
+      total += static_cast<int64_t>(c.size());
+    }
+    return total;
   }
 
   int64_t bytes_on_disk() const {

@@ -31,14 +31,19 @@ Result<PreparedQuery> PrepareQuery(EngineContext* ctx,
                                    const HybridQuery& query);
 
 /// §3.1 — fetch filtered HDFS data into the database and join there,
-/// optionally pruning with a DB Bloom filter first.
+/// optionally pruning with a DB Bloom filter first. `memory_budget_bytes`
+/// seeds the execution's MemoryGovernor (0 falls back to
+/// SimulationConfig::query_memory_budget_bytes; 0 there = unlimited) — the
+/// same knob on every driver below.
 Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
                                   const PreparedQuery& prepared,
-                                  bool use_bloom);
+                                  bool use_bloom,
+                                  uint64_t memory_budget_bytes = 0);
 
 /// §3.2 — broadcast T' to every JEN worker, join and aggregate on HDFS.
 Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
-                                     const PreparedQuery& prepared);
+                                     const PreparedQuery& prepared,
+                                     uint64_t memory_budget_bytes = 0);
 
 /// How the zigzag join's *second* (HDFS -> DB) pruning step is realized.
 enum class SecondFilterKind {
@@ -70,11 +75,13 @@ struct JoinDriverOptions {
 /// prune the database data (the full zigzag join).
 Result<QueryResult> RunRepartitionFamilyJoin(
     EngineContext* ctx, const PreparedQuery& prepared, bool use_db_bloom,
-    bool zigzag, const JoinDriverOptions& options = {});
+    bool zigzag, const JoinDriverOptions& options = {},
+    uint64_t memory_budget_bytes = 0);
 
 /// Dispatch by algorithm enum (prepares internally).
 Result<QueryResult> RunJoin(EngineContext* ctx, const HybridQuery& query,
-                            JoinAlgorithm algorithm);
+                            JoinAlgorithm algorithm,
+                            uint64_t memory_budget_bytes = 0);
 
 }  // namespace hybridjoin
 

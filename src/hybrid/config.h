@@ -61,6 +61,13 @@ struct SimulationConfig {
   /// byte-for-byte. JenConfig::process_threads, when 0, inherits the
   /// resolved value.
   uint32_t exec_threads = 0;
+  /// Per-query memory budget seeding the execution's MemoryGovernor
+  /// (src/exec/memory_governor.h): hash-table builds, aggregation state,
+  /// in-flight exchange/morsel batches all charge against it, and the grace
+  /// join spills partitions to stay inside it. 0 = unlimited (peak is still
+  /// tracked and reported as join.mem_peak_bytes). A per-execution budget —
+  /// e.g. a server session's QueryQuotas::memory_bytes — overrides this.
+  uint64_t query_memory_budget_bytes = 0;
 
   /// A scaled-down version of the paper's testbed with real throttling,
   /// used by the benches. `scale` multiplies every bandwidth (1.0 keeps the

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "exec/grace_join.h"
 #include "exec/join_prober.h"
 #include "exec/partitioned_appender.h"
 #include "hybrid/algorithms.h"
@@ -134,7 +135,8 @@ Status RepartitionAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
 
 Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
                                   const PreparedQuery& prepared,
-                                  bool use_bloom) {
+                                  bool use_bloom,
+                                  uint64_t memory_budget_bytes) {
   const HybridQuery& query = prepared.query;
   const uint32_t m = ctx->num_db_workers();
   const uint32_t n = ctx->num_jen_workers();
@@ -145,7 +147,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   const JoinAlgorithm algorithm =
       use_bloom ? JoinAlgorithm::kDbSideBloom : JoinAlgorithm::kDbSide;
 
-  ReportBuilder report(ctx, algorithm);
+  ReportBuilder report(ctx, algorithm, memory_budget_bytes);
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -156,6 +158,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -362,9 +365,41 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
       // Local hash join + aggregation, morsel-parallel on both phases: the
       // build side goes through the partitioned parallel build (key-space
       // shards on the shared exec pool), the probe side through per-thread
-      // probers with thread-local partial aggregates.
+      // probers with thread-local partial aggregates. Under a memory budget
+      // (static knob or the query's governor) the local join runs as a
+      // Grace join over a per-worker spill area instead, so a build side
+      // that exceeds the budget spills partitions rather than erroring.
       HashAggregator agg(query.agg);
-      if (st.ok()) {
+      const JenConfig& jen_config = ctx->config().jen;
+      const uint64_t grace_budget =
+          jen_config.join_memory_budget_bytes > 0
+              ? jen_config.join_memory_budget_bytes
+              : report.governor()->budget();
+      if (st.ok() && grace_budget > 0) {
+        trace::Span join_span(&ctx->tracer(), trace::span::kDbJoin,
+                              trace::span::kCatJoin);
+        SpillArea spill(jen_config.spill_write_bps,
+                        jen_config.spill_read_bps, &ctx->metrics());
+        GraceJoinOptions grace_options;
+        grace_options.memory_budget_bytes = grace_budget;
+        grace_options.num_partitions = jen_config.grace_partitions;
+        GraceHashJoin grace(build_schema, build_alias, build_key,
+                            probe_schema, probe_alias, probe_key,
+                            query.post_join_predicate, &agg, &ctx->metrics(),
+                            &spill, grace_options);
+        for (RecordBatch& batch : build_batches) {
+          st = grace.AddBuild(std::move(batch));
+          if (!st.ok()) break;
+        }
+        if (st.ok()) st = grace.FinishBuild();
+        if (st.ok()) {
+          for (const RecordBatch& batch : probe_batches) {
+            st = grace.AddProbe(batch);
+            if (!st.ok()) break;
+          }
+        }
+        if (st.ok()) st = grace.Finish();
+      } else if (st.ok()) {
         trace::Span join_span(&ctx->tracer(), trace::span::kDbJoin,
                               trace::span::kCatJoin);
         JoinHashTable table(build_key, driver::HashTableShards(ctx));
@@ -420,6 +455,7 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);

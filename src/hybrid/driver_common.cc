@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "exec/spill.h"
 #include "jen/worker.h"
 #include "trace/chrome_trace.h"
 
@@ -37,17 +38,31 @@ NodeProfileScope::~NodeProfileScope() {
     // Feeds the jen.worker_wall_us histogram even with tracing disabled.
     m.Record(metric::kJenWorkerWallUs, wall_us);
   }
+  // The query-wide memory high-water mark, recorded into this node's slice
+  // (and the global store) before the snapshot below captures it. Max, not
+  // Add: every worker reports the same per-query governor. Skipped at zero
+  // so governor-less runs don't grow a dead gauge.
+  if (MemoryGovernor* governor = MemoryGovernor::Current()) {
+    const auto peak = static_cast<int64_t>(governor->peak());
+    if (peak > 0) m.Max(metric::kJoinMemPeakBytes, peak);
+  }
   const obs::NodeProfileSnapshot snap =
       obs::SnapshotNodeProfile(&m, node_, wall_us);
   ctx_->network().SendControl(node_, NodeId::Db(0), tag_,
                               obs::SerializeNodeProfile(snap));
 }
 
-ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm)
+ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm,
+                             uint64_t memory_budget_bytes)
     : ctx_(ctx),
       algorithm_(algorithm),
       query_id_(ctx->NextQueryId()),
       scope_(query_id_),
+      governor_(std::make_unique<MemoryGovernor>(
+          memory_budget_bytes != 0
+              ? memory_budget_bytes
+              : ctx->config().query_memory_budget_bytes)),
+      governor_scope_(governor_.get()),
       exclusive_(ctx->BeginExecution() == 1) {
   if (exclusive_) {
     // Running alone: drop whatever scoped slices and spans a previous

@@ -15,6 +15,7 @@
 #include "common/stopwatch.h"
 #include "exec/aggregator.h"
 #include "exec/join_prober.h"
+#include "exec/memory_governor.h"
 #include "exec/morsel.h"
 #include "hybrid/context.h"
 #include "hybrid/query.h"
@@ -103,7 +104,11 @@ class NodeProfileScope {
 /// per-query truth under concurrency lives in ExecutionReport::profile.
 class ReportBuilder {
  public:
-  ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm);
+  /// `memory_budget_bytes` seeds this execution's MemoryGovernor; 0 falls
+  /// back to SimulationConfig::query_memory_budget_bytes (and 0 there means
+  /// unlimited — the governor still tracks the peak).
+  ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm,
+                uint64_t memory_budget_bytes = 0);
   ~ReportBuilder();
 
   ReportBuilder(const ReportBuilder&) = delete;
@@ -112,6 +117,11 @@ class ReportBuilder {
   /// This execution's query id; worker threads install QueryScope(query_id())
   /// so their scoped metric writes land in this query's slices.
   uint64_t query_id() const { return query_id_; }
+
+  /// This execution's memory governor; worker threads install
+  /// MemoryGovernor::Scope(report.governor()) right after their QueryScope
+  /// so per-thread operator state charges the right query.
+  MemoryGovernor* governor() const { return governor_.get(); }
 
   /// True when this execution had the context to itself at construction.
   bool exclusive() const { return exclusive_; }
@@ -132,6 +142,8 @@ class ReportBuilder {
   JoinAlgorithm algorithm_;
   uint64_t query_id_;
   QueryScope scope_;  ///< driver-thread attribution for query_id_
+  std::unique_ptr<MemoryGovernor> governor_;
+  MemoryGovernor::Scope governor_scope_;  ///< driver-thread installation
   bool exclusive_;
   Stopwatch stopwatch_;
   std::map<std::string, int64_t> counters_before_;

@@ -58,7 +58,8 @@ void AddKeysToBloom(const RecordBatch& batch, size_t key_idx,
 // ---------------------------------------------------------------------------
 
 Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
-                                     const PreparedQuery& prepared) {
+                                     const PreparedQuery& prepared,
+                                     uint64_t memory_budget_bytes) {
   const HybridQuery& query = prepared.query;
   const uint32_t m = ctx->num_db_workers();
   const uint32_t n = ctx->num_jen_workers();
@@ -66,7 +67,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   const Tags tags = Tags::Allocate(&net);
   const std::vector<NodeId> jen_nodes = AllJenNodes(ctx);
 
-  ReportBuilder report(ctx, JoinAlgorithm::kBroadcast);
+  ReportBuilder report(ctx, JoinAlgorithm::kBroadcast, memory_budget_bytes);
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -77,6 +78,7 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       trace::ThreadScope thread_scope(NodeId::Db(i), "db_worker");
       driver::NodeProfileScope profile_scope(ctx, NodeId::Db(i), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
@@ -111,62 +113,143 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       trace::ThreadScope thread_scope(NodeId::Hdfs(w), "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, NodeId::Hdfs(w), tags);
       trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
                               trace::span::kCatDriver);
-      JoinHashTable table(prepared.db_key_idx, driver::HashTableShards(ctx));
-      {
-        trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
-                               trace::span::kCatJoin);
-        errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w),
-                                           tags.db_data, m,
-                                           prepared.db_proj_schema, &table));
-        driver::FinalizeAndRecordHashTable(ctx, NodeId::Hdfs(w), &table,
-                                           ctx->exec_pool());
-      }
-      if (w == ctx->coordinator().designated_worker()) {
-        report.Mark("jen_hash_built");
-      }
-
+      const JenConfig& jen_config = ctx->config().jen;
+      // Memory-governed path: when a budget exists (static knob or the
+      // query's governor), T' builds through a Grace join so an oversized
+      // broadcast side spills instead of erroring; scan process threads
+      // then probe through spill-aware ProbeThreads.
+      const uint64_t grace_budget =
+          jen_config.join_memory_budget_bytes > 0
+              ? jen_config.join_memory_budget_bytes
+              : report.governor()->budget();
+      const bool use_grace = grace_budget > 0;
       HashAggregator agg(query.agg);
-      // Build side is the (small) database table; probe with L during the
-      // scan so network wait, scan and join overlap. Each scan process
-      // thread owns a JoinProber and (when parallel) a thread-local partial
-      // aggregate, merged after the scan — commutative ops + key-sorted
-      // partials keep the result independent of the morsel split.
       const uint32_t exec_threads = ctx->exec_threads();
       std::vector<std::unique_ptr<HashAggregator>> partials;
-      std::vector<std::unique_ptr<JoinProber>> probers;
-      for (uint32_t t = 0; t < exec_threads; ++t) {
-        HashAggregator* sink = &agg;
-        if (exec_threads > 1) {
-          partials.push_back(std::make_unique<HashAggregator>(query.agg));
-          sink = partials.back().get();
+      if (use_grace) {
+        SpillArea spill(jen_config.spill_write_bps,
+                        jen_config.spill_read_bps, &ctx->metrics());
+        GraceJoinOptions grace_options;
+        grace_options.memory_budget_bytes = grace_budget;
+        grace_options.num_partitions = jen_config.grace_partitions;
+        GraceHashJoin grace(prepared.db_proj_schema, query.db.alias,
+                            prepared.db_key_idx, prepared.hdfs_out_schema,
+                            query.hdfs.alias, prepared.hdfs_key_idx,
+                            query.post_join_predicate, &agg, &ctx->metrics(),
+                            &spill, grace_options);
+        Status st;
+        {
+          trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
+                                 trace::span::kCatJoin);
+          StreamReceiver db_stream(&net, NodeId::Hdfs(w), tags.db_data, m);
+          while (auto msg = db_stream.Next()) {
+            auto batch = RecordBatch::Deserialize(*msg->payload,
+                                                  prepared.db_proj_schema);
+            if (!batch.ok()) {
+              if (st.ok()) st = batch.status();
+              continue;
+            }
+            Status a = grace.AddBuild(std::move(batch).value());
+            if (!a.ok() && st.ok()) st = a;
+          }
+          if (st.ok()) st = db_stream.status();
+          if (st.ok()) st = grace.FinishBuild();
         }
-        probers.push_back(std::make_unique<JoinProber>(
-            &table, prepared.db_proj_schema, query.db.alias,
-            prepared.hdfs_out_schema, query.hdfs.alias,
-            prepared.hdfs_key_idx, query.post_join_predicate, sink,
-            &ctx->metrics()));
+        if (w == ctx->coordinator().designated_worker()) {
+          report.Mark("jen_hash_built");
+        }
+        std::vector<std::unique_ptr<GraceHashJoin::ProbeThread>> probes;
+        if (st.ok()) {
+          for (uint32_t t = 0; t < exec_threads; ++t) {
+            HashAggregator* sink = &agg;
+            if (exec_threads > 1) {
+              partials.push_back(std::make_unique<HashAggregator>(query.agg));
+              sink = partials.back().get();
+            }
+            probes.push_back(grace.MakeProbeThread(sink));
+          }
+          const ScanTask task = MakeScanTask(prepared, w, nullptr);
+          st = ctx->jen_worker(w)->ScanBlocksParallel(
+              task, [&](uint32_t t) -> ScanConsumer {
+                GraceHashJoin::ProbeThread* probe = probes[t].get();
+                return [&, probe](RecordBatch&& batch) {
+                  trace::Span probe_span(&ctx->tracer(),
+                                         trace::span::kJenProbe,
+                                         trace::span::kCatJoin);
+                  return probe->Probe(batch);
+                };
+              });
+        }
+        // Scan threads are joined: flush per-thread spill buffers and
+        // probers, merge partials, then join the spilled pairs.
+        for (auto& probe : probes) {
+          if (st.ok()) st = probe->Flush();
+        }
+        for (auto& partial : partials) {
+          if (st.ok()) st = agg.Merge(*partial);
+        }
+        if (st.ok()) st = grace.Finish();
+        errors.Record(st);
+      } else {
+        JoinHashTable table(prepared.db_key_idx,
+                            driver::HashTableShards(ctx));
+        {
+          trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
+                                 trace::span::kCatJoin);
+          errors.Record(ReceiveIntoHashTable(&net, NodeId::Hdfs(w),
+                                             tags.db_data, m,
+                                             prepared.db_proj_schema,
+                                             &table));
+          driver::FinalizeAndRecordHashTable(ctx, NodeId::Hdfs(w), &table,
+                                             ctx->exec_pool());
+        }
+        if (w == ctx->coordinator().designated_worker()) {
+          report.Mark("jen_hash_built");
+        }
+
+        // Build side is the (small) database table; probe with L during the
+        // scan so network wait, scan and join overlap. Each scan process
+        // thread owns a JoinProber and (when parallel) a thread-local
+        // partial aggregate, merged after the scan — commutative ops +
+        // key-sorted partials keep the result independent of the morsel
+        // split.
+        std::vector<std::unique_ptr<JoinProber>> probers;
+        for (uint32_t t = 0; t < exec_threads; ++t) {
+          HashAggregator* sink = &agg;
+          if (exec_threads > 1) {
+            partials.push_back(std::make_unique<HashAggregator>(query.agg));
+            sink = partials.back().get();
+          }
+          probers.push_back(std::make_unique<JoinProber>(
+              &table, prepared.db_proj_schema, query.db.alias,
+              prepared.hdfs_out_schema, query.hdfs.alias,
+              prepared.hdfs_key_idx, query.post_join_predicate, sink,
+              &ctx->metrics()));
+        }
+        const ScanTask task = MakeScanTask(prepared, w, nullptr);
+        Status st = ctx->jen_worker(w)->ScanBlocksParallel(
+            task, [&](uint32_t t) -> ScanConsumer {
+              JoinProber* prober = probers[t].get();
+              return [&, prober](RecordBatch&& batch) {
+                trace::Span probe_span(&ctx->tracer(),
+                                       trace::span::kJenProbe,
+                                       trace::span::kCatJoin);
+                return prober->ProbeBatch(batch);
+              };
+            });
+        for (auto& prober : probers) {
+          if (st.ok()) st = prober->Flush();
+        }
+        for (auto& partial : partials) {
+          if (st.ok()) st = agg.Merge(*partial);
+        }
+        errors.Record(st);
       }
-      const ScanTask task = MakeScanTask(prepared, w, nullptr);
-      Status st = ctx->jen_worker(w)->ScanBlocksParallel(
-          task, [&](uint32_t t) -> ScanConsumer {
-            JoinProber* prober = probers[t].get();
-            return [&, prober](RecordBatch&& batch) {
-              trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
-                                     trace::span::kCatJoin);
-              return prober->ProbeBatch(batch);
-            };
-          });
-      for (auto& prober : probers) {
-        if (st.ok()) st = prober->Flush();
-      }
-      for (auto& partial : partials) {
-        if (st.ok()) st = agg.Merge(*partial);
-      }
-      errors.Record(st);
       if (w == ctx->coordinator().designated_worker()) {
         report.Mark("jen_scan_probe_done");
       }
@@ -193,7 +276,8 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
 Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                                              const PreparedQuery& prepared,
                                              bool use_db_bloom, bool zigzag,
-                                             const JoinDriverOptions& options) {
+                                             const JoinDriverOptions& options,
+                                             uint64_t memory_budget_bytes) {
   if (zigzag && !use_db_bloom) {
     return Status::InvalidArgument("zigzag join requires the DB Bloom filter");
   }
@@ -220,7 +304,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
              : (use_db_bloom ? JoinAlgorithm::kRepartitionBloom
                              : JoinAlgorithm::kRepartition);
 
-  ReportBuilder report(ctx, algorithm);
+  ReportBuilder report(ctx, algorithm, memory_budget_bytes);
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -233,6 +317,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   for (uint32_t i = 0; i < m; ++i) {
     threads.emplace_back([&, i] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       const NodeId self = NodeId::Db(i);
       trace::ThreadScope thread_scope(self, "db_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -397,6 +482,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
   for (uint32_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
       const NodeId self = NodeId::Hdfs(w);
       trace::ThreadScope thread_scope(self, "jen_worker");
       driver::NodeProfileScope profile_scope(ctx, self, tags);
@@ -424,15 +510,22 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       // when a budget is configured (§4.4 future work), or into a plain
       // buffer for the build-on-DB-data ablation.
       const JenConfig& jen_config = ctx->config().jen;
+      // The semijoin variant needs an exact-membership table over L', which
+      // the partitioned grace build cannot answer; with only a governor
+      // budget it runs the plain table and overcommits (never wrong, just
+      // unbudgeted), while the static knob keeps its historical hard error
+      // above.
+      const uint64_t grace_budget =
+          jen_config.join_memory_budget_bytes > 0
+              ? jen_config.join_memory_budget_bytes
+              : report.governor()->budget();
       const bool use_grace =
-          !options.build_on_db_data &&
-          jen_config.join_memory_budget_bytes > 0;
+          !options.build_on_db_data && !semijoin && grace_budget > 0;
       HashAggregator agg(query.agg);
       SpillArea spill(jen_config.spill_write_bps, jen_config.spill_read_bps,
                       &ctx->metrics());
       GraceJoinOptions grace_options;
-      grace_options.memory_budget_bytes =
-          jen_config.join_memory_budget_bytes;
+      grace_options.memory_budget_bytes = grace_budget;
       grace_options.num_partitions = jen_config.grace_partitions;
       GraceHashJoin grace(prepared.hdfs_out_schema, query.hdfs.alias,
                           prepared.hdfs_key_idx, prepared.db_proj_schema,
@@ -446,6 +539,7 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       const uint64_t query_id = QueryScope::Current();
       std::thread receiver([&, query_id] {
         QueryScope receiver_query_scope(query_id);
+        MemoryGovernor::Scope receiver_governor_scope(report.governor());
         trace::ThreadScope receive_scope(self, "jen_receive");
         trace::Span build_span(&ctx->tracer(), trace::span::kJenBuild,
                                trace::span::kCatJoin);
@@ -570,21 +664,60 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
         // the shuffle; spilled ones are joined pairwise at the end.
         if (st.ok()) st = grace.FinishBuild();
         if (w == designated) report.Mark("jen_hash_built");
+        // Spill-aware morsel probe: each worker thread owns a
+        // GraceHashJoin::ProbeThread (per-partition probers over the shared
+        // frozen tables plus thread-local spill buffers) feeding a
+        // thread-local partial aggregate. Morsels whose partition spilled
+        // divert to the partition's probe spill file instead of probing.
+        const uint32_t exec_threads = ctx->exec_threads();
+        std::vector<std::unique_ptr<HashAggregator>> grace_partials;
+        std::vector<std::unique_ptr<GraceHashJoin::ProbeThread>> grace_probes;
+        std::unique_ptr<BatchMorselPipe> pipe;
+        if (st.ok()) {
+          for (uint32_t t = 0; t < exec_threads; ++t) {
+            HashAggregator* sink = &agg;
+            if (exec_threads > 1) {
+              grace_partials.push_back(
+                  std::make_unique<HashAggregator>(query.agg));
+              sink = grace_partials.back().get();
+            }
+            grace_probes.push_back(grace.MakeProbeThread(sink));
+          }
+          pipe = std::make_unique<BatchMorselPipe>(
+              exec_threads,
+              [&](uint32_t t, RecordBatch&& batch) -> Status {
+                trace::Span probe_span(&ctx->tracer(),
+                                       trace::span::kJenProbe,
+                                       trace::span::kCatJoin);
+                return grace_probes[t]->Probe(batch);
+              },
+              self, "probe");
+        }
         StreamReceiver db_stream(&net, self, tags.db_data, m);
         while (auto msg = db_stream.Next()) {
           if (!st.ok()) continue;  // keep draining to honor the protocol
           auto batch = RecordBatch::Deserialize(*msg->payload,
                                                 prepared.db_proj_schema);
           if (batch.ok()) {
-            trace::Span probe_span(&ctx->tracer(), trace::span::kJenProbe,
-                                   trace::span::kCatJoin);
-            Status p = grace.AddProbe(batch.value());
+            Status p = pipe->Feed(std::move(batch).value());
             if (!p.ok()) st = p;
           } else {
             st = batch.status();
           }
         }
         if (st.ok()) st = db_stream.status();
+        if (pipe != nullptr) {
+          const Status fin = pipe->Finish();  // joins probe threads
+          if (st.ok()) st = fin;
+        }
+        // Probe threads joined: flush spill buffers + probers, merge the
+        // partials, then join the spilled partition pairs.
+        for (auto& probe : grace_probes) {
+          if (st.ok()) st = probe->Flush();
+        }
+        for (auto& partial : grace_partials) {
+          if (st.ok()) st = agg.Merge(*partial);
+        }
         if (st.ok()) st = grace.Finish();
       } else if (!options.build_on_db_data) {
         // Paper's plan: hash table over L', probe with arriving database

@@ -101,24 +101,30 @@ Result<PreparedQuery> PrepareQuery(EngineContext* ctx,
 }
 
 Result<QueryResult> RunJoin(EngineContext* ctx, const HybridQuery& query,
-                            JoinAlgorithm algorithm) {
+                            JoinAlgorithm algorithm,
+                            uint64_t memory_budget_bytes) {
   HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
   switch (algorithm) {
     case JoinAlgorithm::kDbSide:
-      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/false);
+      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/false,
+                           memory_budget_bytes);
     case JoinAlgorithm::kDbSideBloom:
-      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/true);
+      return RunDbSideJoin(ctx, prepared, /*use_bloom=*/true,
+                           memory_budget_bytes);
     case JoinAlgorithm::kBroadcast:
-      return RunBroadcastJoin(ctx, prepared);
+      return RunBroadcastJoin(ctx, prepared, memory_budget_bytes);
     case JoinAlgorithm::kRepartition:
       return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/false,
-                                      /*zigzag=*/false);
+                                      /*zigzag=*/false, {},
+                                      memory_budget_bytes);
     case JoinAlgorithm::kRepartitionBloom:
       return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
-                                      /*zigzag=*/false);
+                                      /*zigzag=*/false, {},
+                                      memory_budget_bytes);
     case JoinAlgorithm::kZigzag:
       return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
-                                      /*zigzag=*/true);
+                                      /*zigzag=*/true, {},
+                                      memory_budget_bytes);
   }
   return Status::InvalidArgument("unknown join algorithm");
 }

@@ -68,20 +68,24 @@ class HybridWarehouse {
 
   // --- Query execution. ---
 
-  /// Runs the query with a specific join algorithm.
+  /// Runs the query with a specific join algorithm. `memory_budget_bytes`
+  /// seeds the execution's MemoryGovernor (e.g. a server session's quota);
+  /// 0 falls back to SimulationConfig::query_memory_budget_bytes.
   Result<QueryResult> Execute(const HybridQuery& query,
-                              JoinAlgorithm algorithm) {
-    return RunJoin(ctx_.get(), query, algorithm);
+                              JoinAlgorithm algorithm,
+                              uint64_t memory_budget_bytes = 0) {
+    return RunJoin(ctx_.get(), query, algorithm, memory_budget_bytes);
   }
 
   /// Lets the advisor pick the algorithm (sampling-based estimates), then
   /// runs it. `advice_out`, if non-null, receives the decision.
   Result<QueryResult> ExecuteAuto(const HybridQuery& query,
-                                  Advice* advice_out = nullptr) {
+                                  Advice* advice_out = nullptr,
+                                  uint64_t memory_budget_bytes = 0) {
     HJ_ASSIGN_OR_RETURN(QueryEstimates est, EstimateQuery(ctx_.get(), query));
     const Advice advice = AdviseAlgorithm(*ctx_, est);
     if (advice_out != nullptr) *advice_out = advice;
-    return Execute(query, advice.algorithm);
+    return Execute(query, advice.algorithm, memory_budget_bytes);
   }
 
   // --- SQL front end (the paper drives everything through SQL, §4.1.1). ---
@@ -114,16 +118,18 @@ class HybridWarehouse {
 
   /// Parses and runs a statement with the given algorithm.
   Result<QueryResult> ExecuteSql(const std::string& statement,
-                                 JoinAlgorithm algorithm) {
+                                 JoinAlgorithm algorithm,
+                                 uint64_t memory_budget_bytes = 0) {
     HJ_ASSIGN_OR_RETURN(HybridQuery query, ParseSql(statement));
-    return Execute(query, algorithm);
+    return Execute(query, algorithm, memory_budget_bytes);
   }
 
   /// Parses and runs a statement, letting the advisor pick the algorithm.
   Result<QueryResult> ExecuteSqlAuto(const std::string& statement,
-                                     Advice* advice_out = nullptr) {
+                                     Advice* advice_out = nullptr,
+                                     uint64_t memory_budget_bytes = 0) {
     HJ_ASSIGN_OR_RETURN(HybridQuery query, ParseSql(statement));
-    return ExecuteAuto(query, advice_out);
+    return ExecuteAuto(query, advice_out, memory_budget_bytes);
   }
 
   /// Drops the HDFS page caches (to measure cold runs).

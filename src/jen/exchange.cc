@@ -32,6 +32,7 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
       tag_(tag),
       metrics_(metrics),
       tuple_counter_(tuple_counter),
+      governor_(MemoryGovernor::Current()),
       pool_(BufferPool::Create()) {
   HJ_CHECK_GT(num_threads, 0u);
   threads_.reserve(num_threads);
@@ -39,8 +40,10 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
   for (uint32_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this, query_id] {
       QueryScope query_scope(query_id);
+      MemoryGovernor::Scope governor_scope(governor_);
       trace::ThreadScope thread_scope(self_, "sender");
       while (auto item = queue_.Pop()) {
+        if (governor_ != nullptr) governor_->Release(item->payload->size());
         // After a permanent failure further batches are dropped (not sent):
         // the stream is already broken and the error is sticky, but the
         // queue must keep draining so producers don't block.
@@ -63,6 +66,11 @@ BatchSender::~BatchSender() {
   if (!finished_) {
     queue_.Close();
     for (auto& t : threads_) t.join();
+    // Abandoned (never Finished) senders drop queued items without sending;
+    // their governor charges still have to come back.
+    while (auto item = queue_.TryPop()) {
+      if (governor_ != nullptr) governor_->Release(item->payload->size());
+    }
   }
 }
 
@@ -74,7 +82,9 @@ void BatchSender::Send(NodeId dest, const RecordBatch& batch) {
   }
   BinaryWriter w(pool_->Acquire());
   batch.SerializeTo(&w);
-  queue_.Push(Item{dest, pool_->Share(w.Release())});
+  auto payload = pool_->Share(w.Release());
+  if (governor_ != nullptr) governor_->Reserve(payload->size());
+  queue_.Push(Item{dest, std::move(payload)});
 }
 
 void BatchSender::SendToAll(const std::vector<NodeId>& dests,
@@ -94,6 +104,7 @@ void BatchSender::SendSerialized(
     if (metrics_ != nullptr && tuple_counter_ != nullptr) {
       metrics_->Add(tuple_counter_, tuple_count);
     }
+    if (governor_ != nullptr) governor_->Reserve(payload->size());
     queue_.Push(Item{dest, payload});
   }
 }
@@ -106,6 +117,7 @@ Status BatchSender::Finish(const std::vector<NodeId>& dests) {
   // Drain anything the closed queue still holds (Close lets Pop continue
   // to drain, but the threads may have exited on the closed signal first).
   while (auto item = queue_.TryPop()) {
+    if (governor_ != nullptr) governor_->Release(item->payload->size());
     if (failed_.load(std::memory_order_acquire)) continue;
     Status s = SendWithRetry(network_, self_, item->dest, tag_,
                              std::move(item->payload));

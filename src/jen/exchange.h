@@ -15,6 +15,7 @@
 #include "bloom/bloom_filter.h"
 #include "common/blocking_queue.h"
 #include "exec/join_hash_table.h"
+#include "exec/memory_governor.h"
 #include "expr/predicate.h"
 #include "net/network.h"
 
@@ -151,6 +152,14 @@ class BatchSender {
   uint64_t tag_;
   Metrics* metrics_;
   const char* tuple_counter_;
+  /// Queued-but-unsent payload bytes are in-flight memory of the query:
+  /// charged per enqueued Item (a broadcast charges once per destination —
+  /// each Item pins the payload) and released by the send thread that pops
+  /// it. Charged through the never-failing Reserve path; the bounded send
+  /// queue is the real backpressure. Captured at construction so the send
+  /// threads never touch thread-local state. The shared BufferPool is left
+  /// uncharged: recycled payloads can outlive the query's governor.
+  MemoryGovernor* governor_;
   std::shared_ptr<BufferPool> pool_;
   BlockingQueue<Item> queue_;
   std::vector<std::thread> threads_;

@@ -9,6 +9,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/query_scope.h"
+#include "exec/memory_governor.h"
 
 namespace hybridjoin {
 
@@ -204,10 +205,12 @@ Status JenWorker::ScanImpl(const ScanTask& task,
   // Launch the read threads (Figure 7: one per disk, plus one draining the
   // remote blocks).
   const uint64_t query_id = QueryScope::Current();
-  auto scoped_read_loop = [&read_loop, query_id](
+  MemoryGovernor* const governor = MemoryGovernor::Current();
+  auto scoped_read_loop = [&read_loop, query_id, governor](
                               const std::vector<const BlockAssignment*>&
                                   blocks) {
     QueryScope query_scope(query_id);
+    MemoryGovernor::Scope governor_scope(governor);
     read_loop(blocks);
   };
   std::vector<std::thread> readers;
@@ -314,8 +317,9 @@ Status JenWorker::ScanImpl(const ScanTask& task,
       std::vector<std::thread> procs;
       procs.reserve(process_threads);
       for (uint32_t t = 0; t < process_threads; ++t) {
-        procs.emplace_back([&, t, query_id] {
+        procs.emplace_back([&, t, query_id, governor] {
           QueryScope query_scope(query_id);
+          MemoryGovernor::Scope governor_scope(governor);
           trace::ThreadScope scope(node(),
                                    trace::InternedRole("jen_proc", t));
           run_process(t);

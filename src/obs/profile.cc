@@ -40,6 +40,12 @@ constexpr PhaseRule kExactRules[] = {
     {"jen.probe", "probe"},
     {"edw.join", "probe"},
     {"jen.aggregate", "aggregate"},
+    {"join.spill_bytes", "spill"},
+    {"join.spill_bytes_read", "spill"},
+    {"join.spill_partitions", "spill"},
+    {"join.repartition_depth", "spill"},
+    {"join.mem_peak_bytes", "driver"},
+    // Legacy spelling, dual-emitted for one release (see exec/spill.h).
     {"jen.spill_bytes_written", "spill"},
     {"jen.spill_bytes_read", "spill"},
     {"jen.spilled_partitions", "spill"},

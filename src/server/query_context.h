@@ -19,9 +19,12 @@ namespace server {
 /// (motivated by the dynamic-hybrid-hash-join literature: a query promises
 /// a bounded build-side footprint and the server holds it to that).
 struct QueryQuotas {
-  /// Upper bound on the estimated build-side (T') working set; queries
-  /// whose estimate exceeds it are rejected with kResourceExhausted before
-  /// execution. 0 = unlimited.
+  /// Per-query memory budget. Seeds the execution's MemoryGovernor
+  /// (src/exec/memory_governor.h): operator state charges against it and
+  /// the grace hash join spills partitions to stay inside it, so a query
+  /// whose working set exceeds the quota completes by spilling rather than
+  /// being rejected. Quotas below WarehouseServer::kMinQuotaBytes are
+  /// rejected with kResourceExhausted before admission. 0 = unlimited.
   uint64_t memory_bytes = 0;
   /// Advisory exec-pool share (threads) for this query's morsel work. The
   /// shared pool fair-shares across query lanes regardless; 0 = inherit an

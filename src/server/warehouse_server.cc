@@ -77,20 +77,19 @@ Result<ServerResult> WarehouseServer::Execute(uint64_t session_id,
         "session " + std::to_string(session_id) + " over its query rate");
   }
 
-  // 2. Parse + quota check before taking an execution slot: a query that is
-  //    over its memory contract should not occupy the admission gate.
+  // 2. Parse + quota check before taking an execution slot. Since the
+  //    grace join spills to stay inside any budget the working set fits
+  //    in, an over-estimate no longer rejects the query — it runs and
+  //    spills. Only quotas below the minimum runway (not enough room for
+  //    a single batch of operator state) are rejected outright.
   HJ_ASSIGN_OR_RETURN(HybridQuery query, warehouse_->ParseSql(sql));
-  if (qctx.quotas.memory_bytes > 0) {
-    HJ_ASSIGN_OR_RETURN(
-        QueryEstimates est,
-        EstimateQuery(&warehouse_->context(), query));
-    if (est.db_filtered_bytes > qctx.quotas.memory_bytes) {
-      quota_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::ResourceExhausted(
-          "estimated build side (" + std::to_string(est.db_filtered_bytes) +
-          " bytes) exceeds the query memory quota (" +
-          std::to_string(qctx.quotas.memory_bytes) + " bytes)");
-    }
+  if (qctx.quotas.memory_bytes > 0 &&
+      qctx.quotas.memory_bytes < kMinQuotaBytes) {
+    quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "query memory quota (" + std::to_string(qctx.quotas.memory_bytes) +
+        " bytes) is below the minimum runway (" +
+        std::to_string(kMinQuotaBytes) + " bytes)");
   }
 
   // 3. Admission: bounded concurrency, queue-then-shed.
@@ -99,8 +98,11 @@ Result<ServerResult> WarehouseServer::Execute(uint64_t session_id,
   // 4. Execute while holding the slot. The engine allocates the substrate
   //    query id inside the driver; copy it into the ticket from the
   //    assembled profile.
+  //    The memory quota seeds the execution's MemoryGovernor: joins spill
+  //    partitions to honor it instead of failing mid-flight.
   Advice advice;
-  Result<QueryResult> result = warehouse_->ExecuteAuto(query, &advice);
+  Result<QueryResult> result =
+      warehouse_->ExecuteAuto(query, &advice, qctx.quotas.memory_bytes);
   executed_.fetch_add(1, std::memory_order_relaxed);
   HJ_RETURN_IF_ERROR(result.status());
 

@@ -56,6 +56,12 @@ struct ServerStats {
 
 class WarehouseServer {
  public:
+  /// Minimum usable memory quota: below this there is not even room for a
+  /// single record batch of operator state, so the query is rejected with
+  /// kResourceExhausted before admission instead of thrashing the spiller.
+  /// At or above it, any working set completes by spilling.
+  static constexpr uint64_t kMinQuotaBytes = 64 * 1024;
+
   /// The warehouse must outlive the server. The server does not own it:
   /// loading data and DDL keep going through the HybridWarehouse facade
   /// (concurrently with queries — the catalogs take RW locks).

@@ -224,6 +224,9 @@ std::string DiffCaseReport::Summary() const {
     os << "\n  reproduce: fuzz_joins --seed=" << seed
        << " --profiles=" << profile;
     if (exec_threads != 1) os << " --exec_threads=" << exec_threads;
+    if (mem_budget_bytes != 0) {
+      os << " --mem_budget_bytes=" << mem_budget_bytes;
+    }
   }
   return os.str();
 }
@@ -232,11 +235,13 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms,
                                    uint32_t exec_threads,
-                                   const std::string& profile_out_prefix) {
+                                   const std::string& profile_out_prefix,
+                                   uint64_t mem_budget_bytes) {
   DiffCaseReport report;
   report.seed = seed;
   report.profile = profile_name;
   report.exec_threads = exec_threads;
+  report.mem_budget_bytes = mem_budget_bytes;
 
   const DiffCase c = MakeRandomCase(seed);
   report.case_summary = c.summary;
@@ -280,6 +285,10 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
     // Pinned (not auto-derived) so a sweep means the same thing on every
     // host; the default of 1 keeps the historical single-threaded engine.
     config.exec_threads = exec_threads;
+    // Memory-pressure axis: a nonzero budget seeds every variant's
+    // MemoryGovernor, forcing the grace join to spill on the larger cases
+    // while the oracle stays unbudgeted — spilling must not change results.
+    config.query_memory_budget_bytes = mem_budget_bytes;
     config.net.recv_timeout_ms = recv_timeout_ms;
     config.fault = *profile;
     HybridWarehouse hw(config);

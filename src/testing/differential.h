@@ -65,6 +65,7 @@ struct DiffCaseReport {
   uint64_t seed = 0;
   std::string profile;
   uint32_t exec_threads = 1;
+  uint64_t mem_budget_bytes = 0;
   bool profile_recoverable = true;
   std::string case_summary;
   Status setup_error;  ///< generation/load/oracle failure (aborts the case)
@@ -89,11 +90,17 @@ struct DiffCaseReport {
 /// still match the reference byte-for-byte. A non-empty
 /// `profile_out_prefix` writes each successful variant's query-profile
 /// JSON to `<prefix>.<variant>.json` (best-effort; CI uploads these).
+/// `mem_budget_bytes` sets SimulationConfig::query_memory_budget_bytes for
+/// every variant (0 = unlimited): the grace join spills to honor it, and
+/// the spilled runs must still match the oracle byte-for-byte — this is
+/// the memory-pressure axis of the sweep. The single-node reference oracle
+/// is never budgeted.
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms = 5000,
                                    uint32_t exec_threads = 1,
-                                   const std::string& profile_out_prefix = "");
+                                   const std::string& profile_out_prefix = "",
+                                   uint64_t mem_budget_bytes = 0);
 
 }  // namespace testing_support
 }  // namespace hybridjoin

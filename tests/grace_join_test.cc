@@ -238,6 +238,77 @@ TEST(GraceJoinTest, PhaseMisuseRejected) {
   EXPECT_TRUE(join.Finish().ok());
 }
 
+// ----------------------- Seeded budget property test -----------------------
+
+// Property: for ANY budget, the grace join's output equals the unlimited
+// run's, and it spills iff the build side does not fit — spilled partitions
+// (and spill bytes) are zero exactly when budget == 0 (unlimited) or
+// budget >= build_bytes(). Budgets are drawn from [0, 2x build] so both
+// sides of the boundary are exercised, plus the exact boundary itself.
+TEST(GraceJoinTest, RandomBudgetsMatchUnlimitedAndSpillIffOverBudget) {
+  const JoinInputs in = MakeInputs(6000, 9000, 250);
+  const RecordBatch expected = ReferenceJoin(in);
+
+  // Probe the exact build-side byte measure the budget is compared against
+  // with one unlimited dry run. Same partition fanout as the sweep below:
+  // the routed-slice accounting depends on it.
+  constexpr uint32_t kPartitions = 8;
+  uint64_t build_bytes = 0;
+  {
+    SpillArea spill(0, 0, nullptr);
+    auto spec = AggSpec::CountStar("B.grp", false);
+    HashAggregator agg(spec);
+    GraceJoinOptions dry_options;
+    dry_options.num_partitions = kPartitions;
+    GraceHashJoin join(in.build_schema, "B", 0, in.probe_schema, "P", 0,
+                       nullptr, &agg, nullptr, &spill, dry_options);
+    for (RecordBatch batch : in.build) {
+      HJ_CHECK_OK(join.AddBuild(std::move(batch)));
+    }
+    HJ_CHECK_OK(join.FinishBuild());
+    HJ_CHECK_OK(join.Finish());
+    build_bytes = join.build_bytes();
+  }
+  ASSERT_GT(build_bytes, 0u);
+
+  Rng rng(20260808);
+  std::vector<uint64_t> budgets = {0, build_bytes, build_bytes + 1,
+                                   build_bytes - 1};
+  for (int i = 0; i < 10; ++i) {
+    budgets.push_back(rng.Uniform(2 * build_bytes + 1));
+  }
+
+  for (uint64_t budget : budgets) {
+    Metrics metrics;
+    SpillArea spill(0, 0, &metrics);
+    auto spec = AggSpec::CountStar("B.grp", false);
+    HashAggregator agg(spec);
+    GraceJoinOptions options;
+    options.memory_budget_bytes = budget;
+    options.num_partitions = kPartitions;
+    GraceHashJoin join(in.build_schema, "B", 0, in.probe_schema, "P", 0,
+                       nullptr, &agg, &metrics, &spill, options);
+    for (RecordBatch batch : in.build) {
+      ASSERT_TRUE(join.AddBuild(std::move(batch)).ok()) << "budget " << budget;
+    }
+    ASSERT_TRUE(join.FinishBuild().ok()) << "budget " << budget;
+    for (const RecordBatch& batch : in.probe) {
+      ASSERT_TRUE(join.AddProbe(batch).ok()) << "budget " << budget;
+    }
+    ASSERT_TRUE(join.Finish().ok()) << "budget " << budget;
+    EXPECT_EQ(join.build_bytes(), build_bytes) << "budget " << budget;
+
+    const bool fits = budget == 0 || budget >= build_bytes;
+    EXPECT_EQ(join.spilled_partitions() == 0, fits) << "budget " << budget;
+    EXPECT_EQ(metrics.Get(metric::kSpillBytesWritten) == 0, fits)
+        << "budget " << budget;
+
+    const RecordBatch got = agg.Finish();
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectEqualResults(got, expected);
+  }
+}
+
 // ------------------------- End-to-end with spilling ------------------------
 
 TEST(GraceJoinTest, ZigzagWithSpillBudgetMatchesUnlimited) {

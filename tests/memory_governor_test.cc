@@ -1,0 +1,295 @@
+// Tests for the per-query MemoryGovernor (exec/memory_governor.h):
+// reservation/release accounting, the spill-callback contract of the
+// never-failing Reserve() path, thread-safety of concurrent charging (this
+// binary runs under the TSan CI job like every other test), and the
+// bounded-recursion guarantee of the grace join's repartitioning on
+// pathological all-duplicate-key builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/grace_join.h"
+#include "exec/memory_governor.h"
+
+namespace hybridjoin {
+namespace {
+
+// ----------------------------- Accounting ---------------------------------
+
+TEST(MemoryGovernorTest, TryReserveHonorsBudget) {
+  MemoryGovernor governor(1000);
+  EXPECT_TRUE(governor.TryReserve(600));
+  EXPECT_EQ(governor.used(), 600u);
+  EXPECT_FALSE(governor.TryReserve(500));  // would exceed: no side effects
+  EXPECT_EQ(governor.used(), 600u);
+  EXPECT_TRUE(governor.TryReserve(400));   // exactly to the brim
+  EXPECT_EQ(governor.used(), 1000u);
+  EXPECT_FALSE(governor.TryReserve(1));
+  governor.Release(400);
+  EXPECT_EQ(governor.used(), 600u);
+  EXPECT_EQ(governor.peak(), 1000u);  // peak is sticky
+  EXPECT_EQ(governor.overcommitted(), 0u);
+}
+
+TEST(MemoryGovernorTest, ZeroBudgetIsUnlimitedButTracked) {
+  MemoryGovernor governor(0);
+  EXPECT_TRUE(governor.TryReserve(1ull << 40));
+  governor.Reserve(1ull << 40);
+  EXPECT_EQ(governor.used(), 2ull << 40);
+  EXPECT_EQ(governor.peak(), 2ull << 40);
+  EXPECT_EQ(governor.overcommitted(), 0u);  // unlimited never overcommits
+}
+
+TEST(MemoryGovernorTest, ForceReserveTracksOvercommit) {
+  MemoryGovernor governor(100);
+  governor.ForceReserve(80);
+  EXPECT_EQ(governor.overcommitted(), 0u);
+  governor.ForceReserve(50);  // 130 used: 30 beyond the budget
+  EXPECT_EQ(governor.used(), 130u);
+  EXPECT_EQ(governor.overcommitted(), 30u);
+}
+
+TEST(MemoryGovernorTest, ReservationRaiiReleasesOnDestruction) {
+  MemoryGovernor governor(1000);
+  {
+    MemoryReservation r(&governor);
+    r.Grow(300);
+    r.Grow(200);
+    EXPECT_EQ(r.bytes(), 500u);
+    EXPECT_EQ(governor.used(), 500u);
+    r.Shrink(100);
+    EXPECT_EQ(governor.used(), 400u);
+    r.Shrink(10000);  // clamped to the outstanding reservation
+    EXPECT_EQ(governor.used(), 0u);
+    r.Grow(250);
+  }
+  EXPECT_EQ(governor.used(), 0u);  // destructor released the rest
+  EXPECT_EQ(governor.peak(), 500u);
+}
+
+TEST(MemoryGovernorTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(MemoryGovernor::Current(), nullptr);
+  MemoryGovernor outer(100);
+  MemoryGovernor inner(200);
+  {
+    MemoryGovernor::Scope outer_scope(&outer);
+    EXPECT_EQ(MemoryGovernor::Current(), &outer);
+    {
+      MemoryGovernor::Scope inner_scope(&inner);
+      EXPECT_EQ(MemoryGovernor::Current(), &inner);
+      MemoryReservation r;  // picks up the innermost scope
+      EXPECT_EQ(r.governor(), &inner);
+    }
+    EXPECT_EQ(MemoryGovernor::Current(), &outer);
+  }
+  EXPECT_EQ(MemoryGovernor::Current(), nullptr);
+}
+
+// --------------------- Reserve() and spill callbacks -----------------------
+
+TEST(MemoryGovernorTest, ReserveRunsSpillersLargestFirst) {
+  MemoryGovernor governor(1000);
+  ASSERT_TRUE(governor.TryReserve(900));
+
+  // Two spillers posing as joins with evictable partitions. The governor
+  // must consult the one reporting more resident bytes first.
+  std::vector<int> call_order;
+  uint64_t small_resident = 100;
+  uint64_t large_resident = 500;
+  governor.RegisterSpiller(
+      [&] { return small_resident; },
+      [&](uint64_t want) {
+        call_order.push_back(1);
+        const uint64_t freed = small_resident;
+        governor.Release(freed);
+        small_resident = 0;
+        return freed;
+      });
+  governor.RegisterSpiller(
+      [&] { return large_resident; },
+      [&](uint64_t want) {
+        call_order.push_back(2);
+        const uint64_t freed = large_resident;
+        governor.Release(freed);
+        large_resident = 0;
+        return freed;
+      });
+
+  // Over budget by 300: the large spiller alone (500) covers it, so the
+  // small one must not be touched.
+  const uint64_t freed = governor.Reserve(400);
+  EXPECT_EQ(freed, 500u);
+  ASSERT_EQ(call_order.size(), 1u);
+  EXPECT_EQ(call_order[0], 2);
+  EXPECT_EQ(governor.used(), 800u);  // 900 - 500 + 400
+  EXPECT_EQ(governor.overcommitted(), 0u);
+
+  // Next shortfall drains the small spiller too, and the remainder is
+  // overcommitted once both report empty.
+  const uint64_t freed2 = governor.Reserve(600);
+  EXPECT_EQ(freed2, 100u);
+  ASSERT_EQ(call_order.size(), 2u);
+  EXPECT_EQ(call_order[1], 1);
+  EXPECT_EQ(governor.used(), 1300u);
+  EXPECT_GT(governor.overcommitted(), 0u);
+}
+
+TEST(MemoryGovernorTest, UnregisteredSpillerIsNotCalled) {
+  MemoryGovernor governor(100);
+  ASSERT_TRUE(governor.TryReserve(100));
+  std::atomic<int> calls{0};
+  const uint64_t token = governor.RegisterSpiller(
+      [] { return uint64_t{50}; },
+      [&](uint64_t) {
+        calls.fetch_add(1);
+        return uint64_t{0};
+      });
+  governor.UnregisterSpiller(token);
+  governor.Reserve(50);  // no spillers left: pure overcommit
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(governor.overcommitted(), 50u);
+}
+
+// --------------------------- Concurrent charge -----------------------------
+
+TEST(MemoryGovernorTest, ConcurrentChargeAndReleaseBalances) {
+  MemoryGovernor governor(0);  // unlimited: exercise the counters only
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&governor] {
+      MemoryGovernor::Scope scope(&governor);
+      for (int i = 0; i < kIters; ++i) {
+        MemoryReservation r;
+        r.Grow(64);
+        r.Grow(32);
+        r.Shrink(16);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(governor.used(), 0u);
+  EXPECT_GE(governor.peak(), 80u);
+  EXPECT_LE(governor.peak(), uint64_t{kThreads} * 96);
+}
+
+TEST(MemoryGovernorTest, ConcurrentTryReserveNeverExceedsBudget) {
+  constexpr uint64_t kBudget = 10000;
+  MemoryGovernor governor(kBudget);
+  constexpr int kThreads = 8;
+  std::atomic<uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        if (governor.TryReserve(7)) granted.fetch_add(7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(governor.used(), granted.load());
+  EXPECT_LE(governor.used(), kBudget);
+  EXPECT_LE(governor.peak(), kBudget);
+  EXPECT_EQ(governor.overcommitted(), 0u);
+}
+
+TEST(MemoryGovernorTest, ConcurrentReserveWithSpillerStaysConsistent) {
+  constexpr uint64_t kBudget = 4096;
+  MemoryGovernor governor(kBudget);
+  // A fake evictable pool: the spiller can always hand back whatever the
+  // resident counter holds (releasing it from the governor first, as a real
+  // spiller frees memory it had charged).
+  std::atomic<uint64_t> resident{0};
+  governor.RegisterSpiller(
+      [&] { return resident.load(); },
+      [&](uint64_t want) {
+        const uint64_t freed = resident.exchange(0);
+        governor.Release(freed);
+        return freed;
+      });
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (governor.TryReserve(64)) {
+          resident.fetch_add(64);
+        } else {
+          governor.Reserve(64);  // may evict the pool, may overcommit
+          governor.Release(64);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All that can remain charged is the resident pool.
+  EXPECT_EQ(governor.used(), resident.load());
+}
+
+// ------------- Recursive repartition terminates on duplicates --------------
+
+// An all-duplicate-key build defeats hash repartitioning at every salt
+// depth: the grace join must stop at kMaxRepartitionDepth and fall back to
+// the block-nested loop instead of recursing forever, and still produce the
+// right answer.
+TEST(MemoryGovernorTest, AllDuplicateKeyBuildTerminatesAndMatches) {
+  auto build_schema =
+      Schema::Make({{"k", DataType::kInt32}, {"grp", DataType::kInt32}});
+  auto probe_schema =
+      Schema::Make({{"k", DataType::kInt32}, {"v", DataType::kInt32}});
+  constexpr size_t kBuildRows = 3000;
+  constexpr size_t kProbeRows = 500;
+  std::vector<RecordBatch> build;
+  RecordBatch b(build_schema);
+  for (size_t i = 0; i < kBuildRows; ++i) {
+    b.AppendRow({Value(int32_t{7}), Value(static_cast<int32_t>(i % 3))});
+    if (b.num_rows() == 512) {
+      build.push_back(std::move(b));
+      b = RecordBatch(build_schema);
+    }
+  }
+  if (b.num_rows() > 0) build.push_back(std::move(b));
+  RecordBatch probe(probe_schema);
+  for (size_t i = 0; i < kProbeRows; ++i) {
+    probe.AppendRow({Value(int32_t{7}), Value(static_cast<int32_t>(i))});
+  }
+
+  Metrics metrics;
+  SpillArea spill(0, 0, &metrics);
+  auto spec = AggSpec::CountStar("B.grp", false);
+  HashAggregator agg(spec);
+  GraceJoinOptions options;
+  options.memory_budget_bytes = 2048;  // far below one partition's build
+  options.num_partitions = 4;
+  GraceHashJoin join(build_schema, "B", 0, probe_schema, "P", 0, nullptr,
+                     &agg, &metrics, &spill, options);
+  for (RecordBatch batch : build) {
+    ASSERT_TRUE(join.AddBuild(std::move(batch)).ok());
+  }
+  ASSERT_TRUE(join.FinishBuild().ok());
+  ASSERT_TRUE(join.AddProbe(probe).ok());
+  ASSERT_TRUE(join.Finish().ok());  // termination is the test
+
+  EXPECT_GT(join.spilled_partitions(), 0u);
+  EXPECT_GT(metrics.Get(metric::kJoinRepartitionDepth), 0);
+
+  // Every probe row matches every build row: 3 groups x (rows/3) matches
+  // per probe row.
+  const RecordBatch result = agg.Finish();
+  ASSERT_EQ(result.num_rows(), 3u);
+  int64_t total = 0;
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    total += result.column(1).i64()[r];
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(kBuildRows * kProbeRows));
+}
+
+}  // namespace
+}  // namespace hybridjoin

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "exec/spill.h"
 #include "hybrid/warehouse.h"
 #include "obs/json.h"
 #include "obs/metric_scope.h"
@@ -149,6 +150,27 @@ TEST(PhaseMappingTest, KnownNamesAreStable) {
   EXPECT_STREQ(PhaseForMetric("jen.worker_wall_us"), "driver");
   EXPECT_STREQ(PhaseForMetric("driver.db_worker"), "driver");
   EXPECT_STREQ(PhaseForMetric("something.else"), "other");
+}
+
+// The canonical join.* spill metric names (exec/spill.h) are the contract
+// EXPLAIN ANALYZE consumers key on; the jen.* spellings are a dual-emitted
+// one-release alias. Pin both the constants and their phase mapping so a
+// rename regression fails here, not in a dashboard.
+TEST(PhaseMappingTest, CanonicalSpillNamesAreStable) {
+  EXPECT_STREQ(metric::kSpillBytesWritten, "join.spill_bytes");
+  EXPECT_STREQ(metric::kSpillBytesRead, "join.spill_bytes_read");
+  EXPECT_STREQ(metric::kSpilledPartitions, "join.spill_partitions");
+  EXPECT_STREQ(metric::kJoinRepartitionDepth, "join.repartition_depth");
+  EXPECT_STREQ(metric::kJoinMemPeakBytes, "join.mem_peak_bytes");
+
+  EXPECT_STREQ(PhaseForMetric("join.spill_bytes"), "spill");
+  EXPECT_STREQ(PhaseForMetric("join.spill_bytes_read"), "spill");
+  EXPECT_STREQ(PhaseForMetric("join.spill_partitions"), "spill");
+  EXPECT_STREQ(PhaseForMetric("join.repartition_depth"), "spill");
+  EXPECT_STREQ(PhaseForMetric("join.mem_peak_bytes"), "driver");
+  // Legacy aliases keep their historical phase for the transition release.
+  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_read"), "spill");
+  EXPECT_STREQ(PhaseForMetric("jen.spilled_partitions"), "spill");
 }
 
 // ----------------------------- profile assembly ----------------------------

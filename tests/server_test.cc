@@ -46,6 +46,10 @@ class ServerTest : public ::testing::Test {
     wc.num_join_keys = 512;
     wc.t_rows = 8 * 1024;
     wc.l_rows = 32 * 1024;
+    InitWarehouse(wc);
+  }
+
+  void InitWarehouse(const WorkloadConfig& wc) {
     auto workload = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
     ASSERT_TRUE(workload.ok()) << workload.status().ToString();
     workload_ = std::make_unique<Workload>(std::move(workload).value());
@@ -347,6 +351,64 @@ TEST_F(ServerTest, MemoryQuotaRejectsBeforeAdmission) {
   QueryQuotas roomy;
   roomy.memory_bytes = 1ull << 40;
   EXPECT_TRUE(server.Execute(session, kQuery, roomy).ok());
+}
+
+/// A warehouse whose working set genuinely exceeds the minimum admissible
+/// quota, so a 64 KiB-class budget puts the governor under real pressure.
+class PressuredServerTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    WorkloadConfig wc;
+    wc.num_join_keys = 2048;
+    wc.t_rows = 64 * 1024;
+    wc.l_rows = 64 * 1024;
+    InitWarehouse(wc);
+  }
+};
+
+// A query admitted with a quota below its working set completes by
+// spilling (never an error), still matches the oracle, and its EXPLAIN
+// ANALYZE profile shows the spill traffic under the canonical names.
+TEST_F(PressuredServerTest, SmallMemoryQuotaCompletesViaSpilling) {
+  WarehouseServer server(hw_.get(), ServerConfig{});
+  const uint64_t session = server.OpenSession();
+
+  QueryQuotas tight;
+  tight.memory_bytes = 96 * 1024;  // >= kMinQuotaBytes, < the working set
+  ASSERT_GE(tight.memory_bytes, WarehouseServer::kMinQuotaBytes);
+  auto result = server.Execute(session, kQuery, tight);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto diff = testing_support::CompareBatches(*oracle_, result->result.rows);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+
+  const obs::QueryProfile& profile = result->result.report.profile;
+  const auto* spilled = profile.FindCounter("spill", "join.spill_bytes");
+  ASSERT_NE(spilled, nullptr) << profile.ToText();
+  EXPECT_GT(spilled->total, 0);
+  EXPECT_EQ(server.stats().quota_rejected, 0);
+}
+
+// The governor holds the query to its quota: the profile's peak-memory
+// gauge never exceeds the admitted budget (spilling, not overcommit, is
+// how the working set fits).
+TEST_F(PressuredServerTest, MemPeakStaysWithinQuota) {
+  WarehouseServer server(hw_.get(), ServerConfig{});
+  const uint64_t session = server.OpenSession();
+
+  QueryQuotas quota;
+  quota.memory_bytes = 256 * 1024;
+  auto result = server.Execute(session, kQuery, quota);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto diff = testing_support::CompareBatches(*oracle_, result->result.rows);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+
+  const obs::QueryProfile& profile = result->result.report.profile;
+  const auto* peak = profile.FindCounter("driver", "join.mem_peak_bytes");
+  ASSERT_NE(peak, nullptr) << profile.ToText();
+  EXPECT_GT(peak->total, 0);
+  EXPECT_LE(peak->total, static_cast<int64_t>(quota.memory_bytes));
 }
 
 TEST(AdmissionControllerTest, FifoGrantAndCloseShedsWaiters) {

@@ -20,6 +20,10 @@
 //   --exec_threads=N     intra-node morsel threads per simulated worker
 //                        (default 1 = the historical single-threaded engine;
 //                        > 1 sweeps the morsel-parallel scan/build/probe)
+//   --mem_budget_bytes=B per-query memory budget for every variant
+//                        (default 0 = unlimited; a small budget, e.g.
+//                        65536, forces grace-join spilling on the larger
+//                        cases — spilled runs must still match the oracle)
 //   --case_timeout_ms=T  watchdog limit per (seed, profile) case (default 60000)
 //   --profile_out=PREFIX write the first case's per-variant query-profile
 //                        JSONs to PREFIX.<variant>.json (CI artifact)
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   bool single_seed = false;
   uint64_t recv_timeout_ms = 5000;
   uint32_t exec_threads = 1;
+  uint64_t mem_budget_bytes = 0;
   int64_t case_timeout_ms = 60000;
   std::string profiles_csv = "none,delays,flaky,lossy";
   std::string out_path = "fuzz_failures.txt";
@@ -130,6 +135,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--exec_threads must be >= 1\n");
         return 2;
       }
+    } else if (ParseFlag(argv[i], "mem_budget_bytes", &v)) {
+      mem_budget_bytes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "case_timeout_ms", &v)) {
       case_timeout_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "profile_out", &v)) {
@@ -173,8 +180,9 @@ int main(int argc, char** argv) {
       // representative set per sweep is what CI archives.
       const std::string case_profile_out =
           (i == 0 && profile == profiles.front()) ? profile_out_prefix : "";
-      const DiffCaseReport report = RunDifferentialCase(
-          seed, profile, recv_timeout_ms, exec_threads, case_profile_out);
+      const DiffCaseReport report =
+          RunDifferentialCase(seed, profile, recv_timeout_ms, exec_threads,
+                              case_profile_out, mem_budget_bytes);
       g_deadline_ms.store(INT64_MAX, std::memory_order_release);
       ++cases_run;
       if (!report.ok()) {
