@@ -320,6 +320,17 @@ inline constexpr const char kBloomEstFprPpm[] = "bloom.est_fpr_ppm";
 // end-of-query wall time (µs) here, so the histogram's max/p50 ratio reads
 // directly as the straggler factor of the slowest worker.
 inline constexpr const char kJenWorkerWallUs[] = "jen.worker_wall_us";
+// Skew-aware shuffle (src/exec/heavy_hitters.h). "Build" is the broadcast
+// side of the hybrid route — the DB-scanned T' rows whose key is hot, each
+// replicated to every worker of the exchange — and "probe" is the skewed
+// side whose hot rows never enter the shuffle (they stay on the worker
+// that scanned them). hot_keys is a gauge (the picked hot-set size);
+// broadcast_bytes counts the replicated payload bytes across all copies.
+inline constexpr const char kShuffleHotKeys[] = "shuffle.hot_keys";
+inline constexpr const char kShuffleBroadcastBytes[] =
+    "shuffle.broadcast_bytes";
+inline constexpr const char kShuffleHotRowsBuild[] = "shuffle.hot_rows_build";
+inline constexpr const char kShuffleHotRowsProbe[] = "shuffle.hot_rows_probe";
 }  // namespace metric
 
 }  // namespace hybridjoin

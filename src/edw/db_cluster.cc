@@ -223,7 +223,8 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
                                               const PredicatePtr& predicate,
                                               const std::string& key_column,
                                               const BloomParams& params,
-                                              bool* used_index) const {
+                                              bool* used_index,
+                                              HeavyHitterSketch* sketch) const {
   trace::Span span(cluster_->tracer(), trace::span::kDbBloomBuild,
                    trace::span::kCatScan, node());
   std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
@@ -241,7 +242,10 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
       std::vector<ConjunctiveIntCmp> cmps;
       predicate->CollectConjunctiveIntCmps(&cmps);
       HJ_RETURN_IF_ERROR(index.ScanValues(
-          cmps, key_column, [&bloom](int64_t key) { bloom.Add(key); }));
+          cmps, key_column, [&bloom, sketch](int64_t key) {
+            bloom.Add(key);
+            if (sketch != nullptr) sketch->Add(key);
+          }));
       if (used_index != nullptr) *used_index = true;
       return bloom;
     }
@@ -259,9 +263,15 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
     if (key.physical_type() == PhysicalType::kInt32) {
       bloom.AddKeys(std::span<const int32_t>(key.i32()),
                     std::span<const uint32_t>(sel));
+      if (sketch != nullptr) {
+        for (uint32_t r : sel) sketch->Add(key.i32()[r]);
+      }
     } else {
       bloom.AddKeys(std::span<const int64_t>(key.i64()),
                     std::span<const uint32_t>(sel));
+      if (sketch != nullptr) {
+        for (uint32_t r : sel) sketch->Add(key.i64()[r]);
+      }
     }
   }
   return bloom;

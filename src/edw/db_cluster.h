@@ -16,6 +16,7 @@
 #include "bloom/bloom_filter.h"
 #include "common/metrics.h"
 #include "edw/db_index.h"
+#include "exec/heavy_hitters.h"
 #include "expr/predicate.h"
 #include "net/network.h"
 #include "trace/tracer.h"
@@ -70,12 +71,17 @@ class DbWorker {
 
   /// The paper's cal_filter/get_filter UDF pair: builds the local Bloom
   /// filter over `key_column` of the rows satisfying `predicate`, using an
-  /// index-only plan when a covering index exists (sets *used_index).
+  /// index-only plan when a covering index exists (sets *used_index). When
+  /// `sketch` is non-null the same pass also feeds the heavy-hitter sketch
+  /// one Add per qualifying row — the skew-aware shuffle's piggybacked
+  /// hot-key detection (both the index-only and the base-scan plan visit
+  /// every qualifying row, so the counts are exact either way).
   Result<BloomFilter> BuildLocalBloom(const std::string& table,
                                       const PredicatePtr& predicate,
                                       const std::string& key_column,
                                       const BloomParams& params,
-                                      bool* used_index) const;
+                                      bool* used_index,
+                                      HeavyHitterSketch* sketch = nullptr) const;
 
  private:
   DbCluster* cluster_;

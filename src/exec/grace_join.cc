@@ -122,7 +122,6 @@ uint64_t GraceHashJoin::SpillLargestResidentLocked(Status* status) {
   ++spilled_count_;
   if (metrics_ != nullptr) {
     metrics_->Add(metric::kSpilledPartitions, 1);
-    metrics_->Add(metric::kSpilledPartitionsLegacy, 1);
   }
   for (const RecordBatch& batch : victim->build_batches) {
     Status st = spill_->Append(victim->build_file, batch);

@@ -1,0 +1,190 @@
+#include "exec/heavy_hitters.h"
+
+#include <algorithm>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+
+namespace hybridjoin {
+
+namespace {
+
+// Deterministic entry order: count descending, key ascending on ties.
+bool EntryGreater(const HeavyHitterSketch::Entry& a,
+                  const HeavyHitterSketch::Entry& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+HeavyHitterSketch::HeavyHitterSketch(uint32_t capacity)
+    : capacity_(capacity) {
+  HJ_CHECK_GT(capacity, 0u);
+  entries_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+void HeavyHitterSketch::Add(int64_t key, uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].count += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back({key, weight, 0});
+    return;
+  }
+  // Space-saving eviction: the minimum-count entry is replaced and its
+  // count inherited as this key's error. Capacity is small (a config knob,
+  // default 256), so a linear min scan keeps Add allocation-free; ties
+  // break on the smallest key for determinism.
+  size_t min_slot = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[min_slot].count ||
+        (entries_[i].count == entries_[min_slot].count &&
+         entries_[i].key < entries_[min_slot].key)) {
+      min_slot = i;
+    }
+  }
+  Entry& slot = entries_[min_slot];
+  index_.erase(slot.key);
+  index_.emplace(key, min_slot);
+  slot.error = slot.count;
+  slot.count += weight;
+  slot.key = key;
+}
+
+void HeavyHitterSketch::Merge(const HeavyHitterSketch& other) {
+  // Counts (upper bounds) and errors of shared keys add; keys monitored on
+  // one side only carry over as-is. The union is then re-truncated to this
+  // capacity keeping the largest counts, which preserves the upper/lower
+  // bound semantics and is exact when all distinct keys fit.
+  std::vector<Entry> merged = entries_;
+  std::unordered_map<int64_t, size_t> slots = index_;
+  for (const Entry& e : other.entries_) {
+    auto it = slots.find(e.key);
+    if (it != slots.end()) {
+      merged[it->second].count += e.count;
+      merged[it->second].error += e.error;
+    } else {
+      slots.emplace(e.key, merged.size());
+      merged.push_back(e);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), EntryGreater);
+  if (merged.size() > capacity_) merged.resize(capacity_);
+  total_ += other.total_;
+  entries_ = std::move(merged);
+  index_.clear();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i].key, i);
+  }
+}
+
+std::vector<HeavyHitterSketch::Entry> HeavyHitterSketch::Entries() const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), EntryGreater);
+  return out;
+}
+
+std::vector<uint8_t> HeavyHitterSketch::Serialize() const {
+  BinaryWriter w;
+  w.PutU32(capacity_);
+  w.PutVarint(total_);
+  w.PutVarint(entries_.size());
+  for (const Entry& e : Entries()) {
+    w.PutI64(e.key);
+    w.PutVarint(e.count);
+    w.PutVarint(e.error);
+  }
+  return w.Release();
+}
+
+Result<HeavyHitterSketch> HeavyHitterSketch::Deserialize(
+    const std::vector<uint8_t>& buf) {
+  BinaryReader r(buf);
+  HJ_ASSIGN_OR_RETURN(uint32_t capacity, r.GetU32());
+  if (capacity == 0 || capacity > (1u << 20)) {
+    return Status::IOError("heavy-hitter sketch: bad capacity");
+  }
+  HeavyHitterSketch sketch(capacity);
+  HJ_ASSIGN_OR_RETURN(sketch.total_, r.GetVarint());
+  HJ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > capacity) {
+    return Status::IOError("heavy-hitter sketch: entries exceed capacity");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    HJ_ASSIGN_OR_RETURN(e.key, r.GetI64());
+    HJ_ASSIGN_OR_RETURN(e.count, r.GetVarint());
+    HJ_ASSIGN_OR_RETURN(e.error, r.GetVarint());
+    if (sketch.index_.count(e.key) != 0) {
+      return Status::IOError("heavy-hitter sketch: duplicate key");
+    }
+    sketch.index_.emplace(e.key, sketch.entries_.size());
+    sketch.entries_.push_back(e);
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("heavy-hitter sketch: trailing bytes");
+  }
+  return sketch;
+}
+
+HotKeySet::HotKeySet(std::vector<int64_t> keys) : keys_(std::move(keys)) {
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+}
+
+bool HotKeySet::Contains(int64_t key) const {
+  return std::binary_search(keys_.begin(), keys_.end(), key);
+}
+
+std::vector<uint8_t> HotKeySet::Serialize() const {
+  BinaryWriter w;
+  w.PutVarint(keys_.size());
+  for (int64_t k : keys_) w.PutI64(k);
+  return w.Release();
+}
+
+Result<HotKeySet> HotKeySet::Deserialize(const std::vector<uint8_t>& buf) {
+  BinaryReader r(buf);
+  HJ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > (1u << 20)) return Status::IOError("hot-key set: too large");
+  std::vector<int64_t> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HJ_ASSIGN_OR_RETURN(int64_t k, r.GetI64());
+    keys.push_back(k);
+  }
+  if (!r.AtEnd()) return Status::IOError("hot-key set: trailing bytes");
+  return HotKeySet(std::move(keys));
+}
+
+HotKeySet PickHotKeys(const HeavyHitterSketch& sketch, uint32_t workers,
+                      double hot_multiplier, uint32_t max_hot_keys) {
+  if (workers <= 1 || sketch.total() == 0 || max_hot_keys == 0) {
+    return HotKeySet();
+  }
+  const double total = static_cast<double>(sketch.total());
+  const double fair = total / static_cast<double>(workers);
+  std::vector<int64_t> hot;
+  // Entries() is sorted by count descending, so truncating at max_hot_keys
+  // keeps the heaviest keys.
+  for (const auto& e : sketch.Entries()) {
+    const double lower =
+        static_cast<double>(e.count - std::min(e.count, e.error));
+    const double est_per_worker =
+        lower + (total - lower) / static_cast<double>(workers);
+    if (est_per_worker > hot_multiplier * fair) {
+      hot.push_back(e.key);
+      if (hot.size() >= max_hot_keys) break;
+    }
+  }
+  return HotKeySet(std::move(hot));
+}
+
+}  // namespace hybridjoin

@@ -66,6 +66,7 @@ class PartitionedAppender {
   }
 
   int64_t routed_rows() const { return routed_rows_; }
+  const SchemaPtr& schema() const { return schema_; }
 
  private:
   SchemaPtr schema_;

@@ -20,11 +20,9 @@
 namespace hybridjoin {
 
 namespace metric {
-// Canonical spill counters live under the join.* namespace like the rest of
-// the join metrics (they used to drift as jen.spill_* while the profile tree
-// expected join.*). The legacy jen.* names are dual-emitted for one release
-// so external dashboards keyed on them keep working; they will be dropped
-// next release.
+// Spill counters live under the join.* namespace like the rest of the join
+// metrics. (They briefly drifted as jen.spill_*; the legacy names were
+// dual-emitted for one release and have since been removed.)
 inline constexpr const char kSpillBytesWritten[] = "join.spill_bytes";
 inline constexpr const char kSpillBytesRead[] = "join.spill_bytes_read";
 inline constexpr const char kSpilledPartitions[] = "join.spill_partitions";
@@ -33,12 +31,6 @@ inline constexpr const char kSpilledPartitions[] = "join.spill_partitions";
 inline constexpr const char kJoinRepartitionDepth[] = "join.repartition_depth";
 /// Query-wide MemoryGovernor peak reservation (gauge maximum, bytes).
 inline constexpr const char kJoinMemPeakBytes[] = "join.mem_peak_bytes";
-// One-release legacy aliases (see above).
-inline constexpr const char kSpillBytesWrittenLegacy[] =
-    "jen.spill_bytes_written";
-inline constexpr const char kSpillBytesReadLegacy[] = "jen.spill_bytes_read";
-inline constexpr const char kSpilledPartitionsLegacy[] =
-    "jen.spilled_partitions";
 }  // namespace metric
 
 /// One worker's spill storage. Thread-compatible: each file is written by
@@ -64,8 +56,6 @@ class SpillArea {
     write_bucket_.Acquire(bytes.size());
     if (metrics_ != nullptr) {
       metrics_->Add(metric::kSpillBytesWritten,
-                    static_cast<int64_t>(bytes.size()));
-      metrics_->Add(metric::kSpillBytesWrittenLegacy,
                     static_cast<int64_t>(bytes.size()));
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -96,8 +86,6 @@ class SpillArea {
       read_bucket_.Acquire(bytes->size());
       if (metrics_ != nullptr) {
         metrics_->Add(metric::kSpillBytesRead,
-                      static_cast<int64_t>(bytes->size()));
-        metrics_->Add(metric::kSpillBytesReadLegacy,
                       static_cast<int64_t>(bytes->size()));
       }
       HJ_ASSIGN_OR_RETURN(RecordBatch batch,

@@ -41,6 +41,31 @@ struct BloomConfig {
   BloomLayout layout = BloomLayout::kBlocked;
 };
 
+/// Knobs of the skew-aware shuffle (src/exec/heavy_hitters.h,
+/// docs/architecture.md "Skew-aware shuffle"). A space-saving sketch rides
+/// the DB-side Bloom-build scan; the coordinator merges the per-worker
+/// sketches and broadcasts the rows of keys whose estimated per-worker
+/// load exceeds `hot_multiplier` x the fair share, while the matching
+/// probe-side rows stay on the worker that scanned them. Cold keys keep
+/// the agreed-hash route. Only Bloom-assisted repartition joins have the
+/// piggyback scan, so only they are affected; the zigzag exact-semijoin
+/// variant keeps its membership-bitmap protocol and opts out.
+struct SkewConfig {
+  /// Master switch. On by default: with no heavy hitters the hot set is
+  /// empty and the shuffle is byte-identical to the pure agreed-hash path.
+  bool enabled = true;
+  /// Entries per space-saving sketch (per DB worker). Error is bounded by
+  /// scanned_rows / capacity, so 256 resolves any key above ~0.4% of the
+  /// build side — far below every interesting hot threshold.
+  uint32_t sketch_capacity = 256;
+  /// A key is hot when its estimated rows-per-worker under agreed-hash
+  /// routing exceeds this multiple of the fair per-worker share.
+  double hot_multiplier = 1.5;
+  /// Upper bound on the hot-set size (bounds both the broadcast fan-out
+  /// and the per-row membership test on the shuffle hot path).
+  uint32_t max_hot_keys = 64;
+};
+
 struct SimulationConfig {
   DbConfig db;
   uint32_t jen_workers = 4;  ///< == number of HDFS DataNodes
@@ -49,6 +74,7 @@ struct SimulationConfig {
   NetworkConfig net;
   JenConfig jen;
   BloomConfig bloom;
+  SkewConfig skew;
   TraceConfig trace;
   /// Fault injection for the interconnect (see net/fault_injector.h).
   /// Disabled by default; the differential harness installs named profiles.

@@ -100,11 +100,24 @@ Status BroadcastAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
   return fin;
 }
 
+/// How the repartition exchange treats rows whose key is in the hot set
+/// (skew-aware shuffle; kNone = pure agreed-hash repartition).
+enum class HotRouteMode {
+  kNone,       ///< no hot set: every row takes the DbPartition route
+  kBroadcast,  ///< hot rows replicate to every DB worker (the T' side)
+  kKeepLocal,  ///< hot rows never leave this worker (the L'' side)
+};
+
 /// Repartitions `batches` by join key among the DB workers over `tag` and
-/// returns this worker's received partition.
+/// returns this worker's received partition. With a hot set, hot rows
+/// either broadcast to every worker or stay local (see HotRouteMode); the
+/// combination — hot T' everywhere, each hot L'' row on exactly one
+/// worker — produces every hot match exactly once, mirroring the JEN-side
+/// hybrid route.
 Status RepartitionAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
                           const std::vector<RecordBatch>& batches,
                           const SchemaPtr& schema, size_t key_idx,
+                          const HotKeySet* hot, HotRouteMode mode,
                           std::vector<RecordBatch>* received) {
   Network& net = ctx->network();
   const NodeId self = NodeId::Db(worker);
@@ -112,22 +125,40 @@ Status RepartitionAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
   const uint32_t m = ctx->num_db_workers();
   BatchSender sender(&net, self, tag, /*num_threads=*/1, &ctx->metrics(),
                      metric::kDbTuplesShuffledInternal);
-  PartitionedAppender appender(
+  std::vector<RecordBatch> kept;  ///< kKeepLocal parking
+  SkewRouter router(
       schema, m, key_idx, [m](int64_t key) { return DbPartition(key, m); },
-      4096, [&](uint32_t p, RecordBatch&& batch) {
+      4096,
+      [&](uint32_t p, RecordBatch&& batch) {
         sender.Send(NodeId::Db(p), batch);
+        return Status::OK();
+      },
+      mode == HotRouteMode::kNone ? nullptr : hot,
+      [&](RecordBatch&& batch) {
+        const int64_t rows = static_cast<int64_t>(batch.num_rows());
+        if (mode == HotRouteMode::kBroadcast) {
+          const int64_t bytes = static_cast<int64_t>(batch.ByteSize()) *
+                                static_cast<int64_t>(db_nodes.size());
+          sender.SendToAll(db_nodes, batch);
+          ctx->metrics().Add(metric::kShuffleHotRowsBuild, rows);
+          ctx->metrics().Add(metric::kShuffleBroadcastBytes, bytes);
+        } else {
+          kept.push_back(std::move(batch));
+          ctx->metrics().Add(metric::kShuffleHotRowsProbe, rows);
+        }
         return Status::OK();
       });
   Status st;
   for (const RecordBatch& batch : batches) {
-    st = appender.Append(batch, AllRows(batch.num_rows()));
+    st = router.Append(batch, AllRows(batch.num_rows()));
     if (!st.ok()) break;
   }
-  if (st.ok()) st = appender.FlushAll();
+  if (st.ok()) st = router.FlushAll();
   const Status fin = sender.Finish(db_nodes);
   HJ_RETURN_IF_ERROR(st);
   HJ_ASSIGN_OR_RETURN(*received,
                       ReceiveAllBatches(&net, self, tag, m, schema));
+  for (RecordBatch& batch : kept) received->push_back(std::move(batch));
   return fin;
 }
 
@@ -166,13 +197,25 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
                               trace::span::kCatDriver);
       Status st;
 
-      // Bloom filter (steps 1-2 of Figure 1).
+      // Skew-aware shuffle engages only when the Bloom pass runs (the
+      // heavy-hitter sketch piggybacks on that scan) and the DB-internal
+      // exchange actually fans out. All workers compute the gate from the
+      // same inputs, so the sketch combine below always pairs up.
+      const bool skew_route =
+          ctx->config().skew.enabled && use_bloom && m > 1;
+
+      // Bloom filter (steps 1-2 of Figure 1). The heavy-hitter sketch rides
+      // the same scan; worker 0 merges the sketches and redistributes the
+      // hot set right after the Bloom combine.
       std::optional<BloomFilter> global_bloom;
+      HotKeySet hot;
       if (use_bloom) {
         bool used_index = false;
+        HeavyHitterSketch sketch(ctx->config().skew.sketch_capacity);
         auto local = ctx->db().worker(i)->BuildLocalBloom(
             query.db.table, query.db.predicate, query.db.join_key,
-            prepared.bloom_params, &used_index);
+            prepared.bloom_params, &used_index,
+            skew_route ? &sketch : nullptr);
         BloomFilter local_bf = local.ok() ? std::move(local).value()
                                           : BloomFilter(prepared.bloom_params);
         if (!local.ok()) st = local.status();
@@ -184,6 +227,18 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
           st = global.status();
         }
         if (i == 0) report.Mark("bf_db_sent");
+        if (skew_route) {
+          // Protocol obligation even after an earlier error: worker 0 blocks
+          // for every sketch and every worker blocks for the hot set.
+          auto combined =
+              driver::CombineHotKeysAtDbWorker0(ctx, i, sketch, m, tags);
+          if (combined.ok()) {
+            hot = std::move(combined).value();
+            if (i == 0 && !hot.empty()) report.Mark("hot_set_sent");
+          } else if (st.ok()) {
+            st = combined.status();
+          }
+        }
       }
 
       // read_hdfs UDF, part 1: multicast the scan request to this worker's
@@ -330,13 +385,19 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
         case DbJoinStrategy::kRepartition: {
           std::vector<RecordBatch> t_part;
           std::vector<RecordBatch> l_part;
+          // Hybrid route: hot T' rows go everywhere, hot L'' rows stay put,
+          // so each hot match forms on exactly one worker; cold keys keep
+          // the plain DbPartition exchange. With an empty hot set both calls
+          // degenerate to the historical repartition byte-for-byte.
           Status rt = RepartitionAmongDb(ctx, i, tags.db_shuffle_t, t_prime,
                                          prepared.db_proj_schema,
-                                         prepared.db_key_idx, &t_part);
+                                         prepared.db_key_idx, &hot,
+                                         HotRouteMode::kBroadcast, &t_part);
           Status rl = RepartitionAmongDb(ctx, i, tags.db_shuffle_l,
                                          l_received,
                                          prepared.hdfs_out_schema,
-                                         prepared.hdfs_key_idx, &l_part);
+                                         prepared.hdfs_key_idx, &hot,
+                                         HotRouteMode::kKeepLocal, &l_part);
           if (!rt.ok() && st.ok()) st = rt;
           if (!rl.ok() && st.ok()) st = rl;
           if (build_db_side) {

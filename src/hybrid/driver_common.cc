@@ -10,7 +10,7 @@ namespace hybridjoin {
 namespace driver {
 
 Tags Tags::Allocate(Network* network) {
-  const uint64_t base = network->AllocateTagBlock(16);
+  const uint64_t base = network->AllocateTagBlock(19);
   Tags t;
   t.bloom_local = base + 0;
   t.bloom_global = base + 1;
@@ -28,6 +28,9 @@ Tags Tags::Allocate(Network* network) {
   t.db_shuffle_t = base + 13;
   t.db_shuffle_l = base + 14;
   t.profile = base + 15;
+  t.sketch_local = base + 16;
+  t.hot_global = base + 17;
+  t.hot_to_jen = base + 18;
   return t;
 }
 
@@ -173,6 +176,36 @@ Result<BloomFilter> CombineBloomAtDbWorker0(EngineContext* ctx,
     }
   }
   return RecvBloom(&net, self, tags.bloom_global);
+}
+
+Result<HotKeySet> CombineHotKeysAtDbWorker0(EngineContext* ctx,
+                                            uint32_t worker,
+                                            const HeavyHitterSketch& local,
+                                            uint32_t route_workers,
+                                            const Tags& tags) {
+  Network& net = ctx->network();
+  const NodeId self = NodeId::Db(worker);
+  SendSketch(&net, self, NodeId::Db(0), tags.sketch_local, local);
+  if (worker == 0) {
+    const SkewConfig& skew = ctx->config().skew;
+    HeavyHitterSketch merged(local.capacity());
+    for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
+      HJ_ASSIGN_OR_RETURN(HeavyHitterSketch received,
+                          RecvSketch(&net, self, tags.sketch_local));
+      merged.Merge(received);
+    }
+    const HotKeySet hot = PickHotKeys(merged, route_workers,
+                                      skew.hot_multiplier, skew.max_hot_keys);
+    if (!hot.empty()) {
+      Metrics::PhaseScope phase_scope("shuffle");
+      ctx->metrics().Max(metric::kShuffleHotKeys,
+                         static_cast<int64_t>(hot.size()));
+    }
+    for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
+      SendHotKeys(&net, self, NodeId::Db(i), tags.hot_global, hot);
+    }
+  }
+  return RecvHotKeys(&net, self, tags.hot_global);
 }
 
 Status JenAggregateAndReturn(EngineContext* ctx, uint32_t jen_worker,

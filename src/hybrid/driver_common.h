@@ -45,6 +45,9 @@ struct Tags {
   uint64_t db_shuffle_t;   ///< intra-DB exchange of T'
   uint64_t db_shuffle_l;   ///< intra-DB exchange of L''
   uint64_t profile;        ///< worker metric snapshots -> DB worker 0
+  uint64_t sketch_local;   ///< DB worker -> DB worker 0 (heavy-hitter sketch)
+  uint64_t hot_global;     ///< DB worker 0 -> DB workers (hot-key set)
+  uint64_t hot_to_jen;     ///< DB worker -> its JEN group (hot-key set)
 
   static Tags Allocate(Network* network);
 };
@@ -160,6 +163,20 @@ class ReportBuilder {
 Result<BloomFilter> CombineBloomAtDbWorker0(EngineContext* ctx,
                                             uint32_t worker,
                                             const BloomFilter& local,
+                                            const Tags& tags);
+
+/// The skew-aware shuffle's coordinator step, mirroring the Bloom combine:
+/// every DB worker ships its local heavy-hitter sketch to worker 0, which
+/// merges them, picks the hot set for an exchange over `route_workers`
+/// destinations (PickHotKeys with the SkewConfig knobs, recording the
+/// shuffle.hot_keys gauge) and redistributes it; every caller returns with
+/// the same global hot set. The single coordinator decision is what makes
+/// the hybrid route safe: all senders agree on exactly which keys are hot,
+/// so every (build, probe) row pair meets on exactly one worker.
+Result<HotKeySet> CombineHotKeysAtDbWorker0(EngineContext* ctx,
+                                            uint32_t worker,
+                                            const HeavyHitterSketch& local,
+                                            uint32_t route_workers,
                                             const Tags& tags);
 
 /// Serializes this worker's partial aggregate to the designated JEN worker;

@@ -310,6 +310,16 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
 
   auto agreed_hash = [n](int64_t key) { return AgreedPartition(key, n); };
 
+  // Skew-aware shuffle (docs/architecture.md): hot-key detection piggybacks
+  // on the DB Bloom-build scan, so the hybrid route exists exactly when
+  // that scan runs. The semijoin variant opts out (its key/bitmap protocol
+  // assumes agreed-hash placement of every T' key), and a single JEN
+  // worker has nothing to balance. Both sides compute this flag from the
+  // same inputs, so the DB send and the JEN receive of the hot set always
+  // pair up.
+  const bool skew_route =
+      ctx->config().skew.enabled && use_db_bloom && !semijoin && n > 1;
+
   std::vector<std::thread> threads;
   threads.reserve(m + n);
 
@@ -325,12 +335,18 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                               trace::span::kCatDriver);
       Status st;
 
-      // Step 1-2: local Bloom filters, combined and multicast to JEN.
+      // Step 1-2: local Bloom filters, combined and multicast to JEN. The
+      // same scan feeds this worker's heavy-hitter sketch when the skew
+      // route is on, and the hot set rides to the JEN group right behind
+      // the Bloom filter.
+      HotKeySet hot;
       if (use_db_bloom) {
+        HeavyHitterSketch sketch(ctx->config().skew.sketch_capacity);
         bool used_index = false;
         auto local = ctx->db().worker(i)->BuildLocalBloom(
             query.db.table, query.db.predicate, query.db.join_key,
-            prepared.bloom_params, &used_index);
+            prepared.bloom_params, &used_index,
+            skew_route ? &sketch : nullptr);
         BloomFilter local_bf = local.ok() ? std::move(local).value()
                                           : BloomFilter(prepared.bloom_params);
         if (!local.ok()) st = local.status();
@@ -347,6 +363,22 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                     &ctx->metrics());
         }
         if (i == 0) report.Mark("bf_db_sent");
+        if (skew_route) {
+          // Even after an error the combine runs (with whatever the sketch
+          // holds) and the hot set is forwarded: every JEN worker blocks on
+          // exactly one hot-set message from its owner.
+          auto global_hot =
+              driver::CombineHotKeysAtDbWorker0(ctx, i, sketch, n, tags);
+          if (global_hot.ok()) {
+            hot = std::move(global_hot).value();
+          } else if (st.ok()) {
+            st = global_hot.status();
+          }
+          for (uint32_t w : groups[i]) {
+            SendHotKeys(&net, self, NodeId::Hdfs(w), tags.hot_to_jen, hot);
+          }
+          if (i == 0 && !hot.empty()) report.Mark("hot_set_sent");
+        }
       }
 
       // Apply local predicates & projection; materialize T'.
@@ -446,21 +478,36 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
         }
         if (i == 0) report.Mark("semijoin_applied");
       } else if (st.ok()) {
-        PartitionedAppender appender(
+        // Hybrid route: cold T' rows keep the agreed-hash path; rows of a
+        // hot key broadcast to every JEN worker (serialize-once SendToAll),
+        // where they meet the hot probe rows that stayed local. Exactly-once
+        // pairing holds because each hot L row lives on precisely one
+        // worker — the one that scanned it.
+        SkewRouter router(
             prepared.db_proj_schema, n, prepared.db_key_idx, agreed_hash,
             ctx->config().jen.shuffle_batch_rows,
             [&](uint32_t p, RecordBatch&& batch) {
               sender.Send(NodeId::Hdfs(p), batch);
               return Status::OK();
+            },
+            skew_route ? &hot : nullptr,
+            [&](RecordBatch&& batch) {
+              const int64_t rows = static_cast<int64_t>(batch.num_rows());
+              const int64_t bytes = static_cast<int64_t>(batch.ByteSize()) *
+                                    static_cast<int64_t>(jen_nodes.size());
+              sender.SendToAll(jen_nodes, batch);
+              ctx->metrics().Add(metric::kShuffleHotRowsBuild, rows);
+              ctx->metrics().Add(metric::kShuffleBroadcastBytes, bytes);
+              return Status::OK();
             });
         for (const RecordBatch& batch : t_prime) {
-          Status append = appender.Append(batch, AllRows(batch.num_rows()));
+          Status append = router.Append(batch, AllRows(batch.num_rows()));
           if (!append.ok()) {
             st = append;
             break;
           }
         }
-        Status flush = appender.FlushAll();
+        Status flush = router.FlushAll();
         if (st.ok()) st = flush;
       }
       const Status fin = sender.Finish(jen_nodes);  // EOS obligation
@@ -499,6 +546,18 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
           bf_db_storage = std::move(received).value();
           bf_db = &bf_db_storage;
         } else {
+          st = received.status();
+        }
+      }
+
+      // The coordinator's hot-key set arrives right behind the Bloom
+      // filter; scanned rows of a hot key will stay on this worker.
+      HotKeySet hot;
+      if (skew_route) {
+        auto received = RecvHotKeys(&net, self, tags.hot_to_jen);
+        if (received.ok()) {
+          hot = std::move(received).value();
+        } else if (st.ok()) {
           st = received.status();
         }
       }
@@ -587,11 +646,19 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       // thread saw which block.
       const uint32_t exec_threads = ctx->exec_threads();
       std::vector<std::unique_ptr<BloomFilter>> thread_blooms;
-      std::vector<std::unique_ptr<PartitionedAppender>> appenders;
+      std::vector<std::unique_ptr<SkewRouter>> appenders;
+      // Hot probe rows bypass the network entirely: each scan thread parks
+      // its hot batches here, and after the receiver drains they fold into
+      // the local build. Buffered bytes are charged to the governor (the
+      // shuffle's in-flight payloads are charged the same way) and released
+      // once the build takes ownership.
+      std::vector<std::vector<RecordBatch>> hot_parked(exec_threads);
+      std::vector<uint64_t> hot_parked_bytes(exec_threads, 0);
+      MemoryGovernor* governor = report.governor();
       for (uint32_t t = 0; t < exec_threads; ++t) {
         thread_blooms.push_back(
             std::make_unique<BloomFilter>(prepared.bloom_params));
-        appenders.push_back(std::make_unique<PartitionedAppender>(
+        appenders.push_back(std::make_unique<SkewRouter>(
             prepared.hdfs_out_schema, n, prepared.hdfs_key_idx, agreed_hash,
             ctx->config().jen.shuffle_batch_rows,
             [&](uint32_t p, RecordBatch&& batch) {
@@ -600,16 +667,26 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                                        trace::span::kCatExchange);
               shuffle_sender.Send(NodeId::Hdfs(p), batch);
               return Status::OK();
+            },
+            skew_route ? &hot : nullptr,
+            [&, t](RecordBatch&& batch) {
+              const uint64_t bytes = batch.ByteSize();
+              if (governor != nullptr) governor->Reserve(bytes);
+              hot_parked_bytes[t] += bytes;
+              hot_parked[t].push_back(std::move(batch));
+              return Status::OK();
             }));
       }
       if (st.ok()) {
         const ScanTask task = MakeScanTask(prepared, w, bf_db);
         st = ctx->jen_worker(w)->ScanBlocksParallel(
             task, [&](uint32_t t) -> ScanConsumer {
-              PartitionedAppender* appender = appenders[t].get();
+              SkewRouter* appender = appenders[t].get();
               BloomFilter* bloom = thread_blooms[t].get();
               return [&, appender, bloom](RecordBatch&& batch) {
                 if (zigzag && !semijoin) {
+                  // BF_H covers every scanned L' key — hot keys included,
+                  // routing must not change what the filter admits.
                   AddKeysToBloom(batch, prepared.hdfs_key_idx, bloom);
                 }
                 return appender->Append(batch, AllRows(batch.num_rows()));
@@ -659,6 +736,40 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       // Drain the shuffle.
       receiver.join();
       if (st.ok()) st = receive_status;
+
+      // Fold the parked hot probe rows into the local build (or the probe
+      // buffer for the build-on-DB ablation) now that the receive side is
+      // quiet. Every hot L row exists on exactly one worker — this one —
+      // while the matching hot T' rows were broadcast everywhere, so each
+      // (t, l) pair meets exactly once and no duplicate elimination is
+      // needed. The buffered-bytes charge returns here; whatever the build
+      // keeps it re-charges itself.
+      if (skew_route) {
+        int64_t hot_probe_rows = 0;
+        uint64_t parked_bytes = 0;
+        for (uint64_t b : hot_parked_bytes) parked_bytes += b;
+        for (auto& thread_batches : hot_parked) {
+          for (RecordBatch& batch : thread_batches) {
+            hot_probe_rows += static_cast<int64_t>(batch.num_rows());
+            if (!st.ok()) continue;
+            if (use_grace) {
+              Status a = grace.AddBuild(std::move(batch));
+              if (!a.ok()) st = a;
+            } else if (options.build_on_db_data) {
+              l_buffer.push_back(std::move(batch));
+            } else {
+              Status a = l_table.AddBatch(std::move(batch));
+              if (!a.ok()) st = a;
+            }
+          }
+          thread_batches.clear();
+        }
+        if (governor != nullptr) governor->Release(parked_bytes);
+        if (hot_probe_rows > 0) {
+          ctx->metrics().Add(metric::kShuffleHotRowsProbe, hot_probe_rows);
+        }
+      }
+
       if (use_grace) {
         // Grace/hybrid hash join: resident partitions were built during
         // the shuffle; spilled ones are joined pairwise at the end.

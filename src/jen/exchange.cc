@@ -178,6 +178,68 @@ Result<BloomFilter> RecvBloom(Network* network, NodeId self, uint64_t tag) {
   return BloomFilter::Deserialize(*msg.payload);
 }
 
+void SendHotKeys(Network* network, NodeId from, NodeId to, uint64_t tag,
+                 const HotKeySet& hot) {
+  network->SendControl(
+      from, to, tag,
+      std::make_shared<const std::vector<uint8_t>>(hot.Serialize()));
+}
+
+Result<HotKeySet> RecvHotKeys(Network* network, NodeId self, uint64_t tag) {
+  HJ_ASSIGN_OR_RETURN(Message msg, network->Recv(self, tag));
+  if (msg.eos || msg.payload == nullptr) {
+    return Status::Internal("expected hot-key set, got EOS");
+  }
+  return HotKeySet::Deserialize(*msg.payload);
+}
+
+void SendSketch(Network* network, NodeId from, NodeId to, uint64_t tag,
+                const HeavyHitterSketch& sketch) {
+  network->SendControl(
+      from, to, tag,
+      std::make_shared<const std::vector<uint8_t>>(sketch.Serialize()));
+}
+
+Result<HeavyHitterSketch> RecvSketch(Network* network, NodeId self,
+                                     uint64_t tag) {
+  HJ_ASSIGN_OR_RETURN(Message msg, network->Recv(self, tag));
+  if (msg.eos || msg.payload == nullptr) {
+    return Status::Internal("expected heavy-hitter sketch, got EOS");
+  }
+  return HeavyHitterSketch::Deserialize(*msg.payload);
+}
+
+Status SkewRouter::Append(const RecordBatch& batch,
+                          const std::vector<uint32_t>& sel) {
+  if (hot_ == nullptr) return cold_.Append(batch, sel);
+  const ColumnVector& key_col = batch.column(key_column_);
+  cold_sel_.clear();
+  for (uint32_t r : sel) {
+    const int64_t key = key_col.physical_type() == PhysicalType::kInt32
+                            ? key_col.i32()[r]
+                            : key_col.i64()[r];
+    if (!hot_->Contains(key)) {
+      cold_sel_.push_back(r);
+      continue;
+    }
+    hot_pending_.AppendRowFrom(batch, r);
+    ++hot_rows_;
+    if (hot_pending_.num_rows() >= flush_rows_) {
+      HJ_RETURN_IF_ERROR(hot_sink_(std::move(hot_pending_)));
+      hot_pending_ = RecordBatch(schema_);
+    }
+  }
+  return cold_.Append(batch, cold_sel_);
+}
+
+Status SkewRouter::FlushAll() {
+  if (hot_ != nullptr && hot_pending_.num_rows() > 0) {
+    HJ_RETURN_IF_ERROR(hot_sink_(std::move(hot_pending_)));
+    hot_pending_ = RecordBatch(schema_);
+  }
+  return cold_.FlushAll();
+}
+
 std::vector<uint8_t> ScanRequest::Serialize() const {
   BinaryWriter w;
   if (predicate != nullptr) {

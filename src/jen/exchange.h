@@ -14,8 +14,10 @@
 
 #include "bloom/bloom_filter.h"
 #include "common/blocking_queue.h"
+#include "exec/heavy_hitters.h"
 #include "exec/join_hash_table.h"
 #include "exec/memory_governor.h"
+#include "exec/partitioned_appender.h"
 #include "expr/predicate.h"
 #include "net/network.h"
 
@@ -187,6 +189,72 @@ Status ReceiveIntoHashTable(Network* network, NodeId self, uint64_t tag,
 void SendBloom(Network* network, NodeId from, NodeId to, uint64_t tag,
                const BloomFilter& bloom, Metrics* metrics);
 Result<BloomFilter> RecvBloom(Network* network, NodeId self, uint64_t tag);
+
+/// Hot-key-set transfer for the skew-aware shuffle. Control-plane messages
+/// like the Bloom filters: sent on the fault-exempt control channel so a
+/// routing decision is never lost (losing it on one worker would break the
+/// exactly-once pairing of the hybrid route).
+void SendHotKeys(Network* network, NodeId from, NodeId to, uint64_t tag,
+                 const HotKeySet& hot);
+Result<HotKeySet> RecvHotKeys(Network* network, NodeId self, uint64_t tag);
+
+/// Serialized heavy-hitter sketch transfer (local sketches -> coordinator).
+void SendSketch(Network* network, NodeId from, NodeId to, uint64_t tag,
+                const HeavyHitterSketch& sketch);
+Result<HeavyHitterSketch> RecvSketch(Network* network, NodeId self,
+                                     uint64_t tag);
+
+/// The hybrid route of the skew-aware shuffle: cold keys flow through a
+/// PartitionedAppender exactly as before, rows whose key is in the hot set
+/// are batched separately and handed to `hot_sink` whenever a full batch
+/// accumulates (and at FlushAll). The two sinks define the route:
+///
+///   - DB side (the broadcast/"build" side): hot_sink does
+///     BatchSender::SendToAll, replicating each hot batch to every worker
+///     with the serialize-once pooled-buffer path;
+///   - JEN side (the skewed/"probe" side): hot_sink keeps the batch on the
+///     scanning worker — hot probe rows never enter the shuffle.
+///
+/// With a null/empty hot set every row takes the cold path, byte-identical
+/// to the pre-skew shuffle. Not thread-safe; one per producer thread, like
+/// PartitionedAppender.
+class SkewRouter {
+ public:
+  using HotSink = std::function<Status(RecordBatch&& batch)>;
+
+  SkewRouter(SchemaPtr schema, uint32_t num_partitions, size_t key_column,
+             PartitionedAppender::PartitionFn cold_fn, size_t flush_rows,
+             PartitionedAppender::Sink cold_sink, const HotKeySet* hot,
+             HotSink hot_sink)
+      : cold_(std::move(schema), num_partitions, key_column,
+              std::move(cold_fn), flush_rows, std::move(cold_sink)),
+        schema_(cold_.schema()),
+        key_column_(key_column),
+        flush_rows_(flush_rows),
+        hot_(hot != nullptr && !hot->empty() ? hot : nullptr),
+        hot_sink_(std::move(hot_sink)),
+        hot_pending_(schema_) {}
+
+  /// Routes the selected rows of `batch`.
+  Status Append(const RecordBatch& batch, const std::vector<uint32_t>& sel);
+
+  /// Flushes the pending cold batches and the pending hot batch.
+  Status FlushAll();
+
+  int64_t hot_rows() const { return hot_rows_; }
+  int64_t cold_rows() const { return cold_.routed_rows(); }
+
+ private:
+  PartitionedAppender cold_;
+  SchemaPtr schema_;
+  size_t key_column_;
+  size_t flush_rows_;
+  const HotKeySet* hot_;  ///< null = pure cold routing
+  HotSink hot_sink_;
+  RecordBatch hot_pending_;
+  std::vector<uint32_t> cold_sel_;  ///< scratch, reused across Appends
+  int64_t hot_rows_ = 0;
+};
 
 /// The DB->JEN scan request of the DB-side join (paper Figure 5): local
 /// predicates on the HDFS table, required columns, optional Bloom filter

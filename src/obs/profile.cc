@@ -45,10 +45,10 @@ constexpr PhaseRule kExactRules[] = {
     {"join.spill_partitions", "spill"},
     {"join.repartition_depth", "spill"},
     {"join.mem_peak_bytes", "driver"},
-    // Legacy spelling, dual-emitted for one release (see exec/spill.h).
-    {"jen.spill_bytes_written", "spill"},
-    {"jen.spill_bytes_read", "spill"},
-    {"jen.spilled_partitions", "spill"},
+    {"shuffle.hot_keys", "shuffle"},
+    {"shuffle.broadcast_bytes", "shuffle"},
+    {"shuffle.hot_rows_build", "shuffle"},
+    {"shuffle.hot_rows_probe", "shuffle"},
     {"jen.worker_wall_us", "driver"},
 };
 

@@ -227,6 +227,7 @@ std::string DiffCaseReport::Summary() const {
     if (mem_budget_bytes != 0) {
       os << " --mem_budget_bytes=" << mem_budget_bytes;
     }
+    if (zipf_s != 0) os << " --zipf_s=" << zipf_s;
   }
   return os.str();
 }
@@ -236,14 +237,22 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    uint64_t recv_timeout_ms,
                                    uint32_t exec_threads,
                                    const std::string& profile_out_prefix,
-                                   uint64_t mem_budget_bytes) {
+                                   uint64_t mem_budget_bytes,
+                                   double zipf_s) {
   DiffCaseReport report;
   report.seed = seed;
   report.profile = profile_name;
   report.exec_threads = exec_threads;
   report.mem_budget_bytes = mem_budget_bytes;
+  report.zipf_s = zipf_s;
 
-  const DiffCase c = MakeRandomCase(seed);
+  DiffCase c = MakeRandomCase(seed);
+  // The skew axis overrides the generator's key draw only; every other knob
+  // of the case stays the seed's, so a skewed sweep covers the same shapes.
+  c.workload.zipf_s = zipf_s;
+  if (zipf_s != 0) {
+    c.summary += " zipf_s=" + std::to_string(zipf_s);
+  }
   report.case_summary = c.summary;
 
   // The profile is seeded with the case seed so the whole run — workload,

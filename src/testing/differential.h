@@ -66,6 +66,7 @@ struct DiffCaseReport {
   std::string profile;
   uint32_t exec_threads = 1;
   uint64_t mem_budget_bytes = 0;
+  double zipf_s = 0;
   bool profile_recoverable = true;
   std::string case_summary;
   Status setup_error;  ///< generation/load/oracle failure (aborts the case)
@@ -94,13 +95,17 @@ struct DiffCaseReport {
 /// every variant (0 = unlimited): the grace join spills to honor it, and
 /// the spilled runs must still match the oracle byte-for-byte — this is
 /// the memory-pressure axis of the sweep. The single-node reference oracle
-/// is never budgeted.
+/// is never budgeted. `zipf_s` overrides the case's key-skew exponent
+/// (0, the default, keeps the seed's historical uniform workload
+/// bit-identical): a skewed sweep exercises the skew-aware hybrid shuffle
+/// route, which must also match the oracle byte-for-byte.
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms = 5000,
                                    uint32_t exec_threads = 1,
                                    const std::string& profile_out_prefix = "",
-                                   uint64_t mem_budget_bytes = 0);
+                                   uint64_t mem_budget_bytes = 0,
+                                   double zipf_s = 0);
 
 }  // namespace testing_support
 }  // namespace hybridjoin

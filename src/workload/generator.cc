@@ -1,6 +1,8 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/hash.h"
 #include "common/random.h"
@@ -105,6 +107,9 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
   if (config.num_join_keys == 0 || config.t_rows == 0 || config.l_rows == 0) {
     return Status::InvalidArgument("workload sizes must be positive");
   }
+  if (config.zipf_s < 0 || !std::isfinite(config.zipf_s)) {
+    return Status::InvalidArgument("zipf_s must be finite and >= 0");
+  }
   HJ_ASSIGN_OR_RETURN(SolvedSpec solved, SolveSelectivities(spec, config));
 
   Workload w;
@@ -124,6 +129,42 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
     l_cor[k] = static_cast<int32_t>(Frac(h - solved.offset_l) * d);
   }
 
+  // Zipf key sampler shared by both tables: cumulative weights once, then
+  // one uniform draw + binary search per row. zipf_s == 0 must keep the
+  // historical `rng.Uniform(keys)` call so existing seeds stay bit-identical.
+  // Ranks map to key ids in KeyHash-ascending order: the corPred key windows
+  // are [0, w) intervals in key-hash space, so a hash-ordered ranking keeps
+  // the hottest ranks inside every window — the post-predicate stream stays
+  // Zipf-skewed instead of losing its head to key-window luck.
+  std::vector<double> zipf_cdf;
+  std::vector<uint32_t> ranked_keys;  // rank -> key id, hash-ascending
+  if (config.zipf_s > 0) {
+    zipf_cdf.resize(keys);
+    double acc = 0;
+    for (uint64_t k = 0; k < keys; ++k) {
+      acc += std::pow(static_cast<double>(k + 1), -config.zipf_s);
+      zipf_cdf[k] = acc;
+    }
+    for (double& v : zipf_cdf) v /= acc;
+    ranked_keys.resize(keys);
+    std::iota(ranked_keys.begin(), ranked_keys.end(), 0u);
+    std::sort(ranked_keys.begin(), ranked_keys.end(),
+              [](uint32_t a, uint32_t b) {
+                const double ha = KeyHash(a);
+                const double hb = KeyHash(b);
+                if (ha != hb) return ha < hb;
+                return a < b;
+              });
+  }
+  auto draw_key = [&](Rng& rng) {
+    if (zipf_cdf.empty()) return static_cast<uint32_t>(rng.Uniform(keys));
+    const auto it = std::upper_bound(zipf_cdf.begin(), zipf_cdf.end(),
+                                     rng.NextDouble());
+    const auto rank = std::min<uint64_t>(
+        static_cast<uint64_t>(it - zipf_cdf.begin()), keys - 1);
+    return ranked_keys[rank];
+  };
+
   // --- T ---
   {
     Rng rng(config.seed * 31 + 1);
@@ -139,7 +180,7 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
     auto& d3 = w.t_.mutable_column(7).mutable_i32();
     char buf[64];
     for (uint64_t r = 0; r < config.t_rows; ++r) {
-      const uint32_t key = static_cast<uint32_t>(rng.Uniform(keys));
+      const uint32_t key = draw_key(rng);
       uniq.push_back(static_cast<int64_t>(r));
       jk.push_back(static_cast<int32_t>(key));
       cor.push_back(t_cor[key]);
@@ -173,7 +214,7 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
       auto& grp = batch.mutable_column(4).mutable_str();
       auto& dummy = batch.mutable_column(5).mutable_str();
       for (uint64_t r = 0; r < n; ++r) {
-        const uint32_t key = static_cast<uint32_t>(rng.Uniform(keys));
+        const uint32_t key = draw_key(rng);
         jk.push_back(static_cast<int32_t>(key));
         cor.push_back(l_cor[key]);
         ind.push_back(static_cast<int32_t>(rng.Uniform(config.pred_domain)));

@@ -43,6 +43,17 @@ struct WorkloadConfig {
   int32_t date_window_days = 30;   ///< both sides draw dates from this window
   uint64_t seed = 7;
   uint32_t batch_rows = 64 * 1024; ///< generation granularity
+  /// Zipf exponent for the join-key draw on BOTH tables: P(rank r) ∝
+  /// 1/(r+1)^zipf_s. Ranks map to key ids in KeyHash-ascending order, so the
+  /// corPred key windows (which anchor at hash 0) always keep a prefix of
+  /// the hottest ranks — the post-predicate stream stays Zipf-skewed instead
+  /// of losing its head to key-window luck. The hottest key is therefore the
+  /// id with the smallest KeyHash, not id 0. The paper's uniform dataset is
+  /// zipf_s = 0 (the default), which keeps the historical draw sequence
+  /// bit-for-bit. Skewing both sides together models the realistic case — a
+  /// popular dimension row is popular in the fact table too — and makes the
+  /// T-side heavy-hitter sketch a valid proxy for L-side load.
+  double zipf_s = 0;
 };
 
 /// The four selectivity targets of the paper's grid.

@@ -1,0 +1,316 @@
+// Tests for the space-saving heavy-hitter sketch behind the skew-aware
+// shuffle: the frequency-bound guarantees callers rely on, merge
+// associativity/exactness, wire round-trips, the PickHotKeys threshold, and
+// a threads-feed-their-own-sketch race check (the deployment pattern, run
+// under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/heavy_hitters.h"
+
+namespace hybridjoin {
+namespace {
+
+// ------------------------------ sketch bounds ------------------------------
+
+TEST(HeavyHitterSketchTest, ExactWhenKeysFitCapacity) {
+  HeavyHitterSketch sketch(16);
+  for (int64_t k = 0; k < 8; ++k) {
+    for (int64_t i = 0; i <= k; ++i) sketch.Add(k);
+  }
+  EXPECT_EQ(sketch.total(), 36u);
+  EXPECT_EQ(sketch.size(), 8u);
+  const auto entries = sketch.Entries();
+  ASSERT_EQ(entries.size(), 8u);
+  // Count-descending, every count exact, zero error.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, static_cast<int64_t>(7 - i));
+    EXPECT_EQ(entries[i].count, static_cast<uint64_t>(8 - i));
+    EXPECT_EQ(entries[i].error, 0u);
+  }
+}
+
+TEST(HeavyHitterSketchTest, TieOrderIsDeterministic) {
+  HeavyHitterSketch sketch(8);
+  sketch.Add(42);
+  sketch.Add(7);
+  sketch.Add(13);
+  const auto entries = sketch.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 7);
+  EXPECT_EQ(entries[1].key, 13);
+  EXPECT_EQ(entries[2].key, 42);
+}
+
+TEST(HeavyHitterSketchTest, BoundsHoldUnderEviction) {
+  // Zipf-ish stream with many more distinct keys than capacity.
+  constexpr uint32_t kCapacity = 32;
+  constexpr int64_t kDistinct = 1000;
+  HeavyHitterSketch sketch(kCapacity);
+  std::map<int64_t, uint64_t> truth;
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    // Heavy head: keys 0..9 get half the stream.
+    const int64_t key = rng.NextBool(0.5)
+                            ? static_cast<int64_t>(rng.Uniform(10))
+                            : static_cast<int64_t>(rng.Uniform(kDistinct));
+    sketch.Add(key);
+    ++truth[key];
+  }
+  const uint64_t n = sketch.total();
+  EXPECT_EQ(n, 50000u);
+  const uint64_t max_err = n / kCapacity;
+  std::map<int64_t, HeavyHitterSketch::Entry> by_key;
+  for (const auto& e : sketch.Entries()) by_key[e.key] = e;
+  for (const auto& [key, entry] : by_key) {
+    const uint64_t true_count = truth.count(key) ? truth[key] : 0;
+    EXPECT_GE(entry.count, true_count) << "upper bound, key " << key;
+    EXPECT_LE(entry.count - entry.error, true_count)
+        << "lower bound, key " << key;
+    EXPECT_LE(entry.error, max_err) << "error cap, key " << key;
+  }
+  // Every key above the N/capacity guarantee line is monitored.
+  for (const auto& [key, count] : truth) {
+    if (count > max_err) {
+      EXPECT_TRUE(by_key.count(key)) << "missing heavy key " << key;
+    }
+  }
+}
+
+TEST(HeavyHitterSketchTest, WeightedAddCountsMass) {
+  HeavyHitterSketch sketch(4);
+  sketch.Add(1, 10);
+  sketch.Add(2, 5);
+  sketch.Add(1, 3);
+  EXPECT_EQ(sketch.total(), 18u);
+  const auto entries = sketch.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 1);
+  EXPECT_EQ(entries[0].count, 13u);
+}
+
+// --------------------------------- merge ---------------------------------
+
+std::vector<HeavyHitterSketch::Entry> EntriesOf(
+    const HeavyHitterSketch& sketch) {
+  return sketch.Entries();
+}
+
+TEST(HeavyHitterSketchTest, MergeIsExactWhenDistinctKeysFit) {
+  HeavyHitterSketch a(16);
+  HeavyHitterSketch b(16);
+  HeavyHitterSketch serial(16);
+  for (int64_t k = 0; k < 6; ++k) {
+    for (int64_t i = 0; i < 2 * k + 1; ++i) {
+      a.Add(k);
+      serial.Add(k);
+    }
+  }
+  for (int64_t k = 3; k < 9; ++k) {
+    for (int64_t i = 0; i < k; ++i) {
+      b.Add(k);
+      serial.Add(k);
+    }
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), serial.total());
+  const auto merged = EntriesOf(a);
+  const auto expect = EntriesOf(serial);
+  ASSERT_EQ(merged.size(), expect.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].key, expect[i].key);
+    EXPECT_EQ(merged[i].count, expect[i].count);
+    EXPECT_EQ(merged[i].error, expect[i].error);
+  }
+}
+
+TEST(HeavyHitterSketchTest, MergeIsAssociative) {
+  // Three overfull sketches; (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+  auto feed = [](uint64_t seed) {
+    HeavyHitterSketch s(8);
+    Rng rng(seed);
+    for (int i = 0; i < 5000; ++i) {
+      const int64_t key = rng.NextBool(0.4)
+                              ? static_cast<int64_t>(rng.Uniform(4))
+                              : static_cast<int64_t>(rng.Uniform(200));
+      s.Add(key);
+    }
+    return s;
+  };
+  HeavyHitterSketch left = feed(1);
+  {
+    HeavyHitterSketch ab = feed(1);
+    ab.Merge(feed(2));
+    left = ab;
+    left.Merge(feed(3));
+  }
+  HeavyHitterSketch right = feed(1);
+  {
+    HeavyHitterSketch bc = feed(2);
+    bc.Merge(feed(3));
+    right.Merge(bc);
+  }
+  EXPECT_EQ(left.total(), right.total());
+  const auto le = EntriesOf(left);
+  const auto re = EntriesOf(right);
+  ASSERT_EQ(le.size(), re.size());
+  for (size_t i = 0; i < le.size(); ++i) {
+    EXPECT_EQ(le[i].key, re[i].key);
+    EXPECT_EQ(le[i].count, re[i].count);
+    EXPECT_EQ(le[i].error, re[i].error);
+  }
+}
+
+// ---------------------- concurrent feed (TSan target) ----------------------
+
+TEST(HeavyHitterSketchTest, PerThreadFeedThenMergeMatchesSerial) {
+  // The deployment pattern: each thread owns its sketch (no sharing), the
+  // coordinator merges. Run the feeds concurrently so TSan would flag any
+  // accidental shared state; with capacity >= distinct keys the merged
+  // result must equal the serial sketch of the concatenated stream.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  constexpr int64_t kDistinct = 64;
+  std::vector<HeavyHitterSketch> locals(kThreads, HeavyHitterSketch(128));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&locals, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        locals[static_cast<size_t>(t)].Add(
+            static_cast<int64_t>(rng.Uniform(kDistinct)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  HeavyHitterSketch merged(128);
+  for (const auto& local : locals) merged.Merge(local);
+  HeavyHitterSketch serial(128);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + static_cast<uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.Add(static_cast<int64_t>(rng.Uniform(kDistinct)));
+    }
+  }
+  EXPECT_EQ(merged.total(), serial.total());
+  const auto me = EntriesOf(merged);
+  const auto se = EntriesOf(serial);
+  ASSERT_EQ(me.size(), se.size());
+  for (size_t i = 0; i < me.size(); ++i) {
+    EXPECT_EQ(me[i].key, se[i].key);
+    EXPECT_EQ(me[i].count, se[i].count);
+  }
+}
+
+// ------------------------------- wire format -------------------------------
+
+TEST(HeavyHitterSketchTest, SerializeRoundTrips) {
+  HeavyHitterSketch sketch(8);
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    sketch.Add(static_cast<int64_t>(rng.Uniform(100)));
+  }
+  auto back = HeavyHitterSketch::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->total(), sketch.total());
+  EXPECT_EQ(back->capacity(), sketch.capacity());
+  const auto a = EntriesOf(sketch);
+  const auto b = EntriesOf(*back);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+}
+
+TEST(HeavyHitterSketchTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(HeavyHitterSketch::Deserialize({}).ok());
+  std::vector<uint8_t> bytes = HeavyHitterSketch(4).Serialize();
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(HeavyHitterSketch::Deserialize(bytes).ok());
+  bytes.pop_back();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(HeavyHitterSketch::Deserialize(bytes).ok());
+}
+
+TEST(HotKeySetTest, SortsDedupsAndRoundTrips) {
+  HotKeySet hot({42, 7, 42, -3});
+  EXPECT_EQ(hot.size(), 3u);
+  EXPECT_TRUE(hot.Contains(-3));
+  EXPECT_TRUE(hot.Contains(7));
+  EXPECT_TRUE(hot.Contains(42));
+  EXPECT_FALSE(hot.Contains(0));
+  auto back = HotKeySet::Deserialize(hot.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->keys(), hot.keys());
+  // The empty set (the common uniform-workload case) round-trips too.
+  auto empty = HotKeySet::Deserialize(HotKeySet().Serialize());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// ------------------------------- PickHotKeys -------------------------------
+
+TEST(PickHotKeysTest, PromotesOnlySkewedKeys) {
+  // Key 100 holds 40% of the stream, the rest is spread thin: with 4
+  // workers its agreed-hash destination would see 0.4 + 0.6/4 = 55% of the
+  // rows vs a 25% fair share.
+  HeavyHitterSketch sketch(64);
+  sketch.Add(100, 4000);
+  for (int64_t k = 0; k < 60; ++k) sketch.Add(k, 100);
+  const HotKeySet hot = PickHotKeys(sketch, /*workers=*/4,
+                                    /*hot_multiplier=*/1.5,
+                                    /*max_hot_keys=*/16);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_TRUE(hot.Contains(100));
+}
+
+TEST(PickHotKeysTest, UniformStreamYieldsNothing) {
+  HeavyHitterSketch sketch(64);
+  for (int64_t k = 0; k < 64; ++k) sketch.Add(k, 100);
+  EXPECT_TRUE(PickHotKeys(sketch, 4, 1.5, 16).empty());
+}
+
+TEST(PickHotKeysTest, EdgeCasesAreEmpty) {
+  HeavyHitterSketch sketch(8);
+  sketch.Add(1, 1000);
+  EXPECT_TRUE(PickHotKeys(sketch, /*workers=*/1, 1.5, 16).empty());
+  EXPECT_TRUE(PickHotKeys(sketch, 4, 1.5, /*max_hot_keys=*/0).empty());
+  HeavyHitterSketch empty(8);
+  EXPECT_TRUE(PickHotKeys(empty, 4, 1.5, 16).empty());
+}
+
+TEST(PickHotKeysTest, CapKeepsLargestCounts) {
+  HeavyHitterSketch sketch(64);
+  sketch.Add(10, 5000);
+  sketch.Add(11, 4000);
+  sketch.Add(12, 3000);
+  const HotKeySet hot = PickHotKeys(sketch, 8, 1.1, /*max_hot_keys=*/2);
+  EXPECT_EQ(hot.size(), 2u);
+  EXPECT_TRUE(hot.Contains(10));
+  EXPECT_TRUE(hot.Contains(11));
+  EXPECT_FALSE(hot.Contains(12));
+}
+
+TEST(PickHotKeysTest, SketchNoiseNeverPromotesAColdKey) {
+  // Overfull sketch on a uniform stream: every entry's count is inflated by
+  // eviction noise, but the lower bound (count - error) stays honest, so
+  // nothing crosses the threshold.
+  HeavyHitterSketch sketch(16);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    sketch.Add(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  EXPECT_TRUE(PickHotKeys(sketch, 4, 1.5, 16).empty());
+}
+
+}  // namespace
+}  // namespace hybridjoin

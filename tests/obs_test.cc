@@ -146,16 +146,20 @@ TEST(PhaseMappingTest, KnownNamesAreStable) {
   EXPECT_STREQ(PhaseForMetric("join.build_shard_rows"), "build");
   EXPECT_STREQ(PhaseForMetric("join.output_tuples"), "probe");
   EXPECT_STREQ(PhaseForMetric("jen.aggregate"), "aggregate");
-  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_written"), "spill");
+  EXPECT_STREQ(PhaseForMetric("shuffle.hot_keys"), "shuffle");
+  EXPECT_STREQ(PhaseForMetric("shuffle.broadcast_bytes"), "shuffle");
+  EXPECT_STREQ(PhaseForMetric("shuffle.hot_rows_build"), "shuffle");
+  EXPECT_STREQ(PhaseForMetric("shuffle.hot_rows_probe"), "shuffle");
   EXPECT_STREQ(PhaseForMetric("jen.worker_wall_us"), "driver");
   EXPECT_STREQ(PhaseForMetric("driver.db_worker"), "driver");
   EXPECT_STREQ(PhaseForMetric("something.else"), "other");
 }
 
 // The canonical join.* spill metric names (exec/spill.h) are the contract
-// EXPLAIN ANALYZE consumers key on; the jen.* spellings are a dual-emitted
-// one-release alias. Pin both the constants and their phase mapping so a
-// rename regression fails here, not in a dashboard.
+// EXPLAIN ANALYZE consumers key on. Pin both the constants and their phase
+// mapping so a rename regression fails here, not in a dashboard. The
+// jen.spill_* aliases finished their one-release dual-emit window and are
+// gone: they must now fall through to the "other" bucket.
 TEST(PhaseMappingTest, CanonicalSpillNamesAreStable) {
   EXPECT_STREQ(metric::kSpillBytesWritten, "join.spill_bytes");
   EXPECT_STREQ(metric::kSpillBytesRead, "join.spill_bytes_read");
@@ -168,9 +172,9 @@ TEST(PhaseMappingTest, CanonicalSpillNamesAreStable) {
   EXPECT_STREQ(PhaseForMetric("join.spill_partitions"), "spill");
   EXPECT_STREQ(PhaseForMetric("join.repartition_depth"), "spill");
   EXPECT_STREQ(PhaseForMetric("join.mem_peak_bytes"), "driver");
-  // Legacy aliases keep their historical phase for the transition release.
-  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_read"), "spill");
-  EXPECT_STREQ(PhaseForMetric("jen.spilled_partitions"), "spill");
+  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_written"), "other");
+  EXPECT_STREQ(PhaseForMetric("jen.spill_bytes_read"), "other");
+  EXPECT_STREQ(PhaseForMetric("jen.spilled_partitions"), "other");
 }
 
 // ----------------------------- profile assembly ----------------------------

@@ -269,5 +269,125 @@ TEST(GeneratorTest, CorPredIsKeyCorrelated) {
   }
 }
 
+// --------------------------- Zipf key skew ---------------------------
+
+// Key-frequency histograms of both tables for one generated workload.
+struct KeyCounts {
+  std::map<int32_t, uint64_t> t;
+  std::map<int32_t, uint64_t> l;
+};
+
+KeyCounts CountKeys(const Workload& w) {
+  KeyCounts kc;
+  const RecordBatch& t = w.t_rows();
+  for (size_t r = 0; r < t.num_rows(); ++r) ++kc.t[t.column(1).i32()[r]];
+  for (const RecordBatch& b : w.l_batches()) {
+    for (size_t r = 0; r < b.num_rows(); ++r) ++kc.l[b.column(0).i32()[r]];
+  }
+  return kc;
+}
+
+TEST(GeneratorZipfTest, ZeroExponentStaysUniformAndBitIdentical) {
+  WorkloadConfig base = SmallConfig();
+  WorkloadConfig explicit_zero = SmallConfig();
+  explicit_zero.zipf_s = 0.0;
+  auto a = Workload::Generate(base, {0.1, 0.1, 0.5, 0.5});
+  auto b = Workload::Generate(explicit_zero, {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->t_rows().Serialize(), b->t_rows().Serialize());
+  ASSERT_EQ(a->l_batches().size(), b->l_batches().size());
+  for (size_t i = 0; i < a->l_batches().size(); ++i) {
+    EXPECT_EQ(a->l_batches()[i].Serialize(), b->l_batches()[i].Serialize());
+  }
+  // Uniform draw: no key gets more than a few times its fair share.
+  const KeyCounts kc = CountKeys(*a);
+  const double fair_t = static_cast<double>(base.t_rows) /
+                        static_cast<double>(base.num_join_keys);
+  for (const auto& [key, count] : kc.t) {
+    EXPECT_LT(static_cast<double>(count), 5.0 * fair_t) << "key " << key;
+  }
+}
+
+TEST(GeneratorZipfTest, SkewMakesSameKeyHottestOnBothTables) {
+  WorkloadConfig wc = SmallConfig();
+  wc.zipf_s = 1.2;
+  auto w = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(w.ok());
+  const KeyCounts kc = CountKeys(*w);
+  // Both tables draw ranks from the same Zipf and ranks map to key ids in
+  // KeyHash order, so the same key id is the most frequent on both tables
+  // and holds a macroscopic share (the rank-0 theoretical share at
+  // s=1.2/2048 keys is ~19%; allow wide sampling slack).
+  int32_t hottest[2] = {-1, -2};
+  int side = 0;
+  for (const auto* counts : {&kc.t, &kc.l}) {
+    uint64_t max_count = 0;
+    uint64_t total = 0;
+    for (const auto& [key, count] : *counts) {
+      total += count;
+      if (count > max_count) {
+        max_count = count;
+        hottest[side] = key;
+      }
+    }
+    EXPECT_GT(static_cast<double>(max_count),
+              0.10 * static_cast<double>(total));
+    ++side;
+  }
+  EXPECT_EQ(hottest[0], hottest[1]);
+  // The tail is still populated: skew concentrates mass, it does not
+  // truncate the key domain.
+  EXPECT_GT(kc.l.size(), wc.num_join_keys / 4);
+}
+
+TEST(GeneratorZipfTest, HotKeysSurviveTheKeyWindowPredicates) {
+  // The local predicates carve [0, w) windows in key-hash space, and the
+  // Zipf ranking follows KeyHash — so the hottest ranks sit inside every
+  // window and the POST-predicate stream keeps its Zipf head. This is the
+  // property the skew-aware shuffle's heavy-hitter detection relies on:
+  // the shuffled (filtered) stream must still be skewed.
+  WorkloadConfig wc = SmallConfig();
+  wc.zipf_s = 1.2;
+  auto w = Workload::Generate(wc, {0.3, 0.3, 1.0, 1.0});
+  ASSERT_TRUE(w.ok());
+  const HybridQuery q = w->MakeQuery();
+  const RecordBatch& t = w->t_rows();
+  auto t_sel = q.db.predicate->FilterAll(t);
+  ASSERT_TRUE(t_sel.ok());
+  ASSERT_FALSE(t_sel->empty());
+  std::map<int32_t, uint64_t> filtered;
+  for (uint32_t r : *t_sel) ++filtered[t.column(1).i32()[r]];
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : filtered) {
+    max_count = std::max(max_count, count);
+  }
+  // Rank 0's share of a Zipf(1.2) prefix is >= its share of the whole
+  // domain (~19% at 2048 keys); require a conservative 12% so the check is
+  // robust to sampling noise yet far above the uniform fair share.
+  EXPECT_GT(static_cast<double>(max_count),
+            0.12 * static_cast<double>(t_sel->size()));
+}
+
+TEST(GeneratorZipfTest, SkewedGenerationIsDeterministic) {
+  WorkloadConfig wc = SmallConfig();
+  wc.zipf_s = 0.8;
+  auto a = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  auto b = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->t_rows().Serialize(), b->t_rows().Serialize());
+  ASSERT_EQ(a->l_batches().size(), b->l_batches().size());
+  for (size_t i = 0; i < a->l_batches().size(); ++i) {
+    EXPECT_EQ(a->l_batches()[i].Serialize(), b->l_batches()[i].Serialize());
+  }
+}
+
+TEST(GeneratorZipfTest, RejectsBadExponent) {
+  WorkloadConfig wc = SmallConfig();
+  wc.zipf_s = -0.5;
+  EXPECT_FALSE(Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5}).ok());
+}
+
 }  // namespace
 }  // namespace hybridjoin

@@ -24,6 +24,11 @@
 //                        (default 0 = unlimited; a small budget, e.g.
 //                        65536, forces grace-join spilling on the larger
 //                        cases — spilled runs must still match the oracle)
+//   --zipf_s=S           Zipf exponent for the join-key draw on both tables
+//                        (default 0 = the historical uniform workloads;
+//                        e.g. 1.3 concentrates enough mass on the top keys
+//                        that the skew-aware hybrid shuffle route engages —
+//                        skewed runs must still match the oracle)
 //   --case_timeout_ms=T  watchdog limit per (seed, profile) case (default 60000)
 //   --profile_out=PREFIX write the first case's per-variant query-profile
 //                        JSONs to PREFIX.<variant>.json (CI artifact)
@@ -109,6 +114,7 @@ int main(int argc, char** argv) {
   uint64_t recv_timeout_ms = 5000;
   uint32_t exec_threads = 1;
   uint64_t mem_budget_bytes = 0;
+  double zipf_s = 0;
   int64_t case_timeout_ms = 60000;
   std::string profiles_csv = "none,delays,flaky,lossy";
   std::string out_path = "fuzz_failures.txt";
@@ -137,6 +143,12 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "mem_budget_bytes", &v)) {
       mem_budget_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "zipf_s", &v)) {
+      zipf_s = std::strtod(v.c_str(), nullptr);
+      if (zipf_s < 0) {
+        std::fprintf(stderr, "--zipf_s must be >= 0\n");
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "case_timeout_ms", &v)) {
       case_timeout_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "profile_out", &v)) {
@@ -182,7 +194,7 @@ int main(int argc, char** argv) {
           (i == 0 && profile == profiles.front()) ? profile_out_prefix : "";
       const DiffCaseReport report =
           RunDifferentialCase(seed, profile, recv_timeout_ms, exec_threads,
-                              case_profile_out, mem_budget_bytes);
+                              case_profile_out, mem_budget_bytes, zipf_s);
       g_deadline_ms.store(INT64_MAX, std::memory_order_release);
       ++cases_run;
       if (!report.ok()) {
