@@ -331,6 +331,20 @@ inline constexpr const char kShuffleBroadcastBytes[] =
     "shuffle.broadcast_bytes";
 inline constexpr const char kShuffleHotRowsBuild[] = "shuffle.hot_rows_build";
 inline constexpr const char kShuffleHotRowsProbe[] = "shuffle.hot_rows_probe";
+// Adaptive join location (src/hybrid/adaptive_join.cc). Gauges recorded by
+// the decision-point coordinator (DB worker 0): the advisor's estimated
+// per-side filtered bytes next to the values observed after the shared
+// prefix, and whether the stay-or-pivot decision actually pivoted (1 only
+// when it did — absent otherwise, so profiles diff cleanly).
+inline constexpr const char kAdvisorEstimatedDbBytes[] =
+    "advisor.estimated_db_bytes";
+inline constexpr const char kAdvisorObservedDbBytes[] =
+    "advisor.observed_db_bytes";
+inline constexpr const char kAdvisorEstimatedHdfsBytes[] =
+    "advisor.estimated_hdfs_bytes";
+inline constexpr const char kAdvisorObservedHdfsBytes[] =
+    "advisor.observed_hdfs_bytes";
+inline constexpr const char kAdvisorPivoted[] = "advisor.pivoted";
 }  // namespace metric
 
 }  // namespace hybridjoin

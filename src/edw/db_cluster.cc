@@ -179,6 +179,18 @@ Result<RecordBatch> DbWorker::SampleFirstBatch(
   return partition[0];
 }
 
+Result<RecordBatch> DbWorker::SampleStoredBatch(const std::string& table,
+                                                uint64_t seed) const {
+  std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
+  const DbCluster::TableData* data = cluster_->FindTableLocked(table);
+  if (data == nullptr) {
+    return Status::NotFound("db table '" + table + "' does not exist");
+  }
+  const std::vector<RecordBatch>& partition = data->partitions[index_];
+  if (partition.empty()) return RecordBatch(data->meta.schema);
+  return partition[seed % partition.size()];
+}
+
 Result<std::vector<RecordBatch>> DbWorker::ScanFilterProject(
     const std::string& table, const PredicatePtr& predicate,
     const std::vector<std::string>& projection, Metrics* metrics) const {
@@ -224,7 +236,8 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
                                               const std::string& key_column,
                                               const BloomParams& params,
                                               bool* used_index,
-                                              HeavyHitterSketch* sketch) const {
+                                              HeavyHitterSketch* sketch,
+                                              uint64_t* qualifying_rows) const {
   trace::Span span(cluster_->tracer(), trace::span::kDbBloomBuild,
                    trace::span::kCatScan, node());
   std::shared_lock<std::shared_mutex> lock(cluster_->mu_);
@@ -234,6 +247,7 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
   }
   BloomFilter bloom(params);
   if (used_index != nullptr) *used_index = false;
+  if (qualifying_rows != nullptr) *qualifying_rows = 0;
 
   // Index-only plan: any index covering the predicate and the key column.
   if (predicate != nullptr) {
@@ -241,12 +255,15 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
       if (!index.Covers(*predicate, key_column)) continue;
       std::vector<ConjunctiveIntCmp> cmps;
       predicate->CollectConjunctiveIntCmps(&cmps);
+      uint64_t rows = 0;
       HJ_RETURN_IF_ERROR(index.ScanValues(
-          cmps, key_column, [&bloom, sketch](int64_t key) {
+          cmps, key_column, [&bloom, &rows, sketch](int64_t key) {
             bloom.Add(key);
+            ++rows;
             if (sketch != nullptr) sketch->Add(key);
           }));
       if (used_index != nullptr) *used_index = true;
+      if (qualifying_rows != nullptr) *qualifying_rows = rows;
       return bloom;
     }
   }
@@ -258,6 +275,7 @@ Result<BloomFilter> DbWorker::BuildLocalBloom(const std::string& table,
     if (predicate != nullptr) {
       HJ_RETURN_IF_ERROR(predicate->Filter(batch, &sel));
     }
+    if (qualifying_rows != nullptr) *qualifying_rows += sel.size();
     HJ_ASSIGN_OR_RETURN(size_t key_idx, batch.schema()->IndexOf(key_column));
     const ColumnVector& key = batch.column(key_idx);
     if (key.physical_type() == PhysicalType::kInt32) {

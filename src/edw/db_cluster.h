@@ -63,6 +63,14 @@ class DbWorker {
   /// catalog read lock — the DDL-safe way to sample a table.
   Result<RecordBatch> SampleFirstBatch(const std::string& table) const;
 
+  /// Like SampleFirstBatch, but returns the stored batch at
+  /// `seed % partition_size` — a seeded pseudo-random pick, so estimators
+  /// are not systematically biased toward whatever the load order put
+  /// first (rows clustered by a predicate column made the first batch
+  /// arbitrarily unrepresentative).
+  Result<RecordBatch> SampleStoredBatch(const std::string& table,
+                                        uint64_t seed) const;
+
   /// Scan + filter + project this worker's partition. Emits one output
   /// batch per stored batch (skipping empty ones).
   Result<std::vector<RecordBatch>> ScanFilterProject(
@@ -75,13 +83,16 @@ class DbWorker {
   /// `sketch` is non-null the same pass also feeds the heavy-hitter sketch
   /// one Add per qualifying row — the skew-aware shuffle's piggybacked
   /// hot-key detection (both the index-only and the base-scan plan visit
-  /// every qualifying row, so the counts are exact either way).
+  /// every qualifying row, so the counts are exact either way). When
+  /// `qualifying_rows` is non-null it receives that exact row count — the
+  /// observed build-side cardinality the adaptive decision point runs on.
   Result<BloomFilter> BuildLocalBloom(const std::string& table,
                                       const PredicatePtr& predicate,
                                       const std::string& key_column,
                                       const BloomParams& params,
                                       bool* used_index,
-                                      HeavyHitterSketch* sketch = nullptr) const;
+                                      HeavyHitterSketch* sketch = nullptr,
+                                      uint64_t* qualifying_rows = nullptr) const;
 
  private:
   DbCluster* cluster_;

@@ -1,0 +1,422 @@
+// Adaptive join location (ROADMAP item 3; cf. "Runtime Optimization of
+// Join Location in Parallel Data Management Systems", PAPERS.md): every
+// strategy of §3 starts with the same cheap prefix — the DB predicate scan
+// that builds and combines BF_DB — so the commitment to a join location can
+// be deferred until after it. This driver runs that prefix once, has every
+// worker ship its *observed* statistics (exact qualifying-row counts from
+// the Bloom-build scan, fresh seeded block samples from the JEN side) to DB
+// worker 0 on a fault-exempt control tag, re-runs the §5.5 cost model there
+// with the observed values, and broadcasts a stay-or-pivot decision to all
+// nodes. The chosen driver then resumes from the carried prefix state
+// (driver::AdaptiveCarry) instead of re-reading it.
+//
+// Placement of the decision point: after the Bloom combine but before any
+// side materializes or moves data. Staying on the initial pick therefore
+// costs only the control-plane round trip (a few hundred bytes per node)
+// plus the tiny block samples, and a pivot wastes no data-plane work — the
+// filter the prefix built is exactly what every candidate driver would have
+// built first.
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/hash.h"
+#include "hdfs/format.h"
+#include "hybrid/algorithms.h"
+#include "hybrid/driver_common.h"
+#include "jen/exchange.h"
+#include "trace/tracer.h"
+
+namespace hybridjoin {
+
+using driver::ReportBuilder;
+using driver::StatusCollector;
+using driver::Tags;
+
+namespace {
+
+/// Stats-message kinds on tags.adapt_stats.
+constexpr uint8_t kDbStats = 0;
+constexpr uint8_t kJenStats = 1;
+
+/// One JEN worker's decision-point sample: `hdfs_sample_blocks` seeded
+/// random picks from its own block assignment, decoded and filtered the
+/// same way EstimateQuery samples (reads are charged at the datanode, not
+/// the interconnect). Collects up to `max_keys` post-predicate join-key
+/// values for the coordinator's observed Bloom pass rate.
+struct JenSample {
+  uint64_t rows_sampled = 0;   ///< decoded rows across the picked blocks
+  uint64_t rows_after_pred = 0;
+  uint64_t projected_bytes = 0;  ///< ByteSize of post-predicate projection
+  std::vector<int64_t> keys;
+};
+
+Status SampleWorkerBlocks(EngineContext* ctx, const PreparedQuery& prepared,
+                          uint32_t worker, const AdaptiveConfig& acfg,
+                          uint32_t max_keys, uint64_t seed, JenSample* out) {
+  const HybridQuery& query = prepared.query;
+  const auto& assigned = prepared.scan_plan.per_worker[worker];
+  // The fraction cap bounds the sampler's decode work relative to the scan
+  // it precedes (see AdaptiveConfig::hdfs_sample_max_fraction); a worker
+  // capped to zero contributes no sample.
+  const uint32_t fraction_cap = static_cast<uint32_t>(
+      static_cast<double>(assigned.size()) * acfg.hdfs_sample_max_fraction);
+  const uint32_t sample_blocks =
+      std::min(acfg.hdfs_sample_blocks, fraction_cap);
+  if (assigned.empty() || sample_blocks == 0) return Status::OK();
+
+  // Materialize predicate + projection columns (the estimator's idiom).
+  std::vector<std::string> needed = query.hdfs.projection;
+  if (query.hdfs.predicate != nullptr) {
+    query.hdfs.predicate->CollectColumns(&needed);
+  }
+  std::vector<size_t> materialize;
+  for (const auto& name : needed) {
+    HJ_ASSIGN_OR_RETURN(size_t i,
+                        prepared.scan_plan.meta.schema->IndexOf(name));
+    materialize.push_back(i);
+  }
+  std::sort(materialize.begin(), materialize.end());
+  materialize.erase(std::unique(materialize.begin(), materialize.end()),
+                    materialize.end());
+
+  const uint32_t picks =
+      std::min<uint32_t>(sample_blocks, static_cast<uint32_t>(assigned.size()));
+  uint64_t rng = HashInt64(seed, worker + 1);
+  for (uint32_t s = 0; s < picks; ++s) {
+    rng = HashInt64(rng, s + 1);
+    const auto& assignment = assigned[rng % assigned.size()];
+    HJ_ASSIGN_OR_RETURN(std::shared_ptr<const StoredBlock> stored,
+                        ctx->datanode(assignment.replica.node)
+                            ->Fetch(assignment.info.block_id));
+    Result<RecordBatch> decoded =
+        stored->format == HdfsFormat::kText
+            ? DecodeText(stored->text->data(), stored->text->size(),
+                         prepared.scan_plan.meta.schema, materialize)
+            : DecodeColumnarBlock(*stored->columnar,
+                                  prepared.scan_plan.meta.schema,
+                                  materialize);
+    HJ_RETURN_IF_ERROR(decoded.status());
+    const RecordBatch& sample = decoded.value();
+    std::vector<uint32_t> sel(sample.num_rows());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    if (query.hdfs.predicate != nullptr) {
+      HJ_RETURN_IF_ERROR(query.hdfs.predicate->Filter(sample, &sel));
+    }
+    out->rows_sampled += sample.num_rows();
+    out->rows_after_pred += sel.size();
+    if (sel.empty()) continue;
+    std::vector<size_t> proj_idx;
+    for (const auto& name : query.hdfs.projection) {
+      HJ_ASSIGN_OR_RETURN(size_t i, sample.schema()->IndexOf(name));
+      proj_idx.push_back(i);
+    }
+    const RecordBatch projected = sample.Project(proj_idx).Gather(sel);
+    out->projected_bytes += projected.ByteSize();
+    const ColumnVector& key = projected.column(prepared.hdfs_key_idx);
+    for (uint32_t r = 0; r < projected.num_rows(); ++r) {
+      if (out->keys.size() >= max_keys) break;
+      out->keys.push_back(key.physical_type() == PhysicalType::kInt32
+                              ? static_cast<int64_t>(key.i32()[r])
+                              : key.i64()[r]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> RunAdaptiveJoin(EngineContext* ctx,
+                                    const HybridQuery& query,
+                                    const QueryEstimates& est, Advice* advice,
+                                    uint64_t memory_budget_bytes) {
+  HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
+  const uint32_t m = ctx->num_db_workers();
+  const uint32_t n = ctx->num_jen_workers();
+  Network& net = ctx->network();
+  const Tags tags = Tags::Allocate(&net);
+  const AdaptiveConfig& acfg = ctx->config().adaptive;
+  const uint64_t hdfs_total_rows = prepared.scan_plan.meta.num_rows;
+
+  ReportBuilder report(ctx, advice->algorithm, memory_budget_bytes);
+  StatusCollector errors;
+
+  // Carried prefix state: written by the prefix threads, handed to the
+  // chosen driver. `sketches` is fed whenever the skew shuffle *could*
+  // engage in any candidate driver (their own gates decide whether the hot
+  // set is actually used — an unused sketch costs one Add per row).
+  BloomFilter global_bloom(prepared.bloom_params);
+  const bool feed_sketch = ctx->config().skew.enabled && (m > 1 || n > 1);
+  std::vector<HeavyHitterSketch> sketches(
+      m, HeavyHitterSketch(ctx->config().skew.sketch_capacity));
+
+  // Worker 0's coordinator block fills this in; the join() below publishes
+  // it to the driver thread.
+  Advice decided = *advice;
+
+  std::vector<std::thread> threads;
+  threads.reserve(m + n);
+
+  // --- DB workers: the shared prefix (steps 1-2 of every figure). ---
+  for (uint32_t i = 0; i < m; ++i) {
+    threads.emplace_back([&, i] {
+      QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
+      const NodeId self = NodeId::Db(i);
+      trace::ThreadScope thread_scope(self, "db_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverDbWorker,
+                              trace::span::kCatDriver);
+      Status st;
+
+      // Build + combine BF_DB. The build scan visits every qualifying row,
+      // so the count below is the *exact* observed build-side cardinality —
+      // strictly better input than the estimator's one-batch sample.
+      bool used_index = false;
+      uint64_t qualifying_rows = 0;
+      auto local = ctx->db().worker(i)->BuildLocalBloom(
+          query.db.table, query.db.predicate, query.db.join_key,
+          prepared.bloom_params, &used_index,
+          feed_sketch ? &sketches[i] : nullptr, &qualifying_rows);
+      BloomFilter local_bf = local.ok() ? std::move(local).value()
+                                        : BloomFilter(prepared.bloom_params);
+      if (!local.ok()) st = local.status();
+      auto global = driver::CombineBloomAtDbWorker0(ctx, i, local_bf, tags);
+      if (global.ok()) {
+        if (i == 0) {
+          driver::RecordBloomStats(ctx, global.value());
+          global_bloom = std::move(global).value();
+          report.Mark("bf_db_built");
+        }
+      } else if (st.ok()) {
+        st = global.status();
+      }
+
+      // Projected-row-width sample: one seeded random stored batch, for
+      // converting the exact row count into bytes.
+      uint64_t sample_bytes = 0;
+      uint64_t sample_rows = 0;
+      {
+        auto sampled = ctx->db().worker(i)->SampleStoredBatch(
+            query.db.table, HashInt64(acfg.sample_seed, i + 0xdb));
+        if (sampled.ok() && sampled->num_rows() > 0) {
+          std::vector<size_t> idx;
+          bool resolved = true;
+          for (const auto& name : query.db.projection) {
+            auto col = sampled->schema()->IndexOf(name);
+            if (!col.ok()) {
+              resolved = false;
+              break;
+            }
+            idx.push_back(col.value());
+          }
+          if (resolved) {
+            const RecordBatch projected = sampled->Project(idx);
+            sample_bytes = projected.ByteSize();
+            sample_rows = projected.num_rows();
+          }
+        }
+      }
+
+      // Ship the observed stats — unconditionally, zeros included, so the
+      // coordinator's m+n receives always complete even after an error.
+      {
+        BinaryWriter w;
+        w.PutU8(kDbStats);
+        w.PutU64(qualifying_rows);
+        w.PutU64(sample_bytes);
+        w.PutU64(sample_rows);
+        net.SendControl(self, NodeId::Db(0), tags.adapt_stats, w.Release());
+      }
+
+      // --- Coordinator (worker 0): collect, re-optimize, broadcast. ---
+      if (i == 0) {
+        QueryEstimates observed = est;
+        uint64_t db_rows_total = 0;
+        double db_sample_bytes = 0;
+        double db_sample_rows = 0;
+        uint64_t l_sampled = 0;
+        uint64_t l_pass = 0;
+        uint64_t l_bytes = 0;
+        uint64_t keys_total = 0;
+        uint64_t keys_pass = 0;
+        for (uint32_t j = 0; j < m + n; ++j) {
+          auto msg = net.Recv(self, tags.adapt_stats);
+          if (!msg.ok()) {
+            // Fall through to the broadcast below with whatever arrived —
+            // a missing stats message must never deadlock the query.
+            if (st.ok()) st = msg.status();
+            break;
+          }
+          if (msg->eos || msg->payload == nullptr) continue;
+          BinaryReader r(*msg->payload);
+          auto kind = r.GetU8();
+          if (!kind.ok()) continue;
+          if (kind.value() == kDbStats) {
+            auto rows = r.GetU64();
+            auto bytes = r.GetU64();
+            auto sampled = r.GetU64();
+            if (rows.ok() && bytes.ok() && sampled.ok()) {
+              db_rows_total += rows.value();
+              db_sample_bytes += static_cast<double>(bytes.value());
+              db_sample_rows += static_cast<double>(sampled.value());
+            }
+          } else if (kind.value() == kJenStats) {
+            auto rows = r.GetU64();
+            auto pass = r.GetU64();
+            auto bytes = r.GetU64();
+            auto num_keys = r.GetU32();
+            if (rows.ok() && pass.ok() && bytes.ok() && num_keys.ok()) {
+              l_sampled += rows.value();
+              l_pass += pass.value();
+              l_bytes += bytes.value();
+              for (uint32_t k = 0; k < num_keys.value(); ++k) {
+                auto key = r.GetI64();
+                if (!key.ok()) break;
+                ++keys_total;
+                if (global_bloom.MayContain(key.value())) ++keys_pass;
+              }
+            }
+          }
+        }
+
+        // Observed T': exact row count x sampled projected row width.
+        if (db_sample_rows > 0) {
+          observed.db_filtered_bytes = static_cast<uint64_t>(
+              static_cast<double>(db_rows_total) *
+              (db_sample_bytes / db_sample_rows));
+        }
+        // Observed L': fresh multi-block selectivity x catalog row count x
+        // observed projected row width.
+        if (l_sampled > 0) {
+          const double sel = static_cast<double>(l_pass) /
+                             static_cast<double>(l_sampled);
+          const double row_bytes =
+              l_pass > 0 ? static_cast<double>(l_bytes) /
+                               static_cast<double>(l_pass)
+                         : 0.0;
+          observed.hdfs_filtered_bytes = static_cast<uint64_t>(
+              sel * static_cast<double>(hdfs_total_rows) * row_bytes);
+        }
+        // Observed join-key pruning: the sampled keys against the filter
+        // that will actually do the pruning.
+        if (keys_total > 0) {
+          observed.hdfs_joinkey_selectivity =
+              static_cast<double>(keys_pass) /
+              static_cast<double>(keys_total);
+        }
+
+        const Advice verdict =
+            DecidePivot(*ctx, *advice, observed, acfg.pivot_threshold);
+        Metrics& metrics = ctx->metrics();
+        metrics.Max(metric::kAdvisorEstimatedDbBytes,
+                    static_cast<int64_t>(est.db_filtered_bytes));
+        metrics.Max(metric::kAdvisorObservedDbBytes,
+                    static_cast<int64_t>(observed.db_filtered_bytes));
+        metrics.Max(metric::kAdvisorEstimatedHdfsBytes,
+                    static_cast<int64_t>(est.hdfs_filtered_bytes));
+        metrics.Max(metric::kAdvisorObservedHdfsBytes,
+                    static_cast<int64_t>(observed.hdfs_filtered_bytes));
+        report.Mark("adapt_decision");
+        if (verdict.pivoted) {
+          metrics.Max(metric::kAdvisorPivoted, 1);
+          report.Mark(std::string("pivot_to_") +
+                      JoinAlgorithmName(verdict.final_algorithm));
+        }
+        decided = verdict;
+
+        BinaryWriter w;
+        w.PutU8(static_cast<uint8_t>(verdict.final_algorithm));
+        w.PutU8(verdict.pivoted ? 1 : 0);
+        auto payload =
+            std::make_shared<const std::vector<uint8_t>>(w.Release());
+        for (uint32_t j = 0; j < m; ++j) {
+          net.SendControl(self, NodeId::Db(j), tags.adapt_decision, payload);
+        }
+        for (uint32_t w2 = 0; w2 < n; ++w2) {
+          net.SendControl(self, NodeId::Hdfs(w2), tags.adapt_decision,
+                          payload);
+        }
+      }
+
+      // Every node blocks for the decision: nobody races ahead of the plan.
+      auto decision = net.Recv(self, tags.adapt_decision);
+      if (!decision.ok() && st.ok()) st = decision.status();
+      errors.Record(st);
+    });
+  }
+
+  // --- JEN workers: seeded block re-sample, then wait for the verdict. ---
+  for (uint32_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      QueryScope query_scope(report.query_id());
+      MemoryGovernor::Scope governor_scope(report.governor());
+      const NodeId self = NodeId::Hdfs(w);
+      trace::ThreadScope thread_scope(self, "jen_worker");
+      driver::NodeProfileScope profile_scope(ctx, self, tags);
+      trace::Span driver_span(&ctx->tracer(), trace::span::kDriverJenWorker,
+                              trace::span::kCatDriver);
+      JenSample sample;
+      Status st = SampleWorkerBlocks(ctx, prepared, w, acfg,
+                                     acfg.sample_keys, acfg.sample_seed,
+                                     &sample);
+      BinaryWriter writer;
+      writer.PutU8(kJenStats);
+      writer.PutU64(sample.rows_sampled);
+      writer.PutU64(sample.rows_after_pred);
+      writer.PutU64(sample.projected_bytes);
+      writer.PutU32(static_cast<uint32_t>(sample.keys.size()));
+      for (int64_t key : sample.keys) writer.PutI64(key);
+      net.SendControl(self, NodeId::Db(0), tags.adapt_stats,
+                      writer.Release());
+
+      auto decision = net.Recv(self, tags.adapt_decision);
+      if (!decision.ok() && st.ok()) st = decision.status();
+      errors.Record(st);
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  report.CollectProfiles(tags, m + n);
+  // The prefix snapshots above captured this query's scoped slices
+  // cumulatively; drop them so the chosen driver's end-of-query snapshots
+  // are pure deltas and AssembleProfile's per-node sums stay exact (no
+  // worker thread is live at this barrier, so the clear races with nobody).
+  ctx->metrics().ClearScoped(report.query_id());
+  HJ_RETURN_IF_ERROR(errors.First());
+
+  *advice = decided;
+  report.SetAlgorithm(decided.final_algorithm);
+
+  driver::AdaptiveCarry carry;
+  carry.report = &report;
+  carry.global_bloom = &global_bloom;
+  carry.sketches = &sketches;
+
+  // The carried state is buffered across the handoff on the query's
+  // governor (the Bloom filter dominates; the sketches are a few KiB).
+  const uint64_t carried_bytes = global_bloom.ByteSize();
+  report.governor()->Reserve(carried_bytes);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    switch (decided.final_algorithm) {
+      case JoinAlgorithm::kBroadcast:
+        return RunBroadcastJoin(ctx, prepared, memory_budget_bytes, &carry);
+      case JoinAlgorithm::kDbSide:
+      case JoinAlgorithm::kDbSideBloom:
+        return RunDbSideJoin(ctx, prepared, /*use_bloom=*/true,
+                             memory_budget_bytes, &carry);
+      default:
+        return RunRepartitionFamilyJoin(ctx, prepared, /*use_db_bloom=*/true,
+                                        /*zigzag=*/true, JoinDriverOptions{},
+                                        memory_budget_bytes, &carry);
+    }
+  }();
+  report.governor()->Release(carried_bytes);
+  HJ_RETURN_IF_ERROR(result.status());
+  result->report = report.Finish();
+  return result;
+}
+
+}  // namespace hybridjoin

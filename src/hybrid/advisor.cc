@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/hash.h"
 #include "hybrid/algorithms.h"
 
 namespace hybridjoin {
@@ -24,9 +25,22 @@ double Effective(uint64_t configured, double fallback) {
 
 std::string Advice::ToString() const {
   std::ostringstream os;
-  os << "advice: " << JoinAlgorithmName(algorithm)
-     << " (est. costs s — broadcast: " << broadcast_cost
-     << ", db(BF): " << db_side_cost << ", zigzag: " << zigzag_cost << ")";
+  if (!has_observed) {
+    os << "advice: " << JoinAlgorithmName(algorithm)
+       << " (est. costs s — broadcast: " << broadcast_cost
+       << ", db(BF): " << db_side_cost << ", zigzag: " << zigzag_cost << ")";
+    return os.str();
+  }
+  // Both estimate and observation exist: render all three costs as
+  // "estimated -> observed" so a pivot is explainable from this line alone.
+  os << "advice: " << JoinAlgorithmName(algorithm) << " -> "
+     << JoinAlgorithmName(final_algorithm)
+     << (pivoted ? " [pivoted]" : " [stayed]")
+     << " (est -> obs costs s — broadcast: " << broadcast_cost << " -> "
+     << observed_broadcast_cost << ", db(BF): " << db_side_cost << " -> "
+     << observed_db_side_cost << ", zigzag: " << zigzag_cost << " -> "
+     << observed_zigzag_cost << ")";
+  if (pivoted && !pivot_reason.empty()) os << "; " << pivot_reason;
   return os.str();
 }
 
@@ -76,6 +90,51 @@ Advice AdviseAlgorithm(const EngineContext& ctx, const QueryEstimates& est) {
     best = advice.broadcast_cost;
     advice.algorithm = JoinAlgorithm::kBroadcast;
   }
+  advice.final_algorithm = advice.algorithm;
+  return advice;
+}
+
+namespace {
+
+/// The cost `advice` assigns to running `algorithm` (the three modeled
+/// strategies; the Bloom-less kDbSide maps to the db(BF) cost).
+double CostOf(const Advice& advice, JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kBroadcast:
+      return advice.broadcast_cost;
+    case JoinAlgorithm::kDbSide:
+    case JoinAlgorithm::kDbSideBloom:
+      return advice.db_side_cost;
+    default:
+      return advice.zigzag_cost;
+  }
+}
+
+}  // namespace
+
+Advice DecidePivot(const EngineContext& ctx, const Advice& initial,
+                   const QueryEstimates& observed, double pivot_threshold) {
+  const Advice obs = AdviseAlgorithm(ctx, observed);
+  Advice advice = initial;
+  advice.has_observed = true;
+  advice.observed_broadcast_cost = obs.broadcast_cost;
+  advice.observed_db_side_cost = obs.db_side_cost;
+  advice.observed_zigzag_cost = obs.zigzag_cost;
+  advice.final_algorithm = initial.algorithm;
+  advice.pivoted = false;
+  advice.pivot_reason.clear();
+  const double stay = CostOf(obs, initial.algorithm);
+  const double best = CostOf(obs, obs.algorithm);
+  if (obs.algorithm != initial.algorithm &&
+      stay > best * (1.0 + pivot_threshold)) {
+    advice.pivoted = true;
+    advice.final_algorithm = obs.algorithm;
+    std::ostringstream reason;
+    reason << "pivot: observed cost of " << JoinAlgorithmName(initial.algorithm)
+           << " (" << stay << "s) exceeds " << JoinAlgorithmName(obs.algorithm)
+           << " (" << best << "s) by > " << (pivot_threshold * 100.0) << "%";
+    advice.pivot_reason = reason.str();
+  }
   return advice;
 }
 
@@ -84,11 +143,13 @@ Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
   HJ_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(ctx, query));
   QueryEstimates est;
 
-  // --- Database side: sample worker 0's first stored batch (copied under
-  // the catalog read lock, so a concurrent LoadTable cannot move it out
-  // from under the estimator). ---
+  // --- Database side: sample one seeded-random stored batch on worker 0
+  // (copied under the catalog read lock, so a concurrent LoadTable cannot
+  // move it out from under the estimator). ---
+  const uint64_t sample_seed = ctx->config().adaptive.sample_seed;
   HJ_ASSIGN_OR_RETURN(RecordBatch sample,
-                      ctx->db().worker(0)->SampleFirstBatch(query.db.table));
+                      ctx->db().worker(0)->SampleStoredBatch(
+                          query.db.table, HashInt64(sample_seed, 0xdb)));
   HJ_ASSIGN_OR_RETURN(uint64_t db_rows, ctx->db().TableRows(query.db.table));
   double db_sel = 1.0;
   double db_row_bytes = 32.0;
@@ -112,7 +173,7 @@ Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
   est.db_filtered_bytes = static_cast<uint64_t>(
       db_sel * static_cast<double>(db_rows) * db_row_bytes);
 
-  // --- HDFS side: decode the first block. ---
+  // --- HDFS side: decode one seeded-random block. ---
   HJ_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
                       ctx->namenode().GetBlocks(prepared.scan_plan.meta.path));
   HJ_ASSIGN_OR_RETURN(uint64_t file_bytes,
@@ -122,7 +183,8 @@ Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
   double hdfs_row_bytes = 32.0;
   uint64_t hdfs_rows = prepared.scan_plan.meta.num_rows;
   if (!blocks.empty()) {
-    const BlockInfo& b = blocks.front();
+    const BlockInfo& b =
+        blocks[HashInt64(sample_seed, 0x4df5) % blocks.size()];
     HJ_ASSIGN_OR_RETURN(
         std::shared_ptr<const StoredBlock> stored,
         ctx->datanode(b.replicas.front().node)->Fetch(b.block_id));

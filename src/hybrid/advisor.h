@@ -22,12 +22,26 @@ struct QueryEstimates {
   double hdfs_joinkey_selectivity = 1.0;
 };
 
-/// Per-algorithm estimated cost (seconds) plus the pick.
+/// Per-algorithm estimated cost (seconds) plus the pick. When the adaptive
+/// layer re-runs the model with observed prefix statistics, the observed_*
+/// costs and the final (possibly pivoted) pick are filled in too, so
+/// EXPLAIN ANALYZE can show estimate vs. observation side by side.
 struct Advice {
-  JoinAlgorithm algorithm = JoinAlgorithm::kZigzag;
+  JoinAlgorithm algorithm = JoinAlgorithm::kZigzag;  ///< initial pick
   double broadcast_cost = 0;
   double db_side_cost = 0;
   double zigzag_cost = 0;
+
+  /// Decision-point re-run (set by DecidePivot). `final_algorithm` is what
+  /// actually executes; it equals `algorithm` unless `pivoted`.
+  bool has_observed = false;
+  double observed_broadcast_cost = 0;
+  double observed_db_side_cost = 0;
+  double observed_zigzag_cost = 0;
+  JoinAlgorithm final_algorithm = JoinAlgorithm::kZigzag;
+  bool pivoted = false;
+  std::string pivot_reason;
+
   std::string ToString() const;
 };
 
@@ -35,8 +49,25 @@ struct Advice {
 /// using the context's configured bandwidths.
 Advice AdviseAlgorithm(const EngineContext& ctx, const QueryEstimates& est);
 
-/// Estimates selectivities/sizes by sampling: the first stored batch of the
-/// DB table on worker 0 and the first block of the HDFS table.
+/// The adaptive stay-or-pivot rule: re-runs the cost model with `observed`
+/// and pivots away from `initial.algorithm` only when the observed cost of
+/// staying exceeds the observed best by more than `pivot_threshold`
+/// (hysteresis — near-ties never pivot). Returns `initial` augmented with
+/// the observed costs, final_algorithm, pivoted and pivot_reason.
+Advice DecidePivot(const EngineContext& ctx, const Advice& initial,
+                   const QueryEstimates& observed, double pivot_threshold);
+
+/// Estimates selectivities/sizes by sampling: one seeded-random stored
+/// batch of the DB table on worker 0 and one seeded-random block of the
+/// HDFS table (seed: AdaptiveConfig::sample_seed, so runs reproduce).
+///
+/// Residual bias: a single batch/block is representative only when rows are
+/// i.i.d. across storage order. Rows clustered by a predicate column (see
+/// WorkloadConfig::cluster_*_by_pred) make ANY single sample arbitrarily
+/// wrong no matter how it is picked — the seeded pick only removes the
+/// systematic first-position bias. Correcting the residual is exactly what
+/// the adaptive decision point (hybrid/adaptive_join.cc) is for: it re-runs
+/// this cost model with the prefix's observed values.
 Result<QueryEstimates> EstimateQuery(EngineContext* ctx,
                                      const HybridQuery& query);
 

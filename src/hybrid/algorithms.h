@@ -6,12 +6,17 @@
 #define HYBRIDJOIN_HYBRID_ALGORITHMS_H_
 
 #include "bloom/bloom_filter.h"
+#include "hybrid/advisor.h"
 #include "hybrid/context.h"
 #include "hybrid/query.h"
 #include "hybrid/report.h"
 #include "jen/coordinator.h"
 
 namespace hybridjoin {
+
+namespace driver {
+struct AdaptiveCarry;  // hybrid/driver_common.h
+}  // namespace driver
 
 /// A validated query with every name resolved against real schemas, so the
 /// multi-threaded drivers cannot hit user errors mid-flight.
@@ -34,16 +39,20 @@ Result<PreparedQuery> PrepareQuery(EngineContext* ctx,
 /// optionally pruning with a DB Bloom filter first. `memory_budget_bytes`
 /// seeds the execution's MemoryGovernor (0 falls back to
 /// SimulationConfig::query_memory_budget_bytes; 0 there = unlimited) — the
-/// same knob on every driver below.
+/// same knob on every driver below. A non-null `carry` resumes from the
+/// adaptive layer's shared prefix (see driver::AdaptiveCarry) — same knob
+/// on every driver below.
 Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
                                   const PreparedQuery& prepared,
                                   bool use_bloom,
-                                  uint64_t memory_budget_bytes = 0);
+                                  uint64_t memory_budget_bytes = 0,
+                                  const driver::AdaptiveCarry* carry = nullptr);
 
 /// §3.2 — broadcast T' to every JEN worker, join and aggregate on HDFS.
-Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
-                                     const PreparedQuery& prepared,
-                                     uint64_t memory_budget_bytes = 0);
+Result<QueryResult> RunBroadcastJoin(
+    EngineContext* ctx, const PreparedQuery& prepared,
+    uint64_t memory_budget_bytes = 0,
+    const driver::AdaptiveCarry* carry = nullptr);
 
 /// How the zigzag join's *second* (HDFS -> DB) pruning step is realized.
 enum class SecondFilterKind {
@@ -76,12 +85,27 @@ struct JoinDriverOptions {
 Result<QueryResult> RunRepartitionFamilyJoin(
     EngineContext* ctx, const PreparedQuery& prepared, bool use_db_bloom,
     bool zigzag, const JoinDriverOptions& options = {},
-    uint64_t memory_budget_bytes = 0);
+    uint64_t memory_budget_bytes = 0,
+    const driver::AdaptiveCarry* carry = nullptr);
 
 /// Dispatch by algorithm enum (prepares internally).
 Result<QueryResult> RunJoin(EngineContext* ctx, const HybridQuery& query,
                             JoinAlgorithm algorithm,
                             uint64_t memory_budget_bytes = 0);
+
+/// The adaptive join-location driver (docs/architecture.md "Adaptive join
+/// location"): runs the shared prefix — DB predicate scan + Bloom
+/// build/combine, plus a seeded HDFS block re-sample per JEN worker — ships
+/// the observed statistics to DB worker 0 on a fault-exempt control tag,
+/// re-runs the §5.5 cost model there (DecidePivot against `advice`'s
+/// initial pick with AdaptiveConfig::pivot_threshold hysteresis) and
+/// broadcasts the stay-or-pivot decision to every node before dispatching
+/// the winning driver with the prefix state carried over. On return
+/// `*advice` additionally holds the observed costs and the pivot verdict.
+Result<QueryResult> RunAdaptiveJoin(EngineContext* ctx,
+                                    const HybridQuery& query,
+                                    const QueryEstimates& est, Advice* advice,
+                                    uint64_t memory_budget_bytes = 0);
 
 }  // namespace hybridjoin
 

@@ -66,6 +66,50 @@ struct SkewConfig {
   uint32_t max_hot_keys = 64;
 };
 
+/// Knobs of the adaptive join-location layer (src/hybrid/adaptive_join.cc,
+/// docs/architecture.md "Adaptive join location"). ExecuteAuto's initial
+/// pick comes from sampled estimates; with adaptivity on, every strategy's
+/// shared prefix (DB predicate scan + Bloom build) additionally ships
+/// *observed* cardinalities and selectivities to DB worker 0, which re-runs
+/// the §5.5 cost model and broadcasts a stay-or-pivot decision before any
+/// side commits to moving data. The built Bloom filter (and the heavy-hitter
+/// sketches when the skew shuffle is on) carries over into whichever driver
+/// wins, so a pivot never re-reads prefix work.
+struct AdaptiveConfig {
+  /// Master switch. On by default: when the observed costs confirm the
+  /// initial pick the only overhead is the prefix's control-plane traffic
+  /// (a few hundred bytes, fault-exempt) plus the tiny HDFS block samples.
+  bool enabled = true;
+  /// Hysteresis: pivot only when the observed cost of staying exceeds the
+  /// observed best by this fraction. Near-ties stay put — the estimate was
+  /// good enough, and a pivot's carried state is never free.
+  double pivot_threshold = 0.2;
+  /// HDFS blocks sampled per JEN worker at the decision point (seeded
+  /// random picks from the worker's own assignment). 0 disables the HDFS
+  /// re-sample and keeps the estimator's numbers for that side.
+  uint32_t hdfs_sample_blocks = 2;
+  /// Upper bound on the re-sample as a fraction of the worker's assigned
+  /// blocks: a worker samples min(hdfs_sample_blocks, floor(assigned *
+  /// fraction)) blocks. Block decode costs the same whether the scan or the
+  /// sampler does it, so without this cap a worker owning few blocks would
+  /// re-decode most of its assignment just to decide where to join — the
+  /// cap keeps the decision point's cost a bounded share of the scan (at
+  /// realistic block counts the hdfs_sample_blocks count binds first and
+  /// the overhead is a few percent). Workers capped to zero ship no sample
+  /// and the estimator's HDFS numbers stand. The differential fuzzer's
+  /// --adaptive sweep forces 1.0 to keep the observed-stats paths exercised
+  /// on its deliberately tiny cases.
+  double hdfs_sample_max_fraction = 0.25;
+  /// Join-key values (post-predicate) each JEN worker ships with its
+  /// sample; DB worker 0 probes them against the just-built global Bloom
+  /// filter for an observed join-key selectivity.
+  uint32_t sample_keys = 2048;
+  /// Seed for the estimator's and the decision point's random sampling
+  /// (EstimateQuery batch/block picks are derived from it too, so runs
+  /// stay reproducible).
+  uint64_t sample_seed = 0x51edd1ceULL;
+};
+
 struct SimulationConfig {
   DbConfig db;
   uint32_t jen_workers = 4;  ///< == number of HDFS DataNodes
@@ -75,6 +119,7 @@ struct SimulationConfig {
   JenConfig jen;
   BloomConfig bloom;
   SkewConfig skew;
+  AdaptiveConfig adaptive;
   TraceConfig trace;
   /// Fault injection for the interconnect (see net/fault_injector.h).
   /// Disabled by default; the differential harness installs named profiles.

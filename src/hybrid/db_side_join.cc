@@ -5,6 +5,7 @@
 // either side or repartition both), since the arriving HDFS rows are not
 // partitioned on the DB's hash.
 
+#include <optional>
 #include <thread>
 
 #include "common/hash.h"
@@ -167,7 +168,8 @@ Status RepartitionAmongDb(EngineContext* ctx, uint32_t worker, uint64_t tag,
 Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
                                   const PreparedQuery& prepared,
                                   bool use_bloom,
-                                  uint64_t memory_budget_bytes) {
+                                  uint64_t memory_budget_bytes,
+                                  const driver::AdaptiveCarry* carry) {
   const HybridQuery& query = prepared.query;
   const uint32_t m = ctx->num_db_workers();
   const uint32_t n = ctx->num_jen_workers();
@@ -178,7 +180,15 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
   const JoinAlgorithm algorithm =
       use_bloom ? JoinAlgorithm::kDbSideBloom : JoinAlgorithm::kDbSide;
 
-  ReportBuilder report(ctx, algorithm, memory_budget_bytes);
+  // With a carry the adaptive layer owns the execution: reuse its report
+  // (same query id, same governor) and start from the prefix's global
+  // Bloom filter + heavy-hitter sketches instead of rebuilding them.
+  const bool carried =
+      carry != nullptr && carry->report != nullptr &&
+      carry->global_bloom != nullptr;
+  std::optional<ReportBuilder> owned_report;
+  if (!carried) owned_report.emplace(ctx, algorithm, memory_budget_bytes);
+  ReportBuilder& report = carried ? *carry->report : *owned_report;
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -209,7 +219,28 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
       // hot set right after the Bloom combine.
       std::optional<BloomFilter> global_bloom;
       HotKeySet hot;
-      if (use_bloom) {
+      if (use_bloom && carried) {
+        // The adaptive prefix already built and combined BF_DB (and fed the
+        // sketches); resume from the carried state. The hot-set combine
+        // still runs below — its route width is this driver's m, which the
+        // prefix could not know.
+        global_bloom = *carry->global_bloom;
+        if (i == 0) report.Mark("bf_db_carried");
+        HeavyHitterSketch sketch =
+            carry->sketches != nullptr && i < carry->sketches->size()
+                ? (*carry->sketches)[i]
+                : HeavyHitterSketch(ctx->config().skew.sketch_capacity);
+        if (skew_route) {
+          auto combined =
+              driver::CombineHotKeysAtDbWorker0(ctx, i, sketch, m, tags);
+          if (combined.ok()) {
+            hot = std::move(combined).value();
+            if (i == 0 && !hot.empty()) report.Mark("hot_set_sent");
+          } else if (st.ok()) {
+            st = combined.status();
+          }
+        }
+      } else if (use_bloom) {
         bool used_index = false;
         HeavyHitterSketch sketch(ctx->config().skew.sketch_capacity);
         auto local = ctx->db().worker(i)->BuildLocalBloom(
@@ -573,7 +604,9 @@ Result<QueryResult> RunDbSideJoin(EngineContext* ctx,
 
   QueryResult result;
   result.rows = std::move(result_rows);
-  result.report = report.Finish();
+  // Under a carry the adaptive layer finishes the shared report (its wall
+  // clock spans prefix + driver).
+  if (owned_report.has_value()) result.report = report.Finish();
   return result;
 }
 

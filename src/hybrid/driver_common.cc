@@ -10,7 +10,7 @@ namespace hybridjoin {
 namespace driver {
 
 Tags Tags::Allocate(Network* network) {
-  const uint64_t base = network->AllocateTagBlock(19);
+  const uint64_t base = network->AllocateTagBlock(21);
   Tags t;
   t.bloom_local = base + 0;
   t.bloom_global = base + 1;
@@ -31,6 +31,8 @@ Tags Tags::Allocate(Network* network) {
   t.sketch_local = base + 16;
   t.hot_global = base + 17;
   t.hot_to_jen = base + 18;
+  t.adapt_stats = base + 19;
+  t.adapt_decision = base + 20;
   return t;
 }
 

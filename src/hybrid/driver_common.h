@@ -26,6 +26,8 @@
 namespace hybridjoin {
 namespace driver {
 
+class ReportBuilder;
+
 /// Channel tags for one query execution, carved out of the network's tag
 /// space so concurrent executions can never collide.
 struct Tags {
@@ -48,8 +50,25 @@ struct Tags {
   uint64_t sketch_local;   ///< DB worker -> DB worker 0 (heavy-hitter sketch)
   uint64_t hot_global;     ///< DB worker 0 -> DB workers (hot-key set)
   uint64_t hot_to_jen;     ///< DB worker -> its JEN group (hot-key set)
+  uint64_t adapt_stats;    ///< all workers -> DB worker 0 (observed stats)
+  uint64_t adapt_decision; ///< DB worker 0 -> all (stay-or-pivot decision)
 
   static Tags Allocate(Network* network);
+};
+
+/// Prefix state handed from the adaptive layer (hybrid/adaptive_join.cc) to
+/// whichever driver the stay-or-pivot decision selects. When `report` is
+/// non-null the driver reuses it instead of opening its own execution (no
+/// second query id, no Finish — the adaptive layer finishes), and when
+/// `global_bloom` is non-null the DB workers skip the Bloom build/combine
+/// and start from the carried global filter (`sketches[i]` likewise replaces
+/// DB worker i's piggybacked heavy-hitter sketch). The JEN side of every
+/// driver is unchanged: carried state is re-sent on the normal data-plane
+/// tags, so the cross-cluster Bloom transfer keeps its network charge.
+struct AdaptiveCarry {
+  ReportBuilder* report = nullptr;
+  const BloomFilter* global_bloom = nullptr;
+  const std::vector<HeavyHitterSketch>* sketches = nullptr;  // per DB worker
 };
 
 /// First-error-wins status aggregation across worker threads.
@@ -131,6 +150,11 @@ class ReportBuilder {
 
   /// Thread-safe named timestamp (seconds since start).
   void Mark(const std::string& name);
+
+  /// Re-labels the execution after a mid-query pivot: Finish() reports the
+  /// algorithm that actually ran, not the one construction guessed. Call
+  /// from the driver thread before dispatching the chosen driver.
+  void SetAlgorithm(JoinAlgorithm algorithm) { algorithm_ = algorithm; }
 
   /// Drains `expected` NodeProfileScope snapshots from tags.profile on DB
   /// worker 0. Call from the driver thread after joining the worker

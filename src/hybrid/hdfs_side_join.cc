@@ -4,6 +4,7 @@
 // on its own thread; data moves through the simulated interconnect.
 
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -59,7 +60,8 @@ void AddKeysToBloom(const RecordBatch& batch, size_t key_idx,
 
 Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
                                      const PreparedQuery& prepared,
-                                     uint64_t memory_budget_bytes) {
+                                     uint64_t memory_budget_bytes,
+                                     const driver::AdaptiveCarry* carry) {
   const HybridQuery& query = prepared.query;
   const uint32_t m = ctx->num_db_workers();
   const uint32_t n = ctx->num_jen_workers();
@@ -67,7 +69,16 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
   const Tags tags = Tags::Allocate(&net);
   const std::vector<NodeId> jen_nodes = AllJenNodes(ctx);
 
-  ReportBuilder report(ctx, JoinAlgorithm::kBroadcast, memory_budget_bytes);
+  // With a carry the adaptive layer owns the execution (report, query id,
+  // governor). The broadcast join has no use for the carried Bloom filter:
+  // it ships T' whole, exactly like the static form — which is what keeps
+  // a pivot into broadcast byte-identical to the static pick.
+  std::optional<ReportBuilder> owned_report;
+  if (carry == nullptr || carry->report == nullptr) {
+    owned_report.emplace(ctx, JoinAlgorithm::kBroadcast, memory_budget_bytes);
+  }
+  ReportBuilder& report =
+      owned_report.has_value() ? *owned_report : *carry->report;
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -265,7 +276,8 @@ Result<QueryResult> RunBroadcastJoin(EngineContext* ctx,
 
   QueryResult result;
   result.rows = std::move(result_rows);
-  result.report = report.Finish();
+  // Under a carry the adaptive layer finishes the shared report.
+  if (owned_report.has_value()) result.report = report.Finish();
   return result;
 }
 
@@ -277,7 +289,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
                                              const PreparedQuery& prepared,
                                              bool use_db_bloom, bool zigzag,
                                              const JoinDriverOptions& options,
-                                             uint64_t memory_budget_bytes) {
+                                             uint64_t memory_budget_bytes,
+                                             const driver::AdaptiveCarry* carry) {
   if (zigzag && !use_db_bloom) {
     return Status::InvalidArgument("zigzag join requires the DB Bloom filter");
   }
@@ -304,7 +317,17 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
              : (use_db_bloom ? JoinAlgorithm::kRepartitionBloom
                              : JoinAlgorithm::kRepartition);
 
-  ReportBuilder report(ctx, algorithm, memory_budget_bytes);
+  // With a carry the adaptive layer owns the execution: reuse its report
+  // and resume from the prefix's global Bloom filter + sketches. The JEN
+  // side is untouched — the carried filter is re-sent on the normal
+  // bloom_to_jen tag, so the cross-cluster BF transfer keeps its charge.
+  const bool carried =
+      carry != nullptr && carry->report != nullptr &&
+      carry->global_bloom != nullptr;
+  std::optional<ReportBuilder> owned_report;
+  if (!carried) owned_report.emplace(ctx, algorithm, memory_budget_bytes);
+  ReportBuilder& report =
+      owned_report.has_value() ? *owned_report : *carry->report;
   StatusCollector errors;
   RecordBatch result_rows;
 
@@ -340,7 +363,36 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
       // route is on, and the hot set rides to the JEN group right behind
       // the Bloom filter.
       HotKeySet hot;
-      if (use_db_bloom) {
+      if (use_db_bloom && carried) {
+        // The adaptive prefix already built and combined BF_DB (and fed the
+        // sketches). Resume from the carried state: multicast the global
+        // filter to this worker's JEN group exactly as the static form
+        // does, then run the hot-set combine with the carried sketch (its
+        // route width is this exchange's n, which the prefix couldn't
+        // know).
+        for (uint32_t w : groups[i]) {
+          SendBloom(&net, self, NodeId::Hdfs(w), tags.bloom_to_jen,
+                    *carry->global_bloom, &ctx->metrics());
+        }
+        if (i == 0) report.Mark("bf_db_carried");
+        if (skew_route) {
+          HeavyHitterSketch sketch =
+              carry->sketches != nullptr && i < carry->sketches->size()
+                  ? (*carry->sketches)[i]
+                  : HeavyHitterSketch(ctx->config().skew.sketch_capacity);
+          auto global_hot =
+              driver::CombineHotKeysAtDbWorker0(ctx, i, sketch, n, tags);
+          if (global_hot.ok()) {
+            hot = std::move(global_hot).value();
+          } else if (st.ok()) {
+            st = global_hot.status();
+          }
+          for (uint32_t w : groups[i]) {
+            SendHotKeys(&net, self, NodeId::Hdfs(w), tags.hot_to_jen, hot);
+          }
+          if (i == 0 && !hot.empty()) report.Mark("hot_set_sent");
+        }
+      } else if (use_db_bloom) {
         HeavyHitterSketch sketch(ctx->config().skew.sketch_capacity);
         bool used_index = false;
         auto local = ctx->db().worker(i)->BuildLocalBloom(
@@ -938,7 +990,8 @@ Result<QueryResult> RunRepartitionFamilyJoin(EngineContext* ctx,
 
   QueryResult result;
   result.rows = std::move(result_rows);
-  result.report = report.Finish();
+  // Under a carry the adaptive layer finishes the shared report.
+  if (owned_report.has_value()) result.report = report.Finish();
   return result;
 }
 

@@ -78,12 +78,23 @@ class HybridWarehouse {
   }
 
   /// Lets the advisor pick the algorithm (sampling-based estimates), then
-  /// runs it. `advice_out`, if non-null, receives the decision.
+  /// runs it. With AdaptiveConfig::enabled (the default) the execution goes
+  /// through the adaptive driver: the shared prefix re-measures the
+  /// estimates and the query pivots mid-flight when the observed cost model
+  /// disagrees with the initial pick by more than the hysteresis threshold.
+  /// `advice_out`, if non-null, receives the decision — including the
+  /// observed costs and the pivot verdict on the adaptive path.
   Result<QueryResult> ExecuteAuto(const HybridQuery& query,
                                   Advice* advice_out = nullptr,
                                   uint64_t memory_budget_bytes = 0) {
     HJ_ASSIGN_OR_RETURN(QueryEstimates est, EstimateQuery(ctx_.get(), query));
-    const Advice advice = AdviseAlgorithm(*ctx_, est);
+    Advice advice = AdviseAlgorithm(*ctx_, est);
+    if (ctx_->config().adaptive.enabled) {
+      auto result =
+          RunAdaptiveJoin(ctx_.get(), query, est, &advice, memory_budget_bytes);
+      if (advice_out != nullptr) *advice_out = advice;
+      return result;
+    }
     if (advice_out != nullptr) *advice_out = advice;
     return Execute(query, advice.algorithm, memory_budget_bytes);
   }

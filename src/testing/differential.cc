@@ -98,6 +98,12 @@ Result<QueryResult> RunVariant(HybridWarehouse* warehouse,
   if (variant == "zigzag") {
     return warehouse->Execute(query, JoinAlgorithm::kZigzag);
   }
+  if (variant == "adaptive") {
+    // ExecuteAuto routes through the adaptive decision point when
+    // SimulationConfig::adaptive.enabled (the sweep also zeroes the pivot
+    // hysteresis so estimate-vs-observation disagreements always pivot).
+    return warehouse->ExecuteAuto(query);
+  }
   if (variant == "zigzag_semijoin") {
     // Not reachable through the JoinAlgorithm enum: the exact-semijoin
     // second filter is a driver-level ablation, so invoke the driver.
@@ -228,6 +234,7 @@ std::string DiffCaseReport::Summary() const {
       os << " --mem_budget_bytes=" << mem_budget_bytes;
     }
     if (zipf_s != 0) os << " --zipf_s=" << zipf_s;
+    if (adaptive) os << " --adaptive";
   }
   return os.str();
 }
@@ -238,13 +245,14 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    uint32_t exec_threads,
                                    const std::string& profile_out_prefix,
                                    uint64_t mem_budget_bytes,
-                                   double zipf_s) {
+                                   double zipf_s, bool adaptive) {
   DiffCaseReport report;
   report.seed = seed;
   report.profile = profile_name;
   report.exec_threads = exec_threads;
   report.mem_budget_bytes = mem_budget_bytes;
   report.zipf_s = zipf_s;
+  report.adaptive = adaptive;
 
   DiffCase c = MakeRandomCase(seed);
   // The skew axis overrides the generator's key draw only; every other knob
@@ -278,7 +286,10 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
     return report;
   }
 
-  for (const std::string& variant : DifferentialVariants()) {
+  std::vector<std::string> variants = DifferentialVariants();
+  if (adaptive) variants.push_back("adaptive");
+
+  for (const std::string& variant : variants) {
     // A fresh warehouse per variant: the one-shot stall re-arms, and every
     // variant sees the same deterministic fault schedule from seq 0 instead
     // of one schedule smeared across whichever variants ran earlier.
@@ -298,6 +309,16 @@ DiffCaseReport RunDifferentialCase(uint64_t seed,
     // MemoryGovernor, forcing the grace join to spill on the larger cases
     // while the oracle stays unbudgeted — spilling must not change results.
     config.query_memory_budget_bytes = mem_budget_bytes;
+    // The adaptive sweep forces every estimate-vs-observation disagreement
+    // to pivot (zero hysteresis), so the mid-query handoff paths get fuzzed
+    // instead of only engaging on badly wrong estimates. The sample-cost
+    // fraction cap is lifted too: the cases here are deliberately tiny
+    // (few blocks per worker), and with the default cap no worker would
+    // ship a JEN sample, leaving the observed-HDFS paths unexercised.
+    if (adaptive) {
+      config.adaptive.pivot_threshold = 0.0;
+      config.adaptive.hdfs_sample_max_fraction = 1.0;
+    }
     config.net.recv_timeout_ms = recv_timeout_ms;
     config.fault = *profile;
     HybridWarehouse hw(config);

@@ -67,6 +67,7 @@ struct DiffCaseReport {
   uint32_t exec_threads = 1;
   uint64_t mem_budget_bytes = 0;
   double zipf_s = 0;
+  bool adaptive = false;
   bool profile_recoverable = true;
   std::string case_summary;
   Status setup_error;  ///< generation/load/oracle failure (aborts the case)
@@ -98,14 +99,20 @@ struct DiffCaseReport {
 /// is never budgeted. `zipf_s` overrides the case's key-skew exponent
 /// (0, the default, keeps the seed's historical uniform workload
 /// bit-identical): a skewed sweep exercises the skew-aware hybrid shuffle
-/// route, which must also match the oracle byte-for-byte.
+/// route, which must also match the oracle byte-for-byte. `adaptive` adds
+/// an eighth variant, "adaptive", that executes through ExecuteAuto's
+/// adaptive decision point with the pivot hysteresis forced to zero — any
+/// disagreement between the sampled estimates and the observed prefix
+/// statistics pivots mid-query, so the sweep fuzzes every pivot path (the
+/// single-node reference oracle stays static, as do the other variants).
 DiffCaseReport RunDifferentialCase(uint64_t seed,
                                    const std::string& profile_name,
                                    uint64_t recv_timeout_ms = 5000,
                                    uint32_t exec_threads = 1,
                                    const std::string& profile_out_prefix = "",
                                    uint64_t mem_budget_bytes = 0,
-                                   double zipf_s = 0);
+                                   double zipf_s = 0,
+                                   bool adaptive = false);
 
 }  // namespace testing_support
 }  // namespace hybridjoin

@@ -23,6 +23,17 @@ double KeyHash(int64_t key) {
 
 double Frac(double x) { return x - std::floor(x); }
 
+/// Stable permutation sorting `batch`'s rows by the int32 column `col`
+/// ascending (stability keeps the clustered layouts deterministic).
+std::vector<uint32_t> SortedByColumn(const RecordBatch& batch, size_t col) {
+  std::vector<uint32_t> perm(batch.num_rows());
+  std::iota(perm.begin(), perm.end(), 0u);
+  const auto& values = batch.column(col).i32();
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](uint32_t a, uint32_t b) { return values[a] < values[b]; });
+  return perm;
+}
+
 }  // namespace
 
 Result<SolvedSpec> SolveSelectivities(const SelectivitySpec& spec,
@@ -196,6 +207,13 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
       d2.push_back(static_cast<int32_t>(rng.Uniform(1 << 20)));
       d3.push_back(static_cast<int32_t>(rng.Uniform(86400)));
     }
+    if (config.cluster_t_by_pred) {
+      // Same rows, corPred-sorted storage order: every stored batch lands
+      // entirely inside or entirely outside the corPred window, so a
+      // single-batch sample misestimates sigma_T no matter which batch it
+      // picks (see WorkloadConfig::cluster_t_by_pred).
+      w.t_ = w.t_.Gather(SortedByColumn(w.t_, 2));
+    }
   }
 
   // --- L ---
@@ -232,6 +250,31 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
       }
       w.l_.push_back(std::move(batch));
       remaining -= n;
+    }
+    if (config.cluster_l_by_pred && !w.l_.empty()) {
+      // Concatenate, corPred-sort, re-chunk: the HDFS blocks written from
+      // these batches inherit the clustered order, so any single-block
+      // sample misestimates sigma_L (see WorkloadConfig::cluster_l_by_pred).
+      RecordBatch all(LSchema());
+      all.Reserve(config.l_rows);
+      std::vector<uint32_t> ident;
+      for (const RecordBatch& b : w.l_) {
+        ident.resize(b.num_rows());
+        std::iota(ident.begin(), ident.end(), 0u);
+        for (size_t c = 0; c < all.num_columns(); ++c) {
+          all.mutable_column(c).GatherAppendFrom(b.column(c), ident.data(),
+                                                 ident.size());
+        }
+      }
+      const std::vector<uint32_t> perm = SortedByColumn(all, 1);
+      std::vector<RecordBatch> clustered;
+      for (size_t off = 0; off < perm.size(); off += config.batch_rows) {
+        const size_t end = std::min<size_t>(off + config.batch_rows,
+                                            perm.size());
+        clustered.push_back(all.Gather(
+            std::vector<uint32_t>(perm.begin() + off, perm.begin() + end)));
+      }
+      w.l_ = std::move(clustered);
     }
   }
   return w;

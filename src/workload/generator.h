@@ -54,6 +54,17 @@ struct WorkloadConfig {
   /// popular dimension row is popular in the fact table too — and makes the
   /// T-side heavy-hitter sketch a valid proxy for L-side load.
   double zipf_s = 0;
+  /// Misleading-stats layout knobs: store the table's rows sorted by its
+  /// corPred column instead of in generation (i.e. random) order. Row SETS
+  /// are untouched — only storage order changes — but a clustered layout
+  /// makes ANY single stored batch / HDFS block unrepresentative of the
+  /// corPred predicate (a batch passes it almost entirely or not at all),
+  /// which is exactly the residual sampling bias documented in
+  /// hybrid/advisor.h. Used by the adaptive-join ablation and tests to
+  /// plant misleading estimates that only the decision point's observed
+  /// statistics can correct.
+  bool cluster_t_by_pred = false;
+  bool cluster_l_by_pred = false;
 };
 
 /// The four selectivity targets of the paper's grid.

@@ -29,6 +29,12 @@
 //                        e.g. 1.3 concentrates enough mass on the top keys
 //                        that the skew-aware hybrid shuffle route engages —
 //                        skewed runs must still match the oracle)
+//   --adaptive           add an eighth variant that runs through the
+//                        adaptive decision point (ExecuteAuto) with the
+//                        pivot hysteresis forced to zero, so every
+//                        estimate-vs-observation disagreement pivots
+//                        mid-query; the oracle and the other variants stay
+//                        static, and the adaptive runs must match them
 //   --case_timeout_ms=T  watchdog limit per (seed, profile) case (default 60000)
 //   --profile_out=PREFIX write the first case's per-variant query-profile
 //                        JSONs to PREFIX.<variant>.json (CI artifact)
@@ -115,6 +121,7 @@ int main(int argc, char** argv) {
   uint32_t exec_threads = 1;
   uint64_t mem_budget_bytes = 0;
   double zipf_s = 0;
+  bool adaptive = false;
   int64_t case_timeout_ms = 60000;
   std::string profiles_csv = "none,delays,flaky,lossy";
   std::string out_path = "fuzz_failures.txt";
@@ -149,6 +156,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--zipf_s must be >= 0\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      adaptive = true;
     } else if (ParseFlag(argv[i], "case_timeout_ms", &v)) {
       case_timeout_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "profile_out", &v)) {
@@ -194,7 +203,8 @@ int main(int argc, char** argv) {
           (i == 0 && profile == profiles.front()) ? profile_out_prefix : "";
       const DiffCaseReport report =
           RunDifferentialCase(seed, profile, recv_timeout_ms, exec_threads,
-                              case_profile_out, mem_budget_bytes, zipf_s);
+                              case_profile_out, mem_budget_bytes, zipf_s,
+                              adaptive);
       g_deadline_ms.store(INT64_MAX, std::memory_order_release);
       ++cases_run;
       if (!report.ok()) {
