@@ -3,7 +3,9 @@
 // streams push the paper's query through one WarehouseServer and the sweep
 // reports queries/sec and p50/p99 latency at 1/4/16/64 streams, plus a
 // deterministic admission scenario showing queries past the concurrency
-// limit queueing and then being shed on deadline (never crashing). Writes
+// limit queueing and then being shed on deadline (never crashing), plus an
+// observability-overhead cell (16 streams plain vs with the full plane on;
+// overhead_pct gated by tools/perfcheck --max_overhead_pct). Writes
 // BENCH_concurrency.json (path overridable with --out=PATH) in the same
 // perfcheck-gateable shape as the fig-8 artifact: *_us and *_seconds leaves
 // are wall-family gated, queries_per_second is an ungated trend column.
@@ -64,6 +66,17 @@ struct AdmissionResult {
   int errors_other = 0;  ///< anything but ok/kResourceExhausted (want 0)
 };
 
+/// Observability-plane cost at 16 streams: the same sweep cell run twice,
+/// once plain and once with the full plane on (sampler + scrape endpoint +
+/// event log + slow-query log). overhead_pct is perfcheck-gated at an
+/// absolute ceiling (tools/perfcheck --max_overhead_pct, default 2.0).
+struct OverheadResult {
+  uint32_t streams = 0;
+  double wall_seconds_plain = 0;
+  double wall_seconds_observed = 0;
+  double overhead_pct = 0;
+};
+
 Result<HybridWarehouse*> MakeWarehouse(bool smoke) {
   WorkloadConfig wc;
   wc.num_join_keys = smoke ? 1024 : 2048;
@@ -93,11 +106,13 @@ Result<HybridWarehouse*> MakeWarehouse(bool smoke) {
 /// server with a deep queue and a generous deadline (throughput run: nothing
 /// should shed).
 StreamResult RunStreams(HybridWarehouse* hw, uint32_t streams,
-                        int queries_per_stream) {
+                        int queries_per_stream,
+                        const server::ObservabilityConfig* obs = nullptr) {
   server::ServerConfig sc;
   sc.admission.max_concurrent_queries = 8;
   sc.admission.max_queued = 128;
   sc.admission.queue_timeout = std::chrono::milliseconds(120000);
+  if (obs != nullptr) sc.observability = *obs;
   server::WarehouseServer server(hw, sc);
 
   LatencyHistogram latency;
@@ -138,6 +153,40 @@ StreamResult RunStreams(HybridWarehouse* hw, uint32_t streams,
   r.p50_us = latency.PercentileMicros(50);
   r.p99_us = latency.PercentileMicros(99);
   r.queued = server.stats().admission.admitted_queued;
+  return r;
+}
+
+/// Runs the 16-stream sweep cell twice — plain, then with every piece of
+/// the observability plane switched on — and reports the wall-clock delta.
+/// The observed run scrapes nothing itself; the cost measured is the
+/// always-on part: registry bookkeeping, cancel checks, event emission,
+/// the background sampler, and the idle scrape listener.
+OverheadResult RunOverhead(HybridWarehouse* hw, int queries_per_stream) {
+  constexpr uint32_t kStreams = 16;
+  const StreamResult plain = RunStreams(hw, kStreams, queries_per_stream);
+
+  server::ObservabilityConfig obs;
+  obs.metrics_http = true;
+  obs.metrics_http_port = 0;  // ephemeral: the cost is the idle listener
+  obs.metrics_out = "bench_obs_metrics.prom";
+  obs.sample_interval = std::chrono::milliseconds(250);
+  obs.event_log_path = "bench_obs_events.jsonl";
+  obs.slow_query_dir = ".";
+  obs.slow_query_seconds = 3600.0;  // threshold checked but never crossed
+  const StreamResult observed =
+      RunStreams(hw, kStreams, queries_per_stream, &obs);
+  std::remove("bench_obs_metrics.prom");
+  std::remove("bench_obs_events.jsonl");
+
+  OverheadResult r;
+  r.streams = kStreams;
+  r.wall_seconds_plain = plain.wall_seconds;
+  r.wall_seconds_observed = observed.wall_seconds;
+  r.overhead_pct =
+      plain.wall_seconds > 0
+          ? (observed.wall_seconds - plain.wall_seconds) /
+                plain.wall_seconds * 100.0
+          : 0;
   return r;
 }
 
@@ -184,7 +233,8 @@ AdmissionResult RunAdmissionShed(HybridWarehouse* hw) {
 
 int WriteJson(const std::string& path,
               const std::vector<StreamResult>& sweep,
-              const AdmissionResult& admission) {
+              const AdmissionResult& admission,
+              const OverheadResult& overhead) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -209,11 +259,18 @@ int WriteJson(const std::string& path,
       f,
       "    \"admission\": {\"limit\": %u, \"max_queued\": %zu, "
       "\"offered\": %d, \"admitted\": %lld, \"queued_granted\": %lld, "
-      "\"shed\": %lld, \"errors_other\": %d}\n",
+      "\"shed\": %lld, \"errors_other\": %d},\n",
       admission.limit, admission.max_queued, admission.offered,
       static_cast<long long>(admission.admitted),
       static_cast<long long>(admission.queued_granted),
       static_cast<long long>(admission.shed), admission.errors_other);
+  std::fprintf(
+      f,
+      "    \"observability\": {\"streams\": %u, "
+      "\"wall_seconds_plain\": %.6f, \"wall_seconds_observed\": %.6f, "
+      "\"overhead_pct\": %.3f}\n",
+      overhead.streams, overhead.wall_seconds_plain,
+      overhead.wall_seconds_observed, overhead.overhead_pct);
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -242,6 +299,8 @@ int Run(const std::string& out_path) {
     sweep.push_back(RunStreams(owned.get(), streams, queries_per_stream));
   }
   const AdmissionResult admission = RunAdmissionShed(owned.get());
+  const OverheadResult overhead =
+      RunOverhead(owned.get(), queries_per_stream);
 
   std::printf("%8s %8s %10s %10s %10s %8s %6s\n", "streams", "queries",
               "qps", "p50(ms)", "p99(ms)", "queued", "shed");
@@ -267,8 +326,13 @@ int Run(const std::string& out_path) {
               qps1 > 0 ? qps4 / qps1 : 0,
               qps4 > qps1 ? "(concurrent executions overlap)"
                           : "(WARNING: no overlap measured)");
+  std::printf(
+      "observability overhead at %u streams: %.3fs plain vs %.3fs "
+      "observed = %+.2f%%\n",
+      overhead.streams, overhead.wall_seconds_plain,
+      overhead.wall_seconds_observed, overhead.overhead_pct);
 
-  return WriteJson(out_path, sweep, admission);
+  return WriteJson(out_path, sweep, admission, overhead);
 }
 
 }  // namespace

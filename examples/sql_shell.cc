@@ -15,6 +15,11 @@
 //
 // Prefix a statement with EXPLAIN ANALYZE to print the distributed
 // per-node query profile (phase -> metric -> node) after the rows.
+//
+// Administrative statements (answered from the observability plane):
+//   SHOW PROCESSLIST   -- in-flight queries: phase, elapsed, memory, spill
+//   SHOW METRICS       -- Prometheus text exposition of the engine metrics
+//   KILL <query_id>    -- cooperatively cancel an in-flight query
 
 #include <cctype>
 #include <cstdio>
@@ -22,6 +27,9 @@
 #include <string>
 
 #include "hybrid/warehouse.h"
+#include "obs/promtext.h"
+#include "obs/query_registry.h"
+#include "sql/parser.h"
 #include "workload/loader.h"
 
 using namespace hybridjoin;
@@ -46,6 +54,40 @@ bool StripExplainAnalyze(std::string* statement) {
 // failed statement instead of swallowing the error.
 Status RunStatement(HybridWarehouse& hw, std::string statement) {
   const bool explain_analyze = StripExplainAnalyze(&statement);
+  // Administrative statements answer from the observability plane; the
+  // shell has no server sessions, so SHOW SESSIONS explains itself.
+  if (auto stmt = sql::ParseStatement(statement);
+      stmt.ok() && stmt->kind != sql::StatementKind::kSelect) {
+    switch (stmt->kind) {
+      case sql::StatementKind::kShowProcesslist:
+        std::printf("%s\n", obs::RenderProcessListText(
+                                obs::QueryRegistry::Global().Snapshot())
+                                .c_str());
+        return Status::OK();
+      case sql::StatementKind::kShowMetrics:
+        std::printf("%s\n",
+                    obs::RenderPrometheus(hw.context().metrics()).c_str());
+        return Status::OK();
+      case sql::StatementKind::kShowSessions:
+        std::printf(
+            "(the shell talks to the library directly; sessions exist "
+            "only under the warehouse server)\n\n");
+        return Status::OK();
+      case sql::StatementKind::kKill: {
+        const Status killed =
+            obs::QueryRegistry::Global().Cancel(stmt->kill_query_id);
+        if (killed.ok()) {
+          std::printf("killing query %llu\n\n",
+                      static_cast<unsigned long long>(stmt->kill_query_id));
+        } else {
+          std::printf("error: %s\n", killed.ToString().c_str());
+        }
+        return killed;
+      }
+      case sql::StatementKind::kSelect:
+        break;  // unreachable
+    }
+  }
   Advice advice;
   auto result = hw.ExecuteSqlAuto(statement, &advice);
   if (!result.ok()) {

@@ -8,7 +8,16 @@
 // With more clients than the admission limit, the ticket lines show queries
 // queueing (queued=1 with a wait) and — when the queue itself overflows past
 // the deadline — being shed with RESOURCE_EXHAUSTED rather than crashing.
+//
+// Observability plane (all off by default):
+//   --metrics_port=9464      serve GET /metrics on 127.0.0.1:9464
+//   --metrics_out=m.prom     periodically rewrite a Prometheus text file
+//   --event_log=events.jsonl JSON-lines lifecycle event log
+//   --slow_query_dir=DIR --slow_ms=N   persist profiles of queries > N ms
+//   --serve_seconds=N        keep the scrape endpoint up N s after the demo
+//                            (for curl / CI scrapes)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -42,6 +51,18 @@ int FlagOr(int argc, char** argv, const std::string& name, int fallback) {
   return fallback;
 }
 
+std::string StrFlagOr(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,7 +88,22 @@ int main(int argc, char** argv) {
   sc.admission.max_concurrent_queries = static_cast<uint32_t>(limit);
   sc.admission.max_queued = 2 * static_cast<size_t>(limit);
   sc.admission.queue_timeout = std::chrono::milliseconds(10000);
+  const int metrics_port = FlagOr(argc, argv, "metrics_port", -1);
+  if (metrics_port >= 0) {
+    sc.observability.metrics_http = true;
+    sc.observability.metrics_http_port = static_cast<uint16_t>(metrics_port);
+  }
+  sc.observability.metrics_out = StrFlagOr(argc, argv, "metrics_out", "");
+  sc.observability.event_log_path = StrFlagOr(argc, argv, "event_log", "");
+  sc.observability.slow_query_dir =
+      StrFlagOr(argc, argv, "slow_query_dir", "");
+  sc.observability.slow_query_seconds =
+      FlagOr(argc, argv, "slow_ms", 0) / 1e3;
   server::WarehouseServer server(&hw, sc);
+  if (server.metrics_port() != 0) {
+    std::printf("metrics: http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(server.metrics_port()));
+  }
 
   std::printf(
       "serving %d clients x %d queries, %d concurrent, queue %zu deep\n\n",
@@ -111,5 +147,11 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.admission.admitted_queued),
       static_cast<long long>(stats.admission.shed),
       static_cast<long long>(stats.rate_limited));
+
+  const int serve_seconds = FlagOr(argc, argv, "serve_seconds", 0);
+  if (serve_seconds > 0 && server.metrics_port() != 0) {
+    std::printf("serving /metrics for %d more seconds...\n", serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
   return 0;
 }

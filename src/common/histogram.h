@@ -93,6 +93,20 @@ class LatencyHistogram {
     return HighestEquivalent(kNumCounts - 1);
   }
 
+  /// Number of observations with value <= `micros` (cumulative bucket
+  /// count; the containing bucket is counted whole, consistent with the
+  /// bucket quantization of PercentileMicros). Feeds Prometheus-style
+  /// cumulative `le` histogram rendering (obs/promtext.h).
+  int64_t CountAtOrBelowMicros(int64_t micros) const {
+    if (micros < 0) return 0;
+    const int limit = CountsIndex(micros);
+    int64_t seen = 0;
+    for (int i = 0; i <= limit && i < kNumCounts; ++i) {
+      seen += counts_[i].load(std::memory_order_relaxed);
+    }
+    return seen;
+  }
+
   HistogramSummary Summarize() const {
     HistogramSummary s;
     s.count = Count();

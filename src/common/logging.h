@@ -11,6 +11,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/query_scope.h"
+
 namespace hybridjoin {
 
 enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
@@ -45,6 +47,11 @@ class LogLine {
  public:
   LogLine(LogLevel level, const char* tag) : level_(level) {
     stream_ << "[" << tag << "] ";
+    // Correlate free-form log lines with the event log / profiles: when the
+    // calling thread works on behalf of a query, prefix its id.
+    if (const uint64_t query_id = QueryScope::Current(); query_id != 0) {
+      stream_ << "[q" << query_id << "] ";
+    }
   }
   ~LogLine() { Logger::Write(level_, stream_.str()); }
   template <typename T>

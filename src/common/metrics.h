@@ -23,6 +23,7 @@
 #ifndef HYBRIDJOIN_COMMON_METRICS_H_
 #define HYBRIDJOIN_COMMON_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -138,6 +139,14 @@ class Metrics {
     ScopedWrite(name, value, /*gauge=*/true);
   }
 
+  /// Stores an absolute value (last-write-wins gauge, e.g. the number of
+  /// open sessions). Global-only: gauges of this kind describe
+  /// whole-process state, not one node's contribution, so there is no
+  /// scoped mirror.
+  void Set(const std::string& name, int64_t value) {
+    GetCounter(name)->store(value, std::memory_order_relaxed);
+  }
+
   int64_t Get(const std::string& name) {
     return GetCounter(name)->load(std::memory_order_relaxed);
   }
@@ -212,6 +221,30 @@ class Metrics {
     for (const auto& [key, histogram] : it->second.histograms) {
       HistogramSummary s = histogram->Summarize();
       if (s.count > 0) out.histograms[key] = s;
+    }
+    return out;
+  }
+
+  /// One query's scoped counters summed across all of its node slices, the
+  /// (phase, name) keys collapsed to the metric name (gauges aggregate by
+  /// maximum, everything else by sum — same rule as profile assembly).
+  /// Powers the live process list: rows scanned/produced and spill bytes of
+  /// an *in-flight* query come from here without waiting for end-of-query
+  /// profile assembly.
+  std::map<std::string, int64_t> ScopedQueryTotals(uint64_t query_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, int64_t> out;
+    auto it =
+        scoped_.lower_bound({query_id, std::numeric_limits<int32_t>::min()});
+    for (; it != scoped_.end() && it->first.first == query_id; ++it) {
+      for (const auto& [key, counter] : it->second.counters) {
+        int64_t& slot = out[key.second];
+        if (counter.gauge) {
+          slot = std::max(slot, counter.value);
+        } else {
+          slot += counter.value;
+        }
+      }
     }
     return out;
   }
@@ -345,6 +378,27 @@ inline constexpr const char kAdvisorEstimatedHdfsBytes[] =
 inline constexpr const char kAdvisorObservedHdfsBytes[] =
     "advisor.observed_hdfs_bytes";
 inline constexpr const char kAdvisorPivoted[] = "advisor.pivoted";
+// Warehouse-server lifetime counters (src/server/warehouse_server.cc
+// mirrors its ServerStats atomics here, so the scrape endpoint and the
+// time-series sampler pick them up automatically; the ServerStats struct
+// stays the point-in-time snapshot view). open_sessions and
+// queries_in_flight are last-value gauges written with Metrics::Set.
+inline constexpr const char kServerQueriesExecuted[] =
+    "server.queries_executed";
+inline constexpr const char kServerQueriesRateLimited[] =
+    "server.queries_rate_limited";
+inline constexpr const char kServerQueriesQuotaRejected[] =
+    "server.queries_quota_rejected";
+inline constexpr const char kServerQueriesShed[] = "server.queries_shed";
+inline constexpr const char kServerQueriesKilled[] = "server.queries_killed";
+inline constexpr const char kServerOpenSessions[] = "server.open_sessions";
+inline constexpr const char kServerQueriesInFlight[] =
+    "server.queries_in_flight";
+// Raised above zero when a query's memory governor still holds live
+// reservations at end-of-query (a leak — KILL paths must release
+// everything). Asserted zero in server_test.
+inline constexpr const char kServerGovernorLeakedBytes[] =
+    "server.governor_leaked_bytes";
 }  // namespace metric
 
 }  // namespace hybridjoin

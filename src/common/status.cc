@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kResourceExhausted = 9,
   kUnavailable = 10,  ///< transient failure; retrying may succeed
   kTimedOut = 11,     ///< a bounded wait expired (e.g. Network::Recv)
+  kCancelled = 12,    ///< cooperatively cancelled (e.g. KILL <query_id>)
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -89,6 +90,9 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -105,6 +109,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,6 +1,8 @@
 #include "exec/grace_join.h"
 
 #include "common/hash.h"
+#include "common/query_scope.h"
+#include "obs/event_log.h"
 
 namespace hybridjoin {
 
@@ -135,6 +137,15 @@ uint64_t GraceHashJoin::SpillLargestResidentLocked(Status* status) {
   resident_bytes_ -= freed;
   victim->resident_bytes = 0;
   if (governor_ != nullptr) governor_->Release(freed);
+  if (obs::EventLog::Global().enabled()) {
+    auto fields = obs::JsonValue::Object();
+    fields.Set("freed_bytes",
+               obs::JsonValue::Int(static_cast<int64_t>(freed)));
+    fields.Set("spilled_partitions",
+               obs::JsonValue::Int(static_cast<int64_t>(spilled_count_)));
+    obs::EventLog::Global().Emit("spill", QueryScope::Current(),
+                                 std::move(fields));
+  }
   return freed;
 }
 

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "exec/memory_governor.h"
 #include "net/network.h"
+#include "obs/query_registry.h"
 #include "trace/tracer.h"
 #include "types/record_batch.h"
 
@@ -80,6 +81,14 @@ class BatchMorselPipe {
   /// Status; threaded mode returns OK and surfaces consumer errors at
   /// Finish (the feeder may keep feeding — batches are then discarded).
   Status Feed(RecordBatch&& batch) {
+    // Morsel boundaries are the cooperative cancellation points of the
+    // probe/aggregate stage: a KILLed query stops accepting work here and
+    // the cancel status rides the pipe's normal first-error propagation.
+    if (obs::QueryRegistry::IsCancelled()) {
+      Status st = obs::QueryRegistry::CheckCancelled();
+      Fail(st);
+      return st;
+    }
     if (workers_.empty()) {
       if (failed_.load(std::memory_order_relaxed)) return First();
       Status st = consume_(0, std::move(batch));

@@ -27,6 +27,7 @@
 #include "hybrid/algorithms.h"
 #include "hybrid/driver_common.h"
 #include "jen/exchange.h"
+#include "obs/event_log.h"
 #include "trace/tracer.h"
 
 namespace hybridjoin {
@@ -324,6 +325,27 @@ Result<QueryResult> RunAdaptiveJoin(EngineContext* ctx,
           metrics.Max(metric::kAdvisorPivoted, 1);
           report.Mark(std::string("pivot_to_") +
                       JoinAlgorithmName(verdict.final_algorithm));
+        }
+        if (obs::EventLog::Global().enabled()) {
+          auto fields = obs::JsonValue::Object();
+          fields.Set("pivoted", obs::JsonValue::Bool(verdict.pivoted));
+          fields.Set("final_algorithm",
+                     obs::JsonValue::Str(
+                         JoinAlgorithmName(verdict.final_algorithm)));
+          fields.Set("estimated_db_bytes",
+                     obs::JsonValue::Int(
+                         static_cast<int64_t>(est.db_filtered_bytes)));
+          fields.Set("observed_db_bytes",
+                     obs::JsonValue::Int(static_cast<int64_t>(
+                         observed.db_filtered_bytes)));
+          fields.Set("estimated_hdfs_bytes",
+                     obs::JsonValue::Int(
+                         static_cast<int64_t>(est.hdfs_filtered_bytes)));
+          fields.Set("observed_hdfs_bytes",
+                     obs::JsonValue::Int(static_cast<int64_t>(
+                         observed.hdfs_filtered_bytes)));
+          obs::EventLog::Global().Emit("pivot_decision", report.query_id(),
+                                       std::move(fields));
         }
         decided = verdict;
 

@@ -75,9 +75,13 @@ class EngineContext {
   /// profile is disabled.
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
-  /// Monotonic per-context query id, stamped into each QueryProfile so
-  /// profile JSONs from one warehouse are distinguishable.
-  uint64_t NextQueryId() { return query_seq_.fetch_add(1) + 1; }
+  /// Monotonic *process-global* query id, stamped into each QueryProfile
+  /// and used as the key of the live-query registry (obs/query_registry.h).
+  /// Process-global rather than per-context so ids never collide across
+  /// warehouses in one process — the registry and the per-thread
+  /// cancellation caches depend on ids being unique for the process
+  /// lifetime.
+  uint64_t NextQueryId() { return g_query_seq_.fetch_add(1) + 1; }
 
   /// In-flight execution accounting (ReportBuilder brackets every driver
   /// run with these). BeginExecution returns the in-flight count *after*
@@ -102,7 +106,7 @@ class EngineContext {
   std::vector<std::unique_ptr<JenWorker>> jen_workers_;
   uint32_t exec_threads_ = 1;
   std::unique_ptr<ThreadPool> exec_pool_;
-  std::atomic<uint64_t> query_seq_{0};
+  static inline std::atomic<uint64_t> g_query_seq_{0};
   std::atomic<uint32_t> in_flight_{0};
 };
 

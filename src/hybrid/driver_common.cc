@@ -4,6 +4,8 @@
 
 #include "exec/spill.h"
 #include "jen/worker.h"
+#include "obs/event_log.h"
+#include "obs/query_registry.h"
 #include "trace/chrome_trace.h"
 
 namespace hybridjoin {
@@ -80,9 +82,36 @@ ReportBuilder::ReportBuilder(EngineContext* ctx, JoinAlgorithm algorithm,
     net_before_[i] =
         ctx_->network().BytesMoved(static_cast<FlowClass>(i));
   }
+  // Visible to SHOW PROCESSLIST / KILL from here on. Registration happens
+  // before any worker spawns, so a worker's first cancellation check can
+  // always resolve the flag.
+  obs::QueryRegistry::Global().Register(query_id_, &ctx_->metrics(),
+                                        governor_.get(),
+                                        JoinAlgorithmName(algorithm_));
+  if (obs::EventLog::Global().enabled()) {
+    auto fields = obs::JsonValue::Object();
+    fields.Set("algorithm",
+               obs::JsonValue::Str(JoinAlgorithmName(algorithm_)));
+    if (const obs::SubmissionScope::Info* info =
+            obs::SubmissionScope::Current()) {
+      fields.Set("session_id",
+                 obs::JsonValue::Int(static_cast<int64_t>(info->session_id)));
+      fields.Set("ticket_id",
+                 obs::JsonValue::Int(static_cast<int64_t>(info->ticket_id)));
+    }
+    obs::EventLog::Global().Emit("start", query_id_, std::move(fields));
+  }
 }
 
 ReportBuilder::~ReportBuilder() {
+  // Leave the process list first; Unregister reports reservations the
+  // governor still holds, which must be zero on every exit path (KILL
+  // included) — the server test asserts the gauge below stays flat.
+  const uint64_t leaked = obs::QueryRegistry::Global().Unregister(query_id_);
+  if (leaked > 0) {
+    ctx_->metrics().Add(metric::kServerGovernorLeakedBytes,
+                        static_cast<int64_t>(leaked));
+  }
   // This query's scoped slices were consumed by the NodeProfileScope
   // snapshots; drop them without touching other in-flight queries' slices.
   ctx_->metrics().ClearScoped(query_id_);
@@ -91,11 +120,22 @@ ReportBuilder::~ReportBuilder() {
 
 void ReportBuilder::Mark(const std::string& name) {
   const double t = stopwatch_.ElapsedSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [existing, unused] : marks_) {
-    if (existing == name) return;  // first caller wins
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [existing, unused] : marks_) {
+      if (existing == name) return;  // first caller wins
+    }
+    marks_.emplace_back(name, t);
   }
-  marks_.emplace_back(name, t);
+  // First arrival at a mark is a phase transition: reflect it in the live
+  // process list and the event log.
+  obs::QueryRegistry::Global().SetPhase(query_id_, name);
+  if (obs::EventLog::Global().enabled()) {
+    auto fields = obs::JsonValue::Object();
+    fields.Set("phase", obs::JsonValue::Str(name));
+    fields.Set("t_seconds", obs::JsonValue::Number(t));
+    obs::EventLog::Global().Emit("phase", query_id_, std::move(fields));
+  }
 }
 
 void ReportBuilder::CollectProfiles(const Tags& tags, uint32_t expected) {
@@ -202,6 +242,15 @@ Result<HotKeySet> CombineHotKeysAtDbWorker0(EngineContext* ctx,
       Metrics::PhaseScope phase_scope("shuffle");
       ctx->metrics().Max(metric::kShuffleHotKeys,
                          static_cast<int64_t>(hot.size()));
+      if (obs::EventLog::Global().enabled()) {
+        auto fields = obs::JsonValue::Object();
+        fields.Set("hot_keys",
+                   obs::JsonValue::Int(static_cast<int64_t>(hot.size())));
+        fields.Set("route_workers",
+                   obs::JsonValue::Int(static_cast<int64_t>(route_workers)));
+        obs::EventLog::Global().Emit("hot_keys", QueryScope::Current(),
+                                     std::move(fields));
+      }
     }
     for (uint32_t i = 0; i < ctx->num_db_workers(); ++i) {
       SendHotKeys(&net, self, NodeId::Db(i), tags.hot_global, hot);

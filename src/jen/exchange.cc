@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/query_scope.h"
+#include "obs/query_registry.h"
 #include "trace/tracer.h"
 
 namespace hybridjoin {
@@ -48,6 +49,13 @@ BatchSender::BatchSender(Network* network, NodeId self, uint64_t tag,
         // the stream is already broken and the error is sticky, but the
         // queue must keep draining so producers don't block.
         if (failed_.load(std::memory_order_acquire)) continue;
+        // Exchange boundaries are cancellation points: a KILLed query
+        // stops sending (the error is sticky) while the queue keeps
+        // draining, and EOS still goes out in Finish so receivers unblock.
+        if (obs::QueryRegistry::IsCancelled()) {
+          RecordError(obs::QueryRegistry::CheckCancelled());
+          continue;
+        }
         Status s = SendWithRetry(network_, self_, item->dest, tag_,
                                  std::move(item->payload));
         if (!s.ok()) RecordError(s);

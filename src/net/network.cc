@@ -1,10 +1,12 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <tuple>
 
 #include "common/hash.h"
+#include "obs/query_registry.h"
 #include "trace/tracer.h"
 
 namespace hybridjoin {
@@ -165,16 +167,33 @@ void Network::SendEos(NodeId from, NodeId to, uint64_t tag) {
 Result<Message> Network::Recv(NodeId to, uint64_t tag) {
   trace::Span span(tracer_, trace::span::kNetRecv, "net", to);
   ChannelState* ch = GetChannel(to, tag);
-  const auto timeout = std::chrono::milliseconds(config_.recv_timeout_ms);
+  // The wait is sliced so a blocked receiver notices cooperative
+  // cancellation (KILL <query_id>) within kCancelSliceMs even when the
+  // configured recv timeout is infinite. The overall deadline semantics
+  // are unchanged: kTimedOut still fires after recv_timeout_ms.
+  constexpr auto kCancelSlice = std::chrono::milliseconds(50);
+  const bool bounded = config_.recv_timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.recv_timeout_ms);
   while (true) {
-    bool timed_out = false;
-    std::optional<Message> m = ch->queue.PopFor(timeout, &timed_out);
-    if (timed_out) {
-      return Status::TimedOut("recv timed out after " +
-                              std::to_string(config_.recv_timeout_ms) +
-                              " ms on " + to.ToString() + " tag " +
-                              std::to_string(tag));
+    HJ_RETURN_IF_ERROR(obs::QueryRegistry::CheckCancelled());
+    auto slice = kCancelSlice;
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        return Status::TimedOut("recv timed out after " +
+                                std::to_string(config_.recv_timeout_ms) +
+                                " ms on " + to.ToString() + " tag " +
+                                std::to_string(tag));
+      }
+      slice = std::min(slice, std::max(remaining,
+                                       std::chrono::milliseconds(1)));
     }
+    bool timed_out = false;
+    std::optional<Message> m = ch->queue.PopFor(slice, &timed_out);
+    if (timed_out) continue;  // slice expired: re-check cancel + deadline
     if (!m.has_value()) {
       return Status::Unavailable("channel closed while receiving on " +
                                  to.ToString() + " tag " +

@@ -1,0 +1,61 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+
+namespace hybridjoin {
+namespace obs {
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+Status EventLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    enabled_.store(false, std::memory_order_release);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("event log: cannot open " + path);
+  }
+  file_ = f;
+  lines_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void EventLog::Emit(const std::string& event, uint64_t query_id,
+                    JsonValue fields) {
+  if (!enabled()) return;
+  const int64_t ts_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  JsonValue line = fields.is_object() ? std::move(fields)
+                                      : JsonValue::Object();
+  line.Set("ts_us", JsonValue::Int(ts_us));
+  line.Set("event", JsonValue::Str(event));
+  line.Set("query_id", JsonValue::Int(static_cast<int64_t>(query_id)));
+  const std::string text = line.Dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;  // closed between the enabled check and here
+  std::fputs(text.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace hybridjoin

@@ -1,0 +1,73 @@
+// EventLog: the structured (JSON-lines) lifecycle log of the warehouse.
+// One line per event, every line carrying a wall-clock timestamp, the event
+// name, and the query id it belongs to, so a whole query's life —
+// submit → admit (or queue/shed) → phase transitions → adaptive pivots →
+// governor spills → finish — can be reconstructed by grepping its id.
+//
+// The log is a process-global singleton (event emission sites sit deep in
+// the join drivers, far from any server object), disabled until Open() is
+// called: the enabled check is one relaxed atomic load, so instrumented
+// code paths cost nothing when no server asked for a log. Writes append
+// one compact JSON object per line under a mutex and flush immediately, so
+// an externally tailing process (or a crashed run's post-mortem) sees
+// complete lines.
+
+#ifndef HYBRIDJOIN_OBS_EVENT_LOG_H_
+#define HYBRIDJOIN_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace hybridjoin {
+namespace obs {
+
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens (truncating) `path` and starts accepting events. Reopening an
+  /// already-open log closes the previous file first.
+  Status Open(const std::string& path);
+
+  /// Stops accepting events and closes the file. Safe when not open.
+  void Close();
+
+  /// Whether events are currently being persisted (one atomic load).
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Appends `{"ts_us":..., "event":event, "query_id":query_id, ...fields}`
+  /// as one line. `fields` must be a JSON object (or null for none);
+  /// "ts_us"/"event"/"query_id" members in it are overwritten. No-op when
+  /// the log is not open.
+  void Emit(const std::string& event, uint64_t query_id,
+            JsonValue fields = JsonValue::Object());
+
+  /// Lines written since Open (diagnostic, for tests).
+  uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EventLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> lines_{0};
+  std::mutex mu_;  ///< guards file_ and serializes line writes
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_OBS_EVENT_LOG_H_

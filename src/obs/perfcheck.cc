@@ -108,6 +108,25 @@ PerfcheckResult ComparePerf(const JsonValue& baseline, const JsonValue& current,
       continue;
     }
 
+    // Overhead leaves are gated against an absolute ceiling, not against
+    // the baseline: the contract is "the plane costs < N%", and a lucky
+    // (negative) baseline measurement must not tighten it.
+    if (Contains(leaf, "overhead_pct")) {
+      ++result.leaves_compared;
+      if (cur_value > options.max_overhead_pct) {
+        PerfcheckFinding f;
+        f.path = path;
+        f.family = "overhead";
+        f.baseline = base_value;
+        f.current = cur_value;
+        f.message = "overhead " + path + ": " + FormatValue(cur_value) +
+                    "% > ceiling " + FormatValue(options.max_overhead_pct) +
+                    "% (baseline " + FormatValue(base_value) + "%)";
+        result.regressions.push_back(std::move(f));
+      }
+      continue;
+    }
+
     const bool is_bytes = Contains(leaf, "bytes");
     const bool is_wall = !is_bytes && (Contains(leaf, "wall") ||
                                        EndsWith(leaf, "_seconds") ||

@@ -28,6 +28,11 @@ struct PerfcheckOptions {
   double max_bytes_pct = 25.0;
   /// Max allowed absolute increase on skew leaves ("*skew*").
   double max_skew_increase = 0.5;
+  /// Absolute ceiling (not relative to baseline) on "*overhead_pct*"
+  /// leaves — the observability-overhead cell in BENCH_concurrency.json
+  /// must stay under this percentage regardless of what the baseline
+  /// measured.
+  double max_overhead_pct = 2.0;
   /// Wall leaves whose baseline is below this (seconds) are noise and are
   /// never flagged.
   double min_wall_seconds = 0.005;
@@ -35,7 +40,7 @@ struct PerfcheckOptions {
 
 struct PerfcheckFinding {
   std::string path;      ///< dotted path into the document
-  std::string family;    ///< "wall", "bytes" or "skew"
+  std::string family;    ///< "wall", "bytes", "skew" or "overhead"
   double baseline = 0.0;
   double current = 0.0;
   std::string message;   ///< one-line human rendering
@@ -50,8 +55,9 @@ struct PerfcheckResult {
 std::map<std::string, double> FlattenNumericLeaves(const JsonValue& doc);
 
 /// Compares `current` against `baseline`; only leaves present in both
-/// documents and belonging to a gated family (wall / bytes / skew) are
-/// checked. Leaves only on one side are ignored (schemas may grow).
+/// documents and belonging to a gated family (wall / bytes / skew /
+/// overhead) are checked. Leaves only on one side are ignored (schemas may
+/// grow).
 PerfcheckResult ComparePerf(const JsonValue& baseline, const JsonValue& current,
                             const PerfcheckOptions& options);
 

@@ -1,0 +1,179 @@
+#include "obs/query_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "exec/spill.h"
+
+namespace hybridjoin {
+namespace obs {
+
+namespace {
+
+// Thread-local cancel-flag cache: resolving QueryScope::Current() through
+// the registry map on every morsel/recv would serialize all workers on the
+// registry mutex. Instead each thread remembers the last (query id → flag)
+// pair it resolved; ids are process-unique, so a cached flag can never be
+// re-validated against the wrong query.
+struct CancelCache {
+  uint64_t query_id = 0;
+  std::shared_ptr<std::atomic<bool>> flag;
+};
+thread_local CancelCache tls_cancel_cache;
+
+}  // namespace
+
+QueryRegistry& QueryRegistry::Global() {
+  static QueryRegistry* registry = new QueryRegistry();
+  return *registry;
+}
+
+void QueryRegistry::Register(uint64_t query_id, Metrics* metrics,
+                             MemoryGovernor* governor,
+                             const char* algorithm) {
+  Entry entry;
+  if (const SubmissionScope::Info* info = SubmissionScope::Current()) {
+    entry.session_id = info->session_id;
+    entry.ticket_id = info->ticket_id;
+    entry.sql = info->sql;
+  }
+  entry.algorithm = algorithm != nullptr ? algorithm : "";
+  entry.phase = "init";
+  entry.start = std::chrono::steady_clock::now();
+  entry.metrics = metrics;
+  entry.governor = governor;
+  entry.cancel = std::make_shared<std::atomic<bool>>(false);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[query_id] = std::move(entry);
+}
+
+uint64_t QueryRegistry::Unregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(query_id);
+  if (it == entries_.end()) return 0;
+  const uint64_t leaked =
+      it->second.governor != nullptr ? it->second.governor->used() : 0;
+  entries_.erase(it);
+  return leaked;
+}
+
+void QueryRegistry::SetPhase(uint64_t query_id, const std::string& phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(query_id);
+  if (it != entries_.end()) it->second.phase = phase;
+}
+
+Status QueryRegistry::Cancel(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(query_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("no in-flight query with id " +
+                            std::to_string(query_id));
+  }
+  it->second.cancel->store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<LiveQuery> QueryRegistry::Snapshot() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LiveQuery> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [query_id, entry] : entries_) {
+    LiveQuery row;
+    row.query_id = query_id;
+    row.session_id = entry.session_id;
+    row.ticket_id = entry.ticket_id;
+    row.sql = entry.sql;
+    row.algorithm = entry.algorithm;
+    row.phase = entry.phase;
+    row.elapsed_seconds =
+        std::chrono::duration<double>(now - entry.start).count();
+    if (entry.metrics != nullptr) {
+      const auto totals = entry.metrics->ScopedQueryTotals(query_id);
+      const auto leaf = [&totals](const char* name) -> int64_t {
+        auto it = totals.find(name);
+        return it != totals.end() ? it->second : 0;
+      };
+      row.rows_scanned = leaf(metric::kDbTuplesScanned) +
+                         leaf(metric::kHdfsTuplesScanned);
+      row.rows_produced = leaf(metric::kJoinOutputTuples);
+      row.spill_bytes = leaf(metric::kSpillBytesWritten);
+    }
+    if (entry.governor != nullptr) {
+      row.mem_used_bytes = entry.governor->used();
+      row.mem_peak_bytes = entry.governor->peak();
+      row.mem_budget_bytes = entry.governor->budget();
+    }
+    row.cancel_requested = entry.cancel->load(std::memory_order_relaxed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t QueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::shared_ptr<std::atomic<bool>> QueryRegistry::CancelFlag(
+    uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(query_id);
+  return it != entries_.end() ? it->second.cancel : nullptr;
+}
+
+Status QueryRegistry::CheckCancelled() {
+  if (!IsCancelled()) return Status::OK();
+  return Status::Cancelled("query " +
+                           std::to_string(QueryScope::Current()) +
+                           " cancelled by KILL");
+}
+
+bool QueryRegistry::IsCancelled() {
+  const uint64_t query_id = QueryScope::Current();
+  if (query_id == 0) return false;
+  CancelCache& cache = tls_cancel_cache;
+  if (cache.query_id != query_id) {
+    cache.query_id = query_id;
+    cache.flag = Global().CancelFlag(query_id);
+  }
+  return cache.flag != nullptr &&
+         cache.flag->load(std::memory_order_relaxed);
+}
+
+std::string RenderProcessListText(const std::vector<LiveQuery>& rows) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "%-6s %-8s %-8s %-22s %-14s %9s %12s %12s %10s %10s %-6s "
+                "%s\n",
+                "QUERY", "SESSION", "TICKET", "ALGORITHM", "PHASE",
+                "ELAPSED", "SCANNED", "PRODUCED", "MEM_MB", "SPILL_MB",
+                "KILL?", "SQL");
+  out += line;
+  for (const LiveQuery& q : rows) {
+    std::string sql = q.sql;
+    std::replace(sql.begin(), sql.end(), '\n', ' ');
+    if (sql.size() > 80) sql = sql.substr(0, 77) + "...";
+    std::snprintf(
+        line, sizeof(line),
+        "%-6llu %-8llu %-8llu %-22s %-14s %8.2fs %12lld %12lld %10.1f "
+        "%10.1f %-6s %s\n",
+        static_cast<unsigned long long>(q.query_id),
+        static_cast<unsigned long long>(q.session_id),
+        static_cast<unsigned long long>(q.ticket_id), q.algorithm.c_str(),
+        q.phase.c_str(), q.elapsed_seconds,
+        static_cast<long long>(q.rows_scanned),
+        static_cast<long long>(q.rows_produced),
+        static_cast<double>(q.mem_used_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(q.spill_bytes) / (1024.0 * 1024.0),
+        q.cancel_requested ? "yes" : "no", sql.c_str());
+    out += line;
+  }
+  if (rows.empty()) out += "(no queries in flight)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hybridjoin

@@ -1,0 +1,122 @@
+// MetricsSampler: periodic background sampling of a Metrics registry into
+// fixed-size in-memory rings — the time-series half of the observability
+// plane. Each tick snapshots every counter and every histogram summary;
+// counters keep (timestamp, value) points from which read-side rate
+// computation derives per-second rates, histograms keep their percentile
+// summaries. Rings are bounded (ring_capacity points per series), so a
+// server that runs for weeks holds a sliding window, never an unbounded
+// log.
+//
+// The sampling thread is deadline-bound: Stop() (and the destructor) wakes
+// it via condition variable and joins — no detached threads, no sleeps
+// that outlive the object — so start/stop cycles are TSan-clean and a
+// server shutdown never blocks on a sampling interval.
+
+#ifndef HYBRIDJOIN_OBS_TIMESERIES_H_
+#define HYBRIDJOIN_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace hybridjoin {
+namespace obs {
+
+struct TimeseriesConfig {
+  /// Interval between samples.
+  std::chrono::milliseconds sample_interval{1000};
+  /// Points retained per series (oldest evicted first).
+  size_t ring_capacity = 256;
+};
+
+/// One retained sample of a counter series.
+struct SeriesPoint {
+  int64_t t_us = 0;  ///< steady-clock microseconds at sampling time
+  int64_t value = 0;
+};
+
+/// One retained sample of a histogram series.
+struct HistogramPoint {
+  int64_t t_us = 0;
+  HistogramSummary summary;
+};
+
+class MetricsSampler {
+ public:
+  MetricsSampler(Metrics* metrics, TimeseriesConfig config);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Starts the background sampling thread (idempotent).
+  void Start();
+
+  /// Stops and joins the thread, then takes one final sample (firing
+  /// on_sample) so short-lived planes still flush terminal state.
+  /// Idempotent — a Stop with no running thread does nothing; also called
+  /// by the dtor.
+  void Stop();
+
+  /// Takes one sample synchronously — the thread calls this each tick, and
+  /// tests / the --metrics_out writer can call it directly.
+  void SampleOnce();
+
+  /// Invoked after every sample (from the sampling thread) — the server
+  /// hooks its --metrics_out periodic file write here. Set before Start().
+  void set_on_sample(std::function<void()> fn) {
+    on_sample_ = std::move(fn);
+  }
+
+  /// The retained window of one counter series (empty when unknown).
+  std::vector<SeriesPoint> CounterSeries(const std::string& name) const;
+
+  /// The retained window of one histogram series.
+  std::vector<HistogramPoint> HistogramSeries(const std::string& name) const;
+
+  /// Per-second rate of a counter over the last two retained points
+  /// (0 with fewer than two points or a non-increasing clock). Gauge-style
+  /// series yield meaningless rates; callers pick which names to rate.
+  double RatePerSecond(const std::string& name) const;
+
+  /// Latest value of every counter series, for renderers that want the
+  /// sampled view instead of a live registry read.
+  std::map<std::string, int64_t> LatestCounters() const;
+
+  size_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void ThreadMain();
+
+  Metrics* const metrics_;
+  const TimeseriesConfig config_;
+  std::function<void()> on_sample_;
+
+  mutable std::mutex series_mu_;  ///< guards the rings
+  std::map<std::string, std::deque<SeriesPoint>> counter_series_;
+  std::map<std::string, std::deque<HistogramPoint>> histogram_series_;
+
+  std::mutex thread_mu_;  ///< guards stop_/thread_ lifecycle
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> samples_{0};
+};
+
+}  // namespace obs
+}  // namespace hybridjoin
+
+#endif  // HYBRIDJOIN_OBS_TIMESERIES_H_

@@ -54,9 +54,13 @@ struct QueryTicket {
 };
 
 /// One Execute() result: the receipt plus the query's rows and report.
+/// Administrative statements (SHOW PROCESSLIST / SHOW METRICS / SHOW
+/// SESSIONS / KILL) answered by ExecuteStatement carry their rendered
+/// answer in admin_text and leave the query fields defaulted.
 struct ServerResult {
   QueryTicket ticket;
   QueryResult result;
+  std::string admin_text;
 };
 
 }  // namespace server

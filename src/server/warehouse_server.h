@@ -22,14 +22,43 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/token_bucket.h"
 #include "hybrid/warehouse.h"
+#include "obs/json.h"
+#include "obs/metrics_http.h"
+#include "obs/query_registry.h"
+#include "obs/timeseries.h"
 #include "server/admission_controller.h"
 #include "server/query_context.h"
 
 namespace hybridjoin {
 namespace server {
+
+/// The server-lifetime observability plane: what of it to switch on.
+/// Everything defaults off — a server with the default config spawns no
+/// background threads and writes no files.
+struct ObservabilityConfig {
+  /// Serve GET /metrics (Prometheus text) on 127.0.0.1:metrics_http_port.
+  bool metrics_http = false;
+  /// 0 = ephemeral; WarehouseServer::metrics_port() reports the bound one.
+  uint16_t metrics_http_port = 0;
+  /// Periodically rewrite this file with the Prometheus exposition — the
+  /// scrapeless fallback for batch runs. "" disables.
+  std::string metrics_out;
+  /// Background sampling interval for the time-series rings (and the
+  /// metrics_out rewrite cadence).
+  std::chrono::milliseconds sample_interval{1000};
+  /// JSON-lines lifecycle event log (submit/admit/shed/phase/pivot/spill/
+  /// kill/finish). "" disables.
+  std::string event_log_path;
+  /// Directory for slow-query profiles: queries slower than
+  /// slow_query_seconds persist their full EXPLAIN ANALYZE JSON here.
+  std::string slow_query_dir;
+  /// 0 disables the slow-query log.
+  double slow_query_seconds = 0.0;
+};
 
 struct ServerConfig {
   AdmissionConfig admission;
@@ -43,15 +72,21 @@ struct ServerConfig {
   /// Default quotas stamped into every query's QueryContext; a session can
   /// tighten them per call via Execute()'s quotas argument.
   QueryQuotas default_quotas;
+  ObservabilityConfig observability;
 };
 
-/// Server-wide counters (admission stats come from the controller).
+/// Server-wide counters — a point-in-time snapshot view. The same counts
+/// are mirrored into the engine's Metrics registry under server.* (see
+/// common/metrics.h), which is what the scrape endpoint and the
+/// time-series sampler read; this struct stays the programmatic view.
 struct ServerStats {
   AdmissionStats admission;
   int64_t executed = 0;        ///< queries that ran to a result (ok or not)
   int64_t rate_limited = 0;    ///< shed by the session rate limit
   int64_t quota_rejected = 0;  ///< rejected by the memory quota
+  int64_t killed = 0;          ///< KILLed while in flight
   size_t open_sessions = 0;
+  uint32_t queries_in_flight = 0;  ///< executing right now
 };
 
 class WarehouseServer {
@@ -90,8 +125,41 @@ class WarehouseServer {
   Result<ServerResult> Execute(uint64_t session_id, const std::string& sql,
                                const QueryQuotas& quotas);
 
+  /// Front-end entry point that also understands the administrative
+  /// statements (SHOW PROCESSLIST / SHOW METRICS / SHOW SESSIONS /
+  /// KILL <query_id>): admin statements bypass rate limiting and admission
+  /// and return their answer in ServerResult::admin_text; anything else
+  /// routes to Execute().
+  Result<ServerResult> ExecuteStatement(uint64_t session_id,
+                                        const std::string& sql);
+
+  /// Requests cooperative cancellation of an in-flight query. The query
+  /// unwinds at its next morsel / exchange / receive boundary and its
+  /// Execute() call returns kCancelled. kNotFound when no such query is in
+  /// flight.
+  Status Kill(uint64_t query_id);
+
+  /// Live rows for every in-flight query (the SHOW PROCESSLIST data).
+  std::vector<obs::LiveQuery> ProcessList() const;
+  std::string ProcessListText() const;
+
+  /// Prometheus text exposition of the engine's metrics registry — the
+  /// same bytes GET /metrics serves.
+  std::string MetricsText();
+
+  /// One line per open session (SHOW SESSIONS).
+  std::string SessionsText() const;
+
+  /// The bound scrape port when ObservabilityConfig::metrics_http is on
+  /// (resolves port 0 to the ephemeral pick), 0 otherwise.
+  uint16_t metrics_port() const;
+
+  /// The time-series sampler, nullptr when background sampling is off.
+  obs::MetricsSampler* sampler() { return sampler_.get(); }
+
   /// Sheds all waiting queries and rejects new ones. Running queries
-  /// finish. Idempotent; the destructor calls it.
+  /// finish. Stops the observability plane (sampler, scrape endpoint,
+  /// event log) with bounded joins. Idempotent; the destructor calls it.
   void Shutdown();
 
   ServerStats stats() const;
@@ -102,12 +170,20 @@ class WarehouseServer {
   struct Session {
     uint64_t id = 0;
     std::unique_ptr<TokenBucket> rate;  ///< null when unlimited
+    std::atomic<int64_t> executed{0};   ///< queries run on this session
   };
 
   /// nullptr when the session does not exist. The returned pointer stays
   /// valid until CloseSession (map nodes are stable; sessions are only
   /// erased, never mutated after creation).
   std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+
+  /// The engine metrics registry the server.* mirror writes into.
+  Metrics& engine_metrics() const;
+
+  /// Emits one lifecycle event when the event log is open.
+  void Emit(const char* event, uint64_t query_id,
+            obs::JsonValue fields) const;
 
   HybridWarehouse* warehouse_;
   const ServerConfig config_;
@@ -120,7 +196,15 @@ class WarehouseServer {
   std::atomic<int64_t> executed_{0};
   std::atomic<int64_t> rate_limited_{0};
   std::atomic<int64_t> quota_rejected_{0};
+  std::atomic<int64_t> killed_{0};
+  std::atomic<uint32_t> in_flight_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Observability plane (all optional; constructed per config, torn down
+  // with bounded joins in Shutdown).
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  std::unique_ptr<obs::MetricsHttpServer> http_;
+  bool owns_event_log_ = false;  ///< this server opened the global log
 };
 
 }  // namespace server

@@ -581,5 +581,49 @@ Result<HybridQuery> ParseHybridQuery(const std::string& statement,
   return parser.Parse();
 }
 
+Result<Statement> ParseStatement(const std::string& statement) {
+  HJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Statement out;
+  if (tokens.empty() || tokens[0].kind == TokenKind::kEnd) {
+    return Status::InvalidArgument("sql: empty statement");
+  }
+  const Token& first = tokens[0];
+  if (first.Is("SHOW")) {
+    if (tokens.size() < 2 || tokens[1].kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          "sql: SHOW expects PROCESSLIST, METRICS or SESSIONS");
+    }
+    if (tokens[1].Is("PROCESSLIST")) {
+      out.kind = StatementKind::kShowProcesslist;
+    } else if (tokens[1].Is("METRICS")) {
+      out.kind = StatementKind::kShowMetrics;
+    } else if (tokens[1].Is("SESSIONS")) {
+      out.kind = StatementKind::kShowSessions;
+    } else {
+      return Status::InvalidArgument("sql: unknown SHOW target '" +
+                                     tokens[1].text + "'");
+    }
+    if (tokens.size() > 2 && tokens[2].kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("sql: trailing input after SHOW " +
+                                     tokens[1].text);
+    }
+    return out;
+  }
+  if (first.Is("KILL")) {
+    if (tokens.size() < 2 || tokens[1].kind != TokenKind::kNumber ||
+        tokens[1].number <= 0) {
+      return Status::InvalidArgument("sql: KILL expects a positive query id");
+    }
+    if (tokens.size() > 2 && tokens[2].kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("sql: trailing input after KILL");
+    }
+    out.kind = StatementKind::kKill;
+    out.kill_query_id = static_cast<uint64_t>(tokens[1].number);
+    return out;
+  }
+  out.kind = StatementKind::kSelect;
+  return out;
+}
+
 }  // namespace sql
 }  // namespace hybridjoin

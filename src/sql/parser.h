@@ -52,6 +52,28 @@ struct TableResolver {
 Result<HybridQuery> ParseHybridQuery(const std::string& statement,
                                      const TableResolver& resolver);
 
+/// Statement classification for the shell / server front end: queries go
+/// through ParseHybridQuery, everything else is an administrative command
+/// answered from the observability plane.
+enum class StatementKind {
+  kSelect,           ///< a query — parse with ParseHybridQuery
+  kShowProcesslist,  ///< SHOW PROCESSLIST
+  kShowMetrics,      ///< SHOW METRICS (Prometheus exposition text)
+  kShowSessions,     ///< SHOW SESSIONS
+  kKill,             ///< KILL <query_id>
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  uint64_t kill_query_id = 0;  ///< for kKill
+};
+
+/// Classifies one statement without resolving tables: SHOW / KILL forms
+/// parse fully here; anything else classifies as kSelect (whose real parse
+/// — and error reporting — happens in ParseHybridQuery). Errors are
+/// returned only for malformed SHOW/KILL statements.
+Result<Statement> ParseStatement(const std::string& statement);
+
 }  // namespace sql
 }  // namespace hybridjoin
 

@@ -10,12 +10,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hybrid/reference.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/promtext.h"
 #include "server/warehouse_server.h"
 #include "testing/differential.h"
 #include "workload/loader.h"
@@ -424,6 +430,247 @@ TEST_F(PressuredServerTest, MemPeakStaysWithinQuota) {
   ASSERT_NE(peak, nullptr) << profile.ToText();
   EXPECT_GT(peak->total, 0);
   EXPECT_LE(peak->total, static_cast<int64_t>(quota.memory_bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane through the server.
+
+/// A throttled warehouse (paper-testbed I/O simulation, cold cache) whose
+/// queries run long enough to observe — and kill — mid-flight.
+class SlowServerTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    WorkloadConfig wc;
+    wc.num_join_keys = 1024;
+    wc.t_rows = 16 * 1024;
+    wc.l_rows = 64 * 1024;
+    auto workload = Workload::Generate(wc, {0.1, 0.1, 0.5, 0.5});
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    workload_ = std::make_unique<Workload>(std::move(workload).value());
+
+    SimulationConfig config = SimulationConfig::PaperTestbed(2, 2, 0.05);
+    config.datanode.cache_capacity_bytes = 0;  // stay cold: stay slow
+    config.bloom.expected_keys = wc.num_join_keys;
+    hw_ = std::make_unique<HybridWarehouse>(config);
+    ASSERT_TRUE(LoadWorkload(hw_.get(), *workload_).ok());
+  }
+};
+
+// The acceptance bullet: a second session runs SHOW PROCESSLIST while a
+// join is in flight and sees its phase / elapsed / memory; KILL makes the
+// running Execute return a clean kCancelled with no leaked governor
+// reservations.
+TEST_F(SlowServerTest, ShowProcesslistThenKillTerminatesCleanly) {
+  WarehouseServer server(hw_.get(), ServerConfig{});
+  const uint64_t runner_session = server.OpenSession();
+  const uint64_t admin_session = server.OpenSession();
+
+  QueryQuotas quota;
+  quota.memory_bytes = 64 * 1024 * 1024;  // a real governor budget to report
+  Status run_status = Status::OK();
+  std::thread runner([&] {
+    run_status = server.Execute(runner_session, kQuery, quota).status();
+  });
+
+  // Wait for the query to appear in the live process list.
+  std::vector<obs::LiveQuery> rows;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (rows.empty() && std::chrono::steady_clock::now() < deadline) {
+    rows = server.ProcessList();
+    if (rows.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_FALSE(rows.empty()) << "query never registered";
+  const obs::LiveQuery live = rows[0];
+  EXPECT_GT(live.query_id, 0u);
+  EXPECT_EQ(live.session_id, runner_session);
+  EXPECT_EQ(live.sql, kQuery);
+  EXPECT_FALSE(live.phase.empty());
+  EXPECT_GE(live.elapsed_seconds, 0.0);
+  EXPECT_EQ(live.mem_budget_bytes, quota.memory_bytes);
+  EXPECT_FALSE(live.cancel_requested);
+
+  // SHOW PROCESSLIST from the second session sees the same row.
+  auto shown = server.ExecuteStatement(admin_session, "SHOW PROCESSLIST");
+  ASSERT_TRUE(shown.ok()) << shown.status().ToString();
+  EXPECT_NE(shown->admin_text.find(std::to_string(live.query_id)),
+            std::string::npos)
+      << shown->admin_text;
+  EXPECT_NE(shown->admin_text.find(live.phase), std::string::npos);
+
+  // KILL through the statement front end; the runner unwinds with
+  // kCancelled at its next cooperative checkpoint.
+  auto killed = server.ExecuteStatement(
+      admin_session, "KILL " + std::to_string(live.query_id));
+  ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+  EXPECT_NE(killed->admin_text.find("killing query"), std::string::npos);
+  runner.join();
+  EXPECT_EQ(run_status.code(), StatusCode::kCancelled)
+      << run_status.ToString();
+
+  // Clean unwind: the query left the registry, every governor reservation
+  // was released (the leak counter stays zero), and the kill was counted.
+  EXPECT_TRUE(server.ProcessList().empty());
+  EXPECT_EQ(hw_->context().metrics().Get(metric::kServerGovernorLeakedBytes),
+            0);
+  EXPECT_EQ(server.stats().killed, 1);
+  EXPECT_EQ(server.Kill(live.query_id).code(), StatusCode::kNotFound);
+
+  // The warehouse stays healthy after a kill: the next query succeeds.
+  auto next = server.Execute(admin_session, kQuery);
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+}
+
+TEST_F(ServerTest, AdminStatementsAnswerWithoutAdmission) {
+  ServerConfig sc;
+  sc.admission.max_concurrent_queries = 1;
+  WarehouseServer server(hw_.get(), sc);
+  const uint64_t session = server.OpenSession();
+
+  // Admin statements answer even with the only execution slot pinned.
+  auto pinned = server.admission().Admit();
+  ASSERT_TRUE(pinned.ok());
+
+  auto processlist = server.ExecuteStatement(session, "SHOW PROCESSLIST");
+  ASSERT_TRUE(processlist.ok());
+  EXPECT_NE(processlist->admin_text.find("no queries in flight"),
+            std::string::npos);
+
+  auto sessions = server.ExecuteStatement(session, "show sessions");
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_NE(sessions->admin_text.find(std::to_string(session)),
+            std::string::npos);
+
+  auto metrics = server.ExecuteStatement(session, "SHOW METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(obs::ValidatePrometheus(metrics->admin_text).ok())
+      << metrics->admin_text;
+
+  // Unknown session / malformed statements fail cleanly.
+  EXPECT_EQ(server.ExecuteStatement(999999, "SHOW METRICS").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.ExecuteStatement(session, "KILL 424242").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(server.ExecuteStatement(session, "SHOW NONSENSE").ok());
+}
+
+// Satellite (f): 50 plane start/stop cycles (sampler thread, scrape
+// listener, event log) with bounded joins — runs under the TSan CI job.
+TEST_F(ServerTest, ObservabilityPlaneStartStop50x) {
+  const std::string log_path =
+      ::testing::TempDir() + "/hj_plane_cycle_events.jsonl";
+  for (int i = 0; i < 50; ++i) {
+    ServerConfig sc;
+    sc.observability.metrics_http = true;
+    sc.observability.metrics_http_port = 0;  // ephemeral
+    sc.observability.sample_interval = std::chrono::milliseconds(1);
+    sc.observability.event_log_path = log_path;
+    WarehouseServer server(hw_.get(), sc);
+    ASSERT_NE(server.metrics_port(), 0) << "cycle " << i;
+    ASSERT_NE(server.sampler(), nullptr);
+    EXPECT_TRUE(server.sampler()->running());
+    if (i % 10 == 0) {
+      // Occasionally do real work mid-cycle so the threads sample live
+      // state, not an idle registry.
+      const uint64_t session = server.OpenSession();
+      EXPECT_TRUE(obs::ValidatePrometheus(server.MetricsText()).ok());
+      (void)server.CloseSession(session);
+    }
+    server.Shutdown();
+    EXPECT_FALSE(obs::EventLog::Global().enabled()) << "cycle " << i;
+  }
+  std::remove(log_path.c_str());
+}
+
+// The lifecycle acceptance bullet: an 8-way concurrent run leaves an event
+// log whose every query correlates admit -> start -> finish by ticket and
+// query id, and whose scraped queries-executed counter equals the registry.
+TEST_F(ServerTest, EventLogLifecycleCorrelatesAcrossEightWayRun) {
+  const std::string log_path =
+      ::testing::TempDir() + "/hj_lifecycle_events.jsonl";
+  constexpr int kClients = 8;
+  int64_t executed_before = 0;
+  int64_t executed_after = 0;
+  std::string scraped;
+  {
+    ServerConfig sc;
+    sc.admission.max_concurrent_queries = 4;
+    sc.admission.max_queued = 32;
+    sc.admission.queue_timeout = std::chrono::milliseconds(60000);
+    sc.observability.event_log_path = log_path;
+    WarehouseServer server(hw_.get(), sc);
+    executed_before = hw_->context().metrics().Get(
+        metric::kServerQueriesExecuted);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&] {
+        const uint64_t session = server.OpenSession();
+        if (!server.Execute(session, kQuery).ok()) failures.fetch_add(1);
+        (void)server.CloseSession(session);
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    scraped = server.MetricsText();
+    executed_after = hw_->context().metrics().Get(
+        metric::kServerQueriesExecuted);
+    server.Shutdown();  // closes the event log so every line is on disk
+  }
+  EXPECT_EQ(executed_after - executed_before, kClients);
+
+  // The scraped exposition is valid and its counter equals the registry.
+  ASSERT_TRUE(obs::ValidatePrometheus(scraped).ok());
+  EXPECT_NE(scraped.find("hj_server_queries_executed_total " +
+                         std::to_string(executed_after) + "\n"),
+            std::string::npos)
+      << scraped;
+
+  // Replay the log: per ticket, admit then start then finish, with start
+  // and finish agreeing on the engine query id.
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::map<int64_t, int> admits;              // ticket -> count
+  std::map<int64_t, int64_t> start_query;     // ticket -> query id
+  std::map<int64_t, int64_t> finish_query;    // ticket -> query id
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const obs::JsonValue event = std::move(parsed).value();
+    const std::string name = event.Find("event")->AsString();
+    const obs::JsonValue* ticket = event.Find("ticket_id");
+    if (name == "admit") {
+      ASSERT_NE(ticket, nullptr) << line;
+      admits[ticket->AsInt()]++;
+    } else if (name == "start") {
+      ASSERT_NE(ticket, nullptr) << line;
+      start_query[ticket->AsInt()] = event.Find("query_id")->AsInt();
+    } else if (name == "finish") {
+      ASSERT_NE(ticket, nullptr) << line;
+      finish_query[ticket->AsInt()] = event.Find("query_id")->AsInt();
+      EXPECT_EQ(event.Find("status")->AsString(), "OK") << line;
+    }
+  }
+  ASSERT_EQ(admits.size(), static_cast<size_t>(kClients));
+  ASSERT_EQ(start_query.size(), static_cast<size_t>(kClients));
+  ASSERT_EQ(finish_query.size(), static_cast<size_t>(kClients));
+  std::set<int64_t> query_ids;
+  for (const auto& [ticket_id, count] : admits) {
+    EXPECT_EQ(count, 1) << "ticket " << ticket_id;
+    ASSERT_TRUE(start_query.count(ticket_id)) << "ticket " << ticket_id;
+    ASSERT_TRUE(finish_query.count(ticket_id)) << "ticket " << ticket_id;
+    EXPECT_EQ(start_query[ticket_id], finish_query[ticket_id])
+        << "ticket " << ticket_id;
+    EXPECT_GT(start_query[ticket_id], 0) << "ticket " << ticket_id;
+    EXPECT_TRUE(query_ids.insert(start_query[ticket_id]).second)
+        << "duplicate engine query id for ticket " << ticket_id;
+  }
+  std::remove(log_path.c_str());
 }
 
 TEST(AdmissionControllerTest, FifoGrantAndCloseShedsWaiters) {

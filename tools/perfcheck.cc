@@ -7,6 +7,7 @@
 //   --max_wall_pct=20    max wall-time increase, % of baseline
 //   --max_bytes_pct=25   max bytes-moved increase, % of baseline
 //   --max_skew=0.5       max absolute increase on skew leaves
+//   --max_overhead_pct=2 absolute ceiling on *overhead_pct* leaves
 //   --min_wall_s=0.005   ignore wall leaves whose baseline is below this
 //
 // Exit codes: 0 = within thresholds, 1 = regression(s), 2 = usage or IO
@@ -34,7 +35,8 @@ using hybridjoin::obs::PerfcheckResult;
 
 constexpr const char kUsage[] =
     "usage: perfcheck [--max_wall_pct=N] [--max_bytes_pct=N] [--max_skew=N]\n"
-    "                 [--min_wall_s=N] baseline.json current.json\n";
+    "                 [--max_overhead_pct=N] [--min_wall_s=N]\n"
+    "                 baseline.json current.json\n";
 
 bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
   const size_t n = std::strlen(name);
@@ -76,6 +78,8 @@ int main(int argc, char** argv) {
     if (ParseDoubleFlag(arg, "--max_wall_pct", &options.max_wall_pct) ||
         ParseDoubleFlag(arg, "--max_bytes_pct", &options.max_bytes_pct) ||
         ParseDoubleFlag(arg, "--max_skew", &options.max_skew_increase) ||
+        ParseDoubleFlag(arg, "--max_overhead_pct",
+                        &options.max_overhead_pct) ||
         ParseDoubleFlag(arg, "--min_wall_s", &options.min_wall_seconds)) {
       continue;
     }
@@ -102,9 +106,9 @@ int main(int argc, char** argv) {
               files[0].c_str(), files[1].c_str(), result.leaves_compared);
   if (result.regressions.empty()) {
     std::printf("perfcheck: OK (no regression past thresholds: wall +%.0f%%, "
-                "bytes +%.0f%%, skew +%.2f)\n",
+                "bytes +%.0f%%, skew +%.2f, overhead ceiling %.1f%%)\n",
                 options.max_wall_pct, options.max_bytes_pct,
-                options.max_skew_increase);
+                options.max_skew_increase, options.max_overhead_pct);
     return 0;
   }
   for (const PerfcheckFinding& f : result.regressions) {
